@@ -1,0 +1,27 @@
+# Convenience targets for the APOLLO reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench results examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	REPRO_SCALE=tiny $(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+results:
+	$(PYTHON) -m repro.cli run-all --out results
+
+examples:
+	for ex in examples/*.py; do echo "=== $$ex"; $(PYTHON) $$ex; done
+
+clean:
+	rm -rf .artifacts results .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,16 @@
+"""Ablations of APOLLO's design choices."""
+
+
+def test_ablations(run_exp, ctx_n1):
+    res = run_exp("ablations", ctx_n1)
+    # Relaxation should not hurt (paper: it fine-tunes the fit).
+    assert res.summary["relaxation_gain_nrmse"] >= -0.01
+    # Training only on high-power cycles degrades generalization
+    # (the paper's argument for GA-driven power diversity).
+    assert res.summary["diversity_gain_nrmse"] > 0
+    # Every non-sabotaged ablation still produces a working model (the
+    # diversity-ablated row is *meant* to be bad and may crater).
+    for row in res.rows:
+        if "high-power" in row["ablation"]:
+            continue
+        assert row["test_r2"] > 0.5

@@ -1,0 +1,48 @@
+"""Extensions beyond the paper (its §9 future work + §1 DVFS use case)."""
+
+
+def test_ext_highlevel(run_exp, ctx_n1):
+    res = run_exp("ext_highlevel", ctx_n1)
+    # The abstraction trade: clearly faster, clearly less accurate than
+    # RTL-proxy APOLLO — but still a usable power trace.
+    assert res.summary["speedup_vs_rtl_flow"] > 5
+    assert res.summary["highlevel_r2"] > 0.6
+    assert res.summary["apollo_r2"] > res.summary["highlevel_r2"]
+
+
+def test_ext_dvfs(run_exp, ctx_n1):
+    res = run_exp("ext_dvfs", ctx_n1)
+    # The governor respects the budget better than fixed-boost while
+    # delivering far more performance than fixed-eco.
+    assert res.summary["violation_reduction"] > 0
+    assert res.summary["governed_perf"] > res.summary["eco_perf"]
+
+
+def test_ext_counters(run_exp, ctx_n1):
+    res = run_exp("ext_counters", ctx_n1)
+    # §1's claim: counters are much worse than APOLLO at fine grain...
+    assert res.summary["fine_grain_gap"] > 1.5
+    # ...and recover (partially) at coarse grain.
+    assert (
+        res.summary["counter_coarse_nrmse"]
+        < res.summary["counter_fine_nrmse"]
+    )
+
+
+def test_ext_didt(run_exp, ctx_n1):
+    res = run_exp("ext_didt", ctx_n1)
+    # The ramp-fitness virus produces a positive worst-case ramp and a
+    # real droop.
+    assert res.summary["didt_fitness"] > 0
+    assert res.summary["droop_didt_mv"] > 0
+
+
+def test_ext_multicore(run_exp, ctx_n1):
+    res = run_exp("ext_multicore", ctx_n1)
+    # De-phasing synchronized viruses flattens the socket envelope and
+    # shrinks the shared-rail droop.
+    assert res.summary["peak_reduction_pct"] > 0
+    assert (
+        res.summary["staggered_droop_mv"]
+        <= res.summary["aligned_droop_mv"]
+    )

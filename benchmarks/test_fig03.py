@@ -1,0 +1,11 @@
+"""Fig. 3(b): GA training-benchmark generation."""
+
+
+def test_fig03(run_exp, ctx_n1):
+    res = run_exp("fig03", ctx_n1)
+    # Paper: >5x ratio between max and min individuals.
+    assert res.summary["max_min_ratio"] > 5.0
+    # The envelope converges upward toward a power virus.
+    assert res.summary["envelope_gain"] >= 1.0
+    # Later generations discover the virus (not generation 0).
+    assert res.summary["virus_generation"] >= 1

@@ -1,0 +1,12 @@
+"""Fig. 9: headline model accuracy on the 12 testing benchmarks."""
+
+
+def test_fig09(run_exp, ctx_n1):
+    res = run_exp("fig09", ctx_n1)
+    # Paper: R^2 = 0.95, NRMSE = 9.4% at Q = 159.
+    assert res.summary["r2"] > 0.90
+    assert res.summary["nrmse"] < 0.15
+    # Paper: NMAE < 10% for every benchmark; allow 2x at repro scale.
+    assert res.summary["worst_benchmark_nmae"] < 0.25
+    # Paper: unbiased average power (0.6% difference); allow 10%.
+    assert res.summary["avg_bias_pct"] < 10.0

@@ -1,0 +1,22 @@
+"""Fig. 10: per-cycle accuracy vs Q (n1 design)."""
+
+
+def test_fig10(run_exp, ctx_n1):
+    res = run_exp("fig10", ctx_n1)
+    # Paper: APOLLO reaches NRMSE < 10%, R^2 > 0.95 with ~150 proxies.
+    assert res.summary["best_apollo_nrmse"] < 0.15
+    assert res.summary["best_apollo_r2"] > 0.90
+    # Who-wins shape: MCP-vs-Lasso margins are small at reproduction
+    # scale (see EXPERIMENTS.md), so the stable claims are (a) APOLLO at
+    # or below Lasso at the headline Q, (b) at or below Lasso's curve on
+    # average over the upper half of the sweep, and (c) strictly below
+    # Simmani everywhere that matters.
+    assert res.summary["apollo_wins_headline_q"]
+    assert (
+        res.summary["apollo_mean_upper_nrmse"]
+        <= 1.05 * res.summary["lasso_mean_upper_nrmse"]
+    )
+    assert res.summary["apollo_beats_simmani_at_max_q"]
+    # NRMSE improves (weakly) as Q grows for APOLLO.
+    nrmses = [r["apollo_nrmse"] for r in res.rows]
+    assert nrmses[-1] <= nrmses[0]

@@ -1,0 +1,27 @@
+"""Fig. 11: multi-cycle accuracy vs window size T."""
+
+
+def test_fig11(run_exp, ctx_n1):
+    res = run_exp("fig11", ctx_n1)
+    # Paper: the APOLLO multi-cycle model (tau = 8) beats Simmani at
+    # ~1/3 the proxies across T, and Simmani's NRMSE *grows* with T —
+    # both shapes must reproduce.
+    tau_wins, total = map(
+        int, res.summary["tau_beats_simmani_windows"].split("/")
+    )
+    assert tau_wins >= total - 1
+    assert res.summary["simmani_degrades_with_t"]
+    # The simple per-cycle average wins most windows too.
+    wins, total = map(
+        int, res.summary["apollo_beats_simmani_windows"].split("/")
+    )
+    assert wins >= (total + 1) // 2
+    # APOLLO_tau stays at or below the per-cycle average.
+    t_wins, t_total = map(
+        int, res.summary["tau_model_competitive_windows"].split("/")
+    )
+    assert t_wins >= t_total - 1
+    # Accuracy improves with larger T (averaging smooths residuals).
+    assert res.rows[-1]["apollo_avg_nrmse"] < res.rows[0][
+        "apollo_avg_nrmse"
+    ]

@@ -1,0 +1,12 @@
+"""Fig. 12: per-cycle accuracy vs Q on the second (a77) design."""
+
+
+def test_fig12(run_exp, ctx_a77):
+    res = run_exp("fig12", ctx_a77)
+    # Paper: the method generalizes — same shape on Cortex-A77.
+    assert res.summary["best_apollo_nrmse"] < 0.18
+    assert res.summary["best_apollo_r2"] > 0.88
+    wins, total = map(
+        int, res.summary["apollo_leq_simmani_points"].split("/")
+    )
+    assert wins >= (total + 1) // 2

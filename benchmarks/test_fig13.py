@@ -1,0 +1,11 @@
+"""Fig. 13: sum of absolute weights, MCP vs Lasso."""
+
+
+def test_fig13(run_exp, ctx_n1):
+    res = run_exp("fig13", ctx_n1)
+    # Paper: MCP keeps larger weights at every matched Q.
+    wins, total = map(int, res.summary["mcp_larger"].split("/"))
+    assert wins == total
+    for row in res.rows:
+        assert row["mcp_abs_weight_sum"] > 0
+        assert row["lasso_abs_weight_sum"] > 0

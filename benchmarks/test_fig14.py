@@ -1,0 +1,11 @@
+"""Fig. 14: variance inflation factors of selected proxies."""
+
+
+def test_fig14(run_exp, ctx_n1):
+    res = run_exp("fig14", ctx_n1)
+    # Paper: APOLLO shows much lower VIF than Lasso.
+    assert res.summary["apollo_below_lasso"]
+    vif = {r["method"]: r["mean_vif"] for r in res.rows}
+    # Simmani's unsupervised clustering also de-correlates (paper's
+    # observation) — it should not be wildly above APOLLO.
+    assert vif["Simmani [40]"] < vif["Lasso [53]"] * 2

@@ -1,0 +1,31 @@
+"""Fig. 15: proxy distribution and the OPM (Q, B) trade-off."""
+
+
+def test_fig15a(run_exp, ctx_n1):
+    res = run_exp("fig15a", ctx_n1)
+    # Paper: a sizable fraction of proxies are gated clocks (39/159) and
+    # execution units (vector/issue/load-store) dominate the rest.
+    q = res.summary["q"]
+    assert res.summary["gated_clock_proxies"] > 0
+    assert res.summary["units_covered"] >= 4
+    assert res.summary["execution_unit_proxies"] > 0
+
+
+def test_fig15b(run_exp, ctx_n1):
+    res = run_exp("fig15b", ctx_n1)
+    # Paper: accuracy loss negligible for B >= 10, visible at B = 6
+    # (compare NRMSE *perturbation* magnitudes — coarse quantization can
+    # shift NRMSE in either direction).
+    assert abs(res.summary["max_loss_at_b10plus"]) < 0.002
+    assert abs(res.summary["max_loss_at_b6"]) > abs(
+        res.summary["max_loss_at_b10plus"]
+    )
+    # Paper: headline OPM is ~0.2% of N1 gate area; same order here.
+    assert res.summary["headline_area_pct_paper_scale"] < 1.5
+    # Area grows with both Q and B.
+    by_q = {}
+    for row in res.rows:
+        by_q.setdefault(row["bits"], {})[row["q"]] = row["area_pct_self"]
+    for bits, series in by_q.items():
+        qs = sorted(series)
+        assert series[qs[-1]] > series[qs[0]]

@@ -1,0 +1,11 @@
+"""Fig. 16: emulator-assisted long-trace power introspection."""
+
+
+def test_fig16(run_exp, ctx_n1):
+    res = run_exp("fig16", ctx_n1)
+    # Storage collapse: proxies vs all signals (paper: >200 GB -> 1.1 GB).
+    assert res.summary["reduction_factor"] > 20
+    assert res.summary["paper_scale_full_GB"] > 200
+    assert res.summary["paper_scale_proxy_GB"] < 5
+    # The trace shows distinct power phases.
+    assert res.summary["phase_dynamic_range"] > 1.15

@@ -1,0 +1,14 @@
+"""Fig. 17: OPM delta-I vs ground truth (voltage-droop introspection)."""
+
+
+def test_fig17(run_exp, ctx_n1):
+    res = run_exp("fig17", ctx_n1)
+    # Paper: Pearson 0.946 between OPM and ground-truth delta-I.
+    assert res.summary["pearson"] > 0.85
+    # Deep droop/overshoot events track well (sign agreement).
+    assert res.summary["deep_agreement"] > 0.9
+    # Disagreements cluster near the origin: their mean |delta-I| is
+    # well below the overall mean.
+    assert res.summary["disagreement_magnitude_ratio"] < 0.75
+    # Proactive mitigation reduces the worst droop.
+    assert res.summary["droop_reduction_pct"] > 0

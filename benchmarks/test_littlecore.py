@@ -1,0 +1,15 @@
+"""Extension: zero-touch retargeting to the m0-like embedded core."""
+
+
+def test_ext_littlecore(run_exp):
+    res = run_exp("ext_littlecore", None)
+    # The automated pipeline lands a usable model on a design it never
+    # saw during development.
+    assert res.summary["r2"] > 0.85
+    assert res.summary["nrmse"] < 0.25
+    # quantization stays near-lossless
+    assert (
+        abs(res.summary["opm_nrmse"] - res.summary["nrmse"]) < 0.01
+    )
+    # the GA still finds a wide power range on the little core
+    assert res.summary["ga_power_ratio"] > 3

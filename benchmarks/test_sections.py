@@ -1,0 +1,19 @@
+"""§7.5 (OPM overheads) and §8.1 (inference throughput)."""
+
+
+def test_sec75(run_exp, ctx_n1):
+    res = run_exp("sec7_5", ctx_n1)
+    # Paper: 0.2% area and 0.9% power overhead at N1 scale, 2-cycle
+    # latency.  Same order of magnitude expected at paper scale.
+    assert res.summary["area_pct_paper_scale"] < 2.0
+    assert res.summary["power_pct_paper_scale"] < 5.0
+    assert res.summary["latency_cycles"] == 2
+
+
+def test_sec81(run_exp, ctx_n1):
+    res = run_exp("sec8_1", ctx_n1)
+    # Paper: APOLLO ~1 minute per 1e9 cycles; CNN/PCA orders of
+    # magnitude slower because they read every signal.
+    assert res.summary["apollo_minutes_per_1e9"] < 10
+    assert res.summary["cnn_over_apollo"] > 50
+    assert res.summary["pca_over_apollo"] > 10

@@ -1,0 +1,91 @@
+"""Micro-benchmarks of the substrate itself.
+
+These time the hot paths that every experiment leans on — gate-level
+simulation throughput, MCP coordinate descent, proxy-column extraction —
+so performance regressions in the substrate are visible next to the
+experiment regenerations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solvers import coordinate_descent, precompute
+from repro.power import PowerAnalyzer
+from repro.rtl import RecordSpec, Simulator, ToggleTrace
+
+
+@pytest.fixture(scope="module")
+def core(ctx_n1):
+    return ctx_n1.core
+
+
+def test_perf_gate_sim_accumulate(benchmark, core):
+    """Gate-level simulation with a power accumulator (no trace)."""
+    sim = Simulator(core.netlist)
+    pa = PowerAnalyzer(core.netlist)
+    w = pa.label_weights()
+    rng = np.random.default_rng(0)
+    stim = rng.integers(
+        0, 2, size=(500, len(core.netlist.input_ids)), dtype=np.uint8
+    )
+
+    def run():
+        return sim.run(stim, RecordSpec(accumulators={"p": w}))
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["cycles_per_sec"] = f"{res.cycles_per_second:.0f}"
+
+
+def test_perf_gate_sim_full_trace(benchmark, core):
+    """Gate-level simulation recording the full packed toggle trace."""
+    sim = Simulator(core.netlist)
+    rng = np.random.default_rng(0)
+    stim = rng.integers(
+        0, 2, size=(300, len(core.netlist.input_ids)), dtype=np.uint8
+    )
+    res = benchmark.pedantic(
+        lambda: sim.run(stim, RecordSpec(full_trace=True)),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["trace_mb"] = f"{res.trace.nbytes / 1e6:.1f}"
+
+
+def test_perf_mcp_coordinate_descent(benchmark):
+    """One MCP fit on a realistic screened problem size."""
+    rng = np.random.default_rng(1)
+    n, m = 6000, 1200
+    X = (rng.random((n, m)) < 0.25).astype(np.float64)
+    w_true = np.zeros(m)
+    w_true[rng.choice(m, 40, replace=False)] = rng.uniform(0.5, 3, 40)
+    y = X @ w_true + 0.1 * rng.standard_normal(n)
+    pre = precompute(X, y)
+    benchmark.pedantic(
+        lambda: coordinate_descent(X, y, lam=0.05, _precomputed=pre),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_perf_trace_column_extraction(benchmark):
+    """Extracting Q proxy columns from a packed trace."""
+    rng = np.random.default_rng(2)
+    dense = rng.integers(0, 2, size=(1, 12000, 10000), dtype=np.uint8)
+    trace = ToggleTrace.from_dense(dense)
+    cols = np.sort(rng.choice(10000, size=150, replace=False))
+    out = benchmark.pedantic(
+        lambda: trace.dense(cols), rounds=5, iterations=1
+    )
+    assert out.shape == (1, 12000, 150)
+
+
+def test_perf_pipeline_model(benchmark, ctx_n1):
+    """Cycle-level pipeline model throughput."""
+    from repro.isa import random_program
+    from repro.uarch import Pipeline
+
+    prog = random_program(np.random.default_rng(3), 60)
+    pipe = Pipeline(ctx_n1.params)
+    benchmark.pedantic(
+        lambda: pipe.run(prog, 2000), rounds=3, iterations=1
+    )

@@ -1,0 +1,42 @@
+"""Regenerate Tables 1, 3, 4, 5."""
+
+
+def test_table1(run_exp, ctx_n1):
+    res = run_exp("table1", ctx_n1)
+    methods = [r["method"] for r in res.rows]
+    assert any("APOLLO" in m for m in methods)
+    # APOLLO is the only per-cycle + automatic + runtime-capable row.
+    apollo = [r for r in res.rows if "APOLLO" in r["method"]][0]
+    assert "per-cycle" in apollo["resolution"]
+
+
+def test_table3(run_exp, ctx_n1):
+    res = run_exp("table3", ctx_n1)
+    assert res.summary["apollo_counters"] == 1
+    assert res.summary["apollo_multipliers"] == 0
+    simmani = [r for r in res.rows if "Simmani" in r["method"]][0]
+    q = res.summary["q"]
+    assert simmani["multipliers"] == q * q
+
+
+def test_table4(run_exp, ctx_n1):
+    res = run_exp("table4", ctx_n1)
+    assert res.summary["n_benchmarks"] == 12
+    # the suite covers low- and high-power regions (paper's stated goal)
+    assert res.summary["power_ratio"] > 2.0
+    # the power viruses sit at the top of the table
+    ranked = sorted(
+        res.rows, key=lambda r: -r["mean_power_mw"]
+    )
+    top2 = {r["benchmark"] for r in ranked[:2]}
+    assert any("maxpwr" in b for b in top2)
+    # throttling reduces the virus's power
+    by_name = {r["benchmark"]: r["mean_power_mw"] for r in res.rows}
+    assert by_name["throttling_1"] < by_name["maxpwr_cpu"]
+
+
+def test_table5(run_exp, ctx_n1):
+    res = run_exp("table5", ctx_n1)
+    selections = {r["method"]: r["selection"] for r in res.rows}
+    assert selections["APOLLO (per-cycle)"] == "MCP"
+    assert "K-means" in selections["Simmani"]

@@ -1,0 +1,18 @@
+"""Extension: SPEC-like workload suite introspection."""
+
+
+def test_ext_workloads(run_exp, ctx_n1):
+    res = run_exp("ext_workloads", ctx_n1)
+    assert res.summary["n_workloads"] == 6
+    # the suite spans a real power range
+    assert res.summary["power_span"] > 1.5
+    # the proxy model tracks signoff on every workload
+    assert res.summary["worst_r2_vs_signoff"] > 0.5
+    # signatures are distinct: the streaming kernel tops power, the
+    # pointer chase bottoms IPC
+    by_name = {r["workload"]: r for r in res.rows}
+    assert (
+        by_name["libquantum_like"]["mean_power_mw"]
+        > by_name["mcf_like"]["mean_power_mw"]
+    )
+    assert by_name["mcf_like"]["ipc"] < by_name["libquantum_like"]["ipc"]

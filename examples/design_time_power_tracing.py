@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Design-time power introspection: trace a long benchmark cheaply.
+
+Reproduces the Fig. 16 / §8.1 scenario: a long mixed-phase workload
+("hmmer-like") is traced through the emulator-assisted flow — only the Q
+proxy signals are captured — and APOLLO turns the toggles into a per-cycle
+power trace.  The script prints the storage arithmetic that collapses the
+paper's >200 GB full-signal dump to ~1 GB, and the measured inference
+throughput extrapolated to a billion cycles.
+
+Run:  python examples/design_time_power_tracing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ExperimentContext
+from repro.experiments.exp_fig16 import hmmer_like
+from repro.flow import DesignTimeFlow, EmulatorFlow
+
+
+def main() -> None:
+    print("== setting up (cached after the first run) ==")
+    ctx = ExperimentContext(design="n1", scale="small")
+    model = ctx.apollo(ctx.default_q())
+    print(
+        f"   core: {ctx.core.n_nets} nets; model: Q={model.q} proxies"
+    )
+
+    print("== emulator-assisted long trace ==")
+    cycles = 30000
+    flow = EmulatorFlow(ctx.core, model)
+    run = flow.trace(hmmer_like(), cycles=cycles)
+    st = run.storage
+    print(f"   {cycles} cycles traced")
+    print(
+        f"   proxy dump {st.proxy_dump_bytes / 1e6:.2f} MB vs full dump "
+        f"{st.full_dump_bytes / 1e6:.1f} MB "
+        f"({st.reduction_factor:.0f}x reduction)"
+    )
+    paper = st.at_paper_scale()
+    print(
+        f"   at the paper's scale (17M cycles, 5e5 signals): "
+        f"{paper.full_dump_bytes / 1e9:.0f} GB -> "
+        f"{paper.proxy_dump_bytes / 1e9:.2f} GB"
+    )
+    rate = cycles / max(1e-9, run.inference_seconds)
+    print(
+        f"   inference: {run.inference_seconds * 1e3:.1f} ms for "
+        f"{cycles} cycles -> ~{1e9 / rate / 60:.1f} min per 1e9 cycles"
+    )
+
+    print("== power phases of the trace ==")
+    win = 512
+    n = (run.power.size // win) * win
+    phases = run.power[:n].reshape(-1, win).mean(axis=1)
+    lo, hi = phases.min(), phases.max()
+    for i, ph in enumerate(phases[:12]):
+        bar = "#" * int(1 + 40 * (ph - lo) / max(1e-9, hi - lo))
+        print(f"   window {i:2d}  {ph:6.2f} mW  {bar}")
+
+    print("== accuracy spot-check vs the signoff flow ==")
+    dt = DesignTimeFlow(ctx.core, model)
+    est = dt.estimate(hmmer_like(), cycles=3000, with_reference=True)
+    from repro.core import nrmse, r2_score
+
+    print(
+        f"   R^2={r2_score(est.label, est.power):.3f}  "
+        f"NRMSE={nrmse(est.label, est.power):.3f} on 3000 reference cycles"
+    )
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

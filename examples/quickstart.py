@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Quickstart: train an APOLLO power model end-to-end on a synthetic core.
+
+Walks the whole pipeline at a small scale (a couple of minutes):
+
+1. generate a gate-level out-of-order core design;
+2. evolve training micro-benchmarks with the GA (GeST-style);
+3. collect per-cycle toggle features + ground-truth power labels;
+4. select power proxies with MCP and fit the relaxed linear model;
+5. evaluate on the 12 handcrafted Table-4 benchmarks;
+6. quantize to a 10-bit on-chip power meter and check its accuracy.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nmae, nrmse, r2_score, train_apollo
+from repro.design import build_core
+from repro.genbench import (
+    BenchmarkEvolver,
+    GaConfig,
+    build_testing_dataset,
+    build_training_dataset,
+)
+from repro.opm import OpmMeter, quantize_model
+from repro.uarch import N1_LIKE
+
+
+def main() -> None:
+    print("== 1. build the synthetic CPU core (n1-like preset) ==")
+    core = build_core(N1_LIKE)
+    summary = core.netlist.summary()
+    print(
+        f"   {summary['nets']} nets, {summary['regs']} flip-flops, "
+        f"{summary['clk']} gated clock domains"
+    )
+
+    print("== 2. evolve training micro-benchmarks (GA) ==")
+    ga = BenchmarkEvolver(
+        core, GaConfig(population=10, generations=6, eval_cycles=250)
+    ).run()
+    lo, hi = ga.power_range
+    print(
+        f"   {len(ga.individuals)} micro-benchmarks, power "
+        f"{lo:.2f}..{hi:.2f} mW ({ga.max_min_ratio:.1f}x spread)"
+    )
+
+    print("== 3. collect features and ground-truth power labels ==")
+    train = build_training_dataset(
+        core, ga, target_cycles=5000, replay_cycles=250
+    )
+    test = build_testing_dataset(core, cycle_scale=0.35)
+    print(
+        f"   train: {train.n_cycles} cycles x "
+        f"{len(train.candidate_ids)} candidate signals; "
+        f"test: {test.n_cycles} cycles over {len(test.segments)} benchmarks"
+    )
+
+    print("== 4. MCP proxy selection + ridge relaxation ==")
+    q = 80
+    model = train_apollo(
+        train.features(),
+        train.labels,
+        q=q,
+        candidate_ids=train.candidate_ids,
+    )
+    sel = model.selection
+    print(
+        f"   {sel.n_candidates_in} candidates -> "
+        f"{sel.n_after_dedup} distinct -> Q={model.q} proxies "
+        f"({100 * model.q / sel.n_candidates_in:.2f}% of signals)"
+    )
+
+    print("== 5. evaluate on the handcrafted testing suite ==")
+    p = model.predict(test.features(model.proxies).astype(np.float64))
+    y = test.labels
+    print(
+        f"   R^2={r2_score(y, p):.3f}  NRMSE={nrmse(y, p):.3f}  "
+        f"NMAE={nmae(y, p):.3f}"
+    )
+    for name, start, end in test.segments[:4]:
+        print(
+            f"   {name:<12} label {y[start:end].mean():6.2f} mW   "
+            f"pred {p[start:end].mean():6.2f} mW"
+        )
+
+    print("== 6. quantize to a 10-bit OPM ==")
+    qm = quantize_model(model, bits=10)
+    meter = OpmMeter(qm, t=1)
+    p_opm = meter.read(test.features(model.proxies))
+    print(
+        f"   OPM NRMSE={nrmse(y, p_opm):.3f} "
+        f"(quantization cost: {nrmse(y, p_opm) - nrmse(y, p):+.4f})"
+    )
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

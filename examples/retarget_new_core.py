@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Retarget the whole framework to a brand-new core — zero code changes.
+
+The paper's automation claim (§1): "the overall framework automatically
+generates training data, develops the model, and constructs the OPM for
+an arbitrary novel CPU core with minimum designer interference."  This
+script defines a custom core configuration *inline* (not one of the
+shipped presets), then runs the complete pipeline on it.
+
+Run:  python examples/retarget_new_core.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nrmse, r2_score, train_apollo
+from repro.design import build_core
+from repro.genbench import (
+    BenchmarkEvolver,
+    GaConfig,
+    build_testing_dataset,
+    build_training_dataset,
+)
+from repro.opm import OpmMeter, build_opm_netlist, quantize_model
+from repro.uarch import CoreParams
+
+
+def main() -> None:
+    # A core nobody has characterized before: 3-wide, big vector engine,
+    # two load/store ports, small branch predictor.
+    params = CoreParams(
+        name="custom-x3",
+        fetch_width=3,
+        issue_width=3,
+        retire_width=3,
+        n_alu=2,
+        n_mul=1,
+        n_vec=1,
+        vec_lanes=8,
+        lsu_ports=2,
+        iq_size=12,
+        rob_size=24,
+        bp_entries=32,
+    )
+    print(f"== 1. generate the design ({params.name}) ==")
+    core = build_core(params)
+    s = core.netlist.summary()
+    print(f"   {s['nets']} nets, {s['regs']} FFs, {s['clk']} clock domains")
+
+    print("== 2. auto-generate training data (GA) ==")
+    ga = BenchmarkEvolver(
+        core, GaConfig(population=10, generations=6, eval_cycles=250)
+    ).run()
+    print(
+        f"   {len(ga.individuals)} micro-benchmarks, "
+        f"{ga.max_min_ratio:.1f}x power spread"
+    )
+
+    print("== 3. collect data, select proxies, train ==")
+    train = build_training_dataset(
+        core, ga, target_cycles=5000, replay_cycles=250
+    )
+    test = build_testing_dataset(core, cycle_scale=0.3)
+    model = train_apollo(
+        train.features(), train.labels, q=60,
+        candidate_ids=train.candidate_ids,
+    )
+    p = model.predict(test.features(model.proxies).astype(np.float64))
+    print(
+        f"   Q={model.q}: R^2={r2_score(test.labels, p):.3f}, "
+        f"NRMSE={nrmse(test.labels, p):.3f} on the testing suite"
+    )
+
+    print("== 4. construct the OPM ==")
+    qm = quantize_model(model, bits=10)
+    hw = build_opm_netlist(qm, t=1)
+    meter = OpmMeter(qm, t=1)
+    p_opm = meter.read(test.features(model.proxies))
+    print(
+        f"   synthesized OPM: {hw.area:.0f} GE; "
+        f"OPM NRMSE={nrmse(test.labels, p_opm):.3f}"
+    )
+    print("done — no framework code was modified for this core.")
+
+
+if __name__ == "__main__":
+    main()

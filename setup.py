@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so ``pip install -e . --no-use-pep517`` works on offline machines where
+PEP 660 editable builds (which require ``wheel``) are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""APOLLO (MICRO 2021) reproduction.
+
+Public API re-exports for the common path: build a core, generate
+training data, train APOLLO, quantize into an OPM.  Subsystems live in
+their own packages (``repro.rtl``, ``repro.power``, ``repro.isa``,
+``repro.uarch``, ``repro.design``, ``repro.genbench``, ``repro.core``,
+``repro.baselines``, ``repro.opm``, ``repro.flow``,
+``repro.experiments``).
+"""
+
+from repro.core import (
+    ApolloModel,
+    ApolloTauModel,
+    nmae,
+    nrmse,
+    pearson,
+    r2_score,
+    train_apollo,
+    train_apollo_tau,
+)
+from repro.design import build_core
+from repro.genbench import (
+    BenchmarkEvolver,
+    GaConfig,
+    build_testing_dataset,
+    build_training_dataset,
+)
+from repro.opm import OpmMeter, build_opm_netlist, quantize_model
+from repro.uarch import A77_LIKE, N1_LIKE, CoreParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ApolloModel",
+    "ApolloTauModel",
+    "train_apollo",
+    "train_apollo_tau",
+    "r2_score",
+    "nrmse",
+    "nmae",
+    "pearson",
+    "build_core",
+    "BenchmarkEvolver",
+    "GaConfig",
+    "build_training_dataset",
+    "build_testing_dataset",
+    "quantize_model",
+    "OpmMeter",
+    "build_opm_netlist",
+    "CoreParams",
+    "N1_LIKE",
+    "A77_LIKE",
+]

@@ -1,0 +1,42 @@
+"""Baseline power-modeling methods the paper compares against (§7.2).
+
+* :mod:`repro.baselines.pagliari` — Lasso-based proxy selection + linear
+  model (Pagliari et al. [53]);
+* :mod:`repro.baselines.simmani` — K-means signal clustering, 2nd-order
+  polynomial features, elastic-net model (Simmani [40]);
+* :mod:`repro.baselines.primal` — PRIMAL [79]: a CNN over all candidate
+  signals (from-scratch NumPy implementation) and the PCA + linear
+  variant;
+* :mod:`repro.baselines.registry` — method metadata for regenerating the
+  comparison tables (Tables 1, 3, 5).
+"""
+
+from repro.baselines.pagliari import train_lasso_baseline
+from repro.baselines.simmani import SimmaniModel, train_simmani
+from repro.baselines.primal import (
+    PcaLinearModel,
+    PrimalCnn,
+    train_pca_baseline,
+    train_primal_cnn,
+)
+from repro.baselines.registry import METHODS, MethodInfo
+from repro.baselines.counters import (
+    CounterPowerModel,
+    counter_events,
+    train_counter_model,
+)
+
+__all__ = [
+    "train_lasso_baseline",
+    "SimmaniModel",
+    "train_simmani",
+    "PrimalCnn",
+    "train_primal_cnn",
+    "PcaLinearModel",
+    "train_pca_baseline",
+    "CounterPowerModel",
+    "counter_events",
+    "train_counter_model",
+    "METHODS",
+    "MethodInfo",
+]

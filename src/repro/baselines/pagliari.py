@@ -1,0 +1,36 @@
+"""The Lasso baseline of Pagliari et al. [53].
+
+Identical pipeline to APOLLO except the sparsity-inducing penalty is Lasso
+— the paper's head-to-head for Figs. 10, 12, 13, 14.  Selection *and* the
+final model come from the Lasso fit (no MCP, same ridge relaxation for a
+fair comparison of the selected sets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import ApolloModel, train_apollo
+from repro.core.selection import ProxySelector
+
+__all__ = ["train_lasso_baseline"]
+
+
+def train_lasso_baseline(
+    X: np.ndarray,
+    y: np.ndarray,
+    q: int,
+    candidate_ids: np.ndarray | None = None,
+    screen_width: int | None = 2400,
+    ridge_lam: float = 1e-3,
+) -> ApolloModel:
+    """Train the [53]-style model: Lasso selection + linear refit."""
+    selector = ProxySelector(penalty="lasso", screen_width=screen_width)
+    return train_apollo(
+        X,
+        y,
+        q,
+        candidate_ids=candidate_ids,
+        selector=selector,
+        ridge_lam=ridge_lam,
+    )

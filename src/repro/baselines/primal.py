@@ -1,0 +1,263 @@
+"""PRIMAL [79]: per-cycle power inference from *all* signals.
+
+Two variants, as in the paper's comparison (Table 5, Figs. 10/12):
+
+* **CNN** — register/signal toggles mapped to a 2-D grid and fed to a
+  convolutional network.  Implemented from scratch in NumPy (conv via
+  im2col, ReLU, average pooling, dense head, Adam) because the evaluation
+  environment has no deep-learning framework; at reproduction scale this
+  is architecture-faithful.
+* **PCA + linear** — principal components of the full toggle matrix,
+  ridge regression on the top components.
+
+Both consume *every* candidate signal at inference (no proxy selection),
+which is exactly why §8.1 finds them orders of magnitude more expensive
+than APOLLO for long traces — reproduced in the sec8_1 experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PowerModelError
+
+__all__ = [
+    "PrimalCnn",
+    "train_primal_cnn",
+    "PcaLinearModel",
+    "train_pca_baseline",
+]
+
+
+# ----------------------------------------------------------------------- #
+# minimal NumPy CNN
+# ----------------------------------------------------------------------- #
+def _im2col(x: np.ndarray, k: int = 3) -> np.ndarray:
+    """(B, H, W) -> (B, H*W, k*k) patches with zero 'same' padding."""
+    b, h, w = x.shape
+    pad = k // 2
+    xp = np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((b, h * w, k * k), dtype=x.dtype)
+    idx = 0
+    for di in range(k):
+        for dj in range(k):
+            cols[:, :, idx] = xp[:, di : di + h, dj : dj + w].reshape(
+                b, h * w
+            )
+            idx += 1
+    return cols
+
+
+@dataclass
+class PrimalCnn:
+    """Tiny CNN: conv3x3(C) + ReLU + 2x2 avg-pool + dense -> scalar."""
+
+    n_features: int
+    channels: int = 8
+    seed: int = 0
+    # trained parameters (set by fit)
+    kernel: np.ndarray | None = None  # (C, 9)
+    bias: np.ndarray | None = None  # (C,)
+    dense_w: np.ndarray | None = None  # (C * Hp * Wp,)
+    dense_b: float = 0.0
+    y_scale: float = 1.0
+    y_shift: float = 0.0
+    history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_features < 4:
+            raise PowerModelError("PRIMAL CNN needs >= 4 features")
+        self.side = int(math.ceil(math.sqrt(self.n_features)))
+        self.hp = self.side // 2  # pooled height (floor)
+        if self.hp < 1:
+            raise PowerModelError("feature grid too small to pool")
+
+    # ------------------------------------------------------------------ #
+    def _to_grid(self, X: np.ndarray) -> np.ndarray:
+        b = X.shape[0]
+        grid = np.zeros((b, self.side * self.side), dtype=np.float32)
+        grid[:, : self.n_features] = X
+        return grid.reshape(b, self.side, self.side)
+
+    def _forward(self, X: np.ndarray):
+        """Returns (prediction, cache for backward)."""
+        g = self._to_grid(X)
+        cols = _im2col(g)  # (B, HW, 9)
+        conv = cols @ self.kernel.T + self.bias  # (B, HW, C)
+        relu = np.maximum(conv, 0.0)
+        b = X.shape[0]
+        s, hp = self.side, self.hp
+        fm = relu.reshape(b, s, s, self.channels)
+        fm = fm[:, : 2 * hp, : 2 * hp, :]
+        pooled = fm.reshape(b, hp, 2, hp, 2, self.channels).mean(
+            axis=(2, 4)
+        )  # (B, hp, hp, C)
+        flat = pooled.reshape(b, -1)
+        out = flat @ self.dense_w + self.dense_b
+        return out, (cols, conv, flat)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Per-cycle power from the full (N x M) toggle matrix."""
+        X = np.asarray(X, dtype=np.float32)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise PowerModelError(
+                f"expected (N, {self.n_features}) matrix, got {X.shape}"
+            )
+        if self.kernel is None:
+            raise PowerModelError("model is not trained")
+        preds = []
+        for start in range(0, X.shape[0], 4096):
+            out, _ = self._forward(X[start : start + 4096])
+            preds.append(out)
+        return np.concatenate(preds) * self.y_scale + self.y_shift
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 30,
+        batch: int = 64,
+        lr: float = 3e-3,
+    ) -> "PrimalCnn":
+        X = np.asarray(X, dtype=np.float32)
+        y = np.asarray(y, dtype=np.float64)
+        if X.shape[0] != y.shape[0]:
+            raise PowerModelError("X / y sample mismatch")
+        rng = np.random.default_rng(self.seed)
+        c = self.channels
+        self.kernel = (rng.standard_normal((c, 9)) * 0.2).astype(np.float64)
+        self.bias = np.zeros(c)
+        n_flat = c * self.hp * self.hp
+        self.dense_w = rng.standard_normal(n_flat) * (1.0 / math.sqrt(n_flat))
+        self.dense_b = 0.0
+        self.y_shift = float(y.mean())
+        self.y_scale = float(y.std()) or 1.0
+        yn = (y - self.y_shift) / self.y_scale
+
+        # Adam state.
+        params = ["kernel", "bias", "dense_w", "dense_b"]
+        m_st = {p: 0.0 for p in params}
+        v_st = {p: 0.0 for p in params}
+        b1, b2, eps = 0.9, 0.999, 1e-8
+        step = 0
+
+        n = X.shape[0]
+        s, hp = self.side, self.hp
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            ep_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, yb = X[idx], yn[idx]
+                out, (cols, conv, flat) = self._forward(xb)
+                err = out - yb
+                ep_loss += float((err**2).sum())
+                bsz = len(idx)
+                # dense grads
+                g_dense_w = flat.T @ err / bsz
+                g_dense_b = float(err.mean())
+                # back through dense -> pooled
+                g_flat = np.outer(err, self.dense_w) / bsz  # (B, n_flat)
+                g_pool = g_flat.reshape(bsz, hp, hp, c)
+                # unpool (average): spread gradient / 4
+                g_fm = np.repeat(
+                    np.repeat(g_pool, 2, axis=1), 2, axis=2
+                ) / 4.0  # (B, 2hp, 2hp, C)
+                g_relu_full = np.zeros((bsz, s, s, c))
+                g_relu_full[:, : 2 * hp, : 2 * hp, :] = g_fm
+                g_conv = g_relu_full.reshape(bsz, s * s, c)
+                g_conv = g_conv * (conv > 0)
+                # conv grads
+                g_kernel = np.einsum("bpc,bpk->ck", g_conv, cols)
+                g_bias = g_conv.sum(axis=(0, 1))
+                grads = {
+                    "kernel": g_kernel,
+                    "bias": g_bias,
+                    "dense_w": g_dense_w,
+                    "dense_b": g_dense_b,
+                }
+                step += 1
+                for p in params:
+                    g = grads[p]
+                    m_st[p] = b1 * m_st[p] + (1 - b1) * g
+                    v_st[p] = b2 * v_st[p] + (1 - b2) * np.square(g)
+                    mh = m_st[p] / (1 - b1**step)
+                    vh = v_st[p] / (1 - b2**step)
+                    upd = lr * mh / (np.sqrt(vh) + eps)
+                    setattr(self, p, getattr(self, p) - upd)
+            self.history.append(ep_loss / n)
+        return self
+
+
+def train_primal_cnn(
+    X: np.ndarray,
+    y: np.ndarray,
+    channels: int = 8,
+    epochs: int = 30,
+    seed: int = 0,
+) -> PrimalCnn:
+    """Train the PRIMAL CNN on the full toggle matrix."""
+    model = PrimalCnn(
+        n_features=int(np.asarray(X).shape[1]),
+        channels=channels,
+        seed=seed,
+    )
+    return model.fit(X, y, epochs=epochs)
+
+
+# ----------------------------------------------------------------------- #
+# PCA + linear
+# ----------------------------------------------------------------------- #
+@dataclass
+class PcaLinearModel:
+    """PCA projection of all signals + ridge head."""
+
+    mean: np.ndarray
+    components: np.ndarray  # (k, M)
+    weights: np.ndarray  # (k,)
+    intercept: float
+
+    @property
+    def n_components(self) -> int:
+        return int(self.components.shape[0])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.mean.size:
+            raise PowerModelError(
+                f"expected (N, {self.mean.size}) matrix, got {X.shape}"
+            )
+        Z = (X - self.mean) @ self.components.T
+        return Z @ self.weights + self.intercept
+
+
+def train_pca_baseline(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_components: int = 64,
+    ridge_lam: float = 1e-6,
+) -> PcaLinearModel:
+    """PCA (top components by SVD) + ridge regression."""
+    from repro.core.solvers import ridge_fit
+
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.shape[0] != y.shape[0]:
+        raise PowerModelError("X / y sample mismatch")
+    k = min(n_components, min(X.shape) - 1)
+    if k < 1:
+        raise PowerModelError("not enough data for PCA")
+    mean = X.mean(axis=0)
+    Xc = X - mean
+    # Economy SVD; X is dense but modest after screening.
+    _u, _s, vt = np.linalg.svd(Xc, full_matrices=False)
+    components = vt[:k]
+    Z = Xc @ components.T
+    w, b = ridge_fit(Z, y, lam=ridge_lam)
+    return PcaLinearModel(
+        mean=mean, components=components, weights=w, intercept=b
+    )

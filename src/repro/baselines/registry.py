@@ -1,0 +1,163 @@
+"""Method metadata for the comparison tables (Tables 1, 3, 5).
+
+Each entry captures how the paper characterizes a method: proxy-selection
+style, preprocessing, model class, temporal resolution, hardware cost
+scaling (counters/multipliers as functions of Q — Table 3), and overhead
+notes.  The APOLLO rows' overhead numbers are *measured* by the experiment
+drivers rather than hard-coded here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MethodInfo", "METHODS"]
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """Static description of one power-modeling method."""
+
+    key: str
+    display: str
+    citation: str
+    category: str  # design-time | runtime | both
+    proxy_selection: str
+    preprocessing: str
+    ml_model: str
+    temporal_resolution: str
+    # Hardware cost scaling with Q proxies (Table 3); None = not a
+    # hardware monitor.
+    counters: str | None = None
+    multipliers: str | None = None
+    overhead_note: str = ""
+
+    def counter_count(self, q: int, m: int | None = None) -> int | None:
+        return _eval_scaling(self.counters, q, m)
+
+    def multiplier_count(self, q: int, m: int | None = None) -> int | None:
+        return _eval_scaling(self.multipliers, q, m)
+
+
+def _eval_scaling(expr: str | None, q: int, m: int | None) -> int | None:
+    if expr is None:
+        return None
+    if expr == "0":
+        return 0
+    if expr == "1":
+        return 1
+    if expr == "Q":
+        return q
+    if expr == "Q^2":
+        return q * q
+    if expr == "M":
+        return m if m is not None else -1
+    raise ValueError(f"unknown scaling {expr!r}")
+
+
+METHODS: dict[str, MethodInfo] = {
+    "apollo": MethodInfo(
+        key="apollo",
+        display="APOLLO (per-cycle)",
+        citation="this work",
+        category="both",
+        proxy_selection="MCP",
+        preprocessing="-",
+        ml_model="Ridge (relaxed linear)",
+        temporal_resolution="per-cycle",
+        counters="1",
+        multipliers="0",
+        overhead_note="measured by opm.cost (target < 1%)",
+    ),
+    "apollo_tau": MethodInfo(
+        key="apollo_tau",
+        display="APOLLO (multi-cycle)",
+        citation="this work",
+        category="both",
+        proxy_selection="MCP",
+        preprocessing="tau-cycle interval averaging (training only)",
+        ml_model="Ridge (relaxed linear, Eq. 9 inference)",
+        temporal_resolution="T-cycle",
+        counters="1",
+        multipliers="0",
+        overhead_note="same OPM structure as per-cycle",
+    ),
+    "lasso": MethodInfo(
+        key="lasso",
+        display="Lasso (Pagliari et al.)",
+        citation="[53]",
+        category="runtime",
+        proxy_selection="Lasso",
+        preprocessing="-",
+        ml_model="Linear",
+        temporal_resolution=">1K cycles (original); per-cycle here",
+        counters="Q",
+        multipliers="1",
+        overhead_note="5.7% power overhead reported in [53]",
+    ),
+    "simmani": MethodInfo(
+        key="simmani",
+        display="Simmani",
+        citation="[40]",
+        category="design-time (FPGA emulation)",
+        proxy_selection="K-means clustering (unsupervised)",
+        preprocessing="2nd-order polynomial expansion",
+        ml_model="Elastic net",
+        temporal_resolution="~100s cycles (original)",
+        counters="Q",
+        multipliers="Q^2",
+        overhead_note="128-cycle resolution in the original",
+    ),
+    "primal_cnn": MethodInfo(
+        key="primal_cnn",
+        display="PRIMAL (CNN)",
+        citation="[79]",
+        category="design-time",
+        proxy_selection="none (all signals)",
+        preprocessing="signal-to-image mapping",
+        ml_model="CNN",
+        temporal_resolution="per-cycle",
+        counters=None,
+        multipliers=None,
+        overhead_note="software model; impractical for runtime OPM",
+    ),
+    "pca": MethodInfo(
+        key="pca",
+        display="PRIMAL (PCA)",
+        citation="[79]",
+        category="design-time",
+        proxy_selection="none (all signals at inference)",
+        preprocessing="PCA",
+        ml_model="Linear",
+        temporal_resolution="per-cycle",
+        counters=None,
+        multipliers=None,
+        overhead_note="dimension reduction still reads every signal",
+    ),
+    "yang_svd": MethodInfo(
+        key="yang_svd",
+        display="Yang et al.",
+        citation="[75]",
+        category="design-time (FPGA emulation)",
+        proxy_selection="SVD-based",
+        preprocessing="SVD",
+        ml_model="Linear",
+        temporal_resolution="per-cycle",
+        counters="0",
+        multipliers="M",
+        overhead_note="16% area overhead reported",
+    ),
+    "counters": MethodInfo(
+        key="counters",
+        display="Event-counter models",
+        citation="[10,16,34,36,...]",
+        category="runtime",
+        proxy_selection="manual (architect-defined events)",
+        preprocessing="event accumulation",
+        ml_model="Linear / regression",
+        temporal_resolution=">1K cycles",
+        counters="Q",
+        multipliers="1",
+        overhead_note="free counters, coarse resolution only",
+    ),
+}

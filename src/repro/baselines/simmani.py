@@ -1,0 +1,206 @@
+"""Simmani [40]: unsupervised signal clustering + polynomial elastic net.
+
+Per the paper's description (§7.2):
+
+1. signals are described by their toggle-density patterns over time and
+   clustered with K-means; one representative per cluster becomes a proxy
+   (*unsupervised* selection — the clustering never sees the power label,
+   the property Fig. 14's discussion contrasts with APOLLO);
+2. model features are the Q proxy toggle densities plus 2nd-order
+   polynomial terms; an elastic net (Lasso + ridge) fits the label.
+
+Scale note: full Q^2 interaction expansion is quadratic in Q; following
+the spirit of the original (the elastic net zeroes most terms anyway), the
+expansion is capped to interactions among the ``poly_cap`` strongest
+proxies.  The hardware-cost model in :mod:`repro.opm.cost` still charges
+Simmani the full Q^2 multipliers of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.cluster.vq import kmeans2
+
+from repro.errors import PowerModelError
+from repro.core.multicycle import window_average
+from repro.core.solvers import coordinate_descent
+
+__all__ = ["SimmaniModel", "train_simmani", "cluster_signals"]
+
+
+def cluster_signals(
+    X: np.ndarray,
+    q: int,
+    signature_window: int = 16,
+    seed: int = 0,
+) -> np.ndarray:
+    """K-means signal clustering; returns one representative column/cluster.
+
+    Each signal's *signature* is its toggle density over consecutive
+    ``signature_window``-cycle windows of the training trace.  Signals in
+    the same cluster toggle together; the member closest to its centroid
+    represents the cluster.
+    """
+    X = np.asarray(X, dtype=np.float32)
+    n, m = X.shape
+    if not (0 < q <= m):
+        raise PowerModelError(f"q={q} out of range for {m} signals")
+    n_win = max(1, n // signature_window)
+    sig = (
+        X[: n_win * signature_window]
+        .reshape(n_win, signature_window, m)
+        .mean(axis=1)
+        .T.astype(np.float64)
+    )  # (m, n_win)
+    # Normalize signatures so clustering sees *shape*, not magnitude.
+    norms = np.linalg.norm(sig, axis=1, keepdims=True)
+    sig_n = sig / np.where(norms == 0, 1.0, norms)
+    rng = np.random.default_rng(seed)
+    centroids, assignment = kmeans2(
+        sig_n, q, minit="++", seed=rng, iter=20
+    )
+    reps = []
+    for c in range(q):
+        members = np.nonzero(assignment == c)[0]
+        if members.size == 0:
+            continue
+        d = np.linalg.norm(sig_n[members] - centroids[c], axis=1)
+        reps.append(int(members[np.argmin(d)]))
+    reps = sorted(set(reps))
+    # Empty clusters can leave us short; pad with highest-variance signals.
+    if len(reps) < q:
+        var = sig.var(axis=1)
+        var[reps] = -np.inf
+        extra = np.argsort(-var)[: q - len(reps)]
+        reps = sorted(set(reps) | set(int(e) for e in extra))
+    return np.asarray(reps[:q], dtype=np.int64)
+
+
+def _poly_features(
+    Xq: np.ndarray, pair_idx: tuple[np.ndarray, np.ndarray]
+) -> np.ndarray:
+    """[linear terms | selected 2nd-order products]."""
+    ii, jj = pair_idx
+    if ii.size == 0:
+        return Xq
+    return np.concatenate([Xq, Xq[:, ii] * Xq[:, jj]], axis=1)
+
+
+@dataclass
+class SimmaniModel:
+    """Trained Simmani model.
+
+    ``proxies`` index the caller's candidate space; ``pair_idx`` holds the
+    interaction pairs (indices into the proxy list); trained for a fixed
+    measurement window ``t`` (a hyper-parameter in the original).
+    """
+
+    proxies: np.ndarray
+    weights: np.ndarray
+    intercept: float
+    pair_idx: tuple[np.ndarray, np.ndarray]
+    t: int = 1
+
+    @property
+    def q(self) -> int:
+        return int(self.proxies.size)
+
+    @property
+    def n_terms(self) -> int:
+        return int(self.weights.size)
+
+    def predict_window(
+        self, x_proxies: np.ndarray, t: int | None = None
+    ) -> np.ndarray:
+        """Windowed prediction from per-cycle proxy toggles.
+
+        Simmani's features are window toggle densities, so inputs are
+        window-averaged *before* the polynomial expansion.
+        """
+        t = self.t if t is None else t
+        X = np.asarray(x_proxies, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.q:
+            raise PowerModelError(
+                f"expected (N, {self.q}) proxy matrix, got {X.shape}"
+            )
+        if t > 1:
+            Xw, _ = window_average(X, np.zeros(X.shape[0]), t)
+        else:
+            Xw = X
+        F = _poly_features(Xw, self.pair_idx)
+        return F @ self.weights + self.intercept
+
+    def predict(self, x_proxies: np.ndarray) -> np.ndarray:
+        """Per-cycle prediction (t = 1 evaluation, used in Fig. 10)."""
+        return self.predict_window(x_proxies, t=1)
+
+
+def train_simmani(
+    X: np.ndarray,
+    y: np.ndarray,
+    q: int,
+    t: int = 1,
+    candidate_ids: np.ndarray | None = None,
+    poly_cap: int = 32,
+    lam: float = 2e-3,
+    alpha: float = 0.5,
+    signature_window: int = 16,
+    seed: int = 0,
+) -> SimmaniModel:
+    """Cluster, expand, elastic-net fit.
+
+    Parameters
+    ----------
+    t:
+        Measurement window the model is trained for (1 = per-cycle).
+    poly_cap:
+        Interactions are generated among the ``poly_cap`` proxies most
+        correlated with the label (documented deviation from the full Q^2
+        expansion; see module docstring).
+    """
+    X = np.asarray(X)
+    y = np.asarray(y, dtype=np.float64)
+    m = X.shape[1]
+    if candidate_ids is None:
+        candidate_ids = np.arange(m, dtype=np.int64)
+    # Drop constant columns before clustering (they form a degenerate
+    # all-zero-signature cluster).
+    Xf = X.astype(np.float32)
+    live = Xf.std(axis=0) > 1e-9
+    live_idx = np.nonzero(live)[0]
+    if live_idx.size < q:
+        raise PowerModelError(
+            f"only {live_idx.size} non-constant signals for q={q}"
+        )
+    reps_local = cluster_signals(
+        Xf[:, live_idx], q, signature_window=signature_window, seed=seed
+    )
+    cols = live_idx[reps_local]
+
+    Xq = X[:, cols].astype(np.float64)
+    if t > 1:
+        Xq, y = window_average(Xq, y, t)
+
+    # Interaction pairs among the strongest-correlated proxies.
+    k = min(poly_cap, q)
+    corr = np.abs(
+        np.corrcoef(np.column_stack([Xq, y]), rowvar=False)[-1, :-1]
+    )
+    corr = np.nan_to_num(corr)
+    strong = np.argsort(-corr)[:k]
+    ii, jj = np.triu_indices(k, k=1)
+    pair_idx = (strong[ii], strong[jj])
+
+    F = _poly_features(Xq, pair_idx)
+    fit = coordinate_descent(
+        F, y, lam=lam, penalty="elasticnet", alpha=alpha, max_iter=300
+    )
+    return SimmaniModel(
+        proxies=candidate_ids[cols],
+        weights=fit.weights,
+        intercept=fit.intercept,
+        pair_idx=pair_idx,
+        t=t,
+    )

@@ -1,0 +1,139 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    apollo-repro list
+    apollo-repro info
+    apollo-repro run fig10 --scale small
+    apollo-repro run-all --scale default --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.config import SCALES
+from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args) -> int:
+    print("available experiments:")
+    for exp_id, (_fn, design) in sorted(EXPERIMENTS.items()):
+        print(f"  {exp_id:<10} (default design: {design})")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.design import build_core
+    from repro.uarch import A77_LIKE, N1_LIKE
+
+    for params in (N1_LIKE, A77_LIKE):
+        core = build_core(params)
+        s = core.netlist.summary()
+        print(
+            f"{params.name}: {s['nets']} nets, {s['regs']} FFs, "
+            f"{s['comb']} gates, {s['clk']} clock domains, "
+            f"area {core.netlist.total_area():.0f} GE"
+        )
+    print(f"scales: {', '.join(SCALES)}")
+    return 0
+
+
+def _run_one(exp_id: str, ctx_cache: dict, args) -> str:
+    _fn, design = EXPERIMENTS[exp_id]
+    design = args.design or design
+    key = (design, args.scale)
+    if key not in ctx_cache:
+        ctx_cache[key] = ExperimentContext(design=design, scale=args.scale)
+    t0 = time.time()
+    result = run_experiment(exp_id, ctx=ctx_cache[key])
+    rendered = result.render() + f"\n\n[{time.time() - t0:.1f}s]"
+    return rendered
+
+
+def _cmd_run(args) -> int:
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'apollo-repro "
+            "list'",
+            file=sys.stderr,
+        )
+        return 2
+    ctx_cache: dict = {}
+    text = _run_one(args.experiment, ctx_cache, args)
+    print(text)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"written to {path}")
+    return 0
+
+
+def _cmd_run_all(args) -> int:
+    out_dir = Path(args.out or "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ctx_cache: dict = {}
+    failures = []
+    for exp_id in sorted(EXPERIMENTS):
+        print(f"=== {exp_id} ===", flush=True)
+        try:
+            text = _run_one(exp_id, ctx_cache, args)
+        except Exception as exc:  # keep going; report at the end
+            failures.append((exp_id, str(exc)))
+            print(f"FAILED: {exc}", file=sys.stderr)
+            continue
+        (out_dir / f"{exp_id}.txt").write_text(text + "\n")
+        summary_line = text.splitlines()[-3:]
+        print("\n".join(line for line in summary_line if line))
+    print(f"\nresults written to {out_dir}/")
+    if failures:
+        print("failures:", failures, file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="apollo-repro",
+        description="APOLLO (MICRO 2021) reproduction experiment driver",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("info", help="print design/scale information")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--design", choices=["n1", "a77"], default=None)
+    p_run.add_argument("--scale", choices=list(SCALES), default=None)
+    p_run.add_argument("--out", default=None, help="write rendering here")
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--design", choices=["n1", "a77"], default=None)
+    p_all.add_argument("--scale", choices=list(SCALES), default=None)
+    p_all.add_argument(
+        "--out", default="results",
+        help="output directory (default: results)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "info":
+        return _cmd_info(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "run-all":
+        return _cmd_run_all(args)
+    parser.error("unreachable")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Global configuration: scales, seeds, artifact locations.
+
+Experiments run at one of a few *scales* so the same code serves unit tests
+(seconds), benchmarks (minutes), and larger exploratory runs.  A scale maps
+to sizes for the synthetic designs, the training trace length, and the GA
+budget.  All randomness is seeded; the seed is part of every cache key.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "default_scale_name",
+    "get_scale",
+    "artifacts_dir",
+    "GLOBAL_SEED",
+]
+
+GLOBAL_SEED = 20211018  # MICRO'21 opening day; used as the root seed.
+
+_ARTIFACTS_ENV = "REPRO_ARTIFACTS_DIR"
+_SCALE_ENV = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sizing knobs shared by dataset generation and experiments.
+
+    Attributes
+    ----------
+    name:
+        Registry key ("tiny", "small", "default").
+    train_cycles:
+        Target number of training cycles collected from GA micro-benchmarks.
+    test_cycle_scale:
+        Multiplier applied to the paper's per-benchmark cycle counts
+        (Table 4) when building the handcrafted test set.  1.0 reproduces
+        the paper's lengths.
+    ga_generations / ga_population / ga_benchmark_cycles:
+        Genetic-algorithm budget for training-data generation.
+    screen_width:
+        Number of candidate signals kept after correlation screening,
+        before MCP / baseline selection runs.
+    max_quickstart_q:
+        Default proxy count used by examples and smoke tests.
+    """
+
+    name: str
+    train_cycles: int
+    test_cycle_scale: float
+    ga_generations: int
+    ga_population: int
+    ga_benchmark_cycles: int
+    screen_width: int
+    max_quickstart_q: int = 50
+
+    def scaled(self, **overrides: object) -> "Scale":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+SCALES: dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny",
+        train_cycles=1200,
+        test_cycle_scale=0.15,
+        ga_generations=4,
+        ga_population=8,
+        ga_benchmark_cycles=120,
+        screen_width=400,
+        max_quickstart_q=20,
+    ),
+    "small": Scale(
+        name="small",
+        train_cycles=4000,
+        test_cycle_scale=0.35,
+        ga_generations=8,
+        ga_population=12,
+        ga_benchmark_cycles=200,
+        screen_width=1200,
+        max_quickstart_q=40,
+    ),
+    "default": Scale(
+        name="default",
+        train_cycles=12000,
+        test_cycle_scale=1.0,
+        ga_generations=14,
+        ga_population=16,
+        ga_benchmark_cycles=300,
+        screen_width=2400,
+        max_quickstart_q=80,
+    ),
+}
+
+
+def default_scale_name() -> str:
+    """Scale selected via ``REPRO_SCALE`` env var, defaulting to "default"."""
+    name = os.environ.get(_SCALE_ENV, "default")
+    if name not in SCALES:
+        raise KeyError(
+            f"unknown scale {name!r} (choose from {sorted(SCALES)})"
+        )
+    return name
+
+
+def get_scale(name: str | None = None) -> Scale:
+    """Look up a :class:`Scale` by name (or the environment default)."""
+    return SCALES[name if name is not None else default_scale_name()]
+
+
+def artifacts_dir() -> Path:
+    """Directory for cached datasets and trained models.
+
+    Defaults to ``.artifacts`` beside the repository root; override with the
+    ``REPRO_ARTIFACTS_DIR`` environment variable.  The directory is created
+    on first use.
+    """
+    root = os.environ.get(_ARTIFACTS_ENV)
+    if root is None:
+        path = Path(__file__).resolve().parents[2] / ".artifacts"
+    else:
+        path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path

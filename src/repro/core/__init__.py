@@ -1,0 +1,79 @@
+"""APOLLO's core: MCP-based proxy selection and linear power models.
+
+This package implements the paper's contribution proper (§4):
+
+1. :mod:`repro.core.mcp` — the minimax concave penalty, its proximal
+   operator, and shrinking-rate derivative (Eqs. 6-7);
+2. :mod:`repro.core.solvers` — a shared coordinate-descent engine for
+   MCP / Lasso / elastic-net penalized least squares (with Gram-matrix
+   covariance updates and warm-started lambda paths);
+3. :mod:`repro.core.selection` — the automatic proxy-selection pipeline:
+   constant/duplicate pruning, correlation screening, an MCP path tuned to
+   hit a target proxy count Q;
+4. :mod:`repro.core.model` — the relaxed (ridge-refit) per-cycle
+   :class:`ApolloModel` (Eq. 1, §4.4);
+5. :mod:`repro.core.multicycle` — the multi-cycle ``APOLLO_tau`` model and
+   its multiplier-free inference rearrangement (Eq. 9, §4.5);
+6. :mod:`repro.core.metrics` — R^2, NRMSE, NMAE, Pearson, VIF (§7.1/7.4).
+"""
+
+from repro.core.mcp import mcp_penalty, mcp_prox, mcp_shrink_rate
+from repro.core.solvers import (
+    CdResult,
+    coordinate_descent,
+    lambda_max,
+    lambda_path,
+    ridge_fit,
+)
+from repro.core.selection import ProxySelector, SelectionResult
+from repro.core.model import ApolloModel, train_apollo
+from repro.core.multicycle import (
+    ApolloTauModel,
+    train_apollo_tau,
+    window_average,
+)
+from repro.core.metrics import (
+    nmae,
+    nrmse,
+    pearson,
+    r2_score,
+    vif_mean,
+    vif_values,
+)
+from repro.core.interpret import (
+    ProxyAttribution,
+    ProxyReport,
+    attribute_proxies,
+)
+from repro.core.tuning import TuningResult, tune_q, tune_ridge, tune_tau
+
+__all__ = [
+    "mcp_penalty",
+    "mcp_prox",
+    "mcp_shrink_rate",
+    "CdResult",
+    "coordinate_descent",
+    "lambda_max",
+    "lambda_path",
+    "ridge_fit",
+    "ProxySelector",
+    "SelectionResult",
+    "ApolloModel",
+    "train_apollo",
+    "ApolloTauModel",
+    "train_apollo_tau",
+    "window_average",
+    "r2_score",
+    "nrmse",
+    "nmae",
+    "pearson",
+    "vif_mean",
+    "vif_values",
+    "ProxyAttribution",
+    "ProxyReport",
+    "attribute_proxies",
+    "TuningResult",
+    "tune_q",
+    "tune_ridge",
+    "tune_tau",
+]

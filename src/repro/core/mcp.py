@@ -1,0 +1,74 @@
+"""The minimax concave penalty (MCP) of Zhang (2010), Eqs. (6)-(7).
+
+For a weight ``w`` with penalty strength ``lam`` and concavity ``gamma``::
+
+    P(w) = lam * |w| - w^2 / (2 * gamma)   if |w| <= gamma * lam
+         = gamma * lam^2 / 2               otherwise
+
+Its defining property versus Lasso: the shrinking rate |dP/dw| falls
+linearly from ``lam`` to zero as |w| grows, so large weights are *not*
+penalized — the reason APOLLO's selected proxies keep accurate weights
+(Fig. 13) while Lasso's are over-shrunk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PowerModelError
+
+__all__ = ["mcp_penalty", "mcp_shrink_rate", "mcp_prox", "soft_threshold"]
+
+
+def _check(lam: float, gamma: float) -> None:
+    if lam < 0:
+        raise PowerModelError(f"penalty strength lam={lam} must be >= 0")
+    if gamma <= 1:
+        raise PowerModelError(f"MCP needs gamma > 1, got {gamma}")
+
+
+def mcp_penalty(
+    w: np.ndarray | float, lam: float, gamma: float
+) -> np.ndarray:
+    """Penalty value P_MCP(w) (Eq. 6), elementwise."""
+    _check(lam, gamma)
+    w = np.abs(np.asarray(w, dtype=np.float64))
+    inner = lam * w - w * w / (2.0 * gamma)
+    outer = 0.5 * gamma * lam * lam
+    return np.where(w <= gamma * lam, inner, outer)
+
+
+def mcp_shrink_rate(
+    w: np.ndarray | float, lam: float, gamma: float
+) -> np.ndarray:
+    """|dP/dw| (Eq. 7): the per-step shrinking rate during training."""
+    _check(lam, gamma)
+    w = np.abs(np.asarray(w, dtype=np.float64))
+    rate = lam - w / gamma
+    return np.where(w <= gamma * lam, np.maximum(rate, 0.0), 0.0)
+
+
+def soft_threshold(z: np.ndarray | float, t: float) -> np.ndarray:
+    """Soft-thresholding operator S(z, t) = sign(z) * max(|z| - t, 0)."""
+    z = np.asarray(z, dtype=np.float64)
+    return np.sign(z) * np.maximum(np.abs(z) - t, 0.0)
+
+
+def mcp_prox(
+    z: np.ndarray | float, lam: float, gamma: float
+) -> np.ndarray:
+    """Proximal operator of MCP for a unit-curvature quadratic.
+
+    Solves ``argmin_w 0.5 * (w - z)^2 + P_MCP(w)`` — the coordinate-descent
+    update for standardized features::
+
+        w = S(z, lam) / (1 - 1/gamma)   if |z| <= gamma * lam
+          = z                            otherwise
+
+    The firm-thresholding shape: small inputs are zeroed, mid-range inputs
+    are shrunk (but less than Lasso), large inputs pass through unbiased.
+    """
+    _check(lam, gamma)
+    z = np.asarray(z, dtype=np.float64)
+    shrunk = soft_threshold(z, lam) / (1.0 - 1.0 / gamma)
+    return np.where(np.abs(z) <= gamma * lam, shrunk, z)

@@ -1,0 +1,101 @@
+"""Accuracy and collinearity metrics used throughout the evaluation.
+
+Definitions follow §7.1 of the paper::
+
+    NRMSE = sqrt(mean((y - p)^2)) / mean(y)
+    NMAE  = sum(|y - p|) / sum(y)
+
+plus the coefficient of determination R^2, Pearson correlation (Fig. 17),
+and variance inflation factors (Fig. 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PowerModelError
+
+__all__ = [
+    "r2_score",
+    "nrmse",
+    "nmae",
+    "pearson",
+    "vif_values",
+    "vif_mean",
+]
+
+
+def _check_pair(y: np.ndarray, p: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y = np.asarray(y, dtype=np.float64).ravel()
+    p = np.asarray(p, dtype=np.float64).ravel()
+    if y.shape != p.shape:
+        raise PowerModelError(
+            f"label/prediction shape mismatch: {y.shape} vs {p.shape}"
+        )
+    if y.size == 0:
+        raise PowerModelError("empty series")
+    return y, p
+
+
+def r2_score(y: np.ndarray, p: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is perfect, can be negative."""
+    y, p = _check_pair(y, p)
+    ss_res = float(((y - p) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else float("-inf")
+    return 1.0 - ss_res / ss_tot
+
+
+def nrmse(y: np.ndarray, p: np.ndarray) -> float:
+    """Root-mean-squared error normalized by the mean label."""
+    y, p = _check_pair(y, p)
+    ybar = float(y.mean())
+    if ybar == 0.0:
+        raise PowerModelError("NRMSE undefined for zero-mean labels")
+    return float(np.sqrt(((y - p) ** 2).mean())) / ybar
+
+
+def nmae(y: np.ndarray, p: np.ndarray) -> float:
+    """Mean absolute error normalized by the mean label."""
+    y, p = _check_pair(y, p)
+    denom = float(y.sum())
+    if denom == 0.0:
+        raise PowerModelError("NMAE undefined for zero-sum labels")
+    return float(np.abs(y - p).sum()) / denom
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient."""
+    a, b = _check_pair(a, b)
+    sa, sb = a.std(), b.std()
+    if sa == 0.0 or sb == 0.0:
+        raise PowerModelError("Pearson undefined for constant series")
+    return float(((a - a.mean()) * (b - b.mean())).mean() / (sa * sb))
+
+
+def vif_values(X: np.ndarray) -> np.ndarray:
+    """Variance inflation factor of each column of ``X``.
+
+    ``VIF_j = 1 / (1 - R_j^2)`` where ``R_j^2`` is from regressing column
+    ``j`` on the others — equivalently the diagonal of the inverse
+    correlation matrix.  A pseudo-inverse handles (near-)collinear sets;
+    constant columns are assigned VIF 1 (they correlate with nothing).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] < 2:
+        raise PowerModelError("VIF needs a 2-D matrix with >= 2 columns")
+    sd = X.std(axis=0)
+    live = sd > 1e-12
+    vif = np.ones(X.shape[1], dtype=np.float64)
+    if live.sum() >= 2:
+        Z = (X[:, live] - X[:, live].mean(axis=0)) / sd[live]
+        corr = (Z.T @ Z) / X.shape[0]
+        inv = np.linalg.pinv(corr, hermitian=True)
+        vif[live] = np.maximum(np.diag(inv), 1.0)
+    return vif
+
+
+def vif_mean(X: np.ndarray) -> float:
+    """Average VIF over columns (the quantity plotted in Fig. 14)."""
+    return float(vif_values(X).mean())

@@ -1,0 +1,149 @@
+"""The per-cycle APOLLO power model (Eqs. 1 and §4.4).
+
+``ApolloModel`` is the *relaxed* final model: after MCP selects Q proxies,
+a fresh ridge regression (much weaker penalty) is fit on only those
+columns.  The model is deliberately tiny — net ids, weights, an intercept —
+because the same object configures the design-time estimator, the
+emulator-assisted flow, and the hardware OPM generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PowerModelError
+from repro.core.selection import ProxySelector, SelectionResult
+from repro.core.solvers import ridge_fit
+
+__all__ = ["ApolloModel", "train_apollo"]
+
+
+@dataclass
+class ApolloModel:
+    """A linear per-cycle power model over Q proxy signals.
+
+    ``predict`` consumes the Q proxy *columns only* (N x Q toggle matrix);
+    the caller extracts those columns from a trace — exactly the data an
+    emulator dumps in the proxy-only flow.
+
+    The intercept captures the design's baseline (always-on clock)
+    switching power; on-chip it is realized by adding the constant to the
+    accumulator each cycle, costing one adder input, no multiplier.
+    """
+
+    proxies: np.ndarray
+    weights: np.ndarray
+    intercept: float = 0.0
+    selection: SelectionResult | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.proxies = np.asarray(self.proxies, dtype=np.int64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.proxies.shape != self.weights.shape:
+            raise PowerModelError(
+                f"proxies {self.proxies.shape} vs weights "
+                f"{self.weights.shape} mismatch"
+            )
+        if self.proxies.ndim != 1 or self.proxies.size == 0:
+            raise PowerModelError("model needs at least one proxy")
+
+    @property
+    def q(self) -> int:
+        return int(self.proxies.size)
+
+    def predict(self, x_proxies: np.ndarray) -> np.ndarray:
+        """Per-cycle power from an (N x Q) proxy toggle matrix."""
+        X = np.asarray(x_proxies, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.q:
+            raise PowerModelError(
+                f"expected (N, {self.q}) proxy matrix, got {X.shape}"
+            )
+        return X @ self.weights + self.intercept
+
+    def predict_window(self, x_proxies: np.ndarray, t: int) -> np.ndarray:
+        """Average per-cycle predictions over T-cycle windows.
+
+        Trailing cycles that do not fill a window are dropped.
+        """
+        p = self.predict(x_proxies)
+        n = (p.size // t) * t
+        if n == 0:
+            raise PowerModelError(
+                f"trace of {p.size} cycles shorter than window T={t}"
+            )
+        return p[:n].reshape(-1, t).mean(axis=1)
+
+    def abs_weight_sum(self) -> float:
+        """Sum of |weights| (the Fig. 13 quantity)."""
+        return float(np.abs(self.weights).sum())
+
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            proxies=self.proxies,
+            weights=self.weights,
+            intercept=np.float64(self.intercept),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ApolloModel":
+        with np.load(path) as data:
+            return cls(
+                proxies=data["proxies"],
+                weights=data["weights"],
+                intercept=float(data["intercept"]),
+            )
+
+
+def train_apollo(
+    X: np.ndarray,
+    y: np.ndarray,
+    q: int,
+    candidate_ids: np.ndarray | None = None,
+    selector: ProxySelector | None = None,
+    ridge_lam: float = 1e-3,
+    relax: bool = True,
+) -> ApolloModel:
+    """Full APOLLO training: MCP selection + ridge relaxation.
+
+    Parameters
+    ----------
+    X, y:
+        Per-cycle toggle features (N x M) and power labels (N,).
+    q:
+        Number of proxies to select.
+    candidate_ids:
+        External ids for the columns of ``X`` (net ids).
+    selector:
+        Preconfigured :class:`ProxySelector`; defaults to MCP with the
+        paper's gamma = 10.
+    ridge_lam:
+        Relaxation ridge strength (standardized scale).
+    relax:
+        Disable to keep the raw MCP temporary-model weights — the ablation
+        of §4.4 ("this temporary model can already provide rather accurate
+        predictions").
+    """
+    selector = selector or ProxySelector()
+    sel = selector.select(X, y, q, candidate_ids=candidate_ids)
+    if candidate_ids is None:
+        cols = sel.proxies
+    else:
+        lookup = {int(cid): i for i, cid in enumerate(candidate_ids)}
+        cols = np.asarray([lookup[int(p)] for p in sel.proxies])
+    if not relax:
+        return ApolloModel(
+            proxies=sel.proxies,
+            weights=sel.temp_weights,
+            intercept=sel.temp_intercept,
+            selection=sel,
+        )
+    Xq = np.asarray(X, dtype=np.float64)[:, cols]
+    w, b = ridge_fit(Xq, np.asarray(y, dtype=np.float64), lam=ridge_lam)
+    return ApolloModel(
+        proxies=sel.proxies, weights=w, intercept=b, selection=sel
+    )

@@ -1,0 +1,167 @@
+"""Multi-cycle power modeling: the ``APOLLO_tau`` model (§4.5).
+
+Three estimators of T-cycle average power are compared in Fig. 11:
+
+* **per-cycle average** (``tau = 1``): average T per-cycle predictions of
+  the ordinary :class:`~repro.core.model.ApolloModel`;
+* **input averaging** (``tau = T``): train on T-cycle-averaged toggle
+  *rates* — loses cycle detail and couples the model to T;
+* **APOLLO_tau**: train on tau-cycle intervals (tau a hyper-parameter,
+  tau = 8 best in the paper), then evaluate with the rearranged Eq. (9):
+  a T-cycle prediction is the mean of *per-cycle* weighted toggle sums —
+  binary inputs, so the hardware needs no multipliers and tau disappears
+  at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PowerModelError
+from repro.core.selection import ProxySelector, SelectionResult
+from repro.core.solvers import ridge_fit
+
+__all__ = ["window_average", "ApolloTauModel", "train_apollo_tau"]
+
+
+def window_average(
+    X: np.ndarray, y: np.ndarray, tau: int, stride: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Average features and labels over tau-cycle intervals.
+
+    ``stride`` defaults to ``tau`` (non-overlapping intervals, the
+    evaluation semantics).  A smaller stride yields *overlapping* training
+    windows — more samples from the same trace, which is how
+    :func:`train_apollo_tau` avoids losing statistical power when tau
+    grows.  Trailing cycles not filling an interval are dropped.  Features
+    become real-valued toggle rates in [0, 1].
+    """
+    if tau < 1:
+        raise PowerModelError(f"tau must be >= 1, got {tau}")
+    stride = tau if stride is None else stride
+    if stride < 1:
+        raise PowerModelError(f"stride must be >= 1, got {stride}")
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if X.shape[0] != y.shape[0]:
+        raise PowerModelError("X and y disagree on cycle count")
+    if X.shape[0] < tau:
+        raise PowerModelError(
+            f"trace of {X.shape[0]} cycles shorter than tau={tau}"
+        )
+    starts = np.arange(0, X.shape[0] - tau + 1, stride)
+    # Prefix sums make arbitrary-stride windows O(n).
+    cs_x = np.vstack([np.zeros((1, X.shape[1])), np.cumsum(X, axis=0)])
+    cs_y = np.concatenate([[0.0], np.cumsum(y)])
+    Xw = (cs_x[starts + tau] - cs_x[starts]) / tau
+    yw = (cs_y[starts + tau] - cs_y[starts]) / tau
+    return Xw, yw
+
+
+@dataclass
+class ApolloTauModel:
+    """Interval-trained linear model evaluated per Eq. (9).
+
+    ``tau`` is recorded for provenance only — inference never uses it.
+    """
+
+    proxies: np.ndarray
+    weights: np.ndarray
+    intercept: float = 0.0
+    tau: int = 8
+    selection: SelectionResult | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.proxies = np.asarray(self.proxies, dtype=np.int64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.proxies.shape != self.weights.shape:
+            raise PowerModelError("proxies/weights shape mismatch")
+        if self.tau < 1:
+            raise PowerModelError(f"tau must be >= 1, got {self.tau}")
+
+    @property
+    def q(self) -> int:
+        return int(self.proxies.size)
+
+    def predict_window(self, x_proxies: np.ndarray, t: int) -> np.ndarray:
+        """T-cycle average power from *per-cycle* proxy toggles (Eq. 9).
+
+        ``p_T = (1/T) * sum_{i<T} sum_j w_j x_j[i] + intercept`` — the
+        weights multiply binary per-cycle toggles; the interval structure
+        used in training does not appear.
+        """
+        X = np.asarray(x_proxies, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.q:
+            raise PowerModelError(
+                f"expected (N, {self.q}) proxy matrix, got {X.shape}"
+            )
+        if t < 1:
+            raise PowerModelError(f"window T must be >= 1, got {t}")
+        per_cycle = X @ self.weights
+        n = (per_cycle.size // t) * t
+        if n == 0:
+            raise PowerModelError(
+                f"trace of {per_cycle.size} cycles shorter than T={t}"
+            )
+        return per_cycle[:n].reshape(-1, t).mean(axis=1) + self.intercept
+
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            proxies=self.proxies,
+            weights=self.weights,
+            intercept=np.float64(self.intercept),
+            tau=np.int64(self.tau),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ApolloTauModel":
+        with np.load(path) as data:
+            return cls(
+                proxies=data["proxies"],
+                weights=data["weights"],
+                intercept=float(data["intercept"]),
+                tau=int(data["tau"]),
+            )
+
+
+def train_apollo_tau(
+    X: np.ndarray,
+    y: np.ndarray,
+    q: int,
+    tau: int = 8,
+    candidate_ids: np.ndarray | None = None,
+    selector: ProxySelector | None = None,
+    ridge_lam: float = 1e-3,
+    stride: int | None = None,
+) -> ApolloTauModel:
+    """Train APOLLO_tau: interval-average, select, relax.
+
+    The same selection + relaxation procedure as the per-cycle model runs
+    on tau-cycle averaged data (real-valued toggle rates).  Training uses
+    *overlapping* intervals by default (``stride = max(1, tau // 4)``) so
+    a tau-cycle model sees as many samples as the per-cycle one —
+    without this, interval averaging divides the training set by tau and
+    the multi-cycle model loses to the simple per-cycle average.
+    """
+    if stride is None:
+        stride = max(1, tau // 4)
+    Xw, yw = window_average(X, y, tau, stride=stride)
+    selector = selector or ProxySelector()
+    sel = selector.select(Xw, yw, q, candidate_ids=candidate_ids)
+    if candidate_ids is None:
+        cols = sel.proxies
+    else:
+        lookup = {int(cid): i for i, cid in enumerate(candidate_ids)}
+        cols = np.asarray([lookup[int(p)] for p in sel.proxies])
+    w, b = ridge_fit(Xw[:, cols], yw, lam=ridge_lam)
+    return ApolloTauModel(
+        proxies=sel.proxies,
+        weights=w,
+        intercept=b,
+        tau=tau,
+        selection=sel,
+    )

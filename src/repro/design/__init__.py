@@ -1,0 +1,13 @@
+"""Synthetic CPU design generator.
+
+Builds a gate-level out-of-order core (fetch / decode / rename / issue /
+ROB / ALUs / multiplier / vector engine / LSU / L2 control) whose input
+ports follow the stimulus schema of :mod:`repro.uarch.events`, so a
+pipeline-model run drives the netlist cycle-by-cycle.  Every unit sits in
+its own gated clock domain — giving APOLLO the clock-enable proxies that
+dominate real designs (Fig. 15a of the paper).
+"""
+
+from repro.design.generator import build_core, CoreDesign
+
+__all__ = ["build_core", "CoreDesign"]

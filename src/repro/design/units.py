@@ -1,0 +1,426 @@
+"""Gate-level functional-unit builders.
+
+Each builder receives the netlist, the unit's (gated) clock domain, and the
+unit's input-port buses, and constructs a real datapath: ripple adders,
+array multipliers, barrel shifters, tag comparators, one-hot decoders,
+saturating-counter tables.  Data first lands in input registers clocked by
+the unit's domain, so a clock-gated idle unit is genuinely toggle-free.
+
+The goal is not ISA-complete RTL but *power-representative* structure:
+gate counts, logic depths, and data-dependent switching in proportions a
+real core exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rtl.datapath import (
+    and_bus_with_bit,
+    array_multiplier,
+    barrel_shifter,
+    bus_and,
+    bus_not,
+    bus_or,
+    bus_xor,
+    connect_register_bus,
+    const_bus,
+    decoder,
+    equality,
+    incrementer,
+    less_than,
+    mux_bus,
+    mux_tree,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    register_bus,
+    register_bus_uninit,
+    ripple_adder,
+    subtractor,
+)
+from repro.rtl.netlist import ClockDomain, Netlist
+
+__all__ = [
+    "build_fetch",
+    "build_decode",
+    "build_rename",
+    "build_issue",
+    "build_rob",
+    "build_alu",
+    "build_mul",
+    "build_vec",
+    "build_lsu",
+    "build_l2ctl",
+]
+
+Ports = dict[str, list[int]]
+
+
+def _therm(nl: Netlist, count: list[int], n: int) -> list[int]:
+    """Thermometer decode: bit i = (count > i), for occupancy displays."""
+    out = []
+    for i in range(n):
+        thresh = const_bus(nl, i, len(count))
+        out.append(less_than(nl, thresh, count))
+    return out
+
+
+def build_fetch(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params
+) -> None:
+    """Fetch: PC datapath, I-cache tag path, branch predictor table."""
+    valid = ports["fetch/valid"][0]
+    pc_in = ports["fetch/pc"]
+    pc = register_bus(nl, pc_in, dom, name="pc_q")
+    # Next-PC speculation adder (pc + fetch_width).
+    stride = const_bus(nl, params.fetch_width, len(pc))
+    next_pc, _ = ripple_adder(nl, pc, stride)
+    register_bus(nl, next_pc, dom, name="npc_q")
+    # Instruction registers per slot.
+    for k in range(params.fetch_width):
+        w = ports[f"fetch/inst{k}"]
+        register_bus(nl, w, dom, name=f"iw{k}_q")
+    # I-cache tag path: compare pc tag against 4 resident-way tag registers
+    # that rotate on fetch (models fills).
+    tag = pc[4:]
+    way_tags = []
+    for wy in range(4):
+        regs = register_bus_uninit(nl, len(tag), dom, name=f"itag{wy}")
+        way_tags.append(regs)
+    # rotate: way0 <- tag when valid, wayN <- wayN-1.
+    prev = tag
+    for wy, regs in enumerate(way_tags):
+        nxt = mux_bus(nl, valid, prev, regs)
+        connect_register_bus(nl, regs, nxt)
+        prev = regs
+    hits = [equality(nl, tag, regs) for regs in way_tags]
+    hit_any = reduce_or(nl, hits)
+    nl.buf(nl.and_(hit_any, valid), name="ic_hit")
+    # Branch predictor: bp_entries x 2-bit saturating counters with a
+    # decoded write port indexed by pc low bits.
+    import math
+
+    idx_bits = max(1, int(math.log2(params.bp_entries)))
+    idx = pc[:idx_bits]
+    sel = decoder(nl, idx)
+    taken_bit = pc[0]  # proxy for outcome: drives table churn
+    for e in range(params.bp_entries):
+        en = nl.and_(sel[e], valid, name=f"bp_en{e}")
+        state = register_bus_uninit(nl, 2, dom, name=f"bp{e}")
+        # saturating up/down: next = taken ? min(3, s+1) : max(0, s-1)
+        up0 = nl.or_(state[0], state[1])
+        up1 = nl.or_(state[1], state[0])
+        dn0 = nl.and_(state[0], state[1])
+        dn1 = nl.and_(state[1], nl.not_(nl.and_(nl.not_(state[0]), nl.not_(state[1]))))
+        nxt0 = nl.mux(taken_bit, up0, dn0)
+        nxt1 = nl.mux(taken_bit, up1, dn1)
+        connect_register_bus(
+            nl,
+            state,
+            [nl.mux(en, nxt0, state[0]), nl.mux(en, nxt1, state[1])],
+        )
+
+
+def build_decode(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params
+) -> None:
+    """Decode planes: opcode one-hot, field extraction, immediate logic."""
+    valid_bus = ports["decode/valid"]
+    slot_clk_en = ports["decode/clk_en"][0]
+    for k in range(params.fetch_width):
+        word = ports[f"fetch/inst{k}"]
+        v = valid_bus[k]
+        # Per-slot derived clock gating: a decode slot only clocks when
+        # it holds a valid instruction.
+        slot_dom = nl.clock_domain(
+            f"decode_slot{k}",
+            enable=nl.and_(slot_clk_en, v, name=f"slot_en{k}"),
+        )
+        wq = register_bus(
+            nl, and_bus_with_bit(nl, word, v), slot_dom, name=f"dw{k}"
+        )
+        opfield = wq[24:29]  # 5 bits cover all opcodes
+        onehot = decoder(nl, opfield)
+        # Class grouping OR-planes (mirrors real decode PLAs).
+        is_alu = reduce_or(nl, onehot[1:9])
+        is_mul = reduce_or(nl, onehot[9:11])
+        is_vec = reduce_or(nl, onehot[11:14])
+        is_mem = reduce_or(nl, onehot[14:18])
+        is_br = reduce_or(nl, onehot[18:20])
+        for name, sig in (
+            ("alu", is_alu),
+            ("mul", is_mul),
+            ("vec", is_vec),
+            ("mem", is_mem),
+            ("br", is_br),
+        ):
+            nl.reg(sig, dom, name=f"cls_{name}{k}")
+        # Immediate sign-extension network.
+        imm = wq[0:12]
+        sign = imm[11]
+        ext = [nl.mux(sign, nl.const(1), b) for b in imm[8:]]
+        register_bus(nl, imm[:8] + ext, slot_dom, name=f"imm{k}")
+        # Register fields xor-folded (read-port address toggles).
+        ra = wq[16:20]
+        rb = wq[12:16]
+        rd = wq[20:24]
+        fold = bus_xor(nl, bus_xor(nl, ra, rb), rd)
+        register_bus(nl, fold, slot_dom, name=f"rf_addr{k}")
+
+
+def build_rename(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params
+) -> None:
+    """Rename: free-list counter and a small map table with write muxes."""
+    count = ports["rename/count"]
+    cq = register_bus(nl, count, dom, name="cnt_q")
+    any_alloc = reduce_or(nl, cq)
+    # Free-list head pointer: advances by count.
+    head = register_bus_uninit(nl, 6, dom, name="flhead")
+    padded = cq + [nl.const(0)] * (6 - len(cq))
+    nxt, _ = ripple_adder(nl, head, padded)
+    connect_register_bus(nl, head, nxt)
+    # Map table: 16 entries x 6-bit physical tags, written round-robin.
+    sel = decoder(nl, head[:4])
+    for e in range(16):
+        entry = register_bus_uninit(nl, 6, dom, name=f"map{e}")
+        en = nl.and_(sel[e], any_alloc)
+        bumped = incrementer(nl, entry)
+        connect_register_bus(
+            nl, entry, mux_bus(nl, en, bumped, entry)
+        )
+
+
+def build_issue(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params
+) -> None:
+    """Issue queue: occupancy thermometer, entry payloads, select tree."""
+    occ = ports["issue/occ"]
+    occ_q = register_bus(nl, occ, dom, name="occ_q")
+    valid_bits = _therm(nl, occ_q, params.iq_size)
+    # Entry payload registers shift when occupancy changes (models entry
+    # compaction churn in a collapsing queue).
+    changed = reduce_or(nl, bus_xor(nl, occ, occ_q))
+    prev_payload = occ_q + [nl.const(0)] * (8 - len(occ_q))
+    prev_payload = prev_payload[:8]
+    for e in range(params.iq_size):
+        v = nl.reg(valid_bits[e], dom, name=f"vld{e}")
+        payload = register_bus_uninit(nl, 8, dom, name=f"pay{e}")
+        rotated = prev_payload[1:] + prev_payload[:1]
+        shift_en = nl.and_(changed, v)
+        connect_register_bus(
+            nl, payload, mux_bus(nl, shift_en, rotated, payload)
+        )
+        prev_payload = payload
+    # Priority select tree over valid bits (grant = leading one).
+    grants = []
+    blocked = nl.const(0)
+    for e in range(params.iq_size):
+        g = nl.and_(valid_bits[e], nl.not_(blocked))
+        blocked = nl.or_(blocked, valid_bits[e])
+        grants.append(g)
+    nl.buf(reduce_or(nl, grants), name="any_grant")
+
+
+def build_rob(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params
+) -> None:
+    """ROB: head/tail pointers, occupancy compare, completion bits."""
+    occ = ports["rob/occ"]
+    retire = ports["rob/retire"]
+    occ_q = register_bus(nl, occ, dom, name="occ_q")
+    ret_q = register_bus(nl, retire, dom, name="ret_q")
+    # Head pointer advances by retire count.
+    import math
+
+    ptr_bits = max(3, int(math.log2(params.rob_size)))
+    head = register_bus_uninit(nl, ptr_bits, dom, name="head")
+    pad = ret_q + [nl.const(0)] * (ptr_bits - len(ret_q))
+    nxt, _ = ripple_adder(nl, head, pad[:ptr_bits])
+    connect_register_bus(nl, head, nxt)
+    # Completion bitmap churns with occupancy.
+    valid_bits = _therm(nl, occ_q, params.rob_size)
+    for e in range(params.rob_size):
+        nl.reg(valid_bits[e], dom, name=f"c{e}")
+    # Full/empty flags.
+    full = equality(
+        nl, occ_q, const_bus(nl, params.rob_size, len(occ_q))
+    )
+    empty = nl.not_(reduce_or(nl, occ_q))
+    nl.buf(nl.or_(full, empty), name="flags")
+
+
+def build_alu(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params, idx: int
+) -> None:
+    """Scalar ALU: add/sub/logic/shift datapath with an op-select mux."""
+    unit = f"alu{idx}"
+    v = ports[f"{unit}/valid"][0]
+    a = register_bus(
+        nl, and_bus_with_bit(nl, ports[f"{unit}/a"], v), dom, name="a_q"
+    )
+    b = register_bus(
+        nl, and_bus_with_bit(nl, ports[f"{unit}/b"], v), dom, name="b_q"
+    )
+    op = register_bus(nl, ports[f"{unit}/op"], dom, name="op_q")
+    add, _ = ripple_adder(nl, a, b)
+    sub, _ = subtractor(nl, a, b)
+    andv = bus_and(nl, a, b)
+    orv = bus_or(nl, a, b)
+    xorv = bus_xor(nl, a, b)
+    shl = barrel_shifter(nl, a, b[:4])
+    shr = list(reversed(barrel_shifter(nl, list(reversed(a)), b[:4])))
+    movi = b
+    result = mux_tree(
+        nl, op, [add, sub, andv, orv, xorv, shl, shr, movi]
+    )
+    register_bus(nl, result, dom, name="res_q")
+    # Zero/sign flags.
+    nl.reg(nl.not_(reduce_or(nl, result)), dom, name="zflag")
+    nl.reg(result[-1], dom, name="nflag")
+
+
+def build_mul(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params, idx: int
+) -> None:
+    """Multiply-accumulate unit: array multiplier + accumulate adder."""
+    unit = f"mul{idx}"
+    v = ports[f"{unit}/valid"][0]
+    a = register_bus(
+        nl, and_bus_with_bit(nl, ports[f"{unit}/a"], v), dom, name="a_q"
+    )
+    b = register_bus(
+        nl, and_bus_with_bit(nl, ports[f"{unit}/b"], v), dom, name="b_q"
+    )
+    acc = register_bus(
+        nl, and_bus_with_bit(nl, ports[f"{unit}/acc"], v), dom, name="acc_q"
+    )
+    prod = array_multiplier(nl, a, b, out_width=16)
+    stage = register_bus(nl, prod, dom, name="pp_q")  # pipeline register
+    mac, _ = ripple_adder(nl, stage, acc)
+    register_bus(nl, mac, dom, name="res_q")
+
+
+def build_vec(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params, idx: int
+) -> None:
+    """Vector engine: per-lane multiplier + adder with op muxing.
+
+    Each lane's datapath registers live in a *derived* clock domain gated
+    by ``unit clk_en AND valid`` — the second-level clock gating real
+    vector engines use (the lane only clocks on actual operations).
+    These fine-grained enables are exactly the gated-clock proxies
+    Fig. 15(a) finds dominant.
+    """
+    unit = f"vec{idx}"
+    v = ports[f"{unit}/valid"][0]
+    op = register_bus(nl, ports[f"{unit}/op"], dom, name="op_q")
+    lane_en = nl.and_(ports[f"{unit}/clk_en"][0], v, name="lane_en")
+    for lane in range(params.vec_lanes):
+        with nl.scope(f"lane{lane}"):
+            lane_dom = nl.clock_domain(
+                f"{unit}_lane{lane}", enable=lane_en
+            )
+            a = register_bus(
+                nl,
+                and_bus_with_bit(nl, ports[f"{unit}/a{lane}"], v),
+                lane_dom,
+                name="a_q",
+            )
+            b = register_bus(
+                nl,
+                and_bus_with_bit(nl, ports[f"{unit}/b{lane}"], v),
+                lane_dom,
+                name="b_q",
+            )
+            # 12-bit lane multipliers keep the engine dominant but bounded.
+            prod = array_multiplier(nl, a[:12], b[:12], out_width=12)
+            prod16 = prod + [nl.const(0)] * 4
+            add, _ = ripple_adder(nl, a, b)
+            mac, _ = ripple_adder(nl, prod16, b)
+            res = mux_tree(nl, op[:2], [add, prod16, mac, a])
+            register_bus(nl, res, lane_dom, name="res_q")
+
+
+def build_lsu(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params, idx: int
+) -> None:
+    """Load/store unit: tag compare path, store buffer, data alignment."""
+    unit = f"lsu{idx}"
+    v = ports[f"{unit}/valid"][0]
+    is_store = ports[f"{unit}/is_store"][0]
+    addr = register_bus(
+        nl, and_bus_with_bit(nl, ports[f"{unit}/addr"], v), dom, name="addr_q"
+    )
+    wdata = register_bus(
+        nl,
+        and_bus_with_bit(nl, ports[f"{unit}/wdata"], v),
+        dom,
+        name="wdata_q",
+    )
+    hit_in = nl.reg(ports[f"{unit}/hit"][0], dom, name="hit_q")
+    tag = addr[7:]
+    # Way tags rotate on (valid & !hit): a fill replaces a way.
+    fill = nl.and_(v, nl.not_(hit_in))
+    prev = tag
+    way_hits = []
+    for wy in range(params.l1d_assoc):
+        regs = register_bus_uninit(nl, len(tag), dom, name=f"dtag{wy}")
+        nxt = mux_bus(nl, fill, prev, regs)
+        connect_register_bus(nl, regs, nxt)
+        prev = regs
+        way_hits.append(equality(nl, tag, regs))
+    nl.buf(reduce_or(nl, way_hits), name="way_hit")
+    # Store buffer: 4 entries shifting on stores, in a derived domain
+    # clocked only on store traffic (second-level clock gating).
+    st_en = nl.and_(v, is_store)
+    stb_dom = nl.clock_domain(
+        f"{unit}_stb",
+        enable=nl.and_(ports[f"{unit}/clk_en"][0], st_en, name="stb_en"),
+    )
+    prev_data = wdata
+    for e in range(4):
+        entry = register_bus_uninit(nl, 16, stb_dom, name=f"stb{e}")
+        nxt = mux_bus(nl, st_en, prev_data, entry)
+        connect_register_bus(nl, entry, nxt)
+        prev_data = entry
+    # Data alignment rotator (addr low bits select rotation).
+    rot = barrel_shifter(nl, wdata, addr[:3])
+    register_bus(nl, rot, dom, name="aligned_q")
+    # Parity generation for the data path.
+    nl.reg(reduce_xor(nl, wdata), dom, name="parity")
+
+
+def build_l2ctl(
+    nl: Netlist, dom: ClockDomain, ports: Ports, params
+) -> None:
+    """L2 controller: request path, tag compare, fill state machine."""
+    req = ports["l2ctl/req"][0]
+    addr = register_bus(
+        nl,
+        and_bus_with_bit(nl, ports["l2ctl/addr"], req),
+        dom,
+        name="addr_q",
+    )
+    hit_in = nl.reg(ports["l2ctl/hit"][0], dom, name="hit_q")
+    tag = addr[6:]
+    fill = nl.and_(nl.reg(req, dom, name="req_q"), nl.not_(hit_in))
+    prev = tag
+    for wy in range(8):
+        regs = register_bus_uninit(nl, len(tag), dom, name=f"l2tag{wy}")
+        nxt = mux_bus(nl, fill, prev, regs)
+        connect_register_bus(nl, regs, nxt)
+        prev = regs
+    # Miss counter (performance-counter style).
+    ctr = register_bus_uninit(nl, 10, dom, name="missctr")
+    bumped = incrementer(nl, ctr)
+    connect_register_bus(nl, ctr, mux_bus(nl, fill, bumped, ctr))
+    # Fill burst FSM: 3-bit counter runs while filling.
+    fsm = register_bus_uninit(nl, 3, dom, name="fsm")
+    running = reduce_or(nl, fsm)
+    start = nl.or_(fill, running)
+    nxt_fsm = incrementer(nl, fsm)
+    connect_register_bus(
+        nl, fsm, mux_bus(nl, start, nxt_fsm, fsm)
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the APOLLO reproduction library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses group errors by the
+subsystem that raised them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "SimulationError",
+    "StimulusError",
+    "PowerModelError",
+    "SelectionError",
+    "DatasetError",
+    "IsaError",
+    "OpmError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists (bad fanin, combinational loops, ...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when RTL simulation cannot proceed."""
+
+
+class StimulusError(SimulationError):
+    """Raised when stimulus does not match a design's input ports."""
+
+
+class IsaError(ReproError):
+    """Raised for malformed instructions or assembly text."""
+
+
+class DatasetError(ReproError):
+    """Raised when feature/label collection produces inconsistent data."""
+
+
+class PowerModelError(ReproError):
+    """Raised by power-model training or inference."""
+
+
+class SelectionError(PowerModelError):
+    """Raised when proxy selection cannot satisfy the request."""
+
+
+class OpmError(ReproError):
+    """Raised by OPM construction, quantization, or simulation."""
+
+
+class ExperimentError(ReproError):
+    """Raised by experiment drivers (bad ids, missing artifacts, ...)."""

@@ -1,0 +1,349 @@
+"""Extensions beyond the paper's evaluation (its §9 future work).
+
+* ``ext_highlevel`` — the C/C++-abstraction direction: a power model on
+  microarchitectural activity (no RTL simulation at inference), compared
+  against RTL-proxy APOLLO for accuracy and speed;
+* ``ext_dvfs`` — the §1 coarse-grained use case: a DVFS governor driven
+  by windowed OPM readings with a power budget and thermal cap.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import nrmse, r2_score
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_kv, format_table
+from repro.experiments.runner import ExperimentResult
+from repro.flow.dvfs import DvfsGovernor, DvfsPolicy
+from repro.flow.highlevel import (
+    dataset_activities,
+    train_activity_model,
+)
+from repro.genbench.handcrafted import testing_suite
+from repro.opm import OpmMeter, quantize_model
+
+__all__ = [
+    "run_highlevel",
+    "run_dvfs",
+    "run_counters",
+    "run_didt",
+    "run_multicore",
+]
+
+
+def _programs_by_name(ctx: ExperimentContext) -> dict:
+    progs = {
+        ind.program.name: (ind.program, None) for ind in ctx.ga.individuals
+    }
+    for bench in testing_suite(ctx.scale.test_cycle_scale):
+        progs[bench.name] = (bench.program, bench.throttle)
+    return progs
+
+
+def run_highlevel(
+    ctx: ExperimentContext | None = None, q: int | None = None
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    q = q or ctx.default_q()
+    progs = _programs_by_name(ctx)
+
+    act_train = dataset_activities(ctx.core, ctx.train, progs)
+    model = train_activity_model(act_train, ctx.train.labels)
+    act_test = dataset_activities(ctx.core, ctx.test, progs)
+    y = ctx.test.labels
+    p_hl = model.predict(act_test)
+
+    apollo = ctx.apollo(q)
+    p_rtl = apollo.predict(ctx.test_features(apollo.proxies))
+
+    # Speed: performance-sim-only tracing vs proxy-capture RTL tracing.
+    from repro.experiments.exp_fig16 import hmmer_like
+    from repro.flow import EmulatorFlow
+
+    cycles = 4000
+    _power, hl_seconds = model.trace_program(
+        ctx.params, hmmer_like(), cycles
+    )
+    rtl_run = EmulatorFlow(ctx.core, apollo).trace(
+        hmmer_like(), cycles=cycles
+    )
+    rtl_seconds = rtl_run.sim_seconds + rtl_run.inference_seconds
+
+    kv = {
+        "activity_features": model.n_features,
+        "highlevel_r2": r2_score(y, p_hl),
+        "highlevel_nrmse": nrmse(y, p_hl),
+        "apollo_r2": r2_score(y, p_rtl),
+        "apollo_nrmse": nrmse(y, p_rtl),
+        "nrmse_gap": nrmse(y, p_hl) - nrmse(y, p_rtl),
+        "highlevel_trace_seconds": hl_seconds,
+        "rtl_trace_seconds": rtl_seconds,
+        "speedup_vs_rtl_flow": rtl_seconds / max(1e-9, hl_seconds),
+    }
+    top = model.top_contributors(8)
+    text = (
+        format_kv(kv, title="Extension: high-abstraction power model")
+        + "\n\ntop activity contributors:\n"
+        + "\n".join(f"  {name:<28} {w:+.4f}" for name, w in top)
+    )
+    return ExperimentResult(
+        id="ext_highlevel",
+        title="Performance-simulation-level power tracing (§9 direction)",
+        paper_claim=(
+            "future work: translate the design-time model to higher "
+            "abstraction (C/C++), integrating performance simulation "
+            "with power tracing"
+        ),
+        text=text,
+        rows=[{"feature": n, "weight": w} for n, w in top],
+        summary={
+            "highlevel_r2": round(kv["highlevel_r2"], 4),
+            "apollo_r2": round(kv["apollo_r2"], 4),
+            "nrmse_gap": round(kv["nrmse_gap"], 4),
+            "speedup_vs_rtl_flow": round(kv["speedup_vs_rtl_flow"], 1),
+        },
+    )
+
+
+def run_counters(
+    ctx: ExperimentContext | None = None, q: int | None = None
+) -> ExperimentResult:
+    """§1's claim, quantified: event counters vs APOLLO across window T.
+
+    Counter models are trained and evaluated per T; APOLLO's per-cycle
+    model is window-averaged for the same T.  The counter curve should be
+    poor at fine granularity and approach (but not beat) APOLLO as T
+    grows — the reason the paper's runtime OPM exists.
+    """
+    from repro.baselines import train_counter_model
+    from repro.flow.highlevel import dataset_activities
+
+    ctx = ctx or ExperimentContext()
+    q = q or ctx.default_q()
+    apollo = ctx.apollo(q)
+    progs = _programs_by_name(ctx)
+    act_train = dataset_activities(ctx.core, ctx.train, progs)
+    act_test = dataset_activities(ctx.core, ctx.test, progs)
+    y_train = ctx.train.labels
+    y_test = ctx.test.labels
+    Xp = ctx.test_features(apollo.proxies)
+
+    rows = []
+    for t in (1, 4, 16, 64, 256):
+        counter = train_counter_model(act_train, y_train, t=t)
+        p_ctr = counter.predict(act_test)
+        n = (y_test.size // t) * t
+        yw = y_test[:n].reshape(-1, t).mean(axis=1)
+        rows.append(
+            {
+                "t": t,
+                "counter_nrmse": nrmse(yw, p_ctr),
+                "apollo_nrmse": nrmse(
+                    yw, apollo.predict_window(Xp, t)
+                ),
+            }
+        )
+    text = format_table(
+        rows, title="Extension: event-counter models vs APOLLO across T"
+    )
+    fine = rows[0]
+    coarse = rows[-1]
+    return ExperimentResult(
+        id="ext_counters",
+        title="Event-counter baselines degrade at fine granularity",
+        paper_claim=(
+            "§1/§2: counter events correlate poorly with per-cycle "
+            "activity; counter methods are restricted to coarse windows"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "counter_fine_nrmse": round(fine["counter_nrmse"], 4),
+            "counter_coarse_nrmse": round(coarse["counter_nrmse"], 4),
+            "apollo_fine_nrmse": round(fine["apollo_nrmse"], 4),
+            "fine_grain_gap": round(
+                fine["counter_nrmse"] / fine["apollo_nrmse"], 2
+            ),
+        },
+    )
+
+
+def run_didt(
+    ctx: ExperimentContext | None = None
+) -> ExperimentResult:
+    """dI/dt stressmark evolution (§8.2's stress scenario, GeST-style)."""
+    from repro.genbench import BenchmarkEvolver, GaConfig
+    from repro.power import PdnModel
+
+    ctx = ctx or ExperimentContext()
+    cfg = GaConfig(
+        population=ctx.scale.ga_population,
+        generations=max(4, ctx.scale.ga_generations // 2),
+        eval_cycles=ctx.scale.ga_benchmark_cycles,
+        seed=ctx.seed + 1,
+        fitness="didt",
+    )
+    evolver = BenchmarkEvolver(ctx.core, cfg)
+    result = evolver.run()
+    virus = result.best_by_fitness
+
+    # Droop caused by the evolved stressmark vs the *power* virus.
+    pdn = PdnModel()
+    didt_trace = evolver._power_traces([virus.program])[0]
+    power_virus = ctx.ga.best
+    power_trace = evolver._power_traces([power_virus.program])[0]
+    droop_didt = pdn.droop_magnitude(didt_trace)
+    droop_power = pdn.droop_magnitude(power_trace)
+
+    kv = {
+        "didt_virus_fitness_mA": virus.fitness,
+        "didt_virus_avg_power": virus.power,
+        "power_virus_avg_power": power_virus.power,
+        "droop_from_didt_virus_mv": droop_didt,
+        "droop_from_power_virus_mv": droop_power,
+    }
+    text = format_kv(
+        kv, title="Extension: dI/dt stressmark evolution"
+    )
+    return ExperimentResult(
+        id="ext_didt",
+        title="GA-evolved Ldi/dt stressmark",
+        paper_claim=(
+            "§8.2: current ramps, not absolute power, excite droops; a "
+            "ramp-fitness GA finds them (GeST's second stressmark family)"
+        ),
+        text=text,
+        rows=[kv],
+        summary={
+            "didt_fitness": round(virus.fitness, 3),
+            "droop_didt_mv": round(droop_didt, 2),
+            "droop_power_mv": round(droop_power, 2),
+        },
+    )
+
+
+def run_multicore(
+    ctx: ExperimentContext | None = None,
+    n_cores: int = 4,
+    cycles: int = 2000,
+) -> ExperimentResult:
+    """Multi-core socket simulation (§1's "multiple CPU cores" scenario).
+
+    Four copies of the core run the evolved power virus over a shared
+    PDN, aligned vs staggered.  Staggering flattens the socket power
+    envelope and shrinks the worst droop — the management action that
+    per-core OPM visibility enables.
+    """
+    from repro.flow.multicore import MulticoreSimulator
+
+    ctx = ctx or ExperimentContext()
+    virus = ctx.ga.best.program
+    socket = MulticoreSimulator(ctx.core, n_cores=n_cores)
+
+    aligned = socket.run([virus], cycles=cycles)
+    stagger = [k * (cycles // (4 * n_cores)) for k in range(n_cores)]
+    staggered = socket.run([virus], cycles=cycles, offsets=stagger)
+
+    kv = {
+        "n_cores": n_cores,
+        "cycles": cycles,
+        "aligned_peak_power_mw": float(aligned.total_power.max()),
+        "staggered_peak_power_mw": float(staggered.total_power.max()),
+        "aligned_droop_mv": aligned.droop_mv,
+        "staggered_droop_mv": staggered.droop_mv,
+        "aligned_alignment_factor": aligned.alignment_factor(),
+        "staggered_alignment_factor": staggered.alignment_factor(),
+        "peak_reduction_pct": 100.0
+        * (1 - staggered.total_power.max() / aligned.total_power.max()),
+    }
+    text = format_kv(
+        kv, title=f"Extension: {n_cores}-core socket, virus alignment"
+    )
+    return ExperimentResult(
+        id="ext_multicore",
+        title="Multi-core power/droop with burst de-phasing",
+        paper_claim=(
+            "§1: signoff flows cannot simulate multiple cores; APOLLO-"
+            "style modeling makes socket-level power/droop tractable"
+        ),
+        text=text,
+        rows=[kv],
+        summary={
+            "peak_reduction_pct": round(kv["peak_reduction_pct"], 1),
+            "aligned_droop_mv": round(aligned.droop_mv, 3),
+            "staggered_droop_mv": round(staggered.droop_mv, 3),
+        },
+    )
+
+
+def run_dvfs(
+    ctx: ExperimentContext | None = None,
+    q: int | None = None,
+    t: int = 256,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    q = q or ctx.default_q()
+    model = ctx.apollo(q)
+    meter = OpmMeter(quantize_model(model, bits=10), t=t)
+    readings = meter.read(ctx.test.features(model.proxies))
+
+    budget = float(np.quantile(readings, 0.7))
+    governor = DvfsGovernor(policy=DvfsPolicy(power_budget_mw=budget))
+    governed = governor.run(readings)
+    fixed_hi = governor.run_fixed(readings, len(governor.points) - 1)
+    fixed_lo = governor.run_fixed(readings, 0)
+
+    rows = [
+        {
+            "config": "governed (OPM-driven)",
+            "perf": governed.performance,
+            "energy_mj": governed.energy_mj,
+            "avg_power_mw": governed.avg_power_mw,
+            "budget_violations": governed.budget_violations,
+            "max_temp_c": float(governed.temperature_c.max()),
+        },
+        {
+            "config": "fixed boost",
+            "perf": fixed_hi.performance,
+            "energy_mj": fixed_hi.energy_mj,
+            "avg_power_mw": fixed_hi.avg_power_mw,
+            "budget_violations": fixed_hi.budget_violations,
+            "max_temp_c": float(fixed_hi.temperature_c.max()),
+        },
+        {
+            "config": "fixed eco",
+            "perf": fixed_lo.performance,
+            "energy_mj": fixed_lo.energy_mj,
+            "avg_power_mw": fixed_lo.avg_power_mw,
+            "budget_violations": fixed_lo.budget_violations,
+            "max_temp_c": float(fixed_lo.temperature_c.max()),
+        },
+    ]
+    text = format_table(
+        rows,
+        title=(
+            f"Extension: OPM-driven DVFS (T={t} windows, budget "
+            f"{budget:.2f} mW)"
+        ),
+    )
+    return ExperimentResult(
+        id="ext_dvfs",
+        title="Coarse-grained runtime management: DVFS on OPM readings",
+        paper_claim=(
+            "§1: DVFS needs coarse-grained power tracing; the same OPM "
+            "serves it with a large averaging window"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "governed_perf": round(governed.performance, 3),
+            "governed_violations": governed.budget_violations,
+            "boost_violations": fixed_hi.budget_violations,
+            "eco_perf": round(fixed_lo.performance, 3),
+            "violation_reduction": fixed_hi.budget_violations
+            - governed.budget_violations,
+        },
+    )

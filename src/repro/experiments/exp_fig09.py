@@ -1,0 +1,72 @@
+"""Fig. 9: detailed evaluation of the headline APOLLO model.
+
+(a) prediction-vs-label power traces over the 12-benchmark testing set and
+the average-power bias (paper: 0.6% difference); (b) per-benchmark NRMSE
+and NMAE (paper: NMAE < 10% for every benchmark).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nmae, nrmse, r2_score
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_kv, format_table
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(
+    ctx: ExperimentContext | None = None, q: int | None = None
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    q = q or ctx.default_q()
+    model = ctx.apollo(q)
+    test = ctx.test
+    y = test.labels
+    p = model.predict(ctx.test_features(model.proxies))
+
+    per_bench = []
+    for name, start, end in test.segments:
+        per_bench.append(
+            {
+                "benchmark": name,
+                "cycles": end - start,
+                "nrmse": nrmse(y[start:end], p[start:end]),
+                "nmae": nmae(y[start:end], p[start:end]),
+                "mean_label": float(y[start:end].mean()),
+                "mean_pred": float(p[start:end].mean()),
+            }
+        )
+    overall = {
+        "q": q,
+        "r2": r2_score(y, p),
+        "nrmse": nrmse(y, p),
+        "nmae": nmae(y, p),
+        "avg_label": float(y.mean()),
+        "avg_pred": float(p.mean()),
+        "avg_bias_pct": 100.0 * abs(p.mean() - y.mean()) / y.mean(),
+    }
+    text = (
+        format_kv(overall, title="Fig. 9(a): overall accuracy")
+        + "\n\n"
+        + format_table(per_bench, title="Fig. 9(b): per-benchmark accuracy")
+    )
+    worst_nmae = max(r["nmae"] for r in per_bench)
+    return ExperimentResult(
+        id="fig09",
+        title=f"APOLLO model evaluation at Q={q}",
+        paper_claim=(
+            "Q=159: NRMSE=9.4%, R^2=0.95; NMAE<10% on every benchmark; "
+            "average power bias 0.6%"
+        ),
+        text=text,
+        rows=per_bench,
+        summary={
+            "r2": round(overall["r2"], 4),
+            "nrmse": round(overall["nrmse"], 4),
+            "worst_benchmark_nmae": round(worst_nmae, 4),
+            "avg_bias_pct": round(overall["avg_bias_pct"], 3),
+        },
+    )

@@ -1,0 +1,140 @@
+"""Figs. 10 / 12: per-cycle accuracy vs number of proxies Q.
+
+APOLLO (MCP) vs the Lasso baseline [53] vs Simmani [40] across a Q sweep,
+with PRIMAL-CNN and PCA as horizontal lines (they consume all signals, so
+Q does not apply).  Fig. 12 is the same sweep on the a77 design; the
+runner points it at an a77 context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nrmse, r2_score
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run", "q_sweep_for"]
+
+
+def q_sweep_for(ctx: ExperimentContext) -> list[int]:
+    """Q values scaled to the context (paper sweeps ~25..500).
+
+    Larger designs sweep proportionally larger Q — the paper's A77
+    curves extend to higher proxy counts than N1's.
+    """
+    base = ctx.scale.max_quickstart_q * ctx.design_scale_factor
+    qs = [base // 8, base // 4, base // 2, base, base * 3 // 2, base * 2]
+    return sorted({max(4, q) for q in qs})
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    q_values: list[int] | None = None,
+    with_cnn: bool = True,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    qs = q_values or q_sweep_for(ctx)
+    y = ctx.test.labels
+
+    def scores(p):
+        return nrmse(y, p), r2_score(y, p)
+
+    rows = []
+    mcp_sel = ctx.selections(qs, "mcp")
+    lasso_sel = ctx.selections(qs, "lasso")
+    for q in qs:
+        row = {"q": q}
+        apollo = ctx.model_from_selection(mcp_sel[q])
+        row["apollo_nrmse"], row["apollo_r2"] = scores(
+            apollo.predict(ctx.test_features(apollo.proxies))
+        )
+        lasso = ctx.model_from_selection(lasso_sel[q])
+        row["lasso_nrmse"], row["lasso_r2"] = scores(
+            lasso.predict(ctx.test_features(lasso.proxies))
+        )
+        simmani = ctx.simmani(q, t=1)
+        row["simmani_nrmse"], row["simmani_r2"] = scores(
+            simmani.predict(ctx.test_features(simmani.proxies))
+        )
+        rows.append(row)
+
+    # Horizontal lines: all-signal methods.
+    X_ids = ctx.screened[1]
+    X_test_all = ctx.test_features(X_ids)
+    lines = {}
+    pca = ctx.pca()
+    lines["pca_nrmse"], lines["pca_r2"] = scores(pca.predict(X_test_all))
+    if with_cnn:
+        cnn = ctx.primal_cnn()
+        lines["cnn_nrmse"], lines["cnn_r2"] = scores(
+            cnn.predict(X_test_all)
+        )
+
+    text = format_table(
+        rows,
+        title=f"Fig. 10: accuracy vs Q ({ctx.design} design)",
+    )
+    text += "\n\nall-signal baselines (horizontal lines): " + ", ".join(
+        f"{k}={v:.4f}" for k, v in lines.items()
+    )
+
+    # The paper's shape: APOLLO dominates Lasso/Simmani at matched Q.
+    # MCP-vs-Lasso gaps are small at reproduction scale, so robustness
+    # is measured across the whole sweep: at how many Q points is
+    # APOLLO at or under the Lasso curve (2% tolerance)?
+    largest = rows[-1]
+    apollo_leq_lasso = sum(
+        1
+        for r in rows
+        if r["apollo_nrmse"] <= 1.02 * r["lasso_nrmse"]
+    )
+    apollo_leq_simmani = sum(
+        1
+        for r in rows
+        if r["apollo_nrmse"] <= r["simmani_nrmse"]
+    )
+    # The paper's plotted range starts near its headline Q; compare the
+    # curves over the upper half of the sweep (small-Q points are
+    # dominated by which few signals happen to survive the penalty).
+    upper = rows[len(rows) // 2 :]
+    apollo_mean_upper = float(
+        np.mean([r["apollo_nrmse"] for r in upper])
+    )
+    lasso_mean_upper = float(
+        np.mean([r["lasso_nrmse"] for r in upper])
+    )
+    headline = min(
+        rows, key=lambda r: abs(r["q"] - ctx.default_q())
+    )
+    return ExperimentResult(
+        id="fig10",
+        title=f"Per-cycle accuracy vs number of proxies ({ctx.design})",
+        paper_claim=(
+            "APOLLO reaches NRMSE<10%, R^2>0.95 with ~150 proxies; "
+            "Lasso and Simmani stay >12% NRMSE even at Q=500"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "best_apollo_nrmse": round(
+                min(r["apollo_nrmse"] for r in rows), 4
+            ),
+            "best_apollo_r2": round(
+                max(r["apollo_r2"] for r in rows), 4
+            ),
+            "apollo_leq_lasso_points": f"{apollo_leq_lasso}/{len(rows)}",
+            "apollo_leq_simmani_points":
+                f"{apollo_leq_simmani}/{len(rows)}",
+            "apollo_beats_simmani_at_max_q": bool(
+                largest["apollo_nrmse"] < largest["simmani_nrmse"]
+            ),
+            "apollo_mean_upper_nrmse": round(apollo_mean_upper, 4),
+            "lasso_mean_upper_nrmse": round(lasso_mean_upper, 4),
+            "apollo_wins_headline_q": bool(
+                headline["apollo_nrmse"] <= headline["lasso_nrmse"]
+            ),
+            **{k: round(v, 4) for k, v in lines.items()},
+        },
+    )

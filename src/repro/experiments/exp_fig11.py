@@ -1,0 +1,125 @@
+"""Fig. 11: multi-cycle accuracy vs measurement window T.
+
+Three estimators at matched budgets, as in the paper:
+
+* Simmani trained per T (Q = larger budget — the paper gives Simmani
+  Q=200 vs APOLLO's 70);
+* per-cycle APOLLO averaged over T (tau = 1);
+* APOLLO_tau with a fixed tau (the paper picks tau = 8 by validation),
+  evaluated for every T via Eq. (9);
+
+plus the tau sweep showing an interior tau wins (the §4.5 argument that
+both tau = 1 and tau = T are inferior).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nrmse, window_average
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run"]
+
+T_VALUES = [4, 8, 16, 32, 64]
+
+
+def run(
+    ctx: ExperimentContext | None = None,
+    t_values: list[int] | None = None,
+    tau: int = 8,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    ts = t_values or T_VALUES
+    # Budgets mirror the paper's ratio: Simmani gets ~3x the proxies.
+    q_apollo = max(8, ctx.scale.max_quickstart_q // 2)
+    q_simmani = min(3 * q_apollo, ctx.screened[0].shape[1] // 4)
+
+    y_test = ctx.test.labels
+    percycle = ctx.apollo(q_apollo)
+    tau_model = ctx.apollo_tau(q_apollo, tau)
+    Xp = ctx.test_features(percycle.proxies)
+    Xt = ctx.test_features(tau_model.proxies)
+
+    rows = []
+    for t in ts:
+        _xw, yw = window_average(
+            np.zeros((y_test.size, 1)), y_test, t
+        )
+        row = {"t": t}
+        row["apollo_avg_nrmse"] = nrmse(
+            yw, percycle.predict_window(Xp, t)
+        )
+        row["apollo_tau_nrmse"] = nrmse(
+            yw, tau_model.predict_window(Xt, t)
+        )
+        simmani = ctx.simmani(q_simmani, t=t)
+        Xs = ctx.test_features(simmani.proxies)
+        row["simmani_nrmse"] = nrmse(yw, simmani.predict_window(Xs, t))
+        rows.append(row)
+
+    # tau sweep at a representative window (T = max): shows an interior
+    # tau beats both extremes (tau=1 is the per-cycle average; tau=T is
+    # input averaging).
+    t_big = ts[-1]
+    _xw, yw_big = window_average(
+        np.zeros((y_test.size, 1)), y_test, t_big
+    )
+    tau_rows = []
+    for tau_i in [1, *ts]:
+        if tau_i == 1:
+            p = percycle.predict_window(Xp, t_big)
+        else:
+            m = ctx.apollo_tau(q_apollo, tau_i)
+            p = m.predict_window(
+                ctx.test_features(m.proxies), t_big
+            )
+        tau_rows.append(
+            {"tau": tau_i, "nrmse_at_T=%d" % t_big: nrmse(yw_big, p)}
+        )
+
+    text = (
+        format_table(
+            rows,
+            title=(
+                f"Fig. 11: T-cycle NRMSE (APOLLO Q={q_apollo}, "
+                f"Simmani Q={q_simmani}, tau={tau})"
+            ),
+        )
+        + "\n\n"
+        + format_table(tau_rows, title=f"tau sweep at T={t_big}")
+    )
+
+    apollo_wins = sum(
+        1 for r in rows if r["apollo_avg_nrmse"] < r["simmani_nrmse"]
+    )
+    tau_wins = sum(
+        1 for r in rows if r["apollo_tau_nrmse"] < r["simmani_nrmse"]
+    )
+    tau_helps = sum(
+        1
+        for r in rows
+        if r["apollo_tau_nrmse"] <= r["apollo_avg_nrmse"] * 1.02
+    )
+    return ExperimentResult(
+        id="fig11",
+        title="Multi-cycle accuracy vs window size T",
+        paper_claim=(
+            "per-cycle APOLLO averaged over T beats Simmani at 1/3 the "
+            "proxies; APOLLO_tau (tau=8) improves NRMSE by a further ~5%"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "apollo_beats_simmani_windows": f"{apollo_wins}/{len(rows)}",
+            "tau_beats_simmani_windows": f"{tau_wins}/{len(rows)}",
+            "tau_model_competitive_windows": f"{tau_helps}/{len(rows)}",
+            "simmani_degrades_with_t": bool(
+                rows[-1]["simmani_nrmse"] > rows[0]["simmani_nrmse"]
+            ),
+            "q_apollo": q_apollo,
+            "q_simmani": q_simmani,
+        },
+    )

@@ -1,0 +1,110 @@
+"""Figs. 13 / 14: why MCP selections are better.
+
+Fig. 13 — sum of absolute model weights at matched Q: MCP leaves large
+weights unpenalized, Lasso over-shrinks (compare the *temporary* models,
+before relaxation, where the penalty acts).
+
+Fig. 14 — mean variance inflation factor of the selected proxy columns:
+MCP's differential shrinking avoids selecting correlated signals together;
+Lasso does not; Simmani's clustering also de-correlates but is
+unsupervised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import vif_mean
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run_fig13", "run_fig14"]
+
+
+def _q_points(ctx: ExperimentContext) -> list[int]:
+    base = ctx.scale.max_quickstart_q
+    return sorted({max(4, base // 4), max(6, base // 2), base})
+
+
+def run_fig13(
+    ctx: ExperimentContext | None = None,
+    q_values: list[int] | None = None,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    qs = q_values or _q_points(ctx)
+    mcp_sel = ctx.selections(qs, "mcp")
+    lasso_sel = ctx.selections(qs, "lasso")
+    rows = []
+    for q in qs:
+        rows.append(
+            {
+                "q": q,
+                "mcp_abs_weight_sum": float(
+                    np.abs(mcp_sel[q].temp_weights).sum()
+                ),
+                "lasso_abs_weight_sum": float(
+                    np.abs(lasso_sel[q].temp_weights).sum()
+                ),
+            }
+        )
+    text = format_table(
+        rows, title="Fig. 13: sum of |weights| of the temporary models"
+    )
+    wins = sum(
+        1
+        for r in rows
+        if r["mcp_abs_weight_sum"] > r["lasso_abs_weight_sum"]
+    )
+    return ExperimentResult(
+        id="fig13",
+        title="Sum of absolute weights: MCP vs Lasso",
+        paper_claim="MCP allows large weights; Lasso over-shrinks them",
+        text=text,
+        rows=rows,
+        summary={"mcp_larger": f"{wins}/{len(rows)}"},
+    )
+
+
+def run_fig14(
+    ctx: ExperimentContext | None = None, q: int | None = None
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    q = q or max(6, ctx.scale.max_quickstart_q // 2)
+    X_train, ids = ctx.screened
+    lookup = {int(c): i for i, c in enumerate(ids)}
+
+    def cols_of(proxies):
+        return X_train[:, [lookup[int(p)] for p in proxies]].astype(
+            np.float64
+        )
+
+    apollo = ctx.selections([q], "mcp")[q]
+    lasso = ctx.selections([q], "lasso")[q]
+    simmani = ctx.simmani(q, t=1)
+    rows = [
+        {"method": "APOLLO (MCP)", "mean_vif": vif_mean(cols_of(apollo.proxies))},
+        {"method": "Lasso [53]", "mean_vif": vif_mean(cols_of(lasso.proxies))},
+        {"method": "Simmani [40]", "mean_vif": vif_mean(cols_of(simmani.proxies))},
+    ]
+    text = format_table(
+        rows, title=f"Fig. 14: mean VIF of selected proxies (Q={q})"
+    )
+    vifs = {r["method"]: r["mean_vif"] for r in rows}
+    return ExperimentResult(
+        id="fig14",
+        title="Variance inflation factors of selected proxies",
+        paper_claim=(
+            "APOLLO shows much lower VIF than Lasso; Simmani is also low "
+            "(clustering de-correlates) but unsupervised"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "q": q,
+            "apollo_below_lasso": bool(
+                vifs["APOLLO (MCP)"] < vifs["Lasso [53]"]
+            ),
+            **{k: round(v, 2) for k, v in vifs.items()},
+        },
+    )

@@ -1,0 +1,165 @@
+"""Fig. 15: (a) proxy distribution over functional units; (b) OPM
+area-vs-accuracy trade-off over (Q, B).
+
+(a) mirrors the paper's categorization: gated-clock proxies vs the
+functional unit each non-clock proxy belongs to (the paper finds 39/159
+gated clocks and heavy representation of vector-execution / issue /
+load-store).
+
+(b) sweeps proxy count Q and weight bit-width B; accuracy comes from the
+bit-exact behavioural meter, area from synthesizing the OPM netlist
+against the cell library.  Overheads are reported both versus the
+synthetic core and at the paper's N1 scale (see repro.opm.cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import nrmse
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult
+from repro.opm import OpmMeter, build_opm_netlist, quantize_model
+from repro.rtl.cells import Op
+
+__all__ = ["run_fig15a", "run_fig15b", "clock_mask_for"]
+
+
+def clock_mask_for(ctx: ExperimentContext, proxies: np.ndarray) -> np.ndarray:
+    ops = ctx.core.netlist.ops_array()
+    return np.asarray(
+        [ops[int(p)] == int(Op.CLK) for p in proxies], dtype=bool
+    )
+
+
+def run_fig15a(
+    ctx: ExperimentContext | None = None, q: int | None = None
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    q = q or ctx.default_q()
+    model = ctx.apollo(q)
+    ops = ctx.core.netlist.ops_array()
+
+    by_unit: dict[str, int] = {}
+    n_clock = 0
+    for p in model.proxies:
+        p = int(p)
+        if ops[p] == int(Op.CLK):
+            n_clock += 1
+            by_unit["gated clocks"] = by_unit.get("gated clocks", 0) + 1
+        else:
+            unit = ctx.core.unit_of_net(p)
+            by_unit[unit] = by_unit.get(unit, 0) + 1
+    rows = [
+        {"category": k, "proxies": v, "share_pct": 100.0 * v / q}
+        for k, v in sorted(by_unit.items(), key=lambda kv: -kv[1])
+    ]
+    text = format_table(
+        rows, title=f"Fig. 15(a): proxy distribution (Q={q})"
+    )
+    # §7.4's interpretability claim: per-proxy power attribution on the
+    # testing workloads, including the clock-gating insight list.
+    from repro.core.interpret import attribute_proxies
+
+    report = attribute_proxies(
+        ctx.core, model, ctx.test.features(model.proxies)
+    )
+    text += "\n\n" + report.render(k=10)
+    clocks = report.clock_gating_insight()
+    if clocks:
+        text += "\n\npower-hungry clock gates (descending):\n" + "\n".join(
+            f"  {p.name:<30} {p.contribution_mw:.4f} mW"
+            for p in clocks[:6]
+        )
+    exec_units = sum(
+        v
+        for k, v in by_unit.items()
+        if k.startswith(("vec", "alu", "mul", "lsu"))
+    )
+    return ExperimentResult(
+        id="fig15a",
+        title="Distribution of extracted power proxies",
+        paper_claim=(
+            "39/159 proxies are gated clocks; vector execution, issue, "
+            "and load-store units dominate the rest"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "q": q,
+            "gated_clock_proxies": n_clock,
+            "units_covered": len(by_unit),
+            "execution_unit_proxies": exec_units,
+        },
+    )
+
+
+def run_fig15b(
+    ctx: ExperimentContext | None = None,
+    q_values: list[int] | None = None,
+    b_values: list[int] | None = None,
+    t: int = 1,
+) -> ExperimentResult:
+    ctx = ctx or ExperimentContext()
+    base = ctx.scale.max_quickstart_q
+    qs = q_values or sorted({max(4, base // 4), max(6, base // 2), base})
+    bs = b_values or [6, 8, 10, 12]
+    y = ctx.test.labels
+
+    rows = []
+    for q in qs:
+        model = ctx.apollo(q)
+        Xq = ctx.test.features(model.proxies)
+        exact_nrmse = nrmse(y, model.predict(Xq.astype(np.float64)))
+        for b in bs:
+            qm = quantize_model(model, bits=b)
+            meter = OpmMeter(qm, t=t)
+            p = meter.read(Xq)
+            hw = build_opm_netlist(
+                qm, t=t, clock_mask=clock_mask_for(ctx, model.proxies)
+            )
+            area_pct = 100.0 * hw.area / ctx.core.netlist.total_area()
+            scale = 5e5 / ctx.core.netlist.n_nets
+            rows.append(
+                {
+                    "q": q,
+                    "bits": b,
+                    "nrmse": nrmse(y, p),
+                    "nrmse_loss_vs_float": nrmse(y, p) - exact_nrmse,
+                    "area_pct_self": area_pct,
+                    "area_pct_paper_scale": area_pct / scale,
+                }
+            )
+    text = format_table(
+        rows, title="Fig. 15(b): OPM area vs accuracy over (Q, B)"
+    )
+    # B >= 10 should be near-lossless (paper: <0.1% NRMSE increase);
+    # compare perturbation magnitudes (coarse quantization can move
+    # NRMSE either way).
+    losses_10 = [
+        abs(r["nrmse_loss_vs_float"]) for r in rows if r["bits"] >= 10
+    ]
+    losses_6 = [
+        abs(r["nrmse_loss_vs_float"]) for r in rows if r["bits"] == 6
+    ]
+    return ExperimentResult(
+        id="fig15b",
+        title="OPM area/accuracy trade-off",
+        paper_claim=(
+            "accuracy loss high for B<9, negligible for B>10; "
+            "Q=159/B=10 OPM is 0.2% of N1 gate area"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "max_loss_at_b10plus": round(max(losses_10), 5),
+            "max_loss_at_b6": round(max(losses_6), 5),
+            "headline_area_pct_paper_scale": round(
+                [r for r in rows if r["bits"] == 10][-1][
+                    "area_pct_paper_scale"
+                ],
+                4,
+            ),
+        },
+    )

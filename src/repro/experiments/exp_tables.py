@@ -1,0 +1,129 @@
+"""Tables 1, 3, 4, 5: comparisons and the testing-benchmark inventory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.registry import METHODS
+from repro.experiments.context import ExperimentContext
+from repro.experiments.report import format_table
+from repro.experiments.runner import ExperimentResult
+from repro.genbench.handcrafted import PAPER_TEST_CYCLES
+from repro.opm.cost import table3_rows
+
+__all__ = ["run_table1", "run_table3", "run_table4", "run_table5"]
+
+
+def run_table1(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Table 1: the power-modeling landscape, with APOLLO's row measured."""
+    rows = []
+    for key in ("counters", "simmani", "primal_cnn", "yang_svd", "lasso",
+                "apollo"):
+        info = METHODS[key]
+        rows.append(
+            {
+                "method": info.display,
+                "category": info.category,
+                "selection": info.proxy_selection,
+                "resolution": info.temporal_resolution,
+                "overhead": info.overhead_note,
+            }
+        )
+    text = format_table(rows, title="Table 1 (condensed landscape)")
+    return ExperimentResult(
+        id="table1",
+        title="Comparison among power modeling approaches",
+        paper_claim=(
+            "APOLLO is the only method with per-cycle resolution, "
+            "automatic selection, and low overhead (0.2% area)"
+        ),
+        text=text,
+        rows=rows,
+        summary={"n_methods": len(rows)},
+    )
+
+
+def run_table3(
+    ctx: ExperimentContext | None = None, q: int | None = None
+) -> ExperimentResult:
+    """Table 3: counters/multipliers per method at proxy count Q."""
+    ctx = ctx or ExperimentContext()
+    q = q or ctx.default_q()
+    rows = table3_rows(q, m=ctx.core.n_nets)
+    text = format_table(
+        rows, title=f"Table 3 (hardware primitives at Q={q})"
+    )
+    apollo = [r for r in rows if r["method"] == "APOLLO (per-cycle)"][0]
+    return ExperimentResult(
+        id="table3",
+        title="Hardware implementations of runtime monitors",
+        paper_claim=(
+            "APOLLO needs 1 counter and 0 multipliers; prior proxies "
+            "need Q counters and up to Q^2 multipliers"
+        ),
+        text=text,
+        rows=rows,
+        summary={
+            "q": q,
+            "apollo_counters": apollo["counters"],
+            "apollo_multipliers": apollo["multipliers"],
+        },
+    )
+
+
+def run_table4(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Table 4: the 12 handcrafted testing benchmarks, verified by runs."""
+    ctx = ctx or ExperimentContext()
+    test = ctx.test
+    rows = []
+    for name, paper_cycles in PAPER_TEST_CYCLES.items():
+        start, end = test.segment(name)
+        seg_power = float(test.labels[start:end].mean())
+        rows.append(
+            {
+                "benchmark": name,
+                "paper_cycles": paper_cycles,
+                "simulated_cycles": end - start,
+                "mean_power_mw": seg_power,
+            }
+        )
+    text = format_table(rows, title="Table 4 (testing benchmarks)")
+    powers = [r["mean_power_mw"] for r in rows]
+    return ExperimentResult(
+        id="table4",
+        title="Designer-handcrafted testing benchmarks",
+        paper_claim="12 benchmarks covering low- and high-power use cases",
+        text=text,
+        rows=rows,
+        summary={
+            "n_benchmarks": len(rows),
+            "power_ratio": max(powers) / min(powers),
+        },
+    )
+
+
+def run_table5(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Table 5: baseline methodology comparison."""
+    rows = []
+    for key in ("simmani", "primal_cnn", "pca", "lasso", "apollo"):
+        info = METHODS[key]
+        rows.append(
+            {
+                "method": info.display,
+                "selection": info.proxy_selection,
+                "preprocessing": info.preprocessing,
+                "model": info.ml_model,
+            }
+        )
+    text = format_table(rows, title="Table 5 (baseline methodologies)")
+    return ExperimentResult(
+        id="table5",
+        title="Comparisons with baseline methods",
+        paper_claim=(
+            "Simmani: K-means + polynomial elastic net; PRIMAL: CNN/PCA "
+            "over all signals; [53]: Lasso; APOLLO: MCP + ridge"
+        ),
+        text=text,
+        rows=rows,
+        summary={"n_methods": len(rows)},
+    )

@@ -1,0 +1,72 @@
+"""Plain-text rendering for experiment results (tables and series).
+
+Everything the paper shows as a figure is reproduced as data series; these
+helpers render them as aligned ASCII tables so benchmark logs and
+EXPERIMENTS.md carry the numbers directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (empty)"
+    columns = list(columns) if columns else list(rows[0])
+    cells = [[_fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells))
+        for i, c in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable, ys: Mapping[str, Iterable], x_name: str = "x",
+    title: str | None = None,
+) -> str:
+    """Render one x-axis with several named series as a table."""
+    x = list(x)
+    rows = []
+    for i, xv in enumerate(x):
+        row = {x_name: xv}
+        for name, vals in ys.items():
+            vals = list(vals)
+            row[name] = vals[i] if i < len(vals) else ""
+        rows.append(row)
+    return format_table(rows, [x_name, *ys], title=title)
+
+
+def format_kv(pairs: Mapping[str, object], title: str | None = None) -> str:
+    """Render key/value summary lines."""
+    lines = [title] if title else []
+    width = max(len(k) for k in pairs) if pairs else 0
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {_fmt(v)}")
+    return "\n".join(lines)

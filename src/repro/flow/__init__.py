@@ -1,0 +1,46 @@
+"""End-to-end flows built on the APOLLO model (§5, §8).
+
+* :mod:`repro.flow.design_time` — APOLLO-assisted power analysis
+  (Fig. 7b): trace only the Q proxies, infer per-cycle power in software;
+* :mod:`repro.flow.emulator` — the emulator-assisted flow (Fig. 7c):
+  proxy-only tracing with storage accounting (the 200 GB -> ~1 GB claim)
+  and emulation-throughput extrapolation;
+* :mod:`repro.flow.runtime` — runtime introspection with the OPM:
+  per-cycle delta-I tracking, voltage-droop correlation (Fig. 17), and a
+  proactive Ldi/dt mitigation demo (§8.2).
+"""
+
+from repro.flow.design_time import DesignTimeFlow, FlowEstimate
+from repro.flow.emulator import EmulatorFlow, StorageAccounting
+from repro.flow.runtime import (
+    DroopAnalysis,
+    MitigationResult,
+    RuntimeIntrospection,
+)
+from repro.flow.highlevel import (
+    ActivityPowerModel,
+    train_activity_model,
+)
+from repro.flow.dvfs import (
+    DvfsGovernor,
+    DvfsPolicy,
+    OperatingPoint,
+)
+from repro.flow.multicore import MulticoreRun, MulticoreSimulator
+
+__all__ = [
+    "DesignTimeFlow",
+    "FlowEstimate",
+    "EmulatorFlow",
+    "StorageAccounting",
+    "RuntimeIntrospection",
+    "DroopAnalysis",
+    "MitigationResult",
+    "ActivityPowerModel",
+    "train_activity_model",
+    "DvfsGovernor",
+    "DvfsPolicy",
+    "OperatingPoint",
+    "MulticoreSimulator",
+    "MulticoreRun",
+]

@@ -1,0 +1,206 @@
+"""DVFS governed by OPM power readings (the §1 coarse-grained use case).
+
+DVFS "is orchestrated by the system firmware and/or the OS, and hence
+requires coarse-grained temporal resolution in power-tracing" — served by
+the same OPM hardware with a large averaging window T.  This module
+implements a simple reactive governor: windowed OPM readings (scaled for
+the active voltage/frequency point) feed a power budget + thermal cap
+policy that steps an operating point up or down; the simulation reports
+energy, performance, and temperature against fixed-point baselines.
+
+Scaling model: relative to the characterization point, dynamic power
+scales as ``(V / V0)^2 * (f / f0)`` and delivered performance as
+``f / f0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.power.thermal import ThermalModel
+
+__all__ = ["OperatingPoint", "DvfsPolicy", "DvfsGovernor", "DvfsRun"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One voltage/frequency point."""
+
+    name: str
+    freq_ghz: float
+    vdd: float
+
+    def power_scale(self, ref: "OperatingPoint") -> float:
+        return (self.vdd / ref.vdd) ** 2 * (self.freq_ghz / ref.freq_ghz)
+
+    def perf_scale(self, ref: "OperatingPoint") -> float:
+        return self.freq_ghz / ref.freq_ghz
+
+
+DEFAULT_POINTS = (
+    OperatingPoint("eco", 1.5, 0.60),
+    OperatingPoint("nominal", 2.4, 0.68),
+    OperatingPoint("boost", 3.0, 0.75),
+)
+
+
+@dataclass(frozen=True)
+class DvfsPolicy:
+    """Reactive budget policy.
+
+    Step down when the windowed power reading exceeds ``power_budget_mw``
+    or temperature exceeds ``thermal_cap_c``; step up when power sits
+    under ``upshift_frac`` of budget (with hysteresis) and temperature
+    has headroom.
+    """
+
+    power_budget_mw: float = 6.0
+    thermal_cap_c: float = 85.0
+    upshift_frac: float = 0.7
+    hysteresis_windows: int = 3
+
+    def __post_init__(self) -> None:
+        if self.power_budget_mw <= 0:
+            raise ReproError("power budget must be positive")
+        if not (0 < self.upshift_frac < 1):
+            raise ReproError("upshift_frac must be in (0, 1)")
+
+
+@dataclass
+class DvfsRun:
+    """Outcome of one governed run."""
+
+    levels: np.ndarray  # operating-point index per window
+    power_mw: np.ndarray  # actual power per window at the chosen points
+    temperature_c: np.ndarray
+    performance: float  # delivered work relative to the reference point
+    energy_mj: float
+    budget_violations: int
+    thermal_violations: int
+
+    @property
+    def avg_power_mw(self) -> float:
+        return float(self.power_mw.mean())
+
+
+class DvfsGovernor:
+    """Steps operating points from windowed OPM power readings."""
+
+    def __init__(
+        self,
+        points: tuple[OperatingPoint, ...] = DEFAULT_POINTS,
+        policy: DvfsPolicy | None = None,
+        thermal: ThermalModel | None = None,
+        reference: OperatingPoint | None = None,
+    ) -> None:
+        if len(points) < 2:
+            raise ReproError("need at least two operating points")
+        freqs = [p.freq_ghz for p in points]
+        if freqs != sorted(freqs):
+            raise ReproError("operating points must be sorted by freq")
+        self.points = points
+        self.policy = policy or DvfsPolicy()
+        self.thermal = thermal or ThermalModel()
+        # Characterization point: where the OPM readings were trained.
+        self.reference = reference or points[-1]
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self, opm_readings_mw: np.ndarray, start_level: int | None = None
+    ) -> DvfsRun:
+        """Govern a workload given its reference-point OPM readings.
+
+        ``opm_readings_mw`` are windowed power readings *as if* running
+        at the reference point; the governor rescales them for the active
+        point each window (activity is assumed workload-dominated).
+        """
+        readings = np.asarray(opm_readings_mw, dtype=np.float64)
+        if readings.ndim != 1 or readings.size == 0:
+            raise ReproError("need a 1-D, non-empty reading series")
+        pol = self.policy
+        n = readings.size
+        level = (
+            len(self.points) - 1 if start_level is None else start_level
+        )
+        if not (0 <= level < len(self.points)):
+            raise ReproError(f"bad start level {level}")
+
+        levels = np.empty(n, dtype=np.int64)
+        power = np.empty(n, dtype=np.float64)
+        temp = np.empty(n, dtype=np.float64)
+        t_now = self.thermal.t_ambient
+        calm = 0
+        perf_acc = 0.0
+        budget_viol = 0
+        thermal_viol = 0
+
+        for k in range(n):
+            point = self.points[level]
+            p_now = readings[k] * point.power_scale(self.reference)
+            power[k] = p_now
+            levels[k] = level
+            perf_acc += point.perf_scale(self.reference)
+            # thermal step (power in watts)
+            steady = self.thermal.t_ambient + (
+                p_now * 1e-3
+            ) * self.thermal.r_th
+            t_now = steady + (t_now - steady) * self.thermal._decay
+            temp[k] = t_now
+
+            over_budget = p_now > pol.power_budget_mw
+            over_thermal = t_now > pol.thermal_cap_c
+            if over_budget:
+                budget_viol += 1
+            if over_thermal:
+                thermal_viol += 1
+            if over_budget or over_thermal:
+                level = max(0, level - 1)
+                calm = 0
+            elif p_now < pol.upshift_frac * pol.power_budget_mw:
+                calm += 1
+                if calm >= pol.hysteresis_windows:
+                    level = min(len(self.points) - 1, level + 1)
+                    calm = 0
+            else:
+                calm = 0
+
+        energy_mj = float(
+            (power * 1e-3 * self.thermal.window_seconds).sum() * 1e3
+        )
+        return DvfsRun(
+            levels=levels,
+            power_mw=power,
+            temperature_c=temp,
+            performance=perf_acc / n,
+            energy_mj=energy_mj,
+            budget_violations=budget_viol,
+            thermal_violations=thermal_viol,
+        )
+
+    def run_fixed(self, opm_readings_mw: np.ndarray, level: int) -> DvfsRun:
+        """Baseline: pin one operating point for the whole run."""
+        if not (0 <= level < len(self.points)):
+            raise ReproError(f"bad level {level}")
+        readings = np.asarray(opm_readings_mw, dtype=np.float64)
+        point = self.points[level]
+        power = readings * point.power_scale(self.reference)
+        temp = self.thermal.simulate(power * 1e-3)
+        energy_mj = float(
+            (power * 1e-3 * self.thermal.window_seconds).sum() * 1e3
+        )
+        return DvfsRun(
+            levels=np.full(readings.size, level, dtype=np.int64),
+            power_mw=power,
+            temperature_c=temp,
+            performance=point.perf_scale(self.reference),
+            energy_mj=energy_mj,
+            budget_violations=int(
+                (power > self.policy.power_budget_mw).sum()
+            ),
+            thermal_violations=int(
+                (temp > self.policy.thermal_cap_c).sum()
+            ),
+        )

@@ -1,0 +1,166 @@
+"""Runtime power introspection with the OPM (§8.2, Fig. 17).
+
+The per-cycle OPM reading tracks CPU current demand; its cycle-to-cycle
+difference (delta-I) is the precursor of Ldi/dt voltage droops.  This
+module reproduces the Fig. 17 analysis — OPM-estimated vs ground-truth
+delta-I, quadrant structure, Pearson correlation — and demonstrates the
+paper's proposed *proactive mitigation*: when the OPM predicts a large
+current step, an adaptive-clock model stretches the next cycles, and the
+PDN simulation shows the droop shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.core.metrics import pearson
+from repro.power.pdn import PdnModel, delta_current
+
+__all__ = ["DroopAnalysis", "MitigationResult", "RuntimeIntrospection"]
+
+
+@dataclass
+class DroopAnalysis:
+    """Fig. 17's scatter data plus summary statistics."""
+
+    delta_i_true: np.ndarray
+    delta_i_opm: np.ndarray
+    pearson: float
+    quadrants: dict[str, int]
+    deep_threshold: float
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.delta_i_true.size)
+
+
+@dataclass
+class MitigationResult:
+    """Droop with and without OPM-triggered adaptive clocking."""
+
+    droop_baseline_mv: float
+    droop_mitigated_mv: float
+    n_interventions: int
+
+    @property
+    def reduction_pct(self) -> float:
+        if self.droop_baseline_mv <= 0:
+            return 0.0
+        return 100.0 * (
+            1.0 - self.droop_mitigated_mv / self.droop_baseline_mv
+        )
+
+
+class RuntimeIntrospection:
+    """Delta-I tracking and droop analysis for one OPM + PDN."""
+
+    def __init__(self, pdn: PdnModel | None = None) -> None:
+        self.pdn = pdn or PdnModel()
+
+    # ------------------------------------------------------------------ #
+    def droop_analysis(
+        self,
+        power_true: np.ndarray,
+        power_opm: np.ndarray,
+        deep_quantile: float = 0.98,
+    ) -> DroopAnalysis:
+        """Compare OPM delta-I against ground truth (Fig. 17).
+
+        Quadrants follow the paper: top-right = rising current (droop
+        precursors), bottom-left = falling current (overshoot risk);
+        off-diagonal quadrants are disagreements, expected to cluster
+        near the origin.
+        """
+        power_true = np.asarray(power_true, dtype=np.float64)
+        power_opm = np.asarray(power_opm, dtype=np.float64)
+        if power_true.shape != power_opm.shape:
+            raise ReproError("power series must align")
+        di_true = delta_current(power_true, self.pdn.vdd)
+        di_opm = delta_current(power_opm, self.pdn.vdd)
+        quadrants = {
+            "both_rising": int(np.sum((di_true > 0) & (di_opm > 0))),
+            "both_falling": int(np.sum((di_true < 0) & (di_opm < 0))),
+            "opm_only_rising": int(np.sum((di_true <= 0) & (di_opm > 0))),
+            "opm_only_falling": int(np.sum((di_true >= 0) & (di_opm < 0))),
+        }
+        deep = float(np.quantile(np.abs(di_true), deep_quantile))
+        return DroopAnalysis(
+            delta_i_true=di_true,
+            delta_i_opm=di_opm,
+            pearson=pearson(di_true, di_opm),
+            quadrants=quadrants,
+            deep_threshold=deep,
+        )
+
+    def deep_event_agreement(
+        self, analysis: DroopAnalysis
+    ) -> float:
+        """Sign-agreement rate restricted to deep (large |delta-I|) events.
+
+        The paper's observation: disagreements live near the origin; in
+        the deep droop/overshoot region the OPM tracks ground truth.
+        """
+        mask = np.abs(analysis.delta_i_true) >= analysis.deep_threshold
+        if not mask.any():
+            raise ReproError("no deep events at this threshold")
+        same = np.sign(analysis.delta_i_true[mask]) == np.sign(
+            analysis.delta_i_opm[mask]
+        )
+        return float(same.mean())
+
+    # ------------------------------------------------------------------ #
+    def mitigation_demo(
+        self,
+        power_true: np.ndarray,
+        power_opm: np.ndarray,
+        threshold_quantile: float = 0.97,
+        stretch: float = 0.6,
+        horizon: int = 4,
+    ) -> MitigationResult:
+        """Proactive Ldi/dt mitigation using OPM predictions.
+
+        When the OPM sees a current step above the threshold, the
+        adaptive-clock model stretches the next ``horizon`` cycles: each
+        cycle's current level moves only ``stretch`` of the way from the
+        previous level, flattening the demand ramp (the performance cost
+        of clock stretching).  The PDN is simulated with and without
+        intervention; the droop reduction is the payoff §8.2 motivates.
+        """
+        if not (0.0 < stretch <= 1.0):
+            raise ReproError("stretch must be in (0, 1]")
+        power_true = np.asarray(power_true, dtype=np.float64)
+        di_opm = delta_current(
+            np.asarray(power_opm, dtype=np.float64), self.pdn.vdd
+        )
+        threshold = float(
+            np.quantile(di_opm[di_opm > 0], threshold_quantile)
+        ) if np.any(di_opm > 0) else float("inf")
+
+        mitigated = power_true.copy()
+        interventions = 0
+        i = 1
+        n = len(mitigated)
+        while i < n:
+            if di_opm[i] > threshold:
+                interventions += 1
+                end = min(n, i + horizon)
+                window = mitigated[i:end]
+                base = mitigated[i - 1]
+                for k in range(len(window)):
+                    window[k] = base + (window[k] - base) * stretch
+                    base = window[k]
+                mitigated[i:end] = window
+                i = end
+            else:
+                i += 1
+
+        base_droop = self.pdn.droop_magnitude(power_true)
+        mit_droop = self.pdn.droop_magnitude(mitigated)
+        return MitigationResult(
+            droop_baseline_mv=base_droop,
+            droop_mitigated_mv=mit_droop,
+            n_interventions=interventions,
+        )

@@ -1,0 +1,44 @@
+"""Training-data generation (§4.1) and the Table-4 testing suite.
+
+A genetic algorithm evolves instruction sequences toward a power virus
+(the GeST approach [28]); the individuals accumulated across generations —
+spanning low to high power — form the training set.  Testing uses 12
+handcrafted designer benchmarks mirroring Table 4, kept strictly separate
+from training, exactly as in §7.1.
+"""
+
+from repro.genbench.ga import (
+    BenchmarkEvolver,
+    GaConfig,
+    GaIndividual,
+    GaResult,
+)
+from repro.genbench.handcrafted import (
+    Benchmark,
+    PAPER_TEST_CYCLES,
+    testing_suite,
+)
+from repro.genbench.dataset import (
+    DATASET_VERSION,
+    PowerDataset,
+    build_training_dataset,
+    build_testing_dataset,
+    select_uniform_power,
+)
+from repro.genbench import workloads
+
+__all__ = [
+    "BenchmarkEvolver",
+    "GaConfig",
+    "GaIndividual",
+    "GaResult",
+    "Benchmark",
+    "PAPER_TEST_CYCLES",
+    "testing_suite",
+    "PowerDataset",
+    "build_training_dataset",
+    "build_testing_dataset",
+    "select_uniform_power",
+    "DATASET_VERSION",
+    "workloads",
+]

@@ -1,0 +1,267 @@
+"""Dataset assembly: features (toggle traces) + labels (power) per §4.2.
+
+``build_training_dataset`` replays a power-diverse subset of GA-generated
+micro-benchmarks through the gate-level simulator, recording full packed
+toggle traces and ground-truth per-cycle power; ``build_testing_dataset``
+does the same for the handcrafted Table-4 suite, recording per-benchmark
+segment boundaries so Fig. 9(b)'s per-benchmark metrics can be computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.genbench.ga import GaIndividual, GaResult
+from repro.genbench.handcrafted import Benchmark, testing_suite
+from repro.power.analyzer import PowerAnalyzer
+from repro.rtl.simulator import RecordSpec, Simulator
+from repro.rtl.trace import ToggleTrace
+from repro.uarch.pipeline import Pipeline
+
+__all__ = [
+    "PowerDataset",
+    "select_uniform_power",
+    "build_training_dataset",
+    "build_testing_dataset",
+    "DATASET_VERSION",
+]
+
+#: Bump when benchmark/dataset generators change semantics, so cached
+#: datasets (keyed on this) regenerate.
+DATASET_VERSION = 3
+
+
+@dataclass
+class PowerDataset:
+    """Per-cycle toggle features + power labels for one design.
+
+    ``trace`` holds every net's toggles (batch 1, cycles N);
+    ``candidate_ids`` are the monitorable net ids (the selection search
+    space); ``segments`` maps benchmark names to [start, end) cycle ranges.
+    """
+
+    trace: ToggleTrace
+    labels: np.ndarray
+    candidate_ids: np.ndarray
+    segments: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.trace.batch != 1:
+            raise DatasetError("dataset traces must have batch == 1")
+        if self.labels.shape != (self.trace.n_cycles,):
+            raise DatasetError(
+                f"labels {self.labels.shape} vs trace cycles "
+                f"{self.trace.n_cycles}"
+            )
+
+    @property
+    def n_cycles(self) -> int:
+        return self.trace.n_cycles
+
+    def features(self, cols: np.ndarray | None = None) -> np.ndarray:
+        """Dense (N, k) uint8 toggle matrix for the given net ids.
+
+        Defaults to all candidate nets.
+        """
+        cols = self.candidate_ids if cols is None else np.asarray(cols)
+        return self.trace.dense(cols)[0]
+
+    def segment(self, name: str) -> tuple[int, int]:
+        for seg_name, start, end in self.segments:
+            if seg_name == name:
+                return start, end
+        raise DatasetError(f"no segment named {name!r}")
+
+    def split(self, val_frac: float, seed: int = 0) -> tuple[
+        np.ndarray, np.ndarray
+    ]:
+        """Random train/validation cycle-index split."""
+        if not (0 < val_frac < 1):
+            raise DatasetError("val_frac must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        idx = rng.permutation(self.n_cycles)
+        n_val = int(self.n_cycles * val_frac)
+        return np.sort(idx[n_val:]), np.sort(idx[:n_val])
+
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> None:
+        names = np.array([s[0] for s in self.segments])
+        bounds = np.array(
+            [[s[1], s[2]] for s in self.segments], dtype=np.int64
+        ).reshape(-1, 2)
+        np.savez_compressed(
+            path,
+            packed=self.trace.packed,
+            n_nets=np.int64(self.trace.n_nets),
+            labels=self.labels,
+            candidate_ids=self.candidate_ids,
+            seg_names=names,
+            seg_bounds=bounds,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "PowerDataset":
+        with np.load(path, allow_pickle=False) as data:
+            segments = [
+                (str(n), int(b[0]), int(b[1]))
+                for n, b in zip(data["seg_names"], data["seg_bounds"])
+            ]
+            return cls(
+                trace=ToggleTrace(
+                    packed=data["packed"], n_nets=int(data["n_nets"])
+                ),
+                labels=data["labels"],
+                candidate_ids=data["candidate_ids"],
+                segments=segments,
+            )
+
+
+def select_uniform_power(
+    individuals: list[GaIndividual],
+    count: int,
+    n_bins: int = 12,
+    seed: int = 0,
+) -> list[GaIndividual]:
+    """Pick ``count`` individuals with near-uniform power coverage.
+
+    Mirrors §7.1: "around 300 micro-benchmarks are selected to form the
+    training set with a uniform power distribution."  Bins span the
+    observed power range; picks round-robin across bins.
+    """
+    if not individuals:
+        raise DatasetError("no individuals to select from")
+    count = min(count, len(individuals))
+    powers = np.array([i.power for i in individuals])
+    lo, hi = powers.min(), powers.max()
+    if hi <= lo:
+        return individuals[:count]
+    edges = np.linspace(lo, hi, n_bins + 1)
+    bins: list[list[int]] = [[] for _ in range(n_bins)]
+    for idx, p in enumerate(powers):
+        b = min(n_bins - 1, int((p - lo) / (hi - lo) * n_bins))
+        bins[b].append(idx)
+    rng = np.random.default_rng(seed)
+    for b in bins:
+        rng.shuffle(b)
+    chosen: list[int] = []
+    round_i = 0
+    while len(chosen) < count:
+        progressed = False
+        for b in bins:
+            if round_i < len(b):
+                chosen.append(b[round_i])
+                progressed = True
+                if len(chosen) >= count:
+                    break
+        if not progressed:
+            break
+        round_i += 1
+    return [individuals[i] for i in sorted(chosen)]
+
+
+def _simulate_benchmarks(
+    core,
+    runs: list[tuple[str, object, int, object]],
+    batch_group: int = 8,
+) -> tuple[ToggleTrace, np.ndarray, list[tuple[str, int, int]]]:
+    """Simulate (name, program, cycles, throttle) runs; concat results.
+
+    Runs with identical (cycles, throttle) are batched together.
+    """
+    analyzer = PowerAnalyzer(core.netlist)
+    weights = analyzer.label_weights()
+    simulator = Simulator(core.netlist)
+
+    traces: list[ToggleTrace] = []
+    labels: list[np.ndarray] = []
+    segments: list[tuple[str, int, int]] = []
+    cursor = 0
+
+    # Group consecutive runs by (cycles, throttle identity) for batching.
+    i = 0
+    while i < len(runs):
+        name_i, _prog, cycles, throttle = runs[i]
+        group = [runs[i]]
+        while (
+            len(group) < batch_group
+            and i + len(group) < len(runs)
+            and runs[i + len(group)][2] == cycles
+            and runs[i + len(group)][3] is throttle
+        ):
+            group.append(runs[i + len(group)])
+        i += len(group)
+
+        params = core.params.with_throttle(throttle)
+        pipeline = Pipeline(params)
+        stims = []
+        for _name, prog, _cyc, _thr in group:
+            activity, _stats = pipeline.run(prog, cycles)
+            stims.append(core.stimulus_for(activity))
+        res = simulator.run(
+            np.stack(stims),
+            RecordSpec(
+                full_trace=True, accumulators={"label": weights}
+            ),
+        )
+        for k, (name, _prog2, _cyc2, _thr2) in enumerate(group):
+            traces.append(
+                ToggleTrace(
+                    packed=res.trace.packed[k : k + 1],
+                    n_nets=res.trace.n_nets,
+                )
+            )
+            labels.append(res.accum["label"][k])
+            segments.append((name, cursor, cursor + cycles))
+            cursor += cycles
+
+    trace = ToggleTrace.concat_cycles(traces)
+    return trace, np.concatenate(labels), segments
+
+
+def build_training_dataset(
+    core,
+    ga_result: GaResult,
+    target_cycles: int,
+    replay_cycles: int = 300,
+    seed: int = 0,
+) -> PowerDataset:
+    """Replay a uniform-power GA subset to collect ``target_cycles``.
+
+    Each selected micro-benchmark contributes ``replay_cycles`` cycles.
+    """
+    if target_cycles < replay_cycles:
+        raise DatasetError("target_cycles smaller than one replay")
+    n_benchmarks = int(np.ceil(target_cycles / replay_cycles))
+    chosen = select_uniform_power(
+        ga_result.individuals, n_benchmarks, seed=seed
+    )
+    runs = [
+        (ind.program.name, ind.program, replay_cycles, None)
+        for ind in chosen
+    ]
+    trace, labels, segments = _simulate_benchmarks(core, runs)
+    return PowerDataset(
+        trace=trace,
+        labels=labels,
+        candidate_ids=core.monitorable_nets(),
+        segments=segments,
+    )
+
+
+def build_testing_dataset(
+    core, cycle_scale: float = 1.0
+) -> PowerDataset:
+    """Simulate the 12 handcrafted Table-4 benchmarks."""
+    suite = testing_suite(cycle_scale)
+    runs = [(b.name, b.program, b.cycles, b.throttle) for b in suite]
+    trace, labels, segments = _simulate_benchmarks(core, runs)
+    return PowerDataset(
+        trace=trace,
+        labels=labels,
+        candidate_ids=core.monitorable_nets(),
+        segments=segments,
+    )

@@ -1,0 +1,303 @@
+"""GA-based micro-benchmark generation (GeST-style, §4.1 / Fig. 3).
+
+Individuals are fixed-length instruction sequences.  Fitness is average
+power measured by the reproduction's signoff flow (pipeline model + gate
+simulation + capacitance-weighted toggles); the highest-power individuals
+become parents (truncation selection), produce children via single-point
+crossover, and mutate by instruction replacement.  Every evaluated
+individual is kept: the union across generations spans low to high power
+(>5x in the paper, asserted in the Fig. 3 experiment).
+
+Power evaluation is the expensive step; a whole generation is evaluated in
+*one batched* gate-level simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.isa.instructions import Instruction
+from repro.isa.program import (
+    DEFAULT_MIX,
+    InstructionMix,
+    Program,
+    random_program,
+    _random_instruction,
+)
+from repro.isa.instructions import IClass, Opcode
+from repro.power.analyzer import PowerAnalyzer
+from repro.rtl.simulator import RecordSpec, Simulator
+from repro.uarch.pipeline import Pipeline
+
+__all__ = ["GaConfig", "GaIndividual", "GaResult", "BenchmarkEvolver"]
+
+
+@dataclass(frozen=True)
+class GaConfig:
+    """Genetic-algorithm budget and operator rates.
+
+    ``fitness`` selects the optimization target: ``"power"`` evolves a
+    power virus (the paper's training-data generator, §4.1); ``"didt"``
+    evolves an Ldi/dt stressmark — the worst current *ramp* over a short
+    window — the §8.2 voltage-droop scenario (GeST [28] supports the
+    same two stressmark families).
+    """
+
+    population: int = 16
+    generations: int = 14
+    program_length: int = 48
+    eval_cycles: int = 300
+    elite: int = 2
+    parent_frac: float = 0.5
+    mutation_rate: float = 0.08
+    seed: int = 7
+    fitness: str = "power"
+    didt_window: int = 4
+
+    def __post_init__(self) -> None:
+        if self.population < 4:
+            raise DatasetError("population must be >= 4")
+        if not (0 < self.parent_frac <= 1):
+            raise DatasetError("parent_frac must be in (0, 1]")
+        if self.elite >= self.population:
+            raise DatasetError("elite must be smaller than population")
+        if self.fitness not in ("power", "didt"):
+            raise DatasetError(
+                f"fitness must be 'power' or 'didt', got {self.fitness!r}"
+            )
+        if self.didt_window < 1:
+            raise DatasetError("didt_window must be >= 1")
+
+
+@dataclass
+class GaIndividual:
+    """One evaluated micro-benchmark.
+
+    ``power`` is always the average switching power; ``fitness`` is the
+    selection objective (equal to ``power`` for power-virus runs, the
+    worst current ramp for dI/dt runs).
+    """
+
+    program: Program
+    power: float
+    generation: int
+    fitness: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fitness is None:
+            self.fitness = self.power
+
+
+@dataclass
+class GaResult:
+    """All evaluated individuals plus per-generation statistics."""
+
+    individuals: list[GaIndividual]
+    generations: int
+
+    @property
+    def best(self) -> GaIndividual:
+        return max(self.individuals, key=lambda i: i.power)
+
+    @property
+    def best_by_fitness(self) -> GaIndividual:
+        """Top individual under the configured objective (power or didt)."""
+        return max(self.individuals, key=lambda i: i.fitness)
+
+    @property
+    def power_range(self) -> tuple[float, float]:
+        powers = [i.power for i in self.individuals]
+        return min(powers), max(powers)
+
+    @property
+    def max_min_ratio(self) -> float:
+        lo, hi = self.power_range
+        return hi / lo if lo > 0 else float("inf")
+
+    def generation_stats(self) -> list[tuple[int, float, float, float]]:
+        """(generation, min, mean, max) power rows — Fig. 3(b)'s data."""
+        out = []
+        for g in range(self.generations):
+            powers = [
+                i.power for i in self.individuals if i.generation == g
+            ]
+            if powers:
+                out.append(
+                    (g, min(powers), float(np.mean(powers)), max(powers))
+                )
+        return out
+
+    def scatter_points(self) -> list[tuple[int, float]]:
+        """(generation, power) pairs, one per individual (Fig. 3b)."""
+        return [(i.generation, i.power) for i in self.individuals]
+
+
+class BenchmarkEvolver:
+    """Evolves power-virus micro-benchmarks for one core design."""
+
+    def __init__(self, core, config: GaConfig | None = None) -> None:
+        self.core = core
+        self.config = config or GaConfig()
+        self.pipeline = Pipeline(core.params)
+        self.simulator = Simulator(core.netlist)
+        analyzer = PowerAnalyzer(core.netlist)
+        self._label_weights = analyzer.label_weights()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def _power_traces(self, programs: list[Program]) -> np.ndarray:
+        """Per-cycle power of each program, batched: (B, cycles)."""
+        cycles = self.config.eval_cycles
+        stims = []
+        for prog in programs:
+            activity, _stats = self.pipeline.run(prog, cycles)
+            stims.append(self.core.stimulus_for(activity))
+        stim = np.stack(stims)  # (B, cycles, bits)
+        res = self.simulator.run(
+            stim, RecordSpec(accumulators={"label": self._label_weights})
+        )
+        return res.accum["label"]
+
+    def measure_power(self, programs: list[Program]) -> np.ndarray:
+        """Average switching power (mW) of each program, batched."""
+        if not programs:
+            return np.zeros(0)
+        return self._power_traces(programs).mean(axis=1)
+
+    def measure_didt(self, traces: np.ndarray) -> np.ndarray:
+        """Worst positive current ramp per trace (mA over the window).
+
+        The ramp is the difference between the mean current of the next
+        ``didt_window`` cycles and the previous ``didt_window`` cycles —
+        the quantity that excites Ldi/dt droops (§8.2).
+        """
+        w = self.config.didt_window
+        cur = traces / 0.75  # mA at nominal vdd
+        if cur.shape[1] < 2 * w:
+            raise DatasetError("eval_cycles too short for didt_window")
+        kernel = np.concatenate(
+            [-np.ones(w) / w, np.ones(w) / w]
+        )
+        out = np.empty(cur.shape[0])
+        for b in range(cur.shape[0]):
+            ramps = np.convolve(cur[b], kernel[::-1], mode="valid")
+            out[b] = float(ramps.max())
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _initial_population(self) -> list[Program]:
+        """Random programs with randomized instruction mixes (diversity).
+
+        A few deterministic low-activity prototypes (serial dependence
+        chains, branch storms) seed the low end of the power range so the
+        accumulated training set spans idle-ish to virus (Fig. 3b's >5x
+        max/min spread).
+        """
+        from repro.isa.assembler import assemble
+
+        pop: list[Program] = []
+        length = self.config.program_length
+        serial = ["movi x1, 3"] + ["mul x1, x1, x1"] * (length - 1)
+        chase = ["movi x1, 0"] + ["ld x1, 1777(x1)"] * (length - 1)
+        storm = ["movi x2, 1"]
+        while len(storm) < length:
+            storm += ["xor x1, x1, x2", "bne x1, x0, 2", "nop", "nop"]
+        for name, src in (
+            ("ga_seed_serial", serial),
+            ("ga_seed_chase", chase),
+            ("ga_seed_branchy", storm[:length]),
+        ):
+            pop.append(
+                Program(name, tuple(assemble("\n".join(src))))
+            )
+        for k in range(self.config.population - len(pop)):
+            weights = {
+                c: float(self._rng.uniform(0.1, 4.0)) for c in IClass
+            }
+            mix = InstructionMix(
+                weights=weights,
+                mem_stride=int(self._rng.choice((1, 2, 8, 64))),
+                mem_region_words=int(self._rng.choice((64, 512, 4096))),
+            )
+            pop.append(
+                random_program(
+                    self._rng,
+                    self.config.program_length,
+                    mix,
+                    name=f"ga_g0_i{k}",
+                )
+            )
+        return pop
+
+    def _crossover(
+        self, a: Program, b: Program, name: str
+    ) -> Program:
+        cut = int(self._rng.integers(1, len(a)))
+        child = a.instructions[:cut] + b.instructions[cut:]
+        return Program(name, child)
+
+    def _mutate(self, prog: Program, name: str) -> Program:
+        insts: list[Instruction] = []
+        for inst in prog.instructions:
+            if self._rng.random() < self.config.mutation_rate:
+                op = Opcode(int(self._rng.integers(0, len(Opcode))))
+                insts.append(
+                    _random_instruction(
+                        self._rng, op, DEFAULT_MIX,
+                        mem_offset=int(self._rng.integers(0, 512)),
+                    )
+                )
+            else:
+                insts.append(inst)
+        return Program(name, tuple(insts))
+
+    def run(self) -> GaResult:
+        """Run the full GA; returns every evaluated individual."""
+        cfg = self.config
+        population = self._initial_population()
+        all_individuals: list[GaIndividual] = []
+
+        for gen in range(cfg.generations):
+            traces = self._power_traces(population)
+            powers = traces.mean(axis=1)
+            if cfg.fitness == "didt":
+                fitness = self.measure_didt(traces)
+            else:
+                fitness = powers
+            scored = sorted(
+                zip(population, powers, fitness), key=lambda t: -t[2]
+            )
+            all_individuals.extend(
+                GaIndividual(
+                    program=p,
+                    power=float(pw),
+                    generation=gen,
+                    fitness=float(fit),
+                )
+                for p, pw, fit in scored
+            )
+            if gen == cfg.generations - 1:
+                break
+            n_parents = max(2, int(cfg.parent_frac * cfg.population))
+            parents = [p for p, _pw, _fit in scored[:n_parents]]
+            nxt: list[Program] = [
+                p for p, _pw, _fit in scored[: cfg.elite]
+            ]
+            k = 0
+            while len(nxt) < cfg.population:
+                pa, pb = self._rng.choice(len(parents), size=2, replace=False)
+                child = self._crossover(
+                    parents[int(pa)],
+                    parents[int(pb)],
+                    name=f"ga_g{gen + 1}_i{k}",
+                )
+                nxt.append(self._mutate(child, child.name))
+                k += 1
+            population = nxt
+
+        return GaResult(
+            individuals=all_individuals, generations=cfg.generations
+        )

@@ -1,0 +1,244 @@
+"""The 12 designer-handcrafted testing benchmarks of Table 4.
+
+Names and per-benchmark cycle counts follow the paper; each benchmark is
+written to exercise the behaviour its name implies on the synthetic core
+(power virus, cache-missing loops, SIMD kernels, L2 streaming, issue
+throttling).  Scaled-down runs (for tests) multiply the cycle counts by a
+factor while preserving the set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+from repro.uarch.params import ThrottleScheme
+
+__all__ = ["Benchmark", "PAPER_TEST_CYCLES", "testing_suite"]
+
+#: Table 4 of the paper: benchmark name -> trace length in cycles.
+PAPER_TEST_CYCLES: dict[str, int] = {
+    "dhrystone": 1222,
+    "maxpwr_cpu": 600,
+    "dcache_miss": 654,
+    "saxpy_simd": 1986,
+    "maxpwr_l2": 1568,
+    "icache_miss": 800,
+    "cache_miss": 600,
+    "daxpy": 1600,
+    "memcpy_l2": 3000,
+    "throttling_1": 1100,
+    "throttling_2": 1100,
+    "throttling_3": 1100,
+}
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A testing benchmark: program + cycle budget + optional throttling."""
+
+    name: str
+    program: Program
+    cycles: int
+    throttle: ThrottleScheme | None = None
+
+
+def _prog(name: str, src: str) -> Program:
+    return Program(name, tuple(assemble(src)))
+
+
+# High-ILP power virus: independent vector-MAC chains interleaved with a
+# saturating scalar stream, so every unit *and* the full frontend width
+# stay busy simultaneously (serial accumulator chains would make activity
+# bursty, letting clock gating recover power between bursts).
+_MAXPWR_SRC = """
+movi x13, 0
+vld  v1, 0(x13)
+vmac v3, v1, v1
+add  x1, x2, x3
+xor  x4, x1, x2
+vld  v2, 4(x13)
+vmac v4, v2, v2
+add  x5, x4, x1
+shl  x6, x5, x2
+vmul v5, v1, v2
+mac  x7, x8, x9
+add  x10, x6, x5
+xor  x11, x10, x4
+vmac v6, v1, v2
+mac  x12, x2, x3
+add  x14, x11, x10
+ld   x9, 8(x13)
+st   x9, 12(x13)
+"""
+
+
+def _dhrystone() -> Program:
+    """Mixed integer control/ALU/memory code, Dhrystone-flavoured."""
+    return _prog(
+        "dhrystone",
+        """
+        movi x13, 16
+        movi x1, 3
+        movi x2, 10
+        add  x3, x1, x2
+        ld   x4, 0(x13)
+        and  x5, x4, x3
+        bne  x5, x0, 2
+        or   x5, x4, x1
+        st   x5, 2(x13)
+        sub  x2, x2, x1
+        shl  x6, x5, x1
+        beq  x2, x0, -9
+        xor  x7, x6, x4
+        ld   x8, 4(x13)
+        add  x9, x8, x7
+        bne  x9, x9, 3
+        st   x9, 6(x13)
+        """,
+    )
+
+
+def _saxpy_simd() -> Program:
+    """Vector a*x + y with streaming loads/stores."""
+    return _prog(
+        "saxpy_simd",
+        """
+        movi x13, 0
+        movi x14, 256
+        movi x1, 4
+        vld  v1, 0(x13)
+        vld  v2, 0(x14)
+        vmul v3, v1, v2
+        vadd v4, v3, v2
+        vst  v4, 0(x14)
+        add  x13, x13, x1
+        add  x14, x14, x1
+        """,
+    )
+
+
+def _daxpy() -> Program:
+    """Scalar multiply-accumulate stream (the 'double' flavour)."""
+    return _prog(
+        "daxpy",
+        """
+        movi x13, 0
+        movi x14, 512
+        movi x1, 2
+        ld   x2, 0(x13)
+        ld   x3, 0(x14)
+        mac  x3, x2, x1
+        st   x3, 0(x14)
+        add  x13, x13, x1
+        add  x14, x14, x1
+        """,
+    )
+
+
+def _dcache_miss() -> Program:
+    """Loads strided beyond the L1D: every access misses."""
+    lines = ["movi x13, 0", "movi x1, 1"]
+    for i in range(12):
+        lines.append(f"ld x{2 + (i % 9)}, {i * 160}(x13)")
+    lines.append("add x13, x13, x1")
+    return _prog("dcache_miss", "\n".join(lines))
+
+
+def _icache_miss() -> Program:
+    """Straight-line code footprint larger than the L1I capacity."""
+    lines = ["movi x1, 5"]
+    for i in range(400):
+        lines.append(f"add x{2 + (i % 9)}, x1, x{2 + ((i + 1) % 9)}")
+    return _prog("icache_miss", "\n".join(lines))
+
+
+def _cache_miss() -> Program:
+    """Combined I- and D-side misses."""
+    lines = ["movi x13, 0"]
+    for i in range(150):
+        if i % 3 == 0:
+            lines.append(f"ld x{1 + (i % 9)}, {(i * 96) % 2000}(x13)")
+        else:
+            lines.append(f"xor x{1 + (i % 9)}, x{1 + ((i + 1) % 9)}, x13")
+    return _prog("cache_miss", "\n".join(lines))
+
+
+def _maxpwr_l2() -> Program:
+    """The power virus plus an L2-resident streaming component."""
+    lines = _MAXPWR_SRC.strip().splitlines()
+    for i in range(6):
+        lines.append(f"ld x{9 + (i % 3)}, {i * 24}(x13)")
+        lines.append(f"vld v7, {i * 24 + 8}(x13)")
+    return _prog("maxpwr_l2", "\n".join(lines))
+
+
+def _memcpy_l2() -> Program:
+    """Word-wise copy whose footprint lives in the L2."""
+    return _prog(
+        "memcpy_l2",
+        """
+        movi x13, 0
+        movi x14, 1024
+        movi x1, 1
+        ld   x2, 0(x13)
+        st   x2, 0(x14)
+        ld   x3, 16(x13)
+        st   x3, 16(x14)
+        vld  v1, 32(x13)
+        vst  v1, 32(x14)
+        add  x13, x13, x1
+        add  x14, x14, x1
+        """,
+    )
+
+
+def testing_suite(cycle_scale: float = 1.0) -> list[Benchmark]:
+    """Build the 12-benchmark testing set (Table 4).
+
+    ``cycle_scale`` scales trace lengths (1.0 reproduces the paper's
+    counts); lengths are clamped to at least 60 cycles.
+    """
+    if cycle_scale <= 0:
+        raise DatasetError("cycle_scale must be positive")
+
+    maxpwr = _prog("maxpwr_cpu", _MAXPWR_SRC)
+    programs: dict[str, tuple[Program, ThrottleScheme | None]] = {
+        "dhrystone": (_dhrystone(), None),
+        "maxpwr_cpu": (maxpwr, None),
+        "dcache_miss": (_dcache_miss(), None),
+        "saxpy_simd": (_saxpy_simd(), None),
+        "maxpwr_l2": (_maxpwr_l2(), None),
+        "icache_miss": (_icache_miss(), None),
+        "cache_miss": (_cache_miss(), None),
+        "daxpy": (_daxpy(), None),
+        "memcpy_l2": (_memcpy_l2(), None),
+        # Three throttling schemes over the same power virus (§7.1: they
+        # "reflect applying different throttling schemes").
+        "throttling_1": (maxpwr, ThrottleScheme(max_issue=2)),
+        "throttling_2": (
+            maxpwr,
+            ThrottleScheme(max_issue=1, period=64, duty=0.5),
+        ),
+        # Duty-cycled vector blocking: a permanent block would wedge the
+        # in-order retire behind the first vector op (near-zero power,
+        # not a throttling scheme).
+        "throttling_3": (
+            maxpwr,
+            ThrottleScheme(block_vector=True, period=64, duty=0.5),
+        ),
+    }
+    suite = []
+    for name, cycles in PAPER_TEST_CYCLES.items():
+        prog, throttle = programs[name]
+        suite.append(
+            Benchmark(
+                name=name,
+                program=prog,
+                cycles=max(60, int(round(cycles * cycle_scale))),
+                throttle=throttle,
+            )
+        )
+    return suite

@@ -1,0 +1,120 @@
+"""SPEC-inspired synthetic workloads for long-trace experiments.
+
+§8.1 of the paper demonstrates design-time introspection on SPEC2006
+("hmmer"); real adoption needs more than one long benchmark.  Each
+generator here mimics the micro-architectural signature its namesake is
+known for — the signatures that shape per-cycle power:
+
+* ``hmmer_like``   — phased: MAC scoring / vector sweeps / table walks
+  (defined in :mod:`repro.experiments.exp_fig16`, re-exported here);
+* ``mcf_like``     — pointer-chasing over a large footprint: dependent
+  loads, frequent L1/L2 misses, low IPC;
+* ``bzip2_like``   — byte-twiddling: shifts/masks/table lookups with a
+  cache-resident working set, moderate branchiness;
+* ``gcc_like``     — control-heavy: short basic blocks, data-dependent
+  branches, scattered loads (mispredict-prone);
+* ``libquantum_like`` — streaming vector kernel: long unit-stride SIMD
+  loops (high, flat power);
+* ``povray_like``  — multiply/accumulate-dense scalar FP stand-in:
+  MAC chains with reuse (high ALU/MUL occupancy).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import assemble
+from repro.isa.program import Program
+
+__all__ = [
+    "mcf_like",
+    "bzip2_like",
+    "gcc_like",
+    "libquantum_like",
+    "povray_like",
+    "workload_suite",
+]
+
+
+def _prog(name: str, lines: list[str]) -> Program:
+    return Program(name, tuple(assemble("\n".join(lines))))
+
+
+def mcf_like() -> Program:
+    """Pointer chasing: each load's result addresses the next."""
+    lines = ["movi x1, 0"]
+    for k in range(40):
+        # the chased pointer mutates so the footprint keeps moving
+        lines.append(f"ld x1, {97 + 13 * k}(x1)")
+        if k % 4 == 3:
+            lines.append("add x2, x2, x1")  # light bookkeeping
+    return _prog("mcf_like", lines)
+
+
+def bzip2_like() -> Program:
+    """Byte twiddling over a cache-resident table."""
+    lines = ["movi x13, 0", "movi x1, 3", "movi x2, 5"]
+    for k in range(50):
+        lines.append(f"ld x4, {k % 48}(x13)")
+        lines.append("shr x5, x4, x1")
+        lines.append("and x6, x5, x2")
+        lines.append("xor x7, x6, x4")
+        lines.append(f"st x7, {(k + 7) % 48}(x13)")
+        if k % 5 == 4:
+            lines.append("bne x7, x0, 2")
+            lines.append("shl x2, x2, x1")
+    return _prog("bzip2_like", lines)
+
+
+def gcc_like() -> Program:
+    """Control-heavy code: short blocks, data-dependent branches."""
+    lines = ["movi x13, 0", "movi x1, 1"]
+    for k in range(60):
+        lines.append(f"ld x3, {(k * 29) % 512}(x13)")
+        lines.append("and x4, x3, x1")
+        lines.append("bne x4, x0, 3")
+        lines.append(f"add x5, x5, x3")
+        lines.append("beq x5, x3, 2")
+        lines.append("xor x6, x5, x3")
+    return _prog("gcc_like", lines)
+
+
+def libquantum_like() -> Program:
+    """Streaming unit-stride SIMD: long, regular, high power."""
+    lines = ["movi x13, 0", "movi x14, 512", "movi x1, 4"]
+    for _ in range(24):
+        lines.append("vld v1, 0(x13)")
+        lines.append("vld v2, 0(x14)")
+        lines.append("vmul v3, v1, v2")
+        lines.append("vadd v4, v3, v2")
+        lines.append("vst v4, 0(x14)")
+        lines.append("add x13, x13, x1")
+        lines.append("add x14, x14, x1")
+    return _prog("libquantum_like", lines)
+
+
+def povray_like() -> Program:
+    """MAC-dense scalar math with operand reuse."""
+    lines = ["movi x13, 0"] + [
+        f"ld x{2 + k}, {k * 2}(x13)" for k in range(6)
+    ]
+    for k in range(40):
+        a = 2 + (k % 6)
+        b = 2 + ((k + 1) % 6)
+        lines.append(f"mac x8, x{a}, x{b}")
+        lines.append(f"mac x9, x8, x{a}")
+        lines.append(f"add x10, x9, x{b}")
+    return _prog("povray_like", lines)
+
+
+def workload_suite() -> dict[str, Program]:
+    """All long workloads by name (including the Fig. 16 benchmark)."""
+    from repro.experiments.exp_fig16 import hmmer_like
+
+    suite = {
+        "hmmer_like": hmmer_like(),
+        "mcf_like": mcf_like(),
+        "bzip2_like": bzip2_like(),
+        "gcc_like": gcc_like(),
+        "libquantum_like": libquantum_like(),
+        "povray_like": povray_like(),
+    }
+    return suite

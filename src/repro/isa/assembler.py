@@ -1,0 +1,150 @@
+"""Two-way text assembler for the reproduction ISA.
+
+Syntax (one instruction per line, ``#`` comments)::
+
+    movi x1, 42
+    add  x3, x1, x2
+    mac  x4, x1, x2        # x4 += x1 * x2
+    vadd v1, v2, v3
+    ld   x5, 8(x2)
+    vst  v1, 0(x6)
+    beq  x1, x2, -4
+    nop
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IsaError
+from repro.isa.instructions import Instruction, Opcode
+
+__all__ = ["assemble", "assemble_line", "disassemble"]
+
+_REG = re.compile(r"^([xv])(\d+)$")
+_MEM = re.compile(r"^(-?\d+)\((x\d+)\)$")
+
+
+def _parse_reg(token: str, want: str) -> int:
+    m = _REG.match(token)
+    if not m or m.group(1) != want:
+        raise IsaError(f"expected {want}-register, got {token!r}")
+    return int(m.group(2))
+
+
+def _parse_imm(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise IsaError(f"bad immediate {token!r}") from exc
+
+
+def assemble_line(line: str) -> Instruction | None:
+    """Assemble one line; returns ``None`` for blank/comment lines."""
+    text = line.split("#", 1)[0].strip()
+    if not text:
+        return None
+    parts = re.split(r"[,\s]+", text)
+    mnemonic, args = parts[0].lower(), parts[1:]
+    try:
+        op = Opcode[mnemonic.upper()]
+    except KeyError as exc:
+        raise IsaError(f"unknown mnemonic {mnemonic!r}") from exc
+
+    if op == Opcode.NOP:
+        return Instruction(op)
+    if op == Opcode.MOVI:
+        _expect(args, 2, text)
+        return Instruction(op, dst=_parse_reg(args[0], "x"),
+                           imm=_parse_imm(args[1]))
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+              Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.MAC):
+        _expect(args, 3, text)
+        return Instruction(
+            op,
+            dst=_parse_reg(args[0], "x"),
+            src1=_parse_reg(args[1], "x"),
+            src2=_parse_reg(args[2], "x"),
+        )
+    if op in (Opcode.VADD, Opcode.VMUL, Opcode.VMAC):
+        _expect(args, 3, text)
+        return Instruction(
+            op,
+            dst=_parse_reg(args[0], "v"),
+            src1=_parse_reg(args[1], "v"),
+            src2=_parse_reg(args[2], "v"),
+        )
+    if op in (Opcode.LD, Opcode.VLD):
+        _expect(args, 2, text)
+        imm, base = _parse_mem(args[1])
+        kind = "x" if op == Opcode.LD else "v"
+        return Instruction(
+            op, dst=_parse_reg(args[0], kind), src1=base, imm=imm
+        )
+    if op in (Opcode.ST, Opcode.VST):
+        _expect(args, 2, text)
+        imm, base = _parse_mem(args[1])
+        kind = "x" if op == Opcode.ST else "v"
+        return Instruction(
+            op, src2=_parse_reg(args[0], kind), src1=base, imm=imm
+        )
+    if op in (Opcode.BEQ, Opcode.BNE):
+        _expect(args, 3, text)
+        return Instruction(
+            op,
+            src1=_parse_reg(args[0], "x"),
+            src2=_parse_reg(args[1], "x"),
+            imm=_parse_imm(args[2]),
+        )
+    raise IsaError(f"unhandled opcode {op!r}")  # pragma: no cover
+
+
+def _expect(args: list[str], n: int, text: str) -> None:
+    if len(args) != n:
+        raise IsaError(f"{text!r}: expected {n} operands, got {len(args)}")
+
+
+def _parse_mem(token: str) -> tuple[int, int]:
+    m = _MEM.match(token)
+    if not m:
+        raise IsaError(f"bad memory operand {token!r} (want imm(xN))")
+    return int(m.group(1)), _parse_reg(m.group(2), "x")
+
+
+def assemble(source: str) -> list[Instruction]:
+    """Assemble multi-line source into an instruction list."""
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        try:
+            inst = assemble_line(line)
+        except IsaError as exc:
+            raise IsaError(f"line {lineno}: {exc}") from exc
+        if inst is not None:
+            out.append(inst)
+    return out
+
+
+def disassemble(inst: Instruction) -> str:
+    """Render an instruction back to assembly text."""
+    op = inst.opcode
+    name = op.name.lower()
+    if op == Opcode.NOP:
+        return "nop"
+    if op == Opcode.MOVI:
+        return f"movi x{inst.dst}, {inst.imm}"
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+              Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.MAC):
+        return f"{name} x{inst.dst}, x{inst.src1}, x{inst.src2}"
+    if op in (Opcode.VADD, Opcode.VMUL, Opcode.VMAC):
+        return f"{name} v{inst.dst}, v{inst.src1}, v{inst.src2}"
+    if op == Opcode.LD:
+        return f"ld x{inst.dst}, {inst.imm}(x{inst.src1})"
+    if op == Opcode.VLD:
+        return f"vld v{inst.dst}, {inst.imm}(x{inst.src1})"
+    if op == Opcode.ST:
+        return f"st x{inst.src2}, {inst.imm}(x{inst.src1})"
+    if op == Opcode.VST:
+        return f"vst v{inst.src2}, {inst.imm}(x{inst.src1})"
+    if op in (Opcode.BEQ, Opcode.BNE):
+        return f"{name} x{inst.src1}, x{inst.src2}, {inst.imm}"
+    raise IsaError(f"unhandled opcode {op!r}")  # pragma: no cover

@@ -1,0 +1,239 @@
+"""Instruction set definition.
+
+16 scalar registers (``x0`` is hardwired zero), 8 vector registers whose
+lane count is a core parameter, 16-bit data words, word-addressed memory.
+Encodings are 32-bit and deterministic, so fetch/decode datapath toggles
+depend on real instruction bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+
+from repro.errors import IsaError
+
+__all__ = [
+    "Opcode",
+    "IClass",
+    "Instruction",
+    "CLASS_OF",
+    "ALL_OPCODES",
+    "N_XREGS",
+    "N_VREGS",
+    "WORD_BITS",
+    "WORD_MASK",
+]
+
+N_XREGS = 16
+N_VREGS = 8
+WORD_BITS = 16
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class Opcode(IntEnum):
+    """Machine opcodes (the value doubles as the encoding field)."""
+
+    NOP = 0
+    MOVI = 1  # xd = imm
+    ADD = 2
+    SUB = 3
+    AND = 4
+    OR = 5
+    XOR = 6
+    SHL = 7
+    SHR = 8
+    MUL = 9
+    MAC = 10  # xd = xd + xa * xb (multiply-accumulate)
+    VADD = 11  # vd = va + vb, per lane
+    VMUL = 12
+    VMAC = 13
+    LD = 14  # xd = mem[xa + imm]
+    ST = 15  # mem[xa + imm] = xb
+    VLD = 16  # vd = mem[xa + imm ... + lanes]
+    VST = 17
+    BEQ = 18  # if xa == xb: pc += imm (mod program length)
+    BNE = 19
+
+
+class IClass(Enum):
+    """Instruction class — determines the executing functional unit."""
+
+    NOP = "nop"
+    ALU = "alu"
+    MUL = "mul"
+    VEC = "vec"
+    VMUL = "vmul"
+    MEM = "mem"
+    VMEM = "vmem"
+    BRANCH = "branch"
+
+
+CLASS_OF: dict[Opcode, IClass] = {
+    Opcode.NOP: IClass.NOP,
+    Opcode.MOVI: IClass.ALU,
+    Opcode.ADD: IClass.ALU,
+    Opcode.SUB: IClass.ALU,
+    Opcode.AND: IClass.ALU,
+    Opcode.OR: IClass.ALU,
+    Opcode.XOR: IClass.ALU,
+    Opcode.SHL: IClass.ALU,
+    Opcode.SHR: IClass.ALU,
+    Opcode.MUL: IClass.MUL,
+    Opcode.MAC: IClass.MUL,
+    Opcode.VADD: IClass.VEC,
+    Opcode.VMUL: IClass.VMUL,
+    Opcode.VMAC: IClass.VMUL,
+    Opcode.LD: IClass.MEM,
+    Opcode.ST: IClass.MEM,
+    Opcode.VLD: IClass.VMEM,
+    Opcode.VST: IClass.VMEM,
+    Opcode.BEQ: IClass.BRANCH,
+    Opcode.BNE: IClass.BRANCH,
+}
+
+ALL_OPCODES: tuple[Opcode, ...] = tuple(Opcode)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``dst``/``src1``/``src2`` index the scalar or vector register file
+    depending on the opcode; ``imm`` is a signed immediate (branch offset,
+    address offset, or MOVI payload).
+    """
+
+    opcode: Opcode
+    dst: int = 0
+    src1: int = 0
+    src2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for field_name, v in (
+            ("dst", self.dst),
+            ("src1", self.src1),
+            ("src2", self.src2),
+        ):
+            limit = N_VREGS if field_name in self.vector_fields else N_XREGS
+            if not (0 <= v < limit):
+                raise IsaError(
+                    f"{self.opcode.name}: register field {field_name}={v} "
+                    f"out of range (limit {limit})"
+                )
+        if not (-(1 << 11) <= self.imm < (1 << 11)):
+            raise IsaError(
+                f"{self.opcode.name}: immediate {self.imm} out of 12-bit "
+                "signed range"
+            )
+
+    @property
+    def iclass(self) -> IClass:
+        return CLASS_OF[self.opcode]
+
+    @property
+    def vector_fields(self) -> frozenset[str]:
+        """Names of register fields indexing the vector register file."""
+        op = self.opcode
+        if op in (Opcode.VADD, Opcode.VMUL, Opcode.VMAC):
+            return frozenset(("dst", "src1", "src2"))
+        if op == Opcode.VLD:
+            return frozenset(("dst",))
+        if op == Opcode.VST:
+            return frozenset(("src2",))
+        return frozenset()
+
+    @property
+    def uses_vector_regs(self) -> bool:
+        return bool(self.vector_fields)
+
+    def encode(self) -> int:
+        """32-bit encoding: op[31:24] d[23:20] s1[19:16] s2[15:12] imm[11:0]."""
+        imm12 = self.imm & 0xFFF
+        return (
+            (int(self.opcode) << 24)
+            | ((self.dst & 0xF) << 20)
+            | ((self.src1 & 0xF) << 16)
+            | ((self.src2 & 0xF) << 12)
+            | imm12
+        )
+
+    @classmethod
+    def decode(cls, word: int) -> "Instruction":
+        op_val = (word >> 24) & 0xFF
+        try:
+            op = Opcode(op_val)
+        except ValueError as exc:
+            raise IsaError(f"bad opcode byte {op_val:#x}") from exc
+        imm = word & 0xFFF
+        if imm >= (1 << 11):
+            imm -= 1 << 12
+        return cls(
+            opcode=op,
+            dst=(word >> 20) & 0xF,
+            src1=(word >> 16) & 0xF,
+            src2=(word >> 12) & 0xF,
+            imm=imm,
+        )
+
+    @property
+    def reads_scalar(self) -> list[int]:
+        """Scalar register reads (for dependence tracking)."""
+        op = self.opcode
+        if op in (Opcode.NOP, Opcode.MOVI):
+            return []
+        if op in (Opcode.LD, Opcode.VLD):
+            return [self.src1]
+        if op == Opcode.ST:
+            return [self.src1, self.src2]
+        if op == Opcode.VST:
+            return [self.src1]
+        if op in (Opcode.BEQ, Opcode.BNE):
+            return [self.src1, self.src2]
+        if op == Opcode.MAC:
+            return [self.dst, self.src1, self.src2]
+        if self.uses_vector_regs:
+            return []
+        return [self.src1, self.src2]
+
+    @property
+    def reads_vector(self) -> list[int]:
+        op = self.opcode
+        if op in (Opcode.VADD, Opcode.VMUL):
+            return [self.src1, self.src2]
+        if op == Opcode.VMAC:
+            return [self.dst, self.src1, self.src2]
+        if op == Opcode.VST:
+            return [self.src2]
+        return []
+
+    @property
+    def writes_scalar(self) -> int | None:
+        op = self.opcode
+        if op in (
+            Opcode.MOVI,
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.AND,
+            Opcode.OR,
+            Opcode.XOR,
+            Opcode.SHL,
+            Opcode.SHR,
+            Opcode.MUL,
+            Opcode.MAC,
+            Opcode.LD,
+        ):
+            return self.dst if self.dst != 0 else None
+        return None
+
+    @property
+    def writes_vector(self) -> int | None:
+        if self.opcode in (Opcode.VADD, Opcode.VMUL, Opcode.VMAC, Opcode.VLD):
+            return self.dst
+        return None
+
+    def __str__(self) -> str:
+        from repro.isa.assembler import disassemble
+
+        return disassemble(self)

@@ -1,0 +1,201 @@
+"""Program containers and random program generation.
+
+Random programs are parameterized by an :class:`InstructionMix` — class
+weights plus memory-locality knobs — which is exactly the genome the GA in
+:mod:`repro.genbench.ga` evolves alongside concrete instruction sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.errors import IsaError
+from repro.isa.assembler import disassemble
+from repro.isa.instructions import (
+    IClass,
+    Instruction,
+    N_VREGS,
+    N_XREGS,
+    Opcode,
+)
+
+__all__ = ["Program", "InstructionMix", "random_program", "DEFAULT_MIX"]
+
+_CLASS_OPCODES: dict[IClass, tuple[Opcode, ...]] = {
+    IClass.NOP: (Opcode.NOP,),
+    IClass.ALU: (
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.MOVI,
+    ),
+    IClass.MUL: (Opcode.MUL, Opcode.MAC),
+    IClass.VEC: (Opcode.VADD,),
+    IClass.VMUL: (Opcode.VMUL, Opcode.VMAC),
+    IClass.MEM: (Opcode.LD, Opcode.ST),
+    IClass.VMEM: (Opcode.VLD, Opcode.VST),
+    IClass.BRANCH: (Opcode.BEQ, Opcode.BNE),
+}
+
+
+@dataclass(frozen=True)
+class Program:
+    """A named instruction sequence.
+
+    Programs loop: execution wraps modulo ``len(instructions)``, so any
+    program can be replayed for an arbitrary cycle budget.
+    """
+
+    name: str
+    instructions: tuple[Instruction, ...]
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise IsaError(f"program {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx: int) -> Instruction:
+        return self.instructions[idx % len(self.instructions)]
+
+    def to_text(self) -> str:
+        return "\n".join(disassemble(i) for i in self.instructions)
+
+    def opcode_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for inst in self.instructions:
+            hist[inst.opcode.name] = hist.get(inst.opcode.name, 0) + 1
+        return hist
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Class weights + locality knobs for random program generation.
+
+    Attributes
+    ----------
+    weights:
+        Relative probability per instruction class.
+    mem_stride:
+        Address stride between successive memory immediates; large strides
+        defeat the D-cache (miss-heavy benchmarks).
+    mem_region_words:
+        Footprint of the address region touched; small regions are
+        cache-resident.
+    branch_backward_frac:
+        Fraction of branches with negative offsets (loops).
+    """
+
+    weights: dict[IClass, float] = field(
+        default_factory=lambda: {
+            IClass.ALU: 4.0,
+            IClass.MUL: 1.0,
+            IClass.VEC: 1.0,
+            IClass.VMUL: 1.0,
+            IClass.MEM: 2.0,
+            IClass.VMEM: 0.5,
+            IClass.BRANCH: 0.8,
+            IClass.NOP: 0.7,
+        }
+    )
+    mem_stride: int = 1
+    mem_region_words: int = 256
+    branch_backward_frac: float = 0.7
+
+    def normalized(self) -> tuple[list[IClass], np.ndarray]:
+        classes = list(self.weights)
+        w = np.array([max(0.0, self.weights[c]) for c in classes])
+        total = w.sum()
+        if total <= 0:
+            raise IsaError("instruction mix has no positive weights")
+        return classes, w / total
+
+    def with_weight(self, iclass: IClass, weight: float) -> "InstructionMix":
+        new = dict(self.weights)
+        new[iclass] = weight
+        return replace(self, weights=new)
+
+
+DEFAULT_MIX = InstructionMix()
+
+
+def random_program(
+    rng: np.random.Generator,
+    length: int,
+    mix: InstructionMix = DEFAULT_MIX,
+    name: str = "random",
+) -> Program:
+    """Generate a random (valid, looping) program from a mix.
+
+    A short MOVI preamble seeds base registers with addresses inside the
+    mix's memory region so loads/stores have controlled locality.
+    """
+    if length < 4:
+        raise IsaError("random programs need length >= 4")
+    classes, probs = mix.normalized()
+    insts: list[Instruction] = []
+
+    base_regs = (13, 14, 15)
+    region = max(8, mix.mem_region_words)
+    for i, reg in enumerate(base_regs):
+        insts.append(
+            Instruction(
+                Opcode.MOVI,
+                dst=reg,
+                imm=int(rng.integers(0, min(region, 2048))),
+            )
+        )
+
+    mem_offset = 0
+    while len(insts) < length:
+        iclass = classes[int(rng.choice(len(classes), p=probs))]
+        op = _CLASS_OPCODES[iclass][
+            int(rng.integers(0, len(_CLASS_OPCODES[iclass])))
+        ]
+        insts.append(_random_instruction(rng, op, mix, mem_offset))
+        if iclass in (IClass.MEM, IClass.VMEM):
+            mem_offset = (mem_offset + mix.mem_stride) % max(
+                1, mix.mem_region_words
+            )
+    return Program(name=name, instructions=tuple(insts[:length]))
+
+
+def _random_instruction(
+    rng: np.random.Generator,
+    op: Opcode,
+    mix: InstructionMix,
+    mem_offset: int,
+) -> Instruction:
+    xr = lambda: int(rng.integers(0, N_XREGS))  # noqa: E731
+    vr = lambda: int(rng.integers(0, N_VREGS))  # noqa: E731
+    if op == Opcode.NOP:
+        return Instruction(op)
+    if op == Opcode.MOVI:
+        return Instruction(op, dst=xr(), imm=int(rng.integers(-2048, 2048)))
+    if op in (Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+              Opcode.SHL, Opcode.SHR, Opcode.MUL, Opcode.MAC):
+        return Instruction(op, dst=xr(), src1=xr(), src2=xr())
+    if op in (Opcode.VADD, Opcode.VMUL, Opcode.VMAC):
+        return Instruction(op, dst=vr(), src1=vr(), src2=vr())
+    if op in (Opcode.LD, Opcode.ST, Opcode.VLD, Opcode.VST):
+        base = int(rng.choice((13, 14, 15)))
+        imm = min(2047, mem_offset)
+        if op in (Opcode.LD, Opcode.VLD):
+            dst = xr() if op == Opcode.LD else vr()
+            return Instruction(op, dst=dst, src1=base, imm=imm)
+        data = xr() if op == Opcode.ST else vr()
+        return Instruction(op, src1=base, src2=data, imm=imm)
+    if op in (Opcode.BEQ, Opcode.BNE):
+        backward = rng.random() < mix.branch_backward_frac
+        dist = int(rng.integers(1, 6))
+        return Instruction(
+            op, src1=xr(), src2=xr(), imm=-dist if backward else dist
+        )
+    raise IsaError(f"unhandled opcode {op!r}")  # pragma: no cover

@@ -1,0 +1,224 @@
+"""Functional (architectural) semantics of the ISA.
+
+The pipeline model (:mod:`repro.uarch.pipeline`) handles *timing*; this
+module handles *values*.  Operand values matter to the reproduction because
+the RTL datapaths compute with them, so toggle activity — APOLLO's feature
+space — is genuinely data-dependent.
+
+Memory is sparse and word-addressed.  Uninitialized locations read a
+deterministic hash of their address, giving load data realistic entropy
+without storing a full memory image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.isa.instructions import (
+    Instruction,
+    N_VREGS,
+    N_XREGS,
+    Opcode,
+    WORD_MASK,
+)
+
+__all__ = ["ArchState", "ExecResult", "default_memory_value"]
+
+_ADDR_MASK = 0xFFFF
+
+
+def default_memory_value(addr: int) -> int:
+    """Deterministic pseudo-random contents of an untouched address."""
+    x = (addr * 2654435761) & 0xFFFFFFFF
+    x ^= x >> 13
+    return (x * 0x9E3779B1 >> 16) & WORD_MASK
+
+
+@dataclass
+class ExecResult:
+    """Values produced by executing one instruction.
+
+    ``addresses`` lists the word addresses touched (loads and stores), used
+    by the pipeline's cache model; ``operands`` and ``results`` carry the
+    datapath values that later drive the RTL stimulus.
+    """
+
+    operands: tuple[int, ...] = ()
+    results: tuple[int, ...] = ()
+    addresses: tuple[int, ...] = ()
+    vector_operands: tuple[tuple[int, ...], ...] = ()
+    vector_results: tuple[int, ...] = ()
+    branch_taken: bool = False
+    next_pc: int | None = None
+
+
+@dataclass
+class ArchState:
+    """Architectural state: scalar regs, vector regs, sparse memory, PC."""
+
+    lanes: int = 4
+    pc: int = 0
+    xregs: list[int] = field(default_factory=lambda: [0] * N_XREGS)
+    vregs: list[list[int]] = field(default_factory=list)
+    memory: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.vregs:
+            self.vregs = [
+                [default_memory_value(97 * r + lane) for lane in range(self.lanes)]
+                for r in range(N_VREGS)
+            ]
+
+    # ------------------------------------------------------------------ #
+    def read_x(self, idx: int) -> int:
+        return 0 if idx == 0 else self.xregs[idx]
+
+    def write_x(self, idx: int, value: int) -> None:
+        if idx != 0:
+            self.xregs[idx] = value & WORD_MASK
+
+    def read_mem(self, addr: int) -> int:
+        addr &= _ADDR_MASK
+        return self.memory.get(addr, default_memory_value(addr))
+
+    def write_mem(self, addr: int, value: int) -> None:
+        self.memory[addr & _ADDR_MASK] = value & WORD_MASK
+
+    # ------------------------------------------------------------------ #
+    def execute(self, inst: Instruction, program_len: int) -> ExecResult:
+        """Execute ``inst`` at the current PC, advancing the PC.
+
+        Branch targets and fall-through wrap modulo ``program_len`` so any
+        instruction sequence runs indefinitely (benchmarks are replayed for
+        a fixed cycle budget, as in the paper's micro-benchmark traces).
+        """
+        if program_len <= 0:
+            raise IsaError("program_len must be positive")
+        op = inst.opcode
+        res = ExecResult()
+        nxt = (self.pc + 1) % program_len
+
+        if op == Opcode.NOP:
+            pass
+        elif op == Opcode.MOVI:
+            v = inst.imm & WORD_MASK
+            res = ExecResult(operands=(inst.imm,), results=(v,))
+            self.write_x(inst.dst, v)
+        elif op in (
+            Opcode.ADD,
+            Opcode.SUB,
+            Opcode.AND,
+            Opcode.OR,
+            Opcode.XOR,
+            Opcode.SHL,
+            Opcode.SHR,
+        ):
+            a = self.read_x(inst.src1)
+            b = self.read_x(inst.src2)
+            v = _scalar_alu(op, a, b)
+            res = ExecResult(operands=(a, b), results=(v,))
+            self.write_x(inst.dst, v)
+        elif op == Opcode.MUL:
+            a = self.read_x(inst.src1)
+            b = self.read_x(inst.src2)
+            v = (a * b) & WORD_MASK
+            res = ExecResult(operands=(a, b), results=(v,))
+            self.write_x(inst.dst, v)
+        elif op == Opcode.MAC:
+            a = self.read_x(inst.src1)
+            b = self.read_x(inst.src2)
+            acc = self.read_x(inst.dst)
+            v = (acc + a * b) & WORD_MASK
+            res = ExecResult(operands=(a, b, acc), results=(v,))
+            self.write_x(inst.dst, v)
+        elif op in (Opcode.VADD, Opcode.VMUL, Opcode.VMAC):
+            va = self.vregs[inst.src1]
+            vb = self.vregs[inst.src2]
+            vd = self.vregs[inst.dst]
+            out = []
+            for lane in range(self.lanes):
+                if op == Opcode.VADD:
+                    out.append((va[lane] + vb[lane]) & WORD_MASK)
+                elif op == Opcode.VMUL:
+                    out.append((va[lane] * vb[lane]) & WORD_MASK)
+                else:
+                    out.append(
+                        (vd[lane] + va[lane] * vb[lane]) & WORD_MASK
+                    )
+            res = ExecResult(
+                vector_operands=(tuple(va), tuple(vb)),
+                vector_results=tuple(out),
+            )
+            self.vregs[inst.dst] = out
+        elif op == Opcode.LD:
+            addr = (self.read_x(inst.src1) + inst.imm) & _ADDR_MASK
+            v = self.read_mem(addr)
+            res = ExecResult(
+                operands=(addr,), results=(v,), addresses=(addr,)
+            )
+            self.write_x(inst.dst, v)
+        elif op == Opcode.ST:
+            addr = (self.read_x(inst.src1) + inst.imm) & _ADDR_MASK
+            v = self.read_x(inst.src2)
+            res = ExecResult(
+                operands=(addr, v), results=(), addresses=(addr,)
+            )
+            self.write_mem(addr, v)
+        elif op == Opcode.VLD:
+            base = (self.read_x(inst.src1) + inst.imm) & _ADDR_MASK
+            vals = [
+                self.read_mem(base + lane) for lane in range(self.lanes)
+            ]
+            res = ExecResult(
+                operands=(base,),
+                addresses=tuple(
+                    (base + lane) & _ADDR_MASK for lane in range(self.lanes)
+                ),
+                vector_results=tuple(vals),
+            )
+            self.vregs[inst.dst] = vals
+        elif op == Opcode.VST:
+            base = (self.read_x(inst.src1) + inst.imm) & _ADDR_MASK
+            vals = self.vregs[inst.src2]
+            for lane in range(self.lanes):
+                self.write_mem(base + lane, vals[lane])
+            res = ExecResult(
+                operands=(base,),
+                addresses=tuple(
+                    (base + lane) & _ADDR_MASK for lane in range(self.lanes)
+                ),
+                vector_operands=(tuple(vals),),
+            )
+        elif op in (Opcode.BEQ, Opcode.BNE):
+            a = self.read_x(inst.src1)
+            b = self.read_x(inst.src2)
+            taken = (a == b) if op == Opcode.BEQ else (a != b)
+            if taken:
+                nxt = (self.pc + inst.imm) % program_len
+            res = ExecResult(operands=(a, b), branch_taken=taken)
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise IsaError(f"unimplemented opcode {op!r}")
+
+        self.pc = nxt
+        if res.next_pc is None:
+            res.next_pc = nxt
+        return res
+
+
+def _scalar_alu(op: Opcode, a: int, b: int) -> int:
+    if op == Opcode.ADD:
+        return (a + b) & WORD_MASK
+    if op == Opcode.SUB:
+        return (a - b) & WORD_MASK
+    if op == Opcode.AND:
+        return a & b
+    if op == Opcode.OR:
+        return a | b
+    if op == Opcode.XOR:
+        return a ^ b
+    if op == Opcode.SHL:
+        return (a << (b & 0xF)) & WORD_MASK
+    if op == Opcode.SHR:
+        return (a >> (b & 0xF)) & WORD_MASK
+    raise IsaError(f"{op!r} is not a scalar ALU op")

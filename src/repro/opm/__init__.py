@@ -1,0 +1,41 @@
+"""Runtime on-chip power meter (OPM), §6 / Fig. 8 of the paper.
+
+The trained linear model is turned into hardware three ways:
+
+* :mod:`repro.opm.quantize` — B-bit fixed-point weights (§6, Fig. 15b);
+* :mod:`repro.opm.meter` — a bit-exact behavioural model of the OPM
+  (integer accumulate, T-cycle average, divide-by-T via bit dropping);
+* :mod:`repro.opm.hardware` — the OPM as a netlist in the same RTL IR as
+  the core (toggle-detector interface, AND-masked weight adder tree,
+  T-cycle accumulator), "synthesized" against the synthetic cell library;
+* :mod:`repro.opm.cost` — area/power overhead accounting, including the
+  proxy-routing buffers of §7.5 and the Table-3 counter/multiplier
+  comparison.
+"""
+
+from repro.opm.quantize import QuantizedModel, quantize_model
+from repro.opm.meter import OpmMeter
+from repro.opm.hardware import build_opm_netlist, OpmHardware
+from repro.opm.cost import OpmCostReport, estimate_opm_cost, table3_rows
+from repro.opm.calibrate import CalibrationResult, recalibrate
+from repro.opm.health import (
+    HealthReport,
+    ProxyHealthMonitor,
+    inject_stuck_faults,
+)
+
+__all__ = [
+    "QuantizedModel",
+    "quantize_model",
+    "OpmMeter",
+    "build_opm_netlist",
+    "OpmHardware",
+    "OpmCostReport",
+    "estimate_opm_cost",
+    "table3_rows",
+    "CalibrationResult",
+    "recalibrate",
+    "HealthReport",
+    "ProxyHealthMonitor",
+    "inject_stuck_faults",
+]

@@ -1,0 +1,135 @@
+"""Field recalibration of a deployed OPM (§6 of the paper).
+
+"All weights are quantized into B-bit fixed-point values, which can be
+configured to accommodate potential model re-training using sign-off or
+hardware measurement power values."
+
+The deployed OPM's *structure* (proxy set, detectors, adder tree) is
+frozen in silicon; only the weight register file can be rewritten.  This
+module implements the re-training loop: given windowed reference power
+measurements (from a lab power rail or sign-off reruns) and the per-cycle
+proxy toggles of the same run, refit the weights by ridge regression and
+requantize onto the existing B-bit format.  Covers silicon/model drift
+(process corners, voltage/temperature shifts) without new hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OpmError
+from repro.core.solvers import ridge_fit
+from repro.opm.quantize import QuantizedModel
+
+__all__ = ["CalibrationResult", "recalibrate"]
+
+
+@dataclass
+class CalibrationResult:
+    """Before/after of one recalibration.
+
+    ``applied`` is False when the refit did not beat the deployed
+    weights on the calibration data (a good factory model can outperform
+    a refit from coarse windowed measurements) — the original model is
+    returned unchanged in that case.
+    """
+
+    model: QuantizedModel
+    rms_error_before: float
+    rms_error_after: float
+    applied: bool = True
+
+    @property
+    def improvement_pct(self) -> float:
+        if self.rms_error_before == 0:
+            return 0.0
+        return 100.0 * (
+            1.0 - self.rms_error_after / self.rms_error_before
+        )
+
+
+def recalibrate(
+    qmodel: QuantizedModel,
+    toggles: np.ndarray,
+    measured_power: np.ndarray,
+    t: int,
+    ridge_lam: float = 1e-3,
+) -> CalibrationResult:
+    """Refit a deployed OPM's weights against measured power.
+
+    Parameters
+    ----------
+    qmodel:
+        The deployed quantized model (proxy set and bit width are kept).
+    toggles:
+        (N, Q) per-cycle proxy toggles recorded alongside the
+        measurements (the OPM interface already produces these).
+    measured_power:
+        Reference power per T-cycle window, length ``N // t`` — the
+        granularity a lab power rail or sign-off rerun provides.
+    t:
+        Measurement window size in cycles.
+
+    Returns
+    -------
+    CalibrationResult
+        The requantized model plus before/after RMS errors on the
+        calibration data.
+    """
+    X = np.asarray(toggles, dtype=np.float64)
+    y = np.asarray(measured_power, dtype=np.float64)
+    if X.ndim != 2 or X.shape[1] != qmodel.q:
+        raise OpmError(f"expected (N, {qmodel.q}) toggles, got {X.shape}")
+    if t < 1:
+        raise OpmError("window T must be >= 1")
+    n_win = X.shape[0] // t
+    if n_win < qmodel.q // 4 + 2:
+        raise OpmError(
+            f"{n_win} calibration windows is too few for Q={qmodel.q}"
+        )
+    if y.shape != (n_win,):
+        raise OpmError(
+            f"expected {n_win} window measurements, got {y.shape}"
+        )
+    Xw = X[: n_win * t].reshape(n_win, t, qmodel.q).mean(axis=1)
+
+    before = qmodel.predict(X[: n_win * t])
+    before_w = before.reshape(n_win, t).mean(axis=1)
+    rms_before = float(np.sqrt(((before_w - y) ** 2).mean()))
+
+    w, b = ridge_fit(Xw, y, lam=ridge_lam)
+
+    # Requantize onto the deployed bit width.
+    w_max = float(np.abs(w).max())
+    if w_max == 0:
+        raise OpmError("recalibration produced an all-zero model")
+    limit = (1 << (qmodel.bits - 1)) - 1
+    step = w_max / limit
+    new = QuantizedModel(
+        proxies=qmodel.proxies.copy(),
+        int_weights=np.clip(
+            np.round(w / step), -limit, limit
+        ).astype(np.int64),
+        int_intercept=int(round(b / step)),
+        step=step,
+        bits=qmodel.bits,
+    )
+    after = new.predict(X[: n_win * t])
+    after_w = after.reshape(n_win, t).mean(axis=1)
+    rms_after = float(np.sqrt(((after_w - y) ** 2).mean()))
+    if rms_after >= rms_before:
+        # Keep the deployed weights: the refit did not help.
+        return CalibrationResult(
+            model=qmodel,
+            rms_error_before=rms_before,
+            rms_error_after=rms_before,
+            applied=False,
+        )
+    return CalibrationResult(
+        model=new,
+        rms_error_before=rms_before,
+        rms_error_after=rms_after,
+        applied=True,
+    )

@@ -1,0 +1,256 @@
+"""The OPM as gate-level hardware in the reproduction's own RTL IR.
+
+Implements the three blocks of Fig. 8:
+
+* **interface** — per 1-bit proxy, a capture flip-flop + XOR toggle
+  detector; gated-clock proxies latch the enable directly (no XOR),
+  exactly as §6 describes;
+* **power computation** — each B-bit constant weight is masked by its
+  toggle bit (AND gates on the set bits, sign-extended to the accumulator
+  width) and summed by a balanced tree of ripple adders; the quantized
+  intercept enters as a constant operand;
+* **T-cycle average** — an accumulator register, a mod-T counter whose
+  wrap resets the sum and captures the output, and division by T realized
+  by dropping the low ``log2(T)`` bits.
+
+Because the OPM is an ordinary netlist, it is *simulated by the same
+simulator and costed by the same power analyzer as the CPU core* — the
+reproduction's stand-in for Catapult HLS + Design Compiler synthesis —
+and verified bit-exact against :class:`repro.opm.meter.OpmMeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OpmError
+from repro.rtl.datapath import (
+    reduce_or,
+    ripple_adder,
+)
+from repro.rtl.netlist import Netlist
+from repro.rtl.simulator import RecordSpec, Simulator
+from repro.opm.quantize import QuantizedModel
+
+__all__ = ["OpmHardware", "build_opm_netlist"]
+
+
+def _is_pow2(t: int) -> bool:
+    return t >= 1 and (t & (t - 1)) == 0
+
+
+@dataclass
+class OpmHardware:
+    """A synthesized OPM: netlist + the hooks needed to drive/verify it."""
+
+    netlist: Netlist
+    qmodel: QuantizedModel
+    t: int
+    input_nets: list[int]
+    clock_mask: np.ndarray  # True where the proxy is a gated-clock signal
+    out_bits: list[int]
+    acc_width: int
+    out_width: int
+
+    @property
+    def area(self) -> float:
+        return self.netlist.total_area()
+
+    @property
+    def q(self) -> int:
+        return self.qmodel.q
+
+    # ------------------------------------------------------------------ #
+    def stimulus_from_toggles(self, toggles: np.ndarray) -> np.ndarray:
+        """Convert proxy toggle bits to OPM input *values*.
+
+        Ordinary proxies are reconstructed as cumulative-XOR waveforms (the
+        interface XOR then re-derives exactly the toggle bits); gated-clock
+        proxies feed their enable (= toggle) directly.
+        """
+        tg = np.asarray(toggles, dtype=np.uint8)
+        if tg.ndim != 2 or tg.shape[1] != self.q:
+            raise OpmError(
+                f"expected (N, {self.q}) toggles, got {tg.shape}"
+            )
+        values = tg.copy()
+        normal = ~self.clock_mask
+        if normal.any():
+            values[:, normal] = np.bitwise_xor.accumulate(
+                tg[:, normal], axis=0
+            )
+        return values
+
+    def simulate(self, toggles: np.ndarray) -> np.ndarray:
+        """Gate-level OPM run; returns integer window outputs.
+
+        Output ``k`` is the value the ``out`` register holds at cycle
+        ``(k + 1) * T`` — one extra cycle is simulated to capture the
+        final window.
+        """
+        tg = np.asarray(toggles, dtype=np.uint8)
+        n_windows = tg.shape[0] // self.t
+        if n_windows == 0:
+            raise OpmError("toggle trace shorter than one window")
+        values = self.stimulus_from_toggles(tg[: n_windows * self.t])
+        # The interface capture register delays toggles by one cycle and
+        # the output register by another; two extra held cycles let the
+        # final window's output land.
+        values = np.vstack([values, values[-1:], values[-1:]])
+        sim = Simulator(self.netlist)
+        res = sim.run(
+            values, RecordSpec(columns=np.asarray(self.out_bits))
+        )
+        out_toggles = res.columns[0]  # (cycles, out_width)
+        bit_values = np.cumsum(out_toggles, axis=0) % 2
+        # Window k's output reaches the out register at cycle
+        # (k + 1) * T + 1 (one-cycle interface latency).
+        sample_at = np.arange(1, n_windows + 1) * self.t + 1
+        sampled = bit_values[sample_at]  # (n_windows, out_width)
+        weights = 1 << np.arange(self.out_width, dtype=np.int64)
+        unsigned = sampled.astype(np.int64) @ weights
+        # Two's complement interpretation.
+        sign = 1 << (self.out_width - 1)
+        return (unsigned ^ sign) - sign
+
+    def read(self, toggles: np.ndarray) -> np.ndarray:
+        """Gate-level window power estimates in mW."""
+        return self.simulate(toggles).astype(np.float64) * self.qmodel.step
+
+
+def build_opm_netlist(
+    qmodel: QuantizedModel,
+    t: int = 1,
+    clock_mask: np.ndarray | None = None,
+    synthesize: bool = True,
+) -> OpmHardware:
+    """Generate the OPM netlist for a quantized model and window T.
+
+    With ``synthesize=True`` (default) the raw netlist is passed through
+    constant folding + dead-logic elimination — the Python analogue of
+    the paper's Design Compiler synthesis, which removes the adder logic
+    feeding from constant weight bits.  Area numbers are reported on the
+    synthesized netlist.
+    """
+    if not _is_pow2(t):
+        raise OpmError(f"T must be a power of two, got {t}")
+    q = qmodel.q
+    if clock_mask is None:
+        clock_mask = np.zeros(q, dtype=bool)
+    clock_mask = np.asarray(clock_mask, dtype=bool)
+    if clock_mask.shape != (q,):
+        raise OpmError("clock_mask length must equal Q")
+
+    b = qmodel.bits
+    q_bits = int(np.ceil(np.log2(max(2, q))))
+    t_bits = int(np.log2(t)) if t > 1 else 0
+    acc_width = b + q_bits + t_bits + 1
+    out_width = acc_width - t_bits
+
+    nl = Netlist("opm")
+    dom = nl.clock_domain("opm", enable=None)
+    zero = nl.const(0)
+    one = nl.const(1)
+
+    # ---------------- interface ---------------- #
+    with nl.scope("interface"):
+        inputs = [nl.input_bit(f"p{j}") for j in range(q)]
+        toggles: list[int] = []
+        for j, sig in enumerate(inputs):
+            latched = nl.reg(sig, dom, name=f"lat{j}")
+            if clock_mask[j]:
+                # Gated clock: the latched enable *is* the toggle bit.
+                toggles.append(latched)
+            else:
+                prev = nl.reg(latched, dom, name=f"prev{j}")
+                toggles.append(nl.xor(latched, prev, name=f"tog{j}"))
+
+    # ---------------- power computation ---------------- #
+    with nl.scope("compute"):
+        operands: list[list[int]] = []
+        for j, tog in enumerate(toggles):
+            w = int(qmodel.int_weights[j])
+            wbits = [(w >> k) & 1 for k in range(b - 1)]
+            sign = 1 if w < 0 else 0
+            ext = wbits + [sign] * (acc_width - (b - 1))
+            operand = [
+                nl.and_(tog, one, name=f"m{j}_{k}") if bit else zero
+                for k, bit in enumerate(ext)
+            ]
+            operands.append(operand)
+        # Constant intercept operand (two's complement at acc width).
+        c = int(qmodel.int_intercept) & ((1 << acc_width) - 1)
+        operands.append(
+            [one if (c >> k) & 1 else zero for k in range(acc_width)]
+        )
+        # Balanced adder tree (wrapping mod 2^acc_width).
+        while len(operands) > 1:
+            nxt = []
+            for i in range(0, len(operands) - 1, 2):
+                s, _carry = ripple_adder(
+                    nl, operands[i], operands[i + 1]
+                )
+                nxt.append(s)
+            if len(operands) % 2:
+                nxt.append(operands[-1])
+            operands = nxt
+        cycle_sum = operands[0]
+
+    # ---------------- T-cycle average ---------------- #
+    with nl.scope("average"):
+        if t > 1:
+            # mod-T counter; wrap (counter == 0) ends a window.
+            from repro.rtl.datapath import (
+                connect_register_bus,
+                incrementer,
+                mux_bus,
+                register_bus_uninit,
+            )
+
+            # Counter initialized to T-1 so the first wrap lands at cycle
+            # 0 (discarding warm-up) and windows align with the 1-cycle
+            # interface latency.
+            ctr = register_bus_uninit(
+                nl, t_bits, dom, name="tctr", init=t - 1
+            )
+            connect_register_bus(nl, ctr, incrementer(nl, ctr))
+            wrap = nl.not_(reduce_or(nl, ctr))
+
+            acc = register_bus_uninit(nl, acc_width, dom, name="acc")
+            summed, _ = ripple_adder(nl, acc, cycle_sum)
+            zeros = [zero] * acc_width
+            connect_register_bus(
+                nl, acc, mux_bus(nl, wrap, zeros, summed)
+            )
+            shifted = summed[t_bits:]
+            out_regs = register_bus_uninit(
+                nl, out_width, dom, name="out"
+            )
+            connect_register_bus(
+                nl, out_regs, mux_bus(nl, wrap, shifted, out_regs)
+            )
+        else:
+            from repro.rtl.datapath import register_bus
+
+            out_regs = register_bus(nl, cycle_sum, dom, name="out")
+
+    nl.validate()
+    if synthesize:
+        from repro.rtl.optimize import optimize
+
+        res = optimize(nl, keep=list(out_regs))
+        nl = res.netlist
+        inputs = res.map_nets(inputs)
+        out_regs = res.map_nets(out_regs)
+    return OpmHardware(
+        netlist=nl,
+        qmodel=qmodel,
+        t=t,
+        input_nets=inputs,
+        clock_mask=clock_mask,
+        out_bits=out_regs,
+        acc_width=acc_width,
+        out_width=out_width,
+    )

@@ -1,0 +1,105 @@
+"""OPM health monitoring: detecting broken proxy inputs in the field.
+
+A deployed power meter is itself hardware that can fail: a proxy wire can
+break or short (stuck-at fault), leaving the OPM silently mis-reading.
+This module provides the self-check a production OPM would ship with:
+per-proxy toggle statistics over a long observation window compared
+against the statistics recorded at training time, flagging
+
+* **stuck** proxies (zero toggles where training saw activity),
+* **hyperactive** proxies (toggle rates far above anything trained on),
+* the worst-case power misreading a given fault set can cause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import OpmError
+
+__all__ = ["HealthReport", "ProxyHealthMonitor", "inject_stuck_faults"]
+
+
+def inject_stuck_faults(
+    toggles: np.ndarray, nets: list[int], stuck_to: int = 0
+) -> np.ndarray:
+    """Test utility: force the given proxy columns to a constant."""
+    if stuck_to not in (0, 1):
+        raise OpmError("stuck_to must be 0 or 1")
+    out = np.asarray(toggles).copy()
+    out[:, nets] = stuck_to
+    return out
+
+
+@dataclass
+class HealthReport:
+    """Outcome of one health check."""
+
+    stuck: list[int]
+    hyperactive: list[int]
+    observed_rates: np.ndarray
+    reference_rates: np.ndarray
+    worst_misread_mw: float
+
+    @property
+    def healthy(self) -> bool:
+        return not self.stuck and not self.hyperactive
+
+
+class ProxyHealthMonitor:
+    """Checks live proxy statistics against training-time references."""
+
+    def __init__(
+        self,
+        qmodel,
+        reference_toggles: np.ndarray,
+        min_rate_factor: float = 0.02,
+        max_rate_margin: float = 3.0,
+    ) -> None:
+        ref = np.asarray(reference_toggles, dtype=np.float64)
+        if ref.ndim != 2 or ref.shape[1] != qmodel.q:
+            raise OpmError(
+                f"reference toggles must be (N, {qmodel.q})"
+            )
+        self.qmodel = qmodel
+        self.reference_rates = ref.mean(axis=0)
+        self.min_rate_factor = min_rate_factor
+        self.max_rate_margin = max_rate_margin
+
+    def check(self, toggles: np.ndarray) -> HealthReport:
+        """Assess a live observation window."""
+        X = np.asarray(toggles, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.qmodel.q:
+            raise OpmError(
+                f"expected (N, {self.qmodel.q}) toggles, got {X.shape}"
+            )
+        if X.shape[0] < 64:
+            raise OpmError(
+                "need at least 64 cycles for meaningful statistics"
+            )
+        rates = X.mean(axis=0)
+        ref = self.reference_rates
+        stuck = [
+            int(j)
+            for j in range(self.qmodel.q)
+            if ref[j] > 0.01 and rates[j] < self.min_rate_factor * ref[j]
+        ]
+        hyper = [
+            int(j)
+            for j in range(self.qmodel.q)
+            if rates[j] > max(0.05, self.max_rate_margin * ref[j])
+        ]
+        # Worst misreading: every flagged proxy contributes at most its
+        # full weight per cycle (stuck-at-1 on a never-toggling signal or
+        # vice versa).
+        w = np.abs(self.qmodel.weights)
+        worst = float(w[stuck].sum() + w[hyper].sum())
+        return HealthReport(
+            stuck=stuck,
+            hyperactive=hyper,
+            observed_rates=rates,
+            reference_rates=ref.copy(),
+            worst_misread_mw=worst,
+        )

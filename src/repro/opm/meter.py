@@ -1,0 +1,88 @@
+"""Bit-exact behavioural model of the OPM datapath (Fig. 8).
+
+Models exactly what the hardware computes: integer weights conditionally
+accumulated on per-cycle toggle bits, a constant intercept term added each
+cycle, a T-cycle integer accumulator, and division by T realized by
+dropping the low ``log2(T)`` bits (T restricted to powers of two, §4.5).
+Useful both for the Fig. 15(b) accuracy/area sweep (fast) and as the
+reference the gate-level OPM netlist is verified against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OpmError
+from repro.opm.quantize import QuantizedModel
+
+__all__ = ["OpmMeter"]
+
+
+def _is_pow2(t: int) -> bool:
+    return t >= 1 and (t & (t - 1)) == 0
+
+
+@dataclass
+class OpmMeter:
+    """Behavioural OPM for one quantized model and window size T."""
+
+    qmodel: QuantizedModel
+    t: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.t):
+            raise OpmError(
+                f"T must be a power of two for bit-drop division, got "
+                f"{self.t}"
+            )
+
+    @property
+    def latency_cycles(self) -> int:
+        """Input registration + output registration (§7.5: 2 cycles)."""
+        return 2
+
+    def accumulate(self, x_proxies: np.ndarray) -> np.ndarray:
+        """Raw integer OPM outputs, one per complete T-cycle window.
+
+        The returned integers are what the ``out`` register of Fig. 8
+        holds after the bit-drop division.
+        """
+        X = np.asarray(x_proxies)
+        if X.ndim != 2 or X.shape[1] != self.qmodel.q:
+            raise OpmError(
+                f"expected (N, {self.qmodel.q}) proxy toggles, got {X.shape}"
+            )
+        if not np.isin(X, (0, 1)).all():
+            raise OpmError("OPM inputs must be binary toggle bits")
+        per_cycle = (
+            X.astype(np.int64) @ self.qmodel.int_weights
+            + self.qmodel.int_intercept
+        )
+        n = (per_cycle.size // self.t) * self.t
+        if n == 0:
+            raise OpmError(
+                f"trace of {per_cycle.size} cycles shorter than T={self.t}"
+            )
+        sums = per_cycle[:n].reshape(-1, self.t).sum(axis=1)
+        # Divide by T by dropping log2(T) bits (arithmetic shift).
+        shift = int(np.log2(self.t))
+        return sums >> shift
+
+    def read(self, x_proxies: np.ndarray) -> np.ndarray:
+        """Windowed power estimates in mW (integer outputs x step)."""
+        return self.accumulate(x_proxies).astype(np.float64) * (
+            self.qmodel.step
+        )
+
+    def max_abs_accumulator(self, x_proxies: np.ndarray) -> int:
+        """Largest |value| seen in the T-cycle accumulator — must fit in
+        :meth:`QuantizedModel.accumulator_bits`, asserted in tests."""
+        X = np.asarray(x_proxies).astype(np.int64)
+        per_cycle = X @ self.qmodel.int_weights + self.qmodel.int_intercept
+        n = (per_cycle.size // self.t) * self.t
+        sums = np.cumsum(
+            per_cycle[:n].reshape(-1, self.t), axis=1
+        )
+        return int(np.abs(sums).max(initial=0))

@@ -1,0 +1,27 @@
+"""Power analysis substrate: the reproduction's "PowerPro".
+
+Ground-truth per-cycle power labels are computed as
+``0.5 * V^2 * sum(C of toggling nets)`` (Eq. 2 of the paper) with
+back-annotated synthetic capacitances, plus clock-tree, short-circuit,
+glitch, and leakage components.  A lumped RLC power-delivery-network model
+supports the Ldi/dt voltage-droop experiments (Fig. 17).
+"""
+
+from repro.power.liberty import TechParams, DEFAULT_TECH
+from repro.power.analyzer import (
+    PowerAnalyzer,
+    PowerReport,
+    annotate_capacitance,
+)
+from repro.power.pdn import PdnModel, delta_current, droop_events
+
+__all__ = [
+    "TechParams",
+    "DEFAULT_TECH",
+    "PowerAnalyzer",
+    "PowerReport",
+    "annotate_capacitance",
+    "PdnModel",
+    "delta_current",
+    "droop_events",
+]

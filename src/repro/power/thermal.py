@@ -1,0 +1,71 @@
+"""First-order RC thermal model.
+
+§9 of the paper points at "smarter power and thermal management in future
+SoCs" as the capability APOLLO unlocks; this lumped junction-to-ambient RC
+model turns per-window power readings into a temperature trace so the
+DVFS governor (:mod:`repro.flow.dvfs`) can enforce a thermal cap.
+
+``dT/dt = (P * R_th - (T - T_amb)) / (R_th * C_th)`` discretized exactly
+(first-order systems have a closed-form step response).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PowerModelError
+
+__all__ = ["ThermalModel"]
+
+
+@dataclass
+class ThermalModel:
+    """Lumped thermal RC: junction temperature from power.
+
+    Attributes
+    ----------
+    r_th:
+        Junction-to-ambient thermal resistance in K/W.
+    c_th:
+        Thermal capacitance in J/K.
+    t_ambient:
+        Ambient temperature in C.
+    window_seconds:
+        Wall time represented by one power sample.
+    """
+
+    r_th: float = 2.0
+    c_th: float = 5e-3
+    t_ambient: float = 45.0
+    window_seconds: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if min(self.r_th, self.c_th, self.window_seconds) <= 0:
+            raise PowerModelError("thermal constants must be positive")
+        tau = self.r_th * self.c_th
+        self._decay = float(np.exp(-self.window_seconds / tau))
+
+    @property
+    def time_constant(self) -> float:
+        return self.r_th * self.c_th
+
+    def simulate(
+        self, power_w: np.ndarray, t_start: float | None = None
+    ) -> np.ndarray:
+        """Temperature trace (C) for per-window power samples (watts)."""
+        p = np.asarray(power_w, dtype=np.float64)
+        if p.ndim != 1:
+            raise PowerModelError("power trace must be 1-D")
+        t = self.t_ambient if t_start is None else t_start
+        a = self._decay
+        out = np.empty(p.size)
+        for k in range(p.size):
+            steady = self.t_ambient + p[k] * self.r_th
+            t = steady + (t - steady) * a
+            out[k] = t
+        return out
+
+    def steady_state(self, power_w: float) -> float:
+        return self.t_ambient + power_w * self.r_th

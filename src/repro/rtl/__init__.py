@@ -1,0 +1,29 @@
+"""RTL substrate: netlist IR, levelization, and a vectorized cycle simulator.
+
+This package replaces the proprietary RTL + commercial simulator (VCS) used
+by the paper.  A :class:`~repro.rtl.netlist.Netlist` holds single-bit nets
+(gates, registers, inputs, gated-clock nets) with hierarchy tags; the
+:class:`~repro.rtl.simulator.Simulator` evaluates it cycle-by-cycle
+(optionally batched over independent stimuli) and records per-cycle toggle
+bits — the features APOLLO trains on.
+"""
+
+from repro.rtl.cells import Op, CELL_LIBRARY, CellInfo
+from repro.rtl.netlist import Netlist, ClockDomain
+from repro.rtl.levelize import levelize, LevelSchedule
+from repro.rtl.trace import ToggleTrace
+from repro.rtl.simulator import Simulator, SimResult, RecordSpec
+
+__all__ = [
+    "Op",
+    "CELL_LIBRARY",
+    "CellInfo",
+    "Netlist",
+    "ClockDomain",
+    "levelize",
+    "LevelSchedule",
+    "ToggleTrace",
+    "Simulator",
+    "SimResult",
+    "RecordSpec",
+]

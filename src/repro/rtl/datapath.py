@@ -1,0 +1,261 @@
+"""Bus-level datapath combinators over the single-bit netlist API.
+
+A *bus* here is simply a ``list[int]`` of net ids, least-significant bit
+first.  These helpers generate real gate-level structures (ripple-carry
+adders, array multipliers, barrel shifters, mux trees), so datapath toggle
+activity is genuinely data-dependent — the property APOLLO's per-cycle
+features rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NetlistError
+from repro.rtl.netlist import ClockDomain, Netlist
+
+__all__ = [
+    "const_bus",
+    "bus_not",
+    "bus_and",
+    "bus_or",
+    "bus_xor",
+    "mux_bus",
+    "mux_tree",
+    "reduce_or",
+    "reduce_and",
+    "reduce_xor",
+    "full_adder",
+    "ripple_adder",
+    "incrementer",
+    "subtractor",
+    "equality",
+    "less_than",
+    "array_multiplier",
+    "barrel_shifter",
+    "decoder",
+    "register_bus",
+    "register_bus_uninit",
+    "connect_register_bus",
+    "and_bus_with_bit",
+]
+
+Bus = Sequence[int]
+
+
+def _check_same_width(a: Bus, b: Bus) -> None:
+    if len(a) != len(b):
+        raise NetlistError(
+            f"bus width mismatch: {len(a)} vs {len(b)}"
+        )
+
+
+def const_bus(nl: Netlist, value: int, width: int) -> list[int]:
+    """A constant bus holding ``value`` (LSB first)."""
+    return [nl.const((value >> i) & 1) for i in range(width)]
+
+
+def bus_not(nl: Netlist, a: Bus) -> list[int]:
+    return [nl.not_(x) for x in a]
+
+
+def bus_and(nl: Netlist, a: Bus, b: Bus) -> list[int]:
+    _check_same_width(a, b)
+    return [nl.and_(x, y) for x, y in zip(a, b)]
+
+
+def bus_or(nl: Netlist, a: Bus, b: Bus) -> list[int]:
+    _check_same_width(a, b)
+    return [nl.or_(x, y) for x, y in zip(a, b)]
+
+
+def bus_xor(nl: Netlist, a: Bus, b: Bus) -> list[int]:
+    _check_same_width(a, b)
+    return [nl.xor(x, y) for x, y in zip(a, b)]
+
+
+def and_bus_with_bit(nl: Netlist, a: Bus, bit: int) -> list[int]:
+    """Mask every bit of ``a`` with a single enable bit."""
+    return [nl.and_(x, bit) for x in a]
+
+
+def mux_bus(nl: Netlist, sel: int, a: Bus, b: Bus) -> list[int]:
+    """Per-bit ``sel ? a : b``."""
+    _check_same_width(a, b)
+    return [nl.mux(sel, x, y) for x, y in zip(a, b)]
+
+
+def mux_tree(nl: Netlist, sel_bits: Bus, choices: Sequence[Bus]) -> list[int]:
+    """Select among ``2**len(sel_bits)`` equal-width buses.
+
+    ``choices`` may be shorter than the full ``2**k``; missing entries reuse
+    the last provided choice (common for sparsely-populated opcode maps).
+    """
+    k = len(sel_bits)
+    n = 1 << k
+    filled = list(choices) + [choices[-1]] * (n - len(choices))
+    if len(filled) != n:
+        raise NetlistError(
+            f"mux_tree got {len(choices)} choices for {k} select bits"
+        )
+    level: list[Bus] = list(filled)
+    for s in sel_bits:
+        nxt: list[Bus] = []
+        for i in range(0, len(level), 2):
+            nxt.append(mux_bus(nl, s, level[i + 1], level[i]))
+        level = nxt
+    return list(level[0])
+
+
+def _reduce(nl: Netlist, op, a: Bus) -> int:
+    if not a:
+        raise NetlistError("cannot reduce an empty bus")
+    work = list(a)
+    while len(work) > 1:
+        nxt = []
+        for i in range(0, len(work) - 1, 2):
+            nxt.append(op(work[i], work[i + 1]))
+        if len(work) % 2:
+            nxt.append(work[-1])
+        work = nxt
+    return work[0]
+
+
+def reduce_or(nl: Netlist, a: Bus) -> int:
+    """Balanced OR tree over a bus (e.g. bus-toggle detection)."""
+    return _reduce(nl, nl.or_, a)
+
+
+def reduce_and(nl: Netlist, a: Bus) -> int:
+    return _reduce(nl, nl.and_, a)
+
+
+def reduce_xor(nl: Netlist, a: Bus) -> int:
+    """Parity of a bus."""
+    return _reduce(nl, nl.xor, a)
+
+
+def full_adder(nl: Netlist, a: int, b: int, cin: int) -> tuple[int, int]:
+    """One full adder; returns ``(sum, carry_out)``."""
+    axb = nl.xor(a, b)
+    s = nl.xor(axb, cin)
+    carry = nl.or_(nl.and_(a, b), nl.and_(axb, cin))
+    return s, carry
+
+
+def ripple_adder(
+    nl: Netlist, a: Bus, b: Bus, cin: int | None = None
+) -> tuple[list[int], int]:
+    """Ripple-carry adder; returns ``(sum_bits, carry_out)``."""
+    _check_same_width(a, b)
+    carry = cin if cin is not None else nl.const(0)
+    out = []
+    for x, y in zip(a, b):
+        s, carry = full_adder(nl, x, y, carry)
+        out.append(s)
+    return out, carry
+
+
+def incrementer(nl: Netlist, a: Bus) -> list[int]:
+    """``a + 1`` (wrapping), using half adders."""
+    carry = nl.const(1)
+    out = []
+    for x in a:
+        out.append(nl.xor(x, carry))
+        carry = nl.and_(x, carry)
+    return out
+
+
+def subtractor(nl: Netlist, a: Bus, b: Bus) -> tuple[list[int], int]:
+    """``a - b`` via two's complement; returns ``(diff, not_borrow)``."""
+    return ripple_adder(nl, a, bus_not(nl, b), cin=nl.const(1))
+
+
+def equality(nl: Netlist, a: Bus, b: Bus) -> int:
+    """Single bit: 1 iff the buses are equal (XNOR + AND tree)."""
+    _check_same_width(a, b)
+    eq_bits = [nl.xnor(x, y) for x, y in zip(a, b)]
+    return reduce_and(nl, eq_bits)
+
+
+def less_than(nl: Netlist, a: Bus, b: Bus) -> int:
+    """Unsigned ``a < b`` (borrow out of a - b)."""
+    _, not_borrow = subtractor(nl, a, b)
+    return nl.not_(not_borrow)
+
+
+def array_multiplier(
+    nl: Netlist, a: Bus, b: Bus, out_width: int | None = None
+) -> list[int]:
+    """Unsigned array multiplier (AND partial products + ripple adders).
+
+    The result is truncated to ``out_width`` (default ``len(a)``), which
+    matches fixed-width datapath multipliers and keeps gate count bounded.
+    """
+    w = out_width if out_width is not None else len(a)
+    acc = and_bus_with_bit(nl, list(a)[:w], b[0])
+    acc += [nl.const(0)] * (w - len(acc))
+    for i, bb in enumerate(list(b)[1:], start=1):
+        if i >= w:
+            break
+        pp = and_bus_with_bit(nl, list(a)[: w - i], bb)
+        hi = acc[i:]
+        if len(pp) < len(hi):
+            pp = pp + [nl.const(0)] * (len(hi) - len(pp))
+        summed, _ = ripple_adder(nl, hi, pp)
+        acc = acc[:i] + summed
+    return acc[:w]
+
+
+def barrel_shifter(nl: Netlist, a: Bus, shamt: Bus) -> list[int]:
+    """Logical left shifter built from mux layers (one per shamt bit)."""
+    zero = nl.const(0)
+    cur = list(a)
+    for k, s in enumerate(shamt):
+        dist = 1 << k
+        shifted = [zero] * min(dist, len(cur)) + cur[: max(0, len(cur) - dist)]
+        cur = mux_bus(nl, s, shifted, cur)
+    return cur
+
+
+def decoder(nl: Netlist, sel: Bus) -> list[int]:
+    """One-hot decoder: ``2**len(sel)`` output bits."""
+    outs = [nl.const(1)]
+    for s in sel:
+        ns = nl.not_(s)
+        outs = [nl.and_(o, ns) for o in outs] + [nl.and_(o, s) for o in outs]
+    return outs
+
+
+def register_bus(
+    nl: Netlist,
+    d: Bus,
+    domain: ClockDomain,
+    name: str = "r",
+    init: int = 0,
+) -> list[int]:
+    """A bank of flip-flops capturing bus ``d`` (LSB first)."""
+    return [
+        nl.reg(bit, domain, init=(init >> i) & 1, name=f"{name}[{i}]")
+        for i, bit in enumerate(d)
+    ]
+
+
+def register_bus_uninit(
+    nl: Netlist,
+    width: int,
+    domain: ClockDomain,
+    name: str = "r",
+    init: int = 0,
+) -> list[int]:
+    """A bank of flip-flops to be driven later (sequential feedback)."""
+    return [
+        nl.reg_uninit(domain, init=(init >> i) & 1, name=f"{name}[{i}]")
+        for i in range(width)
+    ]
+
+
+def connect_register_bus(nl: Netlist, regs: Bus, d: Bus) -> None:
+    _check_same_width(regs, d)
+    for r, bit in zip(regs, d):
+        nl.connect_reg(r, bit)

@@ -1,0 +1,175 @@
+"""Levelization: compile a netlist into vectorizable evaluation groups.
+
+Because the :class:`~repro.rtl.netlist.Netlist` builder enforces that every
+fanin already exists (topological creation order), combinational logic is
+acyclic by construction and the logic level of each net is a single forward
+pass: ``level = 1 + max(level(fanins))`` with inputs/registers/consts/CLK
+nets at level 0.
+
+The simulator wants, per level and per op, contiguous index arrays
+``(out, a, b, c)`` so each group is one vectorized NumPy expression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.rtl.cells import EVAL_OPS, N_FANIN, Op
+from repro.rtl.netlist import NO_NET, Netlist
+
+__all__ = ["EvalGroup", "LevelSchedule", "levelize"]
+
+
+@dataclass(frozen=True)
+class EvalGroup:
+    """One vectorized evaluation step: all nets of one op at one level."""
+
+    op: Op
+    out: np.ndarray  # int32 net ids
+    a: np.ndarray  # first fanin ids
+    b: np.ndarray  # second fanin ids (unused slots hold 0)
+    c: np.ndarray  # third fanin ids (MUX only; unused slots hold 0)
+
+    def __len__(self) -> int:
+        return int(self.out.size)
+
+
+@dataclass
+class LevelSchedule:
+    """Compiled evaluation order plus register / clock bookkeeping.
+
+    Attributes
+    ----------
+    groups:
+        Evaluation groups in dependency-safe order (level-major).
+    levels:
+        Per-net logic depth (int32), 0 for sources.
+    reg_out / reg_d / reg_en:
+        Parallel arrays describing registers: output net id, data fanin id,
+        and the domain-enable net id (``NO_NET`` for always-on domains).
+    reg_init:
+        Initial register values (uint8).
+    clk_out / clk_en:
+        CLK net ids and their enable net ids (``NO_NET`` if always-on).
+    input_ids:
+        Stimulus-driven nets in creation order.
+    const_ids / const_vals:
+        Tie cells and their values.
+    max_level:
+        Maximum combinational depth (used by the glitch power model).
+    """
+
+    groups: list[EvalGroup]
+    levels: np.ndarray
+    reg_out: np.ndarray
+    reg_d: np.ndarray
+    reg_en: np.ndarray
+    reg_init: np.ndarray
+    clk_out: np.ndarray
+    clk_en: np.ndarray
+    input_ids: np.ndarray
+    const_ids: np.ndarray
+    const_vals: np.ndarray
+    max_level: int = field(default=0)
+
+    @property
+    def n_nets(self) -> int:
+        return int(self.levels.size)
+
+
+def levelize(netlist: Netlist) -> LevelSchedule:
+    """Compile ``netlist`` into a :class:`LevelSchedule`.
+
+    Raises
+    ------
+    NetlistError
+        If the netlist fails :meth:`Netlist.validate`.
+    """
+    netlist.validate()
+    n = netlist.n_nets
+    ops = netlist.ops_array()
+    fanin = netlist.fanin_array() if n else np.zeros((0, 3), np.int32)
+
+    levels = np.zeros(n, dtype=np.int32)
+    eval_op_set = {int(o) for o in EVAL_OPS}
+    # Forward pass in id order (ids are topological for comb logic).
+    for i in range(n):
+        op = ops[i]
+        if op not in eval_op_set:
+            continue
+        nf = N_FANIN[Op(op)]
+        lv = 0
+        for k in range(nf):
+            f = fanin[i, k]
+            if f != NO_NET:
+                lv = max(lv, int(levels[f]))
+        levels[i] = lv + 1
+
+    # Bucket combinational nets by (level, op).
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i in range(n):
+        if ops[i] in eval_op_set:
+            buckets.setdefault((int(levels[i]), int(ops[i])), []).append(i)
+
+    groups: list[EvalGroup] = []
+    for (lv, op_i) in sorted(buckets):
+        ids = np.asarray(buckets[(lv, op_i)], dtype=np.int32)
+        fa = fanin[ids]
+        a = fa[:, 0].copy()
+        b = np.where(fa[:, 1] == NO_NET, 0, fa[:, 1]).astype(np.int32)
+        c = np.where(fa[:, 2] == NO_NET, 0, fa[:, 2]).astype(np.int32)
+        groups.append(EvalGroup(op=Op(op_i), out=ids, a=a, b=b, c=c))
+
+    # Registers.
+    reg_ids = np.asarray(
+        [i for i in range(n) if ops[i] == Op.REG], dtype=np.int32
+    )
+    reg_d = fanin[reg_ids, 0] if reg_ids.size else np.zeros(0, np.int32)
+    domains = netlist.reg_domain_array()
+    reg_en = np.full(reg_ids.size, NO_NET, dtype=np.int32)
+    for k, rid in enumerate(reg_ids):
+        dom = netlist.domains[int(domains[rid])]
+        if dom.enable is not None:
+            reg_en[k] = dom.enable
+    reg_init = (
+        netlist.reg_init_array()[reg_ids]
+        if reg_ids.size
+        else np.zeros(0, np.uint8)
+    )
+
+    # Clock nets.
+    clk_out = np.asarray(
+        [d.clk_net for d in netlist.domains], dtype=np.int32
+    )
+    clk_en = np.asarray(
+        [NO_NET if d.enable is None else d.enable for d in netlist.domains],
+        dtype=np.int32,
+    )
+
+    const_ids = np.asarray(
+        [i for i in range(n) if ops[i] in (Op.CONST0, Op.CONST1)],
+        dtype=np.int32,
+    )
+    const_vals = np.asarray(
+        [1 if ops[i] == Op.CONST1 else 0 for i in const_ids], dtype=np.uint8
+    )
+
+    input_ids = np.asarray(netlist.input_ids, dtype=np.int32)
+
+    return LevelSchedule(
+        groups=groups,
+        levels=levels,
+        reg_out=reg_ids,
+        reg_d=reg_d.astype(np.int32),
+        reg_en=reg_en,
+        reg_init=reg_init,
+        clk_out=clk_out,
+        clk_en=clk_en,
+        input_ids=input_ids,
+        const_ids=const_ids,
+        const_vals=const_vals,
+        max_level=int(levels.max()) if n else 0,
+    )

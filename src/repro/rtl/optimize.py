@@ -1,0 +1,324 @@
+"""Netlist optimization: constant folding and dead-logic elimination.
+
+The OPM generator instantiates adder trees whose operands include the
+*constant* bits of quantized weights; real synthesis (the paper uses
+Design Compiler) folds those constants away.  This pass reproduces that:
+
+* **constant propagation** — tie cells propagate through gates
+  (``AND(x, 0) = 0``, ``OR(x, 1) = 1``, ``XOR(x, 0) = x``, constant-select
+  muxes, ...), rewriting gates to buffers/inverters/constants;
+* **alias collapsing** — buffers and pass-through gates forward their
+  source;
+* **dead-logic elimination** — logic not reachable (backwards through
+  fanins, register D pins, and clock-gate enables) from the kept outputs
+  is dropped.  ``INPUT`` nets are always preserved so the stimulus
+  interface is unchanged.
+
+The result is functionally identical on the kept nets — asserted by
+differential tests against the unoptimized netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.rtl.cells import EVAL_OPS, Op
+from repro.rtl.netlist import NO_NET, Netlist
+
+__all__ = ["OptimizeResult", "optimize"]
+
+
+@dataclass
+class OptimizeResult:
+    """Optimized netlist plus the old-net -> new-net map.
+
+    ``net_map[i]`` is the new id carrying old net ``i``'s value, or -1 if
+    the net was eliminated as dead.  Constant-valued nets map to shared
+    tie cells.
+    """
+
+    netlist: Netlist
+    net_map: np.ndarray
+
+    def map_nets(self, nets) -> list[int]:
+        out = []
+        for n in nets:
+            m = int(self.net_map[int(n)])
+            if m < 0:
+                raise NetlistError(f"net {n} was eliminated as dead")
+            out.append(m)
+        return out
+
+
+class _Analysis:
+    """Per-net constant value / alias / rewrite decisions."""
+
+    __slots__ = ("const", "alias", "rewrite_op", "rewrite_fanin")
+
+    def __init__(self, n: int) -> None:
+        self.const: list[int | None] = [None] * n
+        self.alias: list[int | None] = [None] * n
+        self.rewrite_op: list[Op | None] = [None] * n
+        self.rewrite_fanin: list[tuple[int, ...] | None] = [None] * n
+
+
+def _resolve(an: _Analysis, net: int) -> tuple[int | None, int]:
+    """Follow aliases; return (const value or None, representative net)."""
+    seen = 0
+    while an.alias[net] is not None:
+        net = an.alias[net]
+        seen += 1
+        if seen > 10_000:  # pragma: no cover - defensive
+            raise NetlistError("alias cycle")
+    return an.const[net], net
+
+
+def _analyze(nl: Netlist) -> _Analysis:
+    an = _Analysis(nl.n_nets)
+    eval_ops = set(EVAL_OPS)
+    for i in range(nl.n_nets):
+        op = nl.op_of(i)
+        if op == Op.CONST0:
+            an.const[i] = 0
+            continue
+        if op == Op.CONST1:
+            an.const[i] = 1
+            continue
+        if op not in eval_ops:
+            continue
+        fanin = nl.fanin_of(i)
+        vals_reps = [_resolve(an, f) for f in fanin]
+        consts = [v for v, _r in vals_reps]
+        reps = [r for _v, r in vals_reps]
+
+        if op == Op.BUF:
+            if consts[0] is not None:
+                an.const[i] = consts[0]
+            else:
+                an.alias[i] = reps[0]
+        elif op == Op.NOT:
+            if consts[0] is not None:
+                an.const[i] = consts[0] ^ 1
+            else:
+                an.rewrite_fanin[i] = (reps[0],)
+        elif op in (Op.AND, Op.NAND):
+            inv = 1 if op == Op.NAND else 0
+            if 0 in consts:
+                an.const[i] = 0 ^ inv
+            elif consts[0] == 1 and consts[1] == 1:
+                an.const[i] = 1 ^ inv
+            elif consts[0] == 1 or consts[1] == 1:
+                other = reps[1] if consts[0] == 1 else reps[0]
+                if inv:
+                    an.rewrite_op[i] = Op.NOT
+                    an.rewrite_fanin[i] = (other,)
+                else:
+                    an.alias[i] = other
+            else:
+                an.rewrite_fanin[i] = tuple(reps)
+        elif op in (Op.OR, Op.NOR):
+            inv = 1 if op == Op.NOR else 0
+            if 1 in consts:
+                an.const[i] = 1 ^ inv
+            elif consts[0] == 0 and consts[1] == 0:
+                an.const[i] = 0 ^ inv
+            elif consts[0] == 0 or consts[1] == 0:
+                other = reps[1] if consts[0] == 0 else reps[0]
+                if inv:
+                    an.rewrite_op[i] = Op.NOT
+                    an.rewrite_fanin[i] = (other,)
+                else:
+                    an.alias[i] = other
+            else:
+                an.rewrite_fanin[i] = tuple(reps)
+        elif op in (Op.XOR, Op.XNOR):
+            inv = 1 if op == Op.XNOR else 0
+            if consts[0] is not None and consts[1] is not None:
+                an.const[i] = consts[0] ^ consts[1] ^ inv
+            elif consts[0] is not None or consts[1] is not None:
+                c = consts[0] if consts[0] is not None else consts[1]
+                other = reps[1] if consts[0] is not None else reps[0]
+                eff = c ^ inv
+                if eff == 0:
+                    an.alias[i] = other
+                else:
+                    an.rewrite_op[i] = Op.NOT
+                    an.rewrite_fanin[i] = (other,)
+            elif reps[0] == reps[1]:
+                an.const[i] = 0 ^ inv
+            else:
+                an.rewrite_fanin[i] = tuple(reps)
+        elif op == Op.MUX:
+            s, a, b = consts
+            rs, ra, rb = reps
+            if s is not None:
+                chosen = (a, ra) if s else (b, rb)
+                if chosen[0] is not None:
+                    an.const[i] = chosen[0]
+                else:
+                    an.alias[i] = chosen[1]
+            elif a is not None and b is not None:
+                if a == b:
+                    an.const[i] = a
+                elif a == 1 and b == 0:
+                    an.alias[i] = rs
+                else:  # a == 0, b == 1
+                    an.rewrite_op[i] = Op.NOT
+                    an.rewrite_fanin[i] = (rs,)
+            elif ra == rb and a is None and b is None:
+                an.alias[i] = ra
+            else:
+                an.rewrite_fanin[i] = (rs, ra, rb)
+        else:  # pragma: no cover - exhaustive over EVAL_OPS
+            raise NetlistError(f"unhandled op {op!r}")
+    return an
+
+
+def optimize(nl: Netlist, keep: list[int]) -> OptimizeResult:
+    """Optimize ``nl``, preserving the values of the ``keep`` nets.
+
+    ``INPUT`` nets always survive (same count and order) so existing
+    stimulus matrices remain valid for the optimized netlist.
+    """
+    nl.validate()
+    an = _analyze(nl)
+    n = nl.n_nets
+
+    # ---------------- liveness (backwards from keep) ---------------- #
+    live = np.zeros(n, dtype=bool)
+    stack: list[int] = []
+
+    def mark(net: int) -> None:
+        c, rep = _resolve(an, net)
+        if c is None and not live[rep]:
+            live[rep] = True
+            stack.append(rep)
+
+    for k in keep:
+        if not (0 <= k < n):
+            raise NetlistError(f"keep net {k} does not exist")
+        mark(k)
+    for iid in nl.input_ids:
+        live[iid] = True  # interface stability; cheap (no logic behind)
+
+    while stack:
+        net = stack.pop()
+        op = nl.op_of(net)
+        if op == Op.REG:
+            mark(nl.fanin_of(net)[0])
+            dom = nl.domain_of_reg(net)
+            if dom.enable is not None:
+                mark(dom.enable)
+        elif op == Op.CLK:
+            dom = next(
+                d for d in nl.domains if d.clk_net == net
+            )
+            if dom.enable is not None:
+                mark(dom.enable)
+        else:
+            fanin = (
+                an.rewrite_fanin[net]
+                if an.rewrite_fanin[net] is not None
+                else nl.fanin_of(net)
+            )
+            for f in fanin:
+                mark(f)
+
+    # ---------------- rebuild ---------------- #
+    out = Netlist(f"{nl.name}_opt")
+    net_map = np.full(n, -1, dtype=np.int64)
+    const_nets: dict[int, int] = {}
+
+    def const_net(v: int) -> int:
+        if v not in const_nets:
+            const_nets[v] = out.const(v)
+        return const_nets[v]
+
+    # Domains: recreate every domain whose clk or regs are live; keep
+    # enable wiring (filled after nets exist).
+    domain_map: dict[int, int] = {}
+
+    def new_id_of(old: int) -> int:
+        c, rep = _resolve(an, old)
+        if c is not None:
+            return const_net(c)
+        m = int(net_map[rep])
+        if m < 0:
+            raise NetlistError(
+                f"net {nl.name_of(rep)} used before definition during "
+                "rebuild"
+            )
+        return m
+
+    # Pass 1: create domains lazily as registers appear; create nets.
+    reg_init = nl.reg_init_array()
+    pending_regs: list[tuple[int, int]] = []  # (old reg, new reg)
+    for i in range(n):
+        c, rep = _resolve(an, i)
+        if c is not None or rep != i:
+            continue  # folded or aliased; mapped on demand
+        if not live[i]:
+            continue
+        op = nl.op_of(i)
+        if op == Op.INPUT:
+            net_map[i] = out.input_bit(nl.name_of(i))
+        elif op in (Op.CONST0, Op.CONST1):  # pragma: no cover
+            net_map[i] = const_net(1 if op == Op.CONST1 else 0)
+        elif op == Op.CLK:
+            dom_old = next(
+                d for d in nl.domains if d.clk_net == i
+            )
+            dom_new = out.clock_domain(dom_old.name)
+            domain_map[dom_old.index] = dom_new.index
+            net_map[i] = dom_new.clk_net
+        elif op == Op.REG:
+            dom_old = nl.domain_of_reg(i)
+            if dom_old.index not in domain_map:
+                dom_new = out.clock_domain(dom_old.name)
+                domain_map[dom_old.index] = dom_new.index
+                net_map[dom_old.clk_net] = dom_new.clk_net
+                if live[dom_old.clk_net]:
+                    pass  # already mapped above
+            dom_new = out.domains[domain_map[dom_old.index]]
+            new_reg = out.reg_uninit(
+                dom_new, init=int(reg_init[i]), name=nl.name_of(i)
+            )
+            net_map[i] = new_reg
+            pending_regs.append((i, new_reg))
+        else:
+            new_op = an.rewrite_op[i] or op
+            fanin = (
+                an.rewrite_fanin[i]
+                if an.rewrite_fanin[i] is not None
+                else nl.fanin_of(i)
+            )
+            new_fanin = [new_id_of(f) for f in fanin]
+            net_map[i] = out.gate(
+                new_op, *new_fanin, name=nl.name_of(i)
+            )
+
+    # Pass 2: connect register D pins and domain enables.
+    for old_reg, new_reg in pending_regs:
+        out.connect_reg(new_reg, new_id_of(nl.fanin_of(old_reg)[0]))
+    for dom_old in nl.domains:
+        if dom_old.index in domain_map and dom_old.enable is not None:
+            out.set_domain_enable(
+                out.domains[domain_map[dom_old.index]],
+                new_id_of(dom_old.enable),
+            )
+
+    # Fill the map for aliases and constants.
+    for i in range(n):
+        if net_map[i] >= 0:
+            continue
+        c, rep = _resolve(an, i)
+        if c is not None:
+            net_map[i] = const_net(c)
+        elif net_map[rep] >= 0:
+            net_map[i] = net_map[rep]
+
+    out.validate()
+    return OptimizeResult(netlist=out, net_map=net_map)

@@ -1,0 +1,317 @@
+"""Vectorized cycle-accurate netlist simulator.
+
+Stands in for the paper's VCS RTL simulation (design-time flow) and, in
+proxy-capture mode, for the Palladium emulator's selective signal tracing.
+
+Semantics
+---------
+Each simulated cycle ``i``:
+
+1. registers capture their D values computed during cycle ``i - 1``
+   (clock-gated registers hold when their domain enable was 0);
+2. ``INPUT`` nets take the cycle-``i`` stimulus;
+3. combinational nets evaluate in levelized order;
+4. ``CLK`` nets take their (latched) enable value;
+5. the toggle vector is ``value[i] XOR value[i-1]`` for ordinary nets and
+   the enable itself for ``CLK`` nets — a gated clock toggles exactly when
+   its edge is enabled, matching §6 of the paper.
+
+The simulator runs a *batch* of independent stimuli at once (one extra
+array axis), which is what makes the GA's per-generation power evaluation
+affordable in NumPy.
+
+Recording options per run:
+
+* full packed :class:`~repro.rtl.trace.ToggleTrace` (training data);
+* dense toggles of selected columns only (emulator-assisted proxy flow);
+* named *accumulators*: per-cycle dot products ``weights . toggles`` used
+  by the power analyzer so long runs never materialize a full trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError, StimulusError
+from repro.rtl.cells import Op
+from repro.rtl.levelize import LevelSchedule, levelize
+from repro.rtl.netlist import NO_NET, Netlist
+from repro.rtl.trace import ToggleTrace
+
+__all__ = ["RecordSpec", "SimResult", "Simulator"]
+
+
+@dataclass(frozen=True)
+class RecordSpec:
+    """What a simulation run should record.
+
+    Attributes
+    ----------
+    full_trace:
+        Record the packed toggle bits of every net.
+    columns:
+        Net ids whose toggle bits are recorded densely (or ``None``).
+    accumulators:
+        Name -> float32 weight vector (length ``n_nets``); each produces a
+        per-cycle weighted toggle sum.
+    """
+
+    full_trace: bool = False
+    columns: np.ndarray | None = None
+    accumulators: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class SimResult:
+    """Output of one :meth:`Simulator.run` call."""
+
+    n_cycles: int
+    batch: int
+    trace: ToggleTrace | None
+    columns: np.ndarray | None  # (batch, cycles, n_cols) uint8
+    accum: dict[str, np.ndarray]  # name -> (batch, cycles) float64
+    elapsed: float
+    final_values: np.ndarray | None = None  # (n_nets, batch) uint8
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulated cycles (x batch) per wall second."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.n_cycles * self.batch / self.elapsed
+
+
+class Simulator:
+    """Compiled simulator for one netlist.
+
+    Compilation (levelization) happens once in the constructor; ``run`` may
+    be called many times with different stimuli.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.schedule: LevelSchedule = levelize(netlist)
+        self._n = netlist.n_nets
+
+    # ------------------------------------------------------------------ #
+    def _initial_values(self, batch: int) -> np.ndarray:
+        """State after reset: registers at init, everything else evaluated
+        with all-zero inputs."""
+        vals = np.zeros((self._n, batch), dtype=np.uint8)
+        sch = self.schedule
+        if sch.const_ids.size:
+            vals[sch.const_ids] = sch.const_vals[:, None]
+        if sch.reg_out.size:
+            vals[sch.reg_out] = sch.reg_init[:, None]
+        self._eval_comb(vals)
+        # CLK values at reset: enabled domains show their enable, always-on
+        # domains show 1.
+        for k in range(sch.clk_out.size):
+            en = sch.clk_en[k]
+            vals[sch.clk_out[k]] = 1 if en == NO_NET else vals[en]
+        return vals
+
+    def _eval_comb(self, vals: np.ndarray) -> None:
+        for g in self.schedule.groups:
+            a = vals[g.a]
+            op = g.op
+            if op == Op.BUF:
+                vals[g.out] = a
+            elif op == Op.NOT:
+                vals[g.out] = a ^ 1
+            elif op == Op.AND:
+                vals[g.out] = a & vals[g.b]
+            elif op == Op.OR:
+                vals[g.out] = a | vals[g.b]
+            elif op == Op.XOR:
+                vals[g.out] = a ^ vals[g.b]
+            elif op == Op.NAND:
+                vals[g.out] = (a & vals[g.b]) ^ 1
+            elif op == Op.NOR:
+                vals[g.out] = (a | vals[g.b]) ^ 1
+            elif op == Op.XNOR:
+                vals[g.out] = (a ^ vals[g.b]) ^ 1
+            elif op == Op.MUX:
+                s = a
+                vals[g.out] = (s & vals[g.b]) | ((s ^ 1) & vals[g.c])
+            else:  # pragma: no cover - schedule only contains EVAL_OPS
+                raise SimulationError(f"unexpected op {op!r} in schedule")
+
+    def comb_eval(self, input_bits: np.ndarray) -> np.ndarray:
+        """Evaluate combinational logic once with the given input values.
+
+        Registers hold their init values.  Intended for functional tests of
+        datapath blocks; returns the full value vector.
+
+        Parameters
+        ----------
+        input_bits:
+            uint8 array of shape ``(n_inputs,)`` or ``(n_inputs, batch)``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Net values, shape ``(n_nets, batch)``.
+        """
+        bits = np.asarray(input_bits, dtype=np.uint8)
+        if bits.ndim == 1:
+            bits = bits[:, None]
+        if bits.shape[0] != self.schedule.input_ids.size:
+            raise StimulusError(
+                f"got {bits.shape[0]} input bits, design has "
+                f"{self.schedule.input_ids.size}"
+            )
+        vals = self._initial_values(bits.shape[1])
+        if self.schedule.input_ids.size:
+            vals[self.schedule.input_ids] = bits
+        self._eval_comb(vals)
+        return vals
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        stimulus: np.ndarray,
+        record: RecordSpec | None = None,
+        init_values: np.ndarray | None = None,
+    ) -> SimResult:
+        """Simulate ``stimulus`` and record per the :class:`RecordSpec`.
+
+        Parameters
+        ----------
+        stimulus:
+            uint8 array of shape ``(cycles, n_inputs)`` for a single run or
+            ``(batch, cycles, n_inputs)`` for a batched run.  ``n_inputs``
+            must equal the number of ``INPUT`` nets, in creation order.
+        record:
+            What to record; defaults to a full packed trace.
+        init_values:
+            Full value vector from a previous run's ``final_values`` to
+            continue a long simulation in chunks with identical results;
+            ``None`` starts from reset.
+        """
+        record = record or RecordSpec(full_trace=True)
+        stim = np.asarray(stimulus, dtype=np.uint8)
+        if stim.ndim == 2:
+            stim = stim[None]
+        if stim.ndim != 3:
+            raise StimulusError(
+                f"stimulus must be 2-D or 3-D, got shape {stim.shape}"
+            )
+        sch = self.schedule
+        batch, cycles, n_in = stim.shape
+        if n_in != sch.input_ids.size:
+            raise StimulusError(
+                f"stimulus provides {n_in} input bits, design has "
+                f"{sch.input_ids.size}"
+            )
+
+        cols = None
+        if record.columns is not None:
+            cols = np.asarray(record.columns, dtype=np.int64)
+            if cols.size and (cols.min() < 0 or cols.max() >= self._n):
+                raise SimulationError("record columns out of range")
+        acc_weights: dict[str, np.ndarray] = {}
+        for name, w in record.accumulators.items():
+            w = np.asarray(w, dtype=np.float32)
+            if w.shape != (self._n,):
+                raise SimulationError(
+                    f"accumulator {name!r} has shape {w.shape}, expected "
+                    f"({self._n},)"
+                )
+            acc_weights[name] = w
+
+        # Output buffers.
+        packed_out = None
+        if record.full_trace:
+            packed_out = np.empty(
+                (cycles, (self._n + 7) // 8, batch), dtype=np.uint8
+            )
+        cols_out = None
+        if cols is not None:
+            cols_out = np.empty((batch, cycles, cols.size), dtype=np.uint8)
+        acc_out = {
+            name: np.empty((batch, cycles), dtype=np.float64)
+            for name in acc_weights
+        }
+
+        t0 = time.perf_counter()
+        if init_values is not None:
+            if init_values.shape != (self._n, batch):
+                raise SimulationError(
+                    f"init_values shape {init_values.shape} != "
+                    f"({self._n}, {batch})"
+                )
+            v_prev = init_values.astype(np.uint8).copy()
+        else:
+            v_prev = self._initial_values(batch)
+        vals = np.empty_like(v_prev)
+        # Pre-gather register enable handling: split always-on vs gated.
+        gated_mask = sch.reg_en != NO_NET
+        gated_out = sch.reg_out[gated_mask]
+        gated_d = sch.reg_d[gated_mask]
+        gated_en = sch.reg_en[gated_mask]
+        free_out = sch.reg_out[~gated_mask]
+        free_d = sch.reg_d[~gated_mask]
+        clk_gated = sch.clk_en != NO_NET
+        clk_g_out = sch.clk_out[clk_gated]
+        clk_g_en = sch.clk_en[clk_gated]
+        clk_free_out = sch.clk_out[~clk_gated]
+
+        stim_t = np.ascontiguousarray(np.transpose(stim, (1, 2, 0)))
+
+        for i in range(cycles):
+            np.copyto(vals, v_prev)
+            # 1. register capture (uses previous-cycle D and enables).
+            if free_out.size:
+                vals[free_out] = v_prev[free_d]
+            if gated_out.size:
+                en = v_prev[gated_en]
+                vals[gated_out] = np.where(
+                    en.astype(bool), v_prev[gated_d], v_prev[gated_out]
+                )
+            # 2. stimulus.
+            if sch.input_ids.size:
+                vals[sch.input_ids] = stim_t[i]
+            # 3. combinational evaluation.
+            self._eval_comb(vals)
+            # 4. clock nets.
+            if clk_free_out.size:
+                vals[clk_free_out] = 1
+            if clk_g_out.size:
+                vals[clk_g_out] = v_prev[clk_g_en]
+            # 5. toggles.
+            toggles = vals ^ v_prev
+            if clk_free_out.size:
+                toggles[clk_free_out] = 1
+            if clk_g_out.size:
+                toggles[clk_g_out] = vals[clk_g_out]
+            # 6. record.
+            if packed_out is not None:
+                packed_out[i] = np.packbits(toggles, axis=0)
+            if cols_out is not None:
+                cols_out[:, i, :] = toggles[cols].T
+            for name, w in acc_weights.items():
+                acc_out[name][:, i] = w @ toggles
+            v_prev, vals = vals, v_prev
+
+        elapsed = time.perf_counter() - t0
+        trace = None
+        if packed_out is not None:
+            trace = ToggleTrace(
+                packed=np.ascontiguousarray(
+                    np.transpose(packed_out, (2, 0, 1))
+                ),
+                n_nets=self._n,
+            )
+        return SimResult(
+            n_cycles=cycles,
+            batch=batch,
+            trace=trace,
+            columns=cols_out,
+            accum=acc_out,
+            elapsed=elapsed,
+            final_values=v_prev.copy(),
+        )

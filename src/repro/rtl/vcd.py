@@ -1,0 +1,187 @@
+"""VCD (Value Change Dump) export/import for toggle traces.
+
+The paper's conventional flow dumps simulation traces as VCD/FSDB files
+for the power tool to consume (Fig. 7a); this module provides the same
+interchange format so traces from this simulator can be inspected with
+standard waveform viewers (GTKWave etc.) and external VCDs can be turned
+into :class:`~repro.rtl.trace.ToggleTrace` features.
+
+Toggle traces record *transitions*, not levels; export reconstructs a
+consistent level waveform by starting every signal at 0 and flipping it
+on each recorded toggle (gated-clock nets, whose "toggle" is the enable,
+are emitted as one full 0->1->0 pulse in their cycle).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import IO, Iterable
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.rtl.netlist import Netlist
+from repro.rtl.trace import ToggleTrace
+
+__all__ = ["write_vcd", "read_vcd", "vcd_identifiers"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def vcd_identifiers(count: int) -> list[str]:
+    """The first ``count`` VCD short identifiers (base-94 strings)."""
+    out = []
+    for i in range(count):
+        s = ""
+        n = i
+        while True:
+            s += _ID_CHARS[n % 94]
+            n = n // 94 - 1
+            if n < 0:
+                break
+        out.append(s)
+    return out
+
+
+def _sanitize(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_./\[\]$]", "_", name)
+
+
+def write_vcd(
+    trace: ToggleTrace,
+    path: str | Path,
+    netlist: Netlist | None = None,
+    nets: Iterable[int] | None = None,
+    timescale: str = "1ns",
+    batch: int = 0,
+) -> int:
+    """Write (selected nets of) a toggle trace as a VCD file.
+
+    Parameters
+    ----------
+    trace:
+        The toggle trace to export.
+    netlist:
+        Optional; provides signal names and gated-clock identification.
+        Without it, nets are named ``net<i>``.
+    nets:
+        Net ids to export (default: all — can be large!).
+
+    Returns
+    -------
+    int
+        Number of value changes written.
+    """
+    if batch >= trace.batch:
+        raise SimulationError(f"batch {batch} out of range")
+    ids = (
+        np.asarray(sorted(set(int(n) for n in nets)))
+        if nets is not None
+        else np.arange(trace.n_nets)
+    )
+    dense = trace.dense(ids)[batch]  # (cycles, k)
+    k = ids.size
+    short = vcd_identifiers(k)
+    clk_nets: set[int] = set()
+    names = [f"net{i}" for i in ids]
+    if netlist is not None:
+        names = [_sanitize(netlist.name_of(int(i))) for i in ids]
+        clk_nets = {d.clk_net for d in netlist.domains}
+
+    changes = 0
+    with open(path, "w") as fh:
+        fh.write("$date repro $end\n")
+        fh.write("$version repro.rtl.vcd $end\n")
+        fh.write(f"$timescale {timescale} $end\n")
+        fh.write("$scope module top $end\n")
+        for sid, name in zip(short, names):
+            fh.write(f"$var wire 1 {sid} {name} $end\n")
+        fh.write("$upscope $end\n$enddefinitions $end\n")
+        # Initial values: everything 0.
+        fh.write("#0\n$dumpvars\n")
+        for sid in short:
+            fh.write(f"0{sid}\n")
+        fh.write("$end\n")
+        level = np.zeros(k, dtype=np.uint8)
+        for cyc in range(dense.shape[0]):
+            row = dense[cyc]
+            lines: list[str] = []
+            pulse_back: list[str] = []
+            for j in np.nonzero(row)[0]:
+                if int(ids[j]) in clk_nets:
+                    # enable pulse: rise now, fall at the half cycle
+                    lines.append(f"1{short[j]}")
+                    pulse_back.append(f"0{short[j]}")
+                else:
+                    level[j] ^= 1
+                    lines.append(f"{level[j]}{short[j]}")
+            if lines:
+                fh.write(f"#{(cyc + 1) * 10}\n")
+                fh.write("\n".join(lines) + "\n")
+                changes += len(lines)
+            if pulse_back:
+                fh.write(f"#{(cyc + 1) * 10 + 5}\n")
+                fh.write("\n".join(pulse_back) + "\n")
+                changes += len(pulse_back)
+    return changes
+
+
+def read_vcd(
+    path: str | Path, cycle_time: int = 10
+) -> tuple[ToggleTrace, list[str]]:
+    """Parse a single-bit VCD into a toggle trace.
+
+    Value changes within one ``cycle_time`` window count as that cycle's
+    toggles (multiple flips in a cycle still record a single toggle bit —
+    toggle traces are per-cycle transition indicators).
+
+    Returns
+    -------
+    (trace, names):
+        The toggle trace (batch 1) and the signal names in column order.
+    """
+    ids: dict[str, int] = {}
+    names: list[str] = []
+    changes: list[tuple[int, int]] = []  # (cycle, column)
+    time = 0
+    in_defs = True
+    with open(path) as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if in_defs:
+                if line.startswith("$var"):
+                    parts = line.split()
+                    # $var wire 1 <id> <name> $end
+                    if len(parts) < 6 or parts[2] != "1":
+                        raise SimulationError(
+                            f"only 1-bit vars supported: {line!r}"
+                        )
+                    ids[parts[3]] = len(names)
+                    names.append(parts[4])
+                elif line.startswith("$enddefinitions"):
+                    in_defs = False
+                continue
+            if line.startswith("#"):
+                time = int(line[1:])
+                continue
+            if line.startswith("$"):
+                continue
+            value, sid = line[0], line[1:]
+            if value not in "01xz":
+                raise SimulationError(f"unsupported value line {line!r}")
+            if sid not in ids:
+                raise SimulationError(f"undeclared identifier {sid!r}")
+            # Cycle c's events are written at times in
+            # [(c + 1) * cycle_time, (c + 2) * cycle_time).
+            cycle = max(0, time // cycle_time - 1)
+            if time > 0:
+                changes.append((cycle, ids[sid]))
+
+    n_cycles = 1 + max((c for c, _ in changes), default=0)
+    dense = np.zeros((1, n_cycles, len(names)), dtype=np.uint8)
+    for cyc, col in changes:
+        dense[0, cyc, col] = 1
+    return ToggleTrace.from_dense(dense), names

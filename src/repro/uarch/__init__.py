@@ -1,0 +1,29 @@
+"""Microarchitecture substrate: a cycle-level out-of-order core model.
+
+The pipeline model is *trace-driven*: architectural execution (values)
+happens in program order via :class:`repro.isa.ArchState`, and a timing
+model (fetch / decode / dispatch / issue / writeback / retire with caches
+and branch prediction) schedules when each instruction's activity lands.
+Its output, the :class:`~repro.uarch.events.ActivityTrace`, carries
+per-cycle operand values and unit-enable bits — the stimulus that drives
+the gate-level core design in :mod:`repro.design`.
+"""
+
+from repro.uarch.params import CoreParams, ThrottleScheme, N1_LIKE, A77_LIKE, M0_LIKE
+from repro.uarch.caches import Cache, CacheStats
+from repro.uarch.events import ActivityTrace, stimulus_schema
+from repro.uarch.pipeline import Pipeline, PipelineStats
+
+__all__ = [
+    "CoreParams",
+    "ThrottleScheme",
+    "N1_LIKE",
+    "A77_LIKE",
+    "M0_LIKE",
+    "Cache",
+    "CacheStats",
+    "ActivityTrace",
+    "stimulus_schema",
+    "Pipeline",
+    "PipelineStats",
+]

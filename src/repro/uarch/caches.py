@@ -1,0 +1,78 @@
+"""Set-associative LRU cache model (L1I / L1D / shared L2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+__all__ = ["Cache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative LRU cache over word addresses.
+
+    Geometry: ``n_sets`` sets x ``assoc`` ways, ``line_words`` words per
+    line.  Lookups return hit/miss; fills happen implicitly on miss
+    (allocate-on-miss, no writeback modeling — power effects of misses are
+    captured through the miss-handling activity channels instead).
+    """
+
+    def __init__(self, n_sets: int, assoc: int, line_words: int) -> None:
+        if n_sets <= 0 or assoc <= 0 or line_words <= 0:
+            raise ReproError("cache geometry must be positive")
+        if n_sets & (n_sets - 1):
+            raise ReproError("n_sets must be a power of two")
+        if line_words & (line_words - 1):
+            raise ReproError("line_words must be a power of two")
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self.line_words = line_words
+        # Per set: list of tags, most-recently-used last.
+        self._sets: list[list[int]] = [[] for _ in range(n_sets)]
+        self.stats = CacheStats()
+
+    @property
+    def capacity_words(self) -> int:
+        return self.n_sets * self.assoc * self.line_words
+
+    def _index_tag(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_words
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, addr: int) -> bool:
+        """Access ``addr``; returns True on hit.  Misses allocate."""
+        idx, tag = self._index_tag(addr)
+        ways = self._sets[idx]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.assoc:
+            ways.pop(0)
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Non-allocating lookup (no stats update)."""
+        idx, tag = self._index_tag(addr)
+        return tag in self._sets[idx]
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.n_sets)]
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(w) for w in self._sets)

@@ -1,0 +1,55 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rtl import Netlist, Simulator
+
+
+def bus_value(vals: np.ndarray, bus: list[int], batch: int = 0) -> int:
+    """Interpret a bus (LSB first) as an unsigned integer."""
+    return int(sum(int(vals[b, batch]) << i for i, b in enumerate(bus)))
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """LSB-first bit list of ``value``."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def eval_inputs(nl: Netlist, assignments: dict[int, int]) -> np.ndarray:
+    """Combinationally evaluate ``nl`` with input net -> bit assignments."""
+    sim = Simulator(nl)
+    input_ids = list(sim.schedule.input_ids)
+    bits = np.zeros(len(input_ids), dtype=np.uint8)
+    for net, v in assignments.items():
+        bits[input_ids.index(net)] = v & 1
+    return sim.comb_eval(bits)
+
+
+def assign_bus(
+    assignments: dict[int, int], bus: list[int], value: int
+) -> None:
+    for i, net in enumerate(bus):
+        assignments[net] = (value >> i) & 1
+
+
+def simple_counter_design(width: int = 4, gated: bool = False):
+    """A small sequential design: a counter, optionally clock-gated.
+
+    Returns (netlist, dict) exposing the interesting nets.
+    """
+    from repro.rtl.datapath import (
+        connect_register_bus,
+        incrementer,
+        register_bus_uninit,
+    )
+
+    nl = Netlist("counter")
+    en_in = nl.input_bit("en") if gated else None
+    dom = nl.clock_domain("main", enable=en_in)
+    with nl.scope("ctr"):
+        regs = register_bus_uninit(nl, width, dom, name="q")
+        inc = incrementer(nl, regs)
+        connect_register_bus(nl, regs, inc)
+    return nl, {"dom": dom, "regs": regs, "inc": inc, "en": en_in}

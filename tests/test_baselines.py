@@ -1,0 +1,188 @@
+"""Tests for baseline methods: Lasso, Simmani, PRIMAL CNN, PCA."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    METHODS,
+    PcaLinearModel,
+    PrimalCnn,
+    SimmaniModel,
+    train_lasso_baseline,
+    train_pca_baseline,
+    train_primal_cnn,
+    train_simmani,
+)
+from repro.baselines.simmani import cluster_signals
+from repro.core import nrmse, r2_score
+from repro.errors import PowerModelError
+
+
+def _problem(n=900, m=90, k=7, seed=3, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, m)) < rng.uniform(0.1, 0.5, size=m)).astype(np.uint8)
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(1.0, 4.0, size=k)
+    y = X[:, support] @ w + 1.0 + noise * rng.standard_normal(n)
+    return X, y, support, w
+
+
+def _clustered_problem(n=1024, groups=8, per_group=12, seed=4, noise=0.05):
+    """Signals come in correlated groups (like real RTL); power is a
+    weighted sum of group activities.  Clustering-based selection works
+    here, which is the regime Simmani/PCA were designed for."""
+    rng = np.random.default_rng(seed)
+    bases = (rng.random((n, groups)) < 0.35).astype(np.uint8)
+    cols = []
+    for g in range(groups):
+        for _ in range(per_group):
+            flip = (rng.random(n) < 0.08).astype(np.uint8)
+            cols.append(bases[:, g] ^ flip)
+    X = np.array(cols).T.astype(np.uint8)
+    w = rng.uniform(1.0, 4.0, size=groups)
+    y = bases @ w + 1.0 + noise * rng.standard_normal(n)
+    return X, y
+
+
+# --------------------------------------------------------------------- #
+# Lasso baseline
+# --------------------------------------------------------------------- #
+def test_lasso_baseline_reasonable():
+    X, y, support, _w = _problem()
+    model = train_lasso_baseline(X, y, q=7)
+    p = model.predict(X[:, model.proxies].astype(float))
+    assert r2_score(y, p) > 0.9
+    assert model.selection.penalty == "lasso"
+
+
+# --------------------------------------------------------------------- #
+# Simmani
+# --------------------------------------------------------------------- #
+def test_cluster_signals_separates_groups():
+    """Signals with distinct toggle phases land in distinct clusters."""
+    rng = np.random.default_rng(0)
+    n = 512
+    phase_a = (np.arange(n) // 64) % 2  # slow square wave
+    phase_b = 1 - phase_a
+    cols = []
+    for _ in range(10):
+        cols.append(phase_a * (rng.random(n) < 0.9))
+    for _ in range(10):
+        cols.append(phase_b * (rng.random(n) < 0.9))
+    X = np.array(cols).T.astype(np.uint8)
+    reps = cluster_signals(X, q=2, signature_window=32)
+    assert len(reps) == 2
+    groups = {int(r) // 10 for r in reps}
+    assert groups == {0, 1}  # one representative from each family
+
+
+def test_simmani_accuracy_and_api():
+    X, y = _clustered_problem()
+    model = train_simmani(X, y, q=20)
+    p = model.predict(X[:, model.proxies].astype(float))
+    assert r2_score(y, p) > 0.8
+    assert model.q == 20
+    assert model.n_terms > 20  # polynomial terms present
+
+
+def test_simmani_windowed_training():
+    X, y = _clustered_problem(n=1024)
+    model = train_simmani(X, y, q=15, t=8)
+    Xq = X[:, model.proxies].astype(float)
+    p = model.predict_window(Xq, t=8)
+    from repro.core import window_average
+
+    _xw, yw = window_average(X.astype(float), y, 8)
+    assert nrmse(yw, p) < 0.25
+
+
+def test_simmani_candidate_ids():
+    X, y, _s, _w = _problem()
+    ids = np.arange(X.shape[1]) + 300
+    model = train_simmani(X, y, q=10, candidate_ids=ids)
+    assert model.proxies.min() >= 300
+
+
+def test_simmani_input_validation():
+    X, y, _s, _w = _problem()
+    model = train_simmani(X, y, q=10)
+    with pytest.raises(PowerModelError):
+        model.predict(np.zeros((5, 3)))
+    with pytest.raises(PowerModelError):
+        train_simmani(np.zeros((100, 5), dtype=np.uint8), np.ones(100), q=3)
+
+
+# --------------------------------------------------------------------- #
+# PRIMAL CNN
+# --------------------------------------------------------------------- #
+def test_primal_cnn_learns():
+    X, y, _s, _w = _problem(n=600, m=64)
+    model = train_primal_cnn(X, y, epochs=60, seed=1)
+    p = model.predict(X)
+    assert r2_score(y, p) > 0.75
+    # training loss decreased
+    assert model.history[-1] < model.history[0]
+
+
+def test_primal_cnn_validation():
+    with pytest.raises(PowerModelError):
+        PrimalCnn(n_features=2)
+    X, y, _s, _w = _problem(m=64)
+    model = PrimalCnn(n_features=64)
+    with pytest.raises(PowerModelError):
+        model.predict(X.astype(float))  # untrained
+    model.fit(X, y, epochs=1)
+    with pytest.raises(PowerModelError):
+        model.predict(np.zeros((5, 32)))
+
+
+def test_primal_cnn_deterministic():
+    X, y, _s, _w = _problem(n=300, m=36)
+    p1 = train_primal_cnn(X, y, epochs=5, seed=4).predict(X)
+    p2 = train_primal_cnn(X, y, epochs=5, seed=4).predict(X)
+    np.testing.assert_allclose(p1, p2)
+
+
+# --------------------------------------------------------------------- #
+# PCA baseline
+# --------------------------------------------------------------------- #
+def test_pca_baseline_accuracy():
+    X, y = _clustered_problem()
+    model = train_pca_baseline(X, y, n_components=40)
+    p = model.predict(X.astype(float))
+    assert r2_score(y, p) > 0.9
+    assert model.n_components == 40
+
+
+def test_pca_requires_full_signal_vector():
+    X, y, _s, _w = _problem()
+    model = train_pca_baseline(X, y, n_components=10)
+    with pytest.raises(PowerModelError):
+        model.predict(X[:, :10].astype(float))
+
+
+def test_pca_component_cap():
+    X, y, _s, _w = _problem(n=50, m=90)
+    model = train_pca_baseline(X, y, n_components=500)
+    assert model.n_components <= 49
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+def test_registry_scalings():
+    apollo = METHODS["apollo"]
+    assert apollo.counter_count(159) == 1
+    assert apollo.multiplier_count(159) == 0
+    simmani = METHODS["simmani"]
+    assert simmani.multiplier_count(20) == 400
+    lasso = METHODS["lasso"]
+    assert lasso.counter_count(30) == 30
+    cnn = METHODS["primal_cnn"]
+    assert cnn.counter_count(10) is None
+
+
+def test_registry_covers_comparison_methods():
+    for key in ("apollo", "apollo_tau", "lasso", "simmani",
+                "primal_cnn", "pca"):
+        assert key in METHODS

@@ -1,0 +1,52 @@
+"""Tests for the apollo-repro CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10" in out
+    assert "table4" in out
+    assert "ext_dvfs" in out
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "n1-like" in out
+    assert "a77-like" in out
+    assert "nets" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_experiment_writes_output(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "art"))
+    out_file = tmp_path / "t1.txt"
+    rc = main(
+        ["run", "table1", "--scale", "tiny", "--out", str(out_file)]
+    )
+    assert rc == 0
+    text = out_file.read_text()
+    assert "table1" in text
+    assert "APOLLO" in text
+
+
+def test_run_table_experiment_on_tiny_context(tmp_path, monkeypatch,
+                                              capsys):
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "art"))
+    rc = main(["run", "table3", "--scale", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,96 @@
+"""Tests for configuration scales and the report rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.config import SCALES, Scale, artifacts_dir, get_scale
+from repro.experiments.report import format_kv, format_series, format_table
+
+
+# --------------------------------------------------------------------- #
+# config
+# --------------------------------------------------------------------- #
+def test_scales_registry():
+    assert set(SCALES) == {"tiny", "small", "default"}
+    for scale in SCALES.values():
+        assert scale.train_cycles > 0
+        assert scale.screen_width > 2 * scale.max_quickstart_q
+
+
+def test_scales_are_ordered():
+    assert (
+        SCALES["tiny"].train_cycles
+        < SCALES["small"].train_cycles
+        < SCALES["default"].train_cycles
+    )
+
+
+def test_get_scale_by_name_and_env(monkeypatch):
+    assert get_scale("tiny").name == "tiny"
+    monkeypatch.setenv("REPRO_SCALE", "small")
+    assert get_scale().name == "small"
+    monkeypatch.setenv("REPRO_SCALE", "bogus")
+    with pytest.raises(KeyError):
+        get_scale()
+
+
+def test_scale_scaled_override():
+    s = get_scale("tiny").scaled(train_cycles=99)
+    assert s.train_cycles == 99
+    assert s.name == "tiny"
+
+
+def test_artifacts_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "x"))
+    path = artifacts_dir()
+    assert path == tmp_path / "x"
+    assert path.is_dir()
+
+
+# --------------------------------------------------------------------- #
+# report rendering
+# --------------------------------------------------------------------- #
+def test_format_table_alignment_and_title():
+    rows = [
+        {"name": "a", "value": 1.23456},
+        {"name": "long-name", "value": 0.00001234},
+    ]
+    text = format_table(rows, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    # every data row has the same width as the header
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+    assert "1.235" in text
+    assert "1.23e-05" in text
+
+
+def test_format_table_empty_and_column_selection():
+    assert "(empty)" in format_table([], title="x")
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    text = format_table(rows, columns=["c", "a"])
+    header = text.splitlines()[0]
+    assert "c" in header and "a" in header and "b" not in header
+
+
+def test_format_series():
+    text = format_series(
+        [1, 2, 3], {"y1": [0.1, 0.2, 0.3], "y2": [9, 8, 7]}, x_name="t"
+    )
+    assert "t" in text and "y1" in text and "y2" in text
+    assert "0.2" in text
+
+
+def test_format_series_ragged():
+    text = format_series([1, 2], {"y": [5]}, x_name="x")
+    assert "5" in text  # missing second value renders empty
+
+
+def test_format_kv():
+    text = format_kv({"alpha": 1.5, "beta_long_key": "x"}, title="K")
+    lines = text.splitlines()
+    assert lines[0] == "K"
+    assert lines[1].startswith("alpha")
+    # aligned colons
+    assert lines[1].index(":") == lines[2].index(":")

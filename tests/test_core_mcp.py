@@ -1,0 +1,101 @@
+"""Property tests for the MCP penalty, derivative, and prox (Eqs. 6-7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import mcp_penalty, mcp_prox, mcp_shrink_rate
+from repro.core.mcp import soft_threshold
+from repro.errors import PowerModelError
+
+LAM = st.floats(0.01, 5.0)
+GAMMA = st.floats(1.2, 30.0)
+W = st.floats(-50.0, 50.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(PowerModelError):
+        mcp_penalty(1.0, lam=-1.0, gamma=3.0)
+    with pytest.raises(PowerModelError):
+        mcp_prox(1.0, lam=1.0, gamma=1.0)  # gamma must exceed 1
+
+
+@given(W, LAM, GAMMA)
+@settings(max_examples=80, deadline=None)
+def test_penalty_piecewise_definition(w, lam, gamma):
+    p = float(mcp_penalty(w, lam, gamma))
+    if abs(w) <= gamma * lam:
+        assert p == pytest.approx(lam * abs(w) - w * w / (2 * gamma))
+    else:
+        assert p == pytest.approx(0.5 * gamma * lam * lam)
+
+
+@given(LAM, GAMMA)
+@settings(max_examples=40, deadline=None)
+def test_penalty_saturates_and_is_monotone(lam, gamma):
+    ws = np.linspace(0, 3 * gamma * lam, 200)
+    p = mcp_penalty(ws, lam, gamma)
+    assert np.all(np.diff(p) >= -1e-12)  # nondecreasing in |w|
+    assert p[-1] == pytest.approx(0.5 * gamma * lam * lam)
+
+
+@given(W, LAM, GAMMA)
+@settings(max_examples=80, deadline=None)
+def test_shrink_rate_matches_eq7(w, lam, gamma):
+    r = float(mcp_shrink_rate(w, lam, gamma))
+    if abs(w) <= gamma * lam:
+        assert r == pytest.approx(lam - abs(w) / gamma, abs=1e-12)
+    else:
+        assert r == 0.0
+
+
+def test_large_weights_not_shrunk_lasso_contrast():
+    """The headline MCP property: big weights see zero shrinking rate."""
+    lam, gamma = 1.0, 3.0
+    big = 10.0
+    assert float(mcp_shrink_rate(big, lam, gamma)) == 0.0
+    # while Lasso's rate is lam everywhere
+    assert float(mcp_shrink_rate(0.1, lam, gamma)) > 0.9
+
+
+@given(st.floats(-20, 20), LAM, GAMMA)
+@settings(max_examples=80, deadline=None)
+def test_prox_piecewise_form(z, lam, gamma):
+    w = float(mcp_prox(z, lam, gamma))
+    if abs(z) <= lam:
+        assert w == 0.0
+    elif abs(z) > gamma * lam:
+        assert w == pytest.approx(z)
+    else:
+        expect = np.sign(z) * (abs(z) - lam) / (1 - 1 / gamma)
+        assert w == pytest.approx(expect, rel=1e-9)
+
+
+@given(st.floats(-10, 10), LAM, st.floats(1.5, 10.0))
+@settings(max_examples=60, deadline=None)
+def test_prox_minimizes_objective(z, lam, gamma):
+    """prox(z) beats a dense grid of alternatives on the prox objective."""
+    w_star = float(mcp_prox(z, lam, gamma))
+
+    def obj(w):
+        return 0.5 * (w - z) ** 2 + float(mcp_penalty(w, lam, gamma))
+
+    grid = np.linspace(z - 3 * lam - 1, z + 3 * lam + 1, 400)
+    assert obj(w_star) <= min(obj(g) for g in grid) + 1e-8
+
+
+def test_prox_shrinks_less_than_lasso_midrange():
+    lam, gamma = 1.0, 5.0
+    z = 3.0  # lam < z < gamma*lam
+    w_mcp = float(mcp_prox(z, lam, gamma))
+    w_lasso = float(soft_threshold(z, lam))
+    assert w_lasso < w_mcp <= z
+
+
+def test_vectorized_prox():
+    z = np.array([-5.0, -0.5, 0.0, 0.5, 2.0, 50.0])
+    out = mcp_prox(z, lam=1.0, gamma=3.0)
+    assert out.shape == z.shape
+    assert out[2] == 0.0 and out[1] == 0.0 and out[3] == 0.0
+    assert out[5] == pytest.approx(50.0)

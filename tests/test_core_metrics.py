@@ -1,0 +1,106 @@
+"""Tests for accuracy and collinearity metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import nmae, nrmse, pearson, r2_score, vif_mean, vif_values
+from repro.errors import PowerModelError
+
+
+def test_perfect_prediction():
+    y = np.array([1.0, 2.0, 3.0])
+    assert r2_score(y, y) == 1.0
+    assert nrmse(y, y) == 0.0
+    assert nmae(y, y) == 0.0
+    assert pearson(y, y) == pytest.approx(1.0)
+
+
+def test_known_values():
+    y = np.array([2.0, 4.0])
+    p = np.array([3.0, 3.0])
+    # mean y = 3; rmse = 1 -> nrmse = 1/3
+    assert nrmse(y, p) == pytest.approx(1 / 3)
+    # sum |err| = 2, sum y = 6 -> nmae = 1/3
+    assert nmae(y, p) == pytest.approx(1 / 3)
+    # ss_res = 2, ss_tot = 2 -> r2 = 0
+    assert r2_score(y, p) == pytest.approx(0.0)
+
+
+def test_r2_constant_labels():
+    y = np.ones(5)
+    assert r2_score(y, y) == 1.0
+    assert r2_score(y, y + 1) == float("-inf")
+
+
+def test_mean_predictor_r2_zero():
+    rng = np.random.default_rng(0)
+    y = rng.random(100)
+    assert r2_score(y, np.full_like(y, y.mean())) == pytest.approx(0.0)
+
+
+def test_shape_and_degenerate_errors():
+    with pytest.raises(PowerModelError):
+        r2_score(np.ones(3), np.ones(4))
+    with pytest.raises(PowerModelError):
+        nrmse(np.zeros(3), np.zeros(3))
+    with pytest.raises(PowerModelError):
+        nmae(np.zeros(3), np.zeros(3))
+    with pytest.raises(PowerModelError):
+        pearson(np.ones(3), np.arange(3.0))
+    with pytest.raises(PowerModelError):
+        r2_score(np.array([]), np.array([]))
+
+
+@given(
+    arrays(np.float64, st.integers(5, 50),
+           elements=st.floats(0.1, 100.0)),
+)
+@settings(max_examples=30, deadline=None)
+def test_nrmse_scale_invariant(y):
+    """Scaling labels and predictions together leaves NRMSE unchanged."""
+    p = y * 1.1
+    a = nrmse(y, p)
+    b = nrmse(y * 7.0, p * 7.0)
+    assert a == pytest.approx(b, rel=1e-9)
+
+
+def test_pearson_sign():
+    x = np.arange(50.0)
+    assert pearson(x, 3 * x + 2) == pytest.approx(1.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+
+
+def test_vif_independent_columns_near_one():
+    rng = np.random.default_rng(1)
+    X = rng.standard_normal((5000, 4))
+    v = vif_values(X)
+    assert np.all(v < 1.1)
+
+
+def test_vif_detects_collinearity():
+    rng = np.random.default_rng(2)
+    base = rng.standard_normal(2000)
+    X = np.column_stack(
+        [base, base + 0.1 * rng.standard_normal(2000),
+         rng.standard_normal(2000)]
+    )
+    v = vif_values(X)
+    assert v[0] > 5 and v[1] > 5
+    assert v[2] < 2
+    assert vif_mean(X) > 3
+
+
+def test_vif_constant_column_is_one():
+    rng = np.random.default_rng(3)
+    X = np.column_stack([np.ones(100), rng.standard_normal(100),
+                         rng.standard_normal(100)])
+    v = vif_values(X)
+    assert v[0] == 1.0
+
+
+def test_vif_needs_two_columns():
+    with pytest.raises(PowerModelError):
+        vif_values(np.ones((10, 1)))

@@ -1,0 +1,141 @@
+"""Tests for the multi-cycle APOLLO_tau model (Eq. 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ApolloTauModel,
+    nrmse,
+    train_apollo,
+    train_apollo_tau,
+    window_average,
+)
+from repro.errors import PowerModelError
+
+
+def _problem(n=1024, m=80, k=6, seed=2, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, m)) < rng.uniform(0.1, 0.5, size=m)).astype(np.uint8)
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(1.0, 4.0, size=k)
+    y = X[:, support] @ w + 1.0 + noise * rng.standard_normal(n)
+    return X, y, support, w
+
+
+def test_window_average_values():
+    X = np.arange(12, dtype=float).reshape(6, 2)
+    y = np.arange(6, dtype=float)
+    Xw, yw = window_average(X, y, tau=2)
+    np.testing.assert_allclose(yw, [0.5, 2.5, 4.5])
+    np.testing.assert_allclose(Xw[0], [1.0, 2.0])
+
+
+def test_window_average_drops_remainder():
+    X = np.ones((7, 3))
+    y = np.ones(7)
+    Xw, yw = window_average(X, y, tau=2)
+    assert Xw.shape == (3, 3) and yw.shape == (3,)
+
+
+def test_window_average_sliding_stride():
+    X = np.arange(10, dtype=float).reshape(10, 1)
+    y = np.arange(10, dtype=float)
+    Xw, yw = window_average(X, y, tau=4, stride=2)
+    # starts at 0, 2, 4, 6 -> means 1.5, 3.5, 5.5, 7.5
+    np.testing.assert_allclose(yw, [1.5, 3.5, 5.5, 7.5])
+    np.testing.assert_allclose(Xw[:, 0], yw)
+
+
+def test_window_average_stride_one_is_dense():
+    rng = np.random.default_rng(0)
+    X = rng.random((50, 3))
+    y = rng.random(50)
+    Xw, yw = window_average(X, y, tau=8, stride=1)
+    assert yw.shape == (43,)
+    np.testing.assert_allclose(yw[0], y[:8].mean())
+    np.testing.assert_allclose(yw[-1], y[-8:].mean())
+
+
+def test_window_average_stride_validation():
+    with pytest.raises(PowerModelError):
+        window_average(np.ones((8, 2)), np.ones(8), tau=2, stride=0)
+
+
+def test_window_average_validation():
+    with pytest.raises(PowerModelError):
+        window_average(np.ones((4, 2)), np.ones(4), tau=0)
+    with pytest.raises(PowerModelError):
+        window_average(np.ones((3, 2)), np.ones(3), tau=8)
+    with pytest.raises(PowerModelError):
+        window_average(np.ones((3, 2)), np.ones(4), tau=1)
+
+
+def test_eq9_rearrangement_equivalence():
+    """Predicting a window of T = tau from per-cycle toggles equals the
+    interval model applied to averaged inputs — Eq. 9's identity."""
+    X, y, _s, _w = _problem()
+    tau = 8
+    model = train_apollo_tau(X, y, q=6, tau=tau)
+    Xq = X[:, model.proxies].astype(np.float64)
+    # Eq. 9 path: per-cycle weighted sums averaged over the window.
+    via_eq9 = model.predict_window(Xq, t=tau)
+    # Direct path: interval-averaged inputs through the linear model.
+    Xw, _yw = window_average(Xq, y, tau)
+    direct = Xw @ model.weights + model.intercept
+    np.testing.assert_allclose(via_eq9, direct, rtol=1e-10)
+
+
+def test_tau_model_accuracy_on_windows():
+    X, y, _s, _w = _problem()
+    model = train_apollo_tau(X, y, q=6, tau=4)
+    Xq = X[:, model.proxies].astype(np.float64)
+    for t in (4, 8, 16):
+        p = model.predict_window(Xq, t=t)
+        _Xw, yw = window_average(X, y, t)
+        assert nrmse(yw, p) < 0.1
+
+
+def test_inference_independent_of_tau_training_only():
+    """Two models with different tau share the same inference machinery;
+    predict_window works for any T, not just multiples of tau."""
+    X, y, _s, _w = _problem()
+    model = train_apollo_tau(X, y, q=6, tau=8)
+    Xq = X[:, model.proxies].astype(np.float64)
+    p = model.predict_window(Xq, t=6)  # T not a multiple of tau
+    assert p.shape == (X.shape[0] // 6,)
+
+
+def test_multicycle_beats_percycle_average_on_noisy_windows():
+    """With label noise that is uncorrelated across cycles, training on
+    averaged intervals should match or beat averaging per-cycle fits."""
+    rng = np.random.default_rng(5)
+    n, m, k = 2048, 60, 5
+    X = (rng.random((n, m)) < 0.3).astype(np.uint8)
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(1, 4, size=k)
+    # heavy per-cycle noise, mild window-level signal
+    y = X[:, support] @ w + 1.0 + 2.0 * rng.standard_normal(n)
+    t = 16
+    tau_model = train_apollo_tau(X, y, q=k, tau=8)
+    pc_model = train_apollo(X, y, q=k)
+    _Xw, yw = window_average(X, y, t)
+    p_tau = tau_model.predict_window(
+        X[:, tau_model.proxies].astype(float), t
+    )
+    p_pc = pc_model.predict_window(X[:, pc_model.proxies].astype(float), t)
+    assert nrmse(yw, p_tau) <= nrmse(yw, p_pc) * 1.2
+
+
+def test_validation_and_roundtrip(tmp_path):
+    with pytest.raises(PowerModelError):
+        ApolloTauModel(proxies=[1], weights=[1.0], tau=0)
+    m = ApolloTauModel(proxies=[1, 2], weights=[1.0, 2.0], tau=8)
+    with pytest.raises(PowerModelError):
+        m.predict_window(np.zeros((4, 3)), t=2)
+    with pytest.raises(PowerModelError):
+        m.predict_window(np.zeros((4, 2)), t=0)
+    path = tmp_path / "tau.npz"
+    m.save(path)
+    loaded = ApolloTauModel.load(path)
+    assert loaded.tau == 8
+    np.testing.assert_allclose(loaded.weights, m.weights)

@@ -1,0 +1,114 @@
+"""Optimality-condition tests for the coordinate-descent solvers.
+
+Beyond prediction quality, the fits must satisfy the stationarity
+conditions of their objectives:
+
+* Lasso (KKT): for active coordinates the standardized-space gradient of
+  the loss equals ``-lam * sign(w)``; for inactive ones it is bounded by
+  ``lam``.
+* MCP: for active coordinates the loss gradient equals the MCP
+  derivative ``-sign(w) * max(lam - |w|/gamma, 0)``; inactive ones are
+  bounded by ``lam``.
+* Ridge: exact normal equations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import coordinate_descent, ridge_fit
+from repro.core.solvers import Standardizer
+
+
+def _problem(seed, n=300, m=25, k=4, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, m))
+    w = np.zeros(m)
+    w[rng.choice(m, k, replace=False)] = rng.uniform(1, 3, k)
+    y = X @ w + 0.5 + noise * rng.standard_normal(n)
+    return X, y
+
+
+def _std_gradient(X, y, fit):
+    """Gradient of 1/(2N)||y_c - Xs w||^2 in standardized space."""
+    std = Standardizer(X)
+    Xs = std.transform(X)
+    yc = y - y.mean()
+    r = yc - Xs @ fit.weights_std
+    return -(Xs.T @ r) / X.shape[0]
+
+
+@given(st.integers(0, 5000), st.floats(0.05, 0.5))
+@settings(max_examples=20, deadline=None)
+def test_lasso_kkt_conditions(seed, lam):
+    X, y = _problem(seed)
+    fit = coordinate_descent(X, y, lam=lam, penalty="lasso", tol=1e-10,
+                             max_iter=2000)
+    g = _std_gradient(X, y, fit)
+    w = fit.weights_std
+    active = w != 0
+    np.testing.assert_allclose(
+        g[active], -lam * np.sign(w[active]), atol=1e-6
+    )
+    assert np.all(np.abs(g[~active]) <= lam + 1e-6)
+
+
+@given(st.integers(0, 5000), st.floats(0.05, 0.5))
+@settings(max_examples=20, deadline=None)
+def test_mcp_stationarity(seed, lam):
+    gamma = 10.0
+    X, y = _problem(seed)
+    fit = coordinate_descent(X, y, lam=lam, penalty="mcp", gamma=gamma,
+                             tol=1e-10, max_iter=2000)
+    g = _std_gradient(X, y, fit)
+    w = fit.weights_std
+    active = w != 0
+    expect = -np.sign(w[active]) * np.maximum(
+        lam - np.abs(w[active]) / gamma, 0.0
+    )
+    np.testing.assert_allclose(g[active], expect, atol=1e-6)
+    assert np.all(np.abs(g[~active]) <= lam + 1e-6)
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=20, deadline=None)
+def test_ridge_normal_equations(seed):
+    X, y = _problem(seed)
+    lam = 0.1
+    w, b = ridge_fit(X, y, lam=lam)
+    n = X.shape[0]
+    Xc = X - X.mean(axis=0)
+    yc = y - y.mean()
+    lhs = (Xc.T @ Xc) / n @ w + lam * w
+    rhs = (Xc.T @ yc) / n
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9)
+
+
+def test_objective_never_increases_along_path():
+    """Warm-started path: each smaller lambda achieves a smaller or equal
+    penalized objective *at its own lambda* than the previous iterate."""
+    from repro.core import lambda_max, lambda_path
+    from repro.core.mcp import mcp_penalty
+    from repro.core.solvers import precompute
+
+    X, y = _problem(1)
+    pre = precompute(X, y)
+    std, G, c, y_mean, y_c = pre
+    Xs = std.transform(X)
+    lam_hi = lambda_max(Xs, y_c)
+    warm = None
+    for lam in lambda_path(lam_hi, n=15):
+        fit = coordinate_descent(
+            X, y, lam=float(lam), penalty="mcp", _precomputed=pre
+        )
+        n = X.shape[0]
+
+        def obj(w):
+            r = y_c - Xs @ w
+            return float((r @ r) / (2 * n)
+                         + mcp_penalty(w, float(lam), 10.0).sum())
+
+        if warm is not None:
+            assert obj(fit.weights_std) <= obj(warm) + 1e-9
+        warm = fit.weights_std

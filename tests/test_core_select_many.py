@@ -1,0 +1,55 @@
+"""Consistency tests for the shared-path multi-Q selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProxySelector
+from repro.errors import SelectionError
+
+
+def _problem(n=700, m=150, k=10, seed=5, noise=0.05):
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, m)) < rng.uniform(0.1, 0.5, size=m)).astype(
+        np.uint8
+    )
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(1.0, 5.0, size=k)
+    y = X[:, support] @ w + 1.0 + noise * rng.standard_normal(n)
+    return X, y
+
+
+def test_select_many_matches_individual_selects():
+    X, y = _problem()
+    sel = ProxySelector()
+    many = sel.select_many(X, y, [4, 8, 12])
+    for q in (4, 8, 12):
+        single = ProxySelector().select(X, y, q)
+        np.testing.assert_array_equal(many[q].proxies, single.proxies)
+
+
+def test_select_many_nested_growth():
+    """Selections along the shared path grow (mostly) monotonically:
+    a smaller Q's proxies are (near-)contained in a larger Q's."""
+    X, y = _problem()
+    many = ProxySelector().select_many(X, y, [5, 10, 20])
+    small = set(many[5].proxies.tolist())
+    big = set(many[20].proxies.tolist())
+    assert len(small & big) >= 4  # near-containment
+
+
+def test_select_many_handles_duplicate_qs():
+    X, y = _problem()
+    many = ProxySelector().select_many(X, y, [8, 8, 4])
+    assert set(many) == {4, 8}
+
+
+def test_select_many_empty_rejected():
+    X, y = _problem()
+    with pytest.raises(SelectionError):
+        ProxySelector().select_many(X, y, [])
+
+
+def test_select_many_q_out_of_range():
+    X, y = _problem()
+    with pytest.raises(SelectionError):
+        ProxySelector().select_many(X, y, [4, 10**6])

@@ -1,0 +1,116 @@
+"""Tests for the proxy-selection pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProxySelector
+from repro.errors import SelectionError
+
+
+def _toggle_problem(n=600, m=120, k=6, seed=0, noise=0.02):
+    """Binary toggle features; power = weighted sum of k of them."""
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, m)) < rng.uniform(0.1, 0.6, size=m)).astype(np.uint8)
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(2.0, 6.0, size=k)
+    y = X[:, support] @ w + 1.0 + noise * rng.standard_normal(n)
+    return X, y, support, w
+
+
+def test_selects_requested_q():
+    X, y, support, _w = _toggle_problem()
+    for q in (3, 6, 12):
+        res = ProxySelector().select(X, y, q)
+        assert res.q == q
+        assert np.all(np.diff(res.proxies) > 0)  # sorted, unique
+
+
+def test_true_signals_found_first():
+    X, y, support, _w = _toggle_problem()
+    res = ProxySelector().select(X, y, 6)
+    assert set(support.tolist()) == set(res.proxies.tolist())
+
+
+def test_constant_columns_pruned():
+    X, y, support, _w = _toggle_problem()
+    X = X.copy()
+    X[:, 0] = 1
+    X[:, 1] = 0
+    res = ProxySelector().select(X, y, 6)
+    assert 0 not in res.proxies and 1 not in res.proxies
+    assert res.n_after_constant == X.shape[1] - 2
+
+
+def test_duplicate_columns_collapsed():
+    X, y, support, _w = _toggle_problem()
+    X = X.copy()
+    dup_src = int(support[0])
+    # a column identical to a true signal
+    free = [j for j in range(X.shape[1]) if j not in set(support)][0]
+    X[:, free] = X[:, dup_src]
+    res = ProxySelector().select(X, y, 6)
+    chosen = set(res.proxies.tolist())
+    # only one of the duplicate pair may appear
+    assert not ({dup_src, free} <= chosen)
+    assert res.n_after_dedup < res.n_after_constant
+
+
+def test_screening_keeps_true_support():
+    X, y, support, _w = _toggle_problem(m=300)
+    res = ProxySelector(screen_width=50).select(X, y, 6)
+    assert res.n_after_screen <= 50
+    assert set(support.tolist()) == set(res.proxies.tolist())
+
+
+def test_candidate_ids_mapping():
+    X, y, support, _w = _toggle_problem()
+    ids = np.arange(X.shape[1]) * 10 + 7
+    res = ProxySelector().select(X, y, 6, candidate_ids=ids)
+    assert set(res.proxies.tolist()) == {s * 10 + 7 for s in support}
+
+
+def test_lasso_penalty_variant():
+    X, y, support, _w = _toggle_problem()
+    res = ProxySelector(penalty="lasso").select(X, y, 6)
+    assert res.penalty == "lasso"
+    assert res.q == 6
+
+
+def test_invalid_penalty_rejected():
+    with pytest.raises(SelectionError):
+        ProxySelector(penalty="ridge")
+
+
+def test_q_out_of_range():
+    X, y, _s, _w = _toggle_problem()
+    with pytest.raises(SelectionError):
+        ProxySelector().select(X, y, 0)
+    with pytest.raises(SelectionError):
+        ProxySelector().select(X, y, X.shape[1] + 1)
+
+
+def test_too_few_nonconstant_candidates():
+    X = np.zeros((100, 10), dtype=np.uint8)
+    X[:, 0] = np.arange(100) % 2
+    y = X[:, 0] * 3.0
+    with pytest.raises(SelectionError):
+        ProxySelector().select(X, y, 5)
+
+
+def test_path_nnz_recorded_monotonish():
+    X, y, _s, _w = _toggle_problem()
+    res = ProxySelector().select(X, y, 10)
+    assert res.path_nnz
+    lams = [l for l, _ in res.path_nnz]
+    assert all(a > b for a, b in zip(lams, lams[1:]))
+    # q=10 exceeds the true sparsity (6); the residual-correlation
+    # fallback still delivers exactly q proxies.
+    assert res.q == 10
+
+
+def test_deterministic():
+    X, y, _s, _w = _toggle_problem()
+    r1 = ProxySelector().select(X, y, 8)
+    r2 = ProxySelector().select(X, y, 8)
+    np.testing.assert_array_equal(r1.proxies, r2.proxies)
+    np.testing.assert_allclose(r1.temp_weights, r2.temp_weights)

@@ -1,0 +1,77 @@
+"""Tests for validation-based hyper-parameter tuning (§7.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuning import tune_q, tune_ridge, tune_tau
+from repro.errors import PowerModelError
+
+
+def _problem(n=2048, m=60, k=6, seed=0, noise=0.4):
+    rng = np.random.default_rng(seed)
+    X = (rng.random((n, m)) < 0.3).astype(np.uint8)
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(1, 4, size=k)
+    y = X[:, support] @ w + 1.0 + noise * rng.standard_normal(n)
+    return X, y, k
+
+
+def test_tune_q_finds_knee():
+    X, y, k = _problem(noise=0.05)
+    res = tune_q(X, y, q_grid=[2, 4, 6, 12, 24])
+    assert res.parameter == "q"
+    # the knee should land at (or just above) the true sparsity,
+    # not at the largest Q
+    assert res.best <= 12
+    assert res.best >= 4
+    # scores recorded for every grid point
+    assert len(res.scores) == 5
+    assert res.score_of(res.best) <= min(s for _q, s in res.scores) + 0.02
+
+
+def test_tune_q_empty_grid():
+    X, y, _k = _problem()
+    with pytest.raises(PowerModelError):
+        tune_q(X, y, q_grid=[])
+
+
+def test_tune_ridge_prefers_moderate_lambda():
+    X, y, k = _problem(noise=0.5)
+    res = tune_ridge(X, y, q=6)
+    assert res.parameter == "ridge_lam"
+    # extreme over-regularization should not win
+    assert res.best < 0.1 + 1e-12
+    lams = [l for l, _s in res.scores]
+    assert res.best in lams
+
+
+def test_tune_tau_with_cycle_noise_prefers_interval_training():
+    """Heavy per-cycle noise + window-level signal: tau > 1 should win
+    (the Fig. 11 situation)."""
+    rng = np.random.default_rng(3)
+    n, m, k = 4096, 40, 5
+    X = (rng.random((n, m)) < 0.3).astype(np.uint8)
+    support = rng.choice(m, size=k, replace=False)
+    w = rng.uniform(1, 4, size=k)
+    y = X[:, support] @ w + 1.0 + 3.0 * rng.standard_normal(n)
+    res = tune_tau(X, y, q=k, t_eval=32, tau_grid=[1, 8, 16])
+    assert res.parameter == "tau"
+    assert len(res.scores) == 3
+    assert res.best in (1, 8, 16)
+    # scores should all be finite and positive
+    assert all(np.isfinite(s) and s > 0 for _t, s in res.scores)
+
+
+def test_tune_validation_fraction_checked():
+    X, y, _k = _problem(n=256)
+    with pytest.raises(PowerModelError):
+        tune_q(X, y, q_grid=[4], val_frac=1.5)
+    with pytest.raises(PowerModelError):
+        tune_tau(X, y, q=4, t_eval=8, val_frac=0.0)
+
+
+def test_score_of_unknown_value():
+    X, y, _k = _problem()
+    res = tune_q(X, y, q_grid=[4, 8])
+    with pytest.raises(PowerModelError):
+        res.score_of(99)

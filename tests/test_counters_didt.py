@@ -1,0 +1,130 @@
+"""Tests for the event-counter baseline and the dI/dt GA fitness mode."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import counter_events, train_counter_model
+from repro.core import nrmse
+from repro.errors import DatasetError, PowerModelError
+from repro.genbench import BenchmarkEvolver, GaConfig
+from repro.isa import assemble, Program
+from repro.power import PowerAnalyzer
+from repro.rtl import RecordSpec, Simulator
+from repro.uarch import Pipeline
+
+
+def _activity_and_power(core, cycles=1600, seed=0):
+    from repro.isa import random_program
+
+    prog = random_program(np.random.default_rng(seed), 60)
+    activity, _ = Pipeline(core.params).run(prog, cycles)
+    pa = PowerAnalyzer(core.netlist)
+    res = Simulator(core.netlist).run(
+        core.stimulus_for(activity),
+        RecordSpec(accumulators={"p": pa.label_weights()}),
+    )
+    return activity, res.accum["p"][0]
+
+
+# --------------------------------------------------------------------- #
+# counter baseline
+# --------------------------------------------------------------------- #
+def test_counter_events_shapes(small_core):
+    activity, _ = _activity_and_power(small_core, cycles=400)
+    counters, names = counter_events(activity, t=32)
+    assert counters.shape == (400 // 32, len(names))
+    assert "inst_retired" in names
+    assert any(n.startswith("busy_") for n in names)
+
+
+def test_counter_events_delay_shifts(small_core):
+    activity, _ = _activity_and_power(small_core, cycles=256)
+    c0, _n = counter_events(activity, t=256, delay=0)
+    c8, _n = counter_events(activity, t=256, delay=8)
+    # delaying drops the last events out of the (single) window
+    assert c8[0].sum() <= c0[0].sum()
+
+
+def test_counter_model_good_at_coarse_grain(small_core):
+    activity, power = _activity_and_power(small_core, cycles=2048)
+    model = train_counter_model(activity, power, t=128)
+    pred = model.predict(activity)
+    yw = power[: 16 * 128].reshape(-1, 128).mean(axis=1)
+    assert nrmse(yw, pred) < 0.25
+
+
+def test_counter_model_degrades_at_fine_grain(small_core):
+    """The paper's §1 claim: counters are poor at fine granularity."""
+    activity, power = _activity_and_power(small_core, cycles=2048)
+    errs = {}
+    for t in (2, 128):
+        model = train_counter_model(activity, power, t=t)
+        pred = model.predict(activity)
+        n = (power.size // t) * t
+        yw = power[:n].reshape(-1, t).mean(axis=1)
+        errs[t] = nrmse(yw, pred)
+    assert errs[2] > errs[128]
+
+
+def test_counter_model_validation(small_core):
+    activity, power = _activity_and_power(small_core, cycles=128)
+    with pytest.raises(PowerModelError):
+        counter_events(activity, t=0)
+    with pytest.raises(PowerModelError):
+        counter_events(activity, t=500)
+    model = train_counter_model(activity, power, t=16)
+    with pytest.raises(PowerModelError):
+        model.predict_from_counters(np.zeros((3, 2)))
+    with pytest.raises(PowerModelError):
+        train_counter_model(activity, power[:10], t=16)
+
+
+# --------------------------------------------------------------------- #
+# dI/dt GA fitness
+# --------------------------------------------------------------------- #
+def test_ga_config_validates_fitness():
+    with pytest.raises(DatasetError):
+        GaConfig(fitness="volts")
+    with pytest.raises(DatasetError):
+        GaConfig(didt_window=0)
+
+
+def test_didt_fitness_measures_ramps(small_core):
+    ev = BenchmarkEvolver(
+        small_core,
+        GaConfig(population=4, generations=2, eval_cycles=120,
+                 fitness="didt", didt_window=4),
+    )
+    flat = np.full((1, 120), 3.0)
+    step = np.full((1, 120), 1.0)
+    step[0, 60:] = 9.0
+    didt_flat = ev.measure_didt(flat)
+    didt_step = ev.measure_didt(step)
+    assert didt_step[0] > didt_flat[0]
+    assert didt_flat[0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_didt_evolution_runs_and_tracks_fitness(small_core):
+    ev = BenchmarkEvolver(
+        small_core,
+        GaConfig(population=6, generations=3, eval_cycles=120,
+                 program_length=24, fitness="didt"),
+    )
+    result = ev.run()
+    best = result.best_by_fitness
+    assert best.fitness is not None and best.fitness > 0
+    # fitness is the ramp objective, distinct from mean power
+    fits = [i.fitness for i in result.individuals]
+    pows = [i.power for i in result.individuals]
+    assert fits != pows
+
+
+def test_power_fitness_equals_power(small_core):
+    ev = BenchmarkEvolver(
+        small_core,
+        GaConfig(population=4, generations=2, eval_cycles=100,
+                 program_length=20),
+    )
+    result = ev.run()
+    for ind in result.individuals:
+        assert ind.fitness == pytest.approx(ind.power)

@@ -1,0 +1,123 @@
+"""Standalone tests for each functional-unit netlist builder."""
+
+import numpy as np
+import pytest
+
+from repro.design import units as U
+from repro.rtl import Netlist, Simulator
+from repro.uarch import CoreParams, N1_LIKE
+from repro.uarch.events import stimulus_schema
+
+
+def _scaffold(params):
+    nl = Netlist("unit-test")
+    ports = {}
+    for name, width in stimulus_schema(params):
+        ports[name] = nl.input_bus(name, width)
+    return nl, ports
+
+
+@pytest.mark.parametrize(
+    "unit,builder,needs_idx",
+    [
+        ("fetch", U.build_fetch, False),
+        ("decode", U.build_decode, False),
+        ("rename", U.build_rename, False),
+        ("issue", U.build_issue, False),
+        ("rob", U.build_rob, False),
+        ("alu0", U.build_alu, True),
+        ("mul0", U.build_mul, True),
+        ("vec0", U.build_vec, True),
+        ("lsu0", U.build_lsu, True),
+        ("l2ctl", U.build_l2ctl, False),
+    ],
+)
+def test_unit_builds_validates_and_simulates(unit, builder, needs_idx):
+    params = N1_LIKE
+    nl, ports = _scaffold(params)
+    dom = nl.clock_domain(unit, enable=ports[f"{unit}/clk_en"][0])
+    with nl.scope(unit):
+        if needs_idx:
+            builder(nl, dom, ports, params, 0)
+        else:
+            builder(nl, dom, ports, params)
+    nl.validate()
+    s = nl.summary()
+    assert s["regs"] > 0, f"{unit} has no state"
+    assert s["comb"] > 0, f"{unit} has no logic"
+    # it must simulate without error and produce some activity
+    sim = Simulator(nl)
+    rng = np.random.default_rng(1)
+    stim = rng.integers(0, 2, size=(40, len(nl.input_ids)),
+                        dtype=np.uint8)
+    res = sim.run(stim)
+    assert res.trace.toggle_counts().sum() > 0
+
+
+def test_alu_result_mux_responds_to_op():
+    """Driving different op codes changes the ALU's result toggles."""
+    params = N1_LIKE
+    nl, ports = _scaffold(params)
+    dom = nl.clock_domain("alu0", enable=ports["alu0/clk_en"][0])
+    with nl.scope("alu0"):
+        U.build_alu(nl, dom, ports, params, 0)
+    sim = Simulator(nl)
+
+    def run_with(op_code):
+        stim = np.zeros((20, len(nl.input_ids)), dtype=np.uint8)
+        idx = {name: i for i, (name, _w) in enumerate(
+            [(n, w) for n, w in stimulus_schema(params)
+             for _ in range(1)]
+        )}
+        # locate bit offsets by walking the schema
+        col = 0
+        offsets = {}
+        for name, width in stimulus_schema(params):
+            offsets[name] = (col, width)
+            col += width
+        c, w = offsets["alu0/clk_en"]
+        stim[:, c] = 1
+        c, w = offsets["alu0/valid"]
+        stim[:, c] = 1
+        c, w = offsets["alu0/a"]
+        stim[:, c : c + w] = np.random.default_rng(0).integers(
+            0, 2, size=(20, w), dtype=np.uint8
+        )
+        c, w = offsets["alu0/op"]
+        for k in range(w):
+            stim[:, c + k] = (op_code >> k) & 1
+        return sim.run(stim).trace.toggle_counts().sum()
+
+    toggles_add = run_with(0)
+    toggles_shift = run_with(5)
+    assert toggles_add != toggles_shift
+
+
+def test_vector_unit_scales_with_lanes():
+    small = CoreParams(name="v2", vec_lanes=2)
+    big = CoreParams(name="v8", vec_lanes=8)
+
+    def vec_nets(params):
+        nl, ports = _scaffold(params)
+        dom = nl.clock_domain("vec0", enable=ports["vec0/clk_en"][0])
+        n0 = nl.n_nets
+        with nl.scope("vec0"):
+            U.build_vec(nl, dom, ports, params, 0)
+        return nl.n_nets - n0
+
+    assert vec_nets(big) > 3 * vec_nets(small)
+
+
+def test_bp_table_scales_with_entries():
+    small = CoreParams(name="bp16", bp_entries=16)
+    big = CoreParams(name="bp128", bp_entries=128)
+
+    def fetch_nets(params):
+        nl, ports = _scaffold(params)
+        dom = nl.clock_domain("fetch", enable=ports["fetch/clk_en"][0])
+        n0 = nl.n_nets
+        with nl.scope("fetch"):
+            U.build_fetch(nl, dom, ports, params)
+        return nl.n_nets - n0
+
+    assert fetch_nets(big) > 2 * fetch_nets(small)

@@ -1,0 +1,125 @@
+"""Tests for the thermal model and the OPM-driven DVFS governor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError, ReproError
+from repro.flow.dvfs import (
+    DEFAULT_POINTS,
+    DvfsGovernor,
+    DvfsPolicy,
+    OperatingPoint,
+)
+from repro.power.thermal import ThermalModel
+
+
+# --------------------------------------------------------------------- #
+# thermal model
+# --------------------------------------------------------------------- #
+def test_thermal_steady_state():
+    th = ThermalModel(r_th=2.0, c_th=5e-3, t_ambient=45.0)
+    assert th.steady_state(10.0) == pytest.approx(65.0)
+    # long constant-power run converges to steady state
+    t = th.simulate(np.full(100000, 10.0))
+    assert t[-1] == pytest.approx(65.0, abs=0.1)
+
+
+def test_thermal_monotone_rise_and_decay():
+    th = ThermalModel()
+    rise = th.simulate(np.full(1000, 20.0))
+    assert np.all(np.diff(rise) >= -1e-12)
+    fall = th.simulate(np.zeros(1000), t_start=rise[-1])
+    assert np.all(np.diff(fall) <= 1e-12)
+    assert fall[-1] == pytest.approx(th.t_ambient, abs=0.5)
+
+
+def test_thermal_time_constant():
+    th = ThermalModel(r_th=2.0, c_th=5e-3, window_seconds=1e-2)
+    # after one time constant (tau = 10ms = 1 window) the response
+    # covers ~63% of the step
+    t = th.simulate(np.full(1, 10.0))
+    frac = (t[0] - th.t_ambient) / (th.steady_state(10.0) - th.t_ambient)
+    assert frac == pytest.approx(1 - np.exp(-1), abs=1e-6)
+
+
+def test_thermal_validation():
+    with pytest.raises(PowerModelError):
+        ThermalModel(r_th=0)
+    with pytest.raises(PowerModelError):
+        ThermalModel().simulate(np.ones((2, 2)))
+
+
+# --------------------------------------------------------------------- #
+# DVFS governor
+# --------------------------------------------------------------------- #
+def _bursty_readings(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.full(n, 3.0)
+    for start in range(50, n - 40, 120):
+        base[start : start + 30] = 9.0
+    return base + 0.2 * rng.standard_normal(n)
+
+
+def test_governor_downshifts_on_burst():
+    gov = DvfsGovernor(policy=DvfsPolicy(power_budget_mw=6.0))
+    run = gov.run(_bursty_readings())
+    # starts at boost, drops during bursts
+    assert run.levels.min() < len(gov.points) - 1
+    assert run.levels.max() == len(gov.points) - 1
+
+
+def test_governor_beats_fixed_boost_on_violations():
+    gov = DvfsGovernor(policy=DvfsPolicy(power_budget_mw=6.0))
+    readings = _bursty_readings()
+    governed = gov.run(readings)
+    boost = gov.run_fixed(readings, len(gov.points) - 1)
+    assert governed.budget_violations < boost.budget_violations
+    assert governed.energy_mj < boost.energy_mj
+
+
+def test_governor_beats_fixed_eco_on_performance():
+    gov = DvfsGovernor(policy=DvfsPolicy(power_budget_mw=6.0))
+    readings = _bursty_readings()
+    governed = gov.run(readings)
+    eco = gov.run_fixed(readings, 0)
+    assert governed.performance > eco.performance
+
+
+def test_governor_thermal_cap():
+    th = ThermalModel(r_th=8.0, window_seconds=5e-3)  # hot package
+    gov = DvfsGovernor(
+        policy=DvfsPolicy(power_budget_mw=1e9, thermal_cap_c=70.0),
+        thermal=th,
+    )
+    # watt-scale readings: 8 W at boost would settle at 45 + 64 = 109 C
+    readings = np.full(3000, 8000.0)
+    run = gov.run(readings)
+    # the governor reacts to the cap by downshifting
+    assert run.levels.min() == 0
+    assert run.temperature_c.max() < 80.0
+
+
+def test_power_scaling_model():
+    ref = DEFAULT_POINTS[-1]
+    eco = DEFAULT_POINTS[0]
+    assert eco.power_scale(ref) < 0.5
+    assert eco.perf_scale(ref) == pytest.approx(0.5)
+    assert ref.power_scale(ref) == 1.0
+
+
+def test_governor_validation():
+    with pytest.raises(ReproError):
+        DvfsGovernor(points=(DEFAULT_POINTS[0],))
+    with pytest.raises(ReproError):
+        DvfsGovernor(points=tuple(reversed(DEFAULT_POINTS)))
+    with pytest.raises(ReproError):
+        DvfsPolicy(power_budget_mw=0)
+    with pytest.raises(ReproError):
+        DvfsPolicy(upshift_frac=1.5)
+    gov = DvfsGovernor()
+    with pytest.raises(ReproError):
+        gov.run(np.zeros(0))
+    with pytest.raises(ReproError):
+        gov.run(np.ones(5), start_level=9)
+    with pytest.raises(ReproError):
+        gov.run_fixed(np.ones(5), 9)

@@ -1,0 +1,44 @@
+"""Smoke checks for the example scripts.
+
+Full runs take minutes (they build cores and datasets); the test suite
+verifies they compile and expose a ``main`` entry point.  End-to-end
+execution is exercised manually / in CI via ``python examples/<x>.py``.
+"""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[1] / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3  # deliverable: at least three runnable examples
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(
+        str(path), cfile=str(tmp_path / (path.stem + ".pyc")), doraise=True
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_structure(path):
+    tree = ast.parse(path.read_text())
+    # a module docstring explaining what it demonstrates
+    assert ast.get_docstring(tree), f"{path.stem} lacks a docstring"
+    func_names = {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in func_names
+    # guarded entry point
+    assert "__main__" in path.read_text()

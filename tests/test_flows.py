@@ -1,0 +1,181 @@
+"""Integration tests for the design-time, emulator, and runtime flows."""
+
+import numpy as np
+import pytest
+
+from repro.core import pearson, r2_score
+from repro.errors import ReproError
+from repro.flow import (
+    DesignTimeFlow,
+    EmulatorFlow,
+    RuntimeIntrospection,
+)
+from repro.flow.design_time import inference_seconds_per_1e9
+from repro.flow.emulator import StorageAccounting
+from repro.isa import assemble, Program
+from repro.power import PdnModel
+
+
+def _workload():
+    return Program(
+        "mixed",
+        tuple(
+            assemble(
+                """
+                movi x13, 0
+                vld v1, 0(x13)
+                vmac v2, v1, v1
+                add x1, x2, x3
+                ld x4, 8(x13)
+                mac x5, x4, x1
+                xor x6, x5, x4
+                bne x6, x0, 2
+                nop
+                st x6, 4(x13)
+                """
+            )
+        ),
+    )
+
+
+# --------------------------------------------------------------------- #
+# design-time flow
+# --------------------------------------------------------------------- #
+def test_design_time_flow_accuracy(small_core, small_model):
+    flow = DesignTimeFlow(small_core, small_model)
+    est = flow.estimate(_workload(), cycles=400, with_reference=True)
+    assert est.n_cycles == 400
+    assert est.label is not None
+    # the session fixture model is trained at a deliberately tiny scale;
+    # full-scale accuracy is covered by the experiment benchmarks
+    assert r2_score(est.label, est.power) > 0.5
+    assert est.total_seconds > 0
+    assert est.proxy_bytes == (small_model.q * 400 + 7) // 8
+
+
+def test_design_time_flow_validation(small_core, small_model):
+    flow = DesignTimeFlow(small_core, small_model)
+    with pytest.raises(ReproError):
+        flow.estimate(_workload(), cycles=0)
+
+
+def test_inference_rate_linear_vs_wide():
+    """A Q-term linear model extrapolates far cheaper than an all-signal
+    model — the §8.1 gap, in miniature."""
+    rng = np.random.default_rng(0)
+    w_small = rng.random(50)
+    w_big = rng.random(2000)
+
+    t_small = inference_seconds_per_1e9(
+        lambda X: X @ w_small, 50, sample_cycles=4000
+    )
+    t_big = inference_seconds_per_1e9(
+        lambda X: (X @ w_big[:, None] @ np.ones((1, 8))).sum(axis=1),
+        2000,
+        sample_cycles=4000,
+    )
+    assert t_small < t_big
+
+
+# --------------------------------------------------------------------- #
+# emulator flow
+# --------------------------------------------------------------------- #
+def test_emulator_flow_chunking_consistent(small_core, small_model):
+    flow = EmulatorFlow(small_core, small_model)
+    run_a = flow.trace(_workload(), cycles=300, chunk=64)
+    run_b = flow.trace(_workload(), cycles=300, chunk=300)
+    np.testing.assert_array_equal(run_a.proxy_toggles, run_b.proxy_toggles)
+    np.testing.assert_allclose(run_a.power, run_b.power)
+
+
+def test_emulator_storage_accounting(small_core, small_model):
+    flow = EmulatorFlow(small_core, small_model)
+    run = flow.trace(_workload(), cycles=256)
+    st = run.storage
+    assert st.q == small_model.q
+    assert st.full_dump_bytes > st.proxy_dump_bytes
+    assert st.reduction_factor > 10
+    paper = st.at_paper_scale()
+    # The paper's numbers: >200 GB full dump, ~1 GB proxy trace.
+    assert paper.full_dump_bytes > 200e9 * 0.4  # within the right decade
+    assert paper.proxy_dump_bytes < 5e9
+
+
+def test_storage_accounting_math():
+    st = StorageAccounting(n_cycles=1000, n_signals=800, q=80)
+    assert st.full_dump_bytes == 1000 * 100
+    assert st.proxy_dump_bytes == 1000 * 10
+    assert st.reduction_factor == 10
+
+
+def test_emulator_validation(small_core, small_model):
+    with pytest.raises(ReproError):
+        EmulatorFlow(small_core, small_model, emulation_mhz=0)
+    flow = EmulatorFlow(small_core, small_model)
+    with pytest.raises(ReproError):
+        flow.trace(_workload(), cycles=0)
+
+
+# --------------------------------------------------------------------- #
+# runtime introspection
+# --------------------------------------------------------------------- #
+def _correlated_series(n=3000, noise=0.15, seed=2):
+    rng = np.random.default_rng(seed)
+    base = 3.0 + np.cumsum(rng.standard_normal(n)) * 0.05
+    base = np.abs(base) + 1.0
+    est = base + noise * rng.standard_normal(n)
+    return base, est
+
+
+def test_droop_analysis_pearson_high_for_good_opm():
+    # Differencing amplifies iid estimation noise, so the noise level
+    # must be well below the per-cycle power steps for high correlation.
+    true, est = _correlated_series(noise=0.01)
+    intro = RuntimeIntrospection()
+    ana = intro.droop_analysis(true, est)
+    assert ana.pearson > 0.85
+    assert ana.n_samples == len(true)
+    assert sum(ana.quadrants.values()) <= ana.n_samples
+
+
+def test_deep_events_agree_more_than_overall():
+    true, est = _correlated_series(noise=0.2)
+    intro = RuntimeIntrospection()
+    ana = intro.droop_analysis(true, est)
+    deep = intro.deep_event_agreement(ana)
+    all_mask = ana.delta_i_true != 0
+    overall = float(
+        (
+            np.sign(ana.delta_i_true[all_mask])
+            == np.sign(ana.delta_i_opm[all_mask])
+        ).mean()
+    )
+    assert deep >= overall
+
+
+def test_droop_analysis_shape_mismatch():
+    intro = RuntimeIntrospection()
+    with pytest.raises(ReproError):
+        intro.droop_analysis(np.ones(5), np.ones(6))
+
+
+def test_mitigation_reduces_droop():
+    rng = np.random.default_rng(3)
+    n = 4000
+    power = np.full(n, 2.0)
+    # inject abrupt power ramps (di/dt events)
+    for start in range(500, n - 100, 700):
+        power[start : start + 60] = 14.0
+    est = power + 0.05 * rng.standard_normal(n)
+    intro = RuntimeIntrospection(PdnModel())
+    res = intro.mitigation_demo(power, est, threshold_quantile=0.9,
+                                stretch=0.4, horizon=8)
+    assert res.n_interventions > 0
+    assert res.droop_mitigated_mv < res.droop_baseline_mv
+    assert res.reduction_pct > 0
+
+
+def test_mitigation_validation():
+    intro = RuntimeIntrospection()
+    with pytest.raises(ReproError):
+        intro.mitigation_demo(np.ones(10), np.ones(10), stretch=0.0)

@@ -1,0 +1,141 @@
+"""Tests for the high-abstraction (activity-level) power model."""
+
+import numpy as np
+import pytest
+
+from repro.core import r2_score
+from repro.errors import PowerModelError, ReproError
+from repro.flow.highlevel import (
+    ActivityPowerModel,
+    activity_features,
+    dataset_activities,
+    train_activity_model,
+)
+from repro.isa import assemble, Program
+from repro.power import PowerAnalyzer
+from repro.rtl import RecordSpec, Simulator
+from repro.uarch import Pipeline
+
+
+def _activity_and_power(core, src, cycles=400):
+    prog = Program("t", tuple(assemble(src)))
+    activity, _ = Pipeline(core.params).run(prog, cycles)
+    pa = PowerAnalyzer(core.netlist)
+    res = Simulator(core.netlist).run(
+        core.stimulus_for(activity),
+        RecordSpec(accumulators={"p": pa.label_weights()}),
+    )
+    return activity, res.accum["p"][0]
+
+
+MIXED = """
+movi x13, 0
+vld v1, 0(x13)
+vmac v2, v1, v1
+add x1, x2, x3
+ld x4, 8(x13)
+mac x5, x4, x1
+xor x6, x5, x4
+bne x6, x0, 2
+nop
+st x6, 4(x13)
+"""
+
+
+def test_activity_features_shapes(small_core):
+    activity, _ = _activity_and_power(small_core, MIXED, cycles=100)
+    F, names = activity_features(activity)
+    assert F.shape == (100, len(names))
+    # 1-bit channels map 1:1; wide channels contribute two features.
+    n1 = sum(1 for _n, w in activity.schema if w == 1)
+    nw = sum(1 for _n, w in activity.schema if w > 1)
+    assert len(names) == n1 + 2 * nw
+    assert any(name.endswith(":hamming") for name in names)
+
+
+def test_activity_model_fits_and_predicts(small_core):
+    activity, power = _activity_and_power(small_core, MIXED, cycles=600)
+    model = train_activity_model(activity, power)
+    p = model.predict(activity)
+    assert r2_score(power, p) > 0.7
+
+
+def test_activity_model_generalizes_across_programs(small_core):
+    act_a, pow_a = _activity_and_power(small_core, MIXED, cycles=600)
+    model = train_activity_model(act_a, pow_a)
+    act_b, pow_b = _activity_and_power(
+        small_core,
+        "movi x1, 3\nadd x2, x1, x1\nmul x3, x2, x1\nxor x4, x3, x2",
+        cycles=400,
+    )
+    p = model.predict(act_b)
+    # Different workload, same activity-power physics: trained on ONE
+    # program the model transfers imperfectly but clearly beats the
+    # mean predictor and tracks the shape.
+    from repro.core import pearson
+
+    assert r2_score(pow_b, p) > 0.0
+    assert pearson(pow_b, p) > 0.5
+
+
+def test_trace_program_is_fast_path(small_core):
+    activity, power = _activity_and_power(small_core, MIXED, cycles=400)
+    model = train_activity_model(activity, power)
+    prog = Program("t", tuple(assemble(MIXED)))
+    p, seconds = model.trace_program(small_core.params, prog, 300)
+    assert p.shape == (300,)
+    assert seconds < 10
+
+
+def test_schema_mismatch_rejected(small_core):
+    activity, power = _activity_and_power(small_core, MIXED, cycles=200)
+    model = train_activity_model(activity, power)
+    from repro.uarch.events import ActivityTrace
+
+    other = ActivityTrace([("x", 1)], 10)
+    with pytest.raises(PowerModelError):
+        model.predict(other)
+    with pytest.raises(PowerModelError):
+        model.predict_from_features(np.zeros((5, 3)))
+
+
+def test_top_contributors(small_core):
+    activity, power = _activity_and_power(small_core, MIXED, cycles=400)
+    model = train_activity_model(activity, power)
+    top = model.top_contributors(5)
+    assert len(top) == 5
+    assert all(isinstance(name, str) for name, _w in top)
+    mags = [abs(w) for _n, w in top]
+    assert mags == sorted(mags, reverse=True)
+
+
+def test_dataset_activities_alignment(small_core, small_test):
+    from repro.genbench.handcrafted import testing_suite
+
+    progs = {
+        b.name: (b.program, b.throttle)
+        for b in testing_suite(0.12)
+    }
+    merged = dataset_activities(small_core, small_test, progs)
+    assert merged.n_cycles == small_test.n_cycles
+    # a segment's activity matches an independent pipeline run
+    name, start, end = small_test.segments[0]
+    prog, throttle = progs[name]
+    solo, _ = Pipeline(
+        small_core.params.with_throttle(throttle)
+    ).run(prog, end - start)
+    for ch in ("fetch/pc", "rob/occ"):
+        np.testing.assert_array_equal(
+            merged.channels[ch][start:end], solo.channels[ch]
+        )
+
+
+def test_dataset_activities_missing_program(small_core, small_test):
+    with pytest.raises(ReproError):
+        dataset_activities(small_core, small_test, {})
+
+
+def test_train_validation(small_core):
+    activity, power = _activity_and_power(small_core, MIXED, cycles=100)
+    with pytest.raises(PowerModelError):
+        train_activity_model(activity, power[:50])

@@ -1,0 +1,72 @@
+"""Tests for proxy attribution (§7.4 interpretability)."""
+
+import numpy as np
+import pytest
+
+from repro.core.interpret import attribute_proxies
+from repro.errors import PowerModelError
+
+
+@pytest.fixture(scope="module")
+def attribution(small_core, small_model, small_test):
+    toggles = small_test.features(small_model.proxies)
+    return attribute_proxies(small_core, small_model, toggles)
+
+
+def test_every_proxy_attributed(attribution, small_model):
+    assert len(attribution.proxies) == small_model.q
+    for p in attribution.proxies:
+        assert p.kind in ("gated-clock", "register", "combinational")
+        assert 0.0 <= p.toggle_rate <= 1.0
+        assert p.unit
+
+
+def test_shares_sum_to_hundred(attribution):
+    total = sum(p.share_pct for p in attribution.proxies)
+    intercept_share = (
+        100.0 * attribution.intercept_mw / attribution.modeled_mean_mw
+    )
+    assert total + intercept_share == pytest.approx(100.0, abs=1e-6)
+
+
+def test_modeled_mean_matches_prediction(
+    attribution, small_model, small_test
+):
+    toggles = small_test.features(small_model.proxies).astype(float)
+    pred_mean = small_model.predict(toggles).mean()
+    assert attribution.modeled_mean_mw == pytest.approx(
+        pred_mean, rel=1e-9
+    )
+
+
+def test_by_unit_rollup(attribution):
+    rollup = attribution.by_unit()
+    assert rollup
+    total = sum(rollup.values())
+    direct = sum(p.contribution_mw for p in attribution.proxies)
+    assert total == pytest.approx(direct)
+    # sorted descending
+    vals = list(rollup.values())
+    assert vals == sorted(vals, reverse=True)
+
+
+def test_clock_gating_insight(attribution):
+    clocks = attribution.clock_gating_insight()
+    for p in clocks:
+        assert p.kind == "gated-clock"
+    contribs = [p.contribution_mw for p in clocks]
+    assert contribs == sorted(contribs, reverse=True)
+
+
+def test_render_is_readable(attribution):
+    text = attribution.render(k=5)
+    assert "modeled mean power" in text
+    assert "proxy" in text and "unit" in text
+    assert len(text.splitlines()) <= 8
+
+
+def test_shape_validation(small_core, small_model):
+    with pytest.raises(PowerModelError):
+        attribute_proxies(
+            small_core, small_model, np.zeros((10, 3))
+        )

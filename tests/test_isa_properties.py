@@ -1,0 +1,90 @@
+"""Property-based tests of ISA semantics invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import ArchState, Instruction, Opcode, random_program
+from repro.isa.instructions import WORD_MASK, N_XREGS, N_VREGS
+from repro.isa.semantics import default_memory_value
+
+
+@given(st.integers(0, 10_000), st.integers(8, 64), st.integers(1, 300))
+@settings(max_examples=20, deadline=None)
+def test_state_invariants_under_random_execution(seed, length, steps):
+    """PC stays in range, registers stay word-sized, x0 stays zero,
+    vector lanes stay word-sized, memory addresses stay in range."""
+    rng = np.random.default_rng(seed)
+    prog = random_program(rng, length)
+    state = ArchState(lanes=4)
+    for _ in range(steps):
+        inst = prog[state.pc]
+        res = state.execute(inst, len(prog))
+        assert 0 <= state.pc < len(prog)
+        assert res.next_pc == state.pc
+        for addr in res.addresses:
+            assert 0 <= addr <= 0xFFFF
+    assert state.read_x(0) == 0
+    assert all(0 <= v <= WORD_MASK for v in state.xregs)
+    for vreg in state.vregs:
+        assert all(0 <= lane <= WORD_MASK for lane in vreg)
+    assert all(
+        0 <= a <= 0xFFFF and 0 <= v <= WORD_MASK
+        for a, v in state.memory.items()
+    )
+
+
+@given(st.integers(0, 0xFFFF))
+@settings(max_examples=50, deadline=None)
+def test_default_memory_deterministic_and_word_sized(addr):
+    v1 = default_memory_value(addr)
+    v2 = default_memory_value(addr)
+    assert v1 == v2
+    assert 0 <= v1 <= WORD_MASK
+
+
+def test_default_memory_has_entropy():
+    vals = {default_memory_value(a) for a in range(256)}
+    assert len(vals) > 200  # near-unique over a small range
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=20, deadline=None)
+def test_execution_is_deterministic(seed):
+    rng = np.random.default_rng(seed)
+    prog = random_program(rng, 24)
+
+    def run():
+        s = ArchState(lanes=4)
+        for _ in range(100):
+            s.execute(prog[s.pc], len(prog))
+        return list(s.xregs), [list(v) for v in s.vregs], dict(s.memory)
+
+    assert run() == run()
+
+
+@given(st.integers(1, N_XREGS - 1), st.integers(-2048, 2047))
+@settings(max_examples=30, deadline=None)
+def test_movi_add_roundtrip(reg, imm):
+    """movi then add-with-zero preserves the (masked) immediate."""
+    s = ArchState()
+    s.execute(Instruction(Opcode.MOVI, dst=reg, imm=imm), 4)
+    s.execute(
+        Instruction(Opcode.ADD, dst=reg, src1=reg, src2=0), 4
+    )
+    assert s.read_x(reg) == imm & WORD_MASK
+
+
+@given(st.integers(0, 3000))
+@settings(max_examples=20, deadline=None)
+def test_store_then_load_roundtrip(seed):
+    rng = np.random.default_rng(seed)
+    addr_base = int(rng.integers(0, 2000))
+    value = int(rng.integers(0, WORD_MASK + 1))
+    s = ArchState()
+    s.write_x(13, addr_base)
+    s.write_x(2, value)
+    s.execute(Instruction(Opcode.ST, src1=13, src2=2, imm=5), 4)
+    s.execute(Instruction(Opcode.LD, dst=3, src1=13, imm=5), 4)
+    assert s.read_x(3) == value

@@ -1,0 +1,102 @@
+"""Tests for the multi-core socket simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.flow.multicore import MulticoreSimulator
+from repro.isa import assemble, Program
+
+
+VIRUS = Program(
+    "virus",
+    tuple(
+        assemble(
+            """
+            movi x13, 0
+            vld v1, 0(x13)
+            vld v2, 4(x13)
+            vmac v3, v1, v2
+            vmac v4, v2, v1
+            vmul v5, v1, v2
+            mac x1, x2, x3
+            mac x4, x5, x6
+            """
+        )
+    ),
+)
+
+CALM = Program(
+    "calm",
+    tuple(assemble("movi x1, 3\n" + "\n".join(["mul x1, x1, x1"] * 7))),
+)
+
+
+@pytest.fixture(scope="module")
+def quad(small_core):
+    return MulticoreSimulator(small_core, n_cores=4)
+
+
+def test_run_shapes_and_total(quad):
+    run = quad.run([VIRUS], cycles=200)
+    assert run.n_cores == 4
+    assert run.per_core_power.shape == (4, 200)
+    np.testing.assert_allclose(
+        run.total_power, run.per_core_power.sum(axis=0)
+    )
+    assert run.voltage.shape == (200,)
+    assert run.droop_mv >= 0
+
+
+def test_identical_programs_identical_power(quad):
+    run = quad.run([VIRUS], cycles=150)
+    for c in range(1, 4):
+        np.testing.assert_allclose(
+            run.per_core_power[c], run.per_core_power[0]
+        )
+
+
+def test_mixed_workloads(quad):
+    run = quad.run([VIRUS, CALM], cycles=200)
+    # cores 0/2 run the virus, 1/3 the calm chain
+    assert run.per_core_power[0].mean() > 1.2 * run.per_core_power[1].mean()
+    np.testing.assert_allclose(
+        run.per_core_power[1], run.per_core_power[3]
+    )
+
+
+def test_offsets_shift_activity(quad):
+    run = quad.run([VIRUS], cycles=200, offsets=[0, 50, 100, 150])
+    # the delayed cores idle at the start (near-zero power)
+    assert run.per_core_power[3, :40].mean() < 0.5 * (
+        run.per_core_power[0, :40].mean()
+    )
+    # alignment factor below the fully-aligned case
+    aligned = quad.run([VIRUS], cycles=200)
+    assert run.alignment_factor() < aligned.alignment_factor()
+
+
+def test_staggering_reduces_peak_total(quad):
+    """The multi-core dI/dt hazard: de-phased bursts flatten the socket
+    power envelope."""
+    aligned = quad.run([VIRUS], cycles=240)
+    staggered = quad.run([VIRUS], cycles=240, offsets=[0, 30, 60, 90])
+    assert staggered.total_power.max() < aligned.total_power.max()
+
+
+def test_pdn_scales_with_cores(small_core):
+    single = MulticoreSimulator(small_core, n_cores=1)
+    quad = MulticoreSimulator(small_core, n_cores=4)
+    assert quad.pdn.c_farad == pytest.approx(4 * single.pdn.c_farad)
+    assert quad.pdn.r_ohm == pytest.approx(single.pdn.r_ohm / 4)
+
+
+def test_validation(small_core, quad):
+    with pytest.raises(ReproError):
+        MulticoreSimulator(small_core, n_cores=0)
+    with pytest.raises(ReproError):
+        quad.run([VIRUS], cycles=0)
+    with pytest.raises(ReproError):
+        quad.run([VIRUS], cycles=10, offsets=[0, 1])
+    with pytest.raises(ReproError):
+        quad.run([VIRUS], cycles=10, offsets=[0, -1, 0, 0])

@@ -1,0 +1,212 @@
+"""Tests for OPM quantization, the behavioural meter, and the gate-level
+hardware — including bit-exact hardware-vs-meter verification."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApolloModel
+from repro.errors import OpmError
+from repro.opm import (
+    OpmMeter,
+    build_opm_netlist,
+    estimate_opm_cost,
+    quantize_model,
+    table3_rows,
+)
+
+
+def _model(q=12, seed=0, negative=True):
+    rng = np.random.default_rng(seed)
+    w = rng.uniform(0.05, 2.0, size=q)
+    if negative:
+        w[rng.random(q) < 0.25] *= -1
+    return ApolloModel(
+        proxies=np.arange(q) * 3 + 1,
+        weights=w,
+        intercept=0.8,
+    )
+
+
+def _toggles(n, q, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, q)) < rng.uniform(0.05, 0.6, size=q)).astype(
+        np.uint8
+    )
+
+
+# --------------------------------------------------------------------- #
+# quantization
+# --------------------------------------------------------------------- #
+def test_quantize_roundtrip_accuracy():
+    model = _model()
+    X = _toggles(500, model.q).astype(np.float64)
+    exact = model.predict(X)
+    for bits, tol in ((6, 0.2), (10, 0.02), (14, 0.002)):
+        qm = quantize_model(model, bits=bits)
+        err = np.abs(qm.predict(X) - exact).max()
+        assert err < tol, f"B={bits}: max err {err}"
+
+
+def test_quantize_error_decreases_with_bits():
+    model = _model()
+    X = _toggles(400, model.q).astype(np.float64)
+    exact = model.predict(X)
+    errs = [
+        np.abs(quantize_model(model, bits=b).predict(X) - exact).mean()
+        for b in (4, 8, 12)
+    ]
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_quantize_validation():
+    model = _model()
+    with pytest.raises(OpmError):
+        quantize_model(model, bits=1)
+    zero = ApolloModel(proxies=[1], weights=[0.0])
+    with pytest.raises(OpmError):
+        quantize_model(zero, bits=8)
+
+
+def test_accumulator_bits_grow_with_t():
+    qm = quantize_model(_model(), bits=10)
+    assert qm.accumulator_bits(1) < qm.accumulator_bits(64)
+
+
+# --------------------------------------------------------------------- #
+# behavioural meter
+# --------------------------------------------------------------------- #
+def test_meter_matches_float_model_closely():
+    model = _model()
+    qm = quantize_model(model, bits=12)
+    X = _toggles(512, model.q)
+    meter = OpmMeter(qm, t=8)
+    got = meter.read(X)
+    expect = model.predict_window(X.astype(float), 8)
+    assert np.abs(got - expect).max() < 0.05
+
+
+def test_meter_bit_drop_division_floor():
+    """Integer output = floor(window sum / T), exactly."""
+    qm = quantize_model(_model(negative=False), bits=8)
+    X = _toggles(64, qm.q)
+    meter = OpmMeter(qm, t=4)
+    got = meter.accumulate(X)
+    per_cycle = X.astype(np.int64) @ qm.int_weights + qm.int_intercept
+    sums = per_cycle.reshape(-1, 4).sum(axis=1)
+    np.testing.assert_array_equal(got, sums // 4)
+
+
+def test_meter_requires_pow2_t_and_binary_inputs():
+    qm = quantize_model(_model(), bits=8)
+    with pytest.raises(OpmError):
+        OpmMeter(qm, t=3)
+    meter = OpmMeter(qm, t=2)
+    with pytest.raises(OpmError):
+        meter.accumulate(np.full((8, qm.q), 2))
+    with pytest.raises(OpmError):
+        meter.accumulate(np.zeros((1, qm.q), dtype=np.uint8))
+
+
+def test_meter_accumulator_fits_declared_width():
+    qm = quantize_model(_model(), bits=10)
+    X = np.ones((256, qm.q), dtype=np.uint8)  # worst case: all toggling
+    meter = OpmMeter(qm, t=64)
+    peak = meter.max_abs_accumulator(X)
+    assert peak < 2 ** (qm.accumulator_bits(64) - 1)
+
+
+# --------------------------------------------------------------------- #
+# gate-level hardware
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("t", [1, 4, 8])
+def test_hardware_bit_exact_vs_meter(t):
+    model = _model(q=8)
+    qm = quantize_model(model, bits=8)
+    hw = build_opm_netlist(qm, t=t)
+    X = _toggles(8 * t, qm.q, seed=3)
+    meter = OpmMeter(qm, t=t)
+    np.testing.assert_array_equal(hw.simulate(X), meter.accumulate(X))
+
+
+def test_hardware_with_clock_proxies_bit_exact():
+    model = _model(q=6)
+    qm = quantize_model(model, bits=8)
+    clock_mask = np.array([True, False, True, False, False, False])
+    hw = build_opm_netlist(qm, t=4, clock_mask=clock_mask)
+    X = _toggles(32, qm.q, seed=4)
+    meter = OpmMeter(qm, t=4)
+    np.testing.assert_array_equal(hw.simulate(X), meter.accumulate(X))
+
+
+def test_hardware_negative_weights_bit_exact():
+    rng = np.random.default_rng(9)
+    model = ApolloModel(
+        proxies=np.arange(5),
+        weights=np.array([-1.3, 0.7, -0.2, 1.9, -0.9]),
+        intercept=-0.4,
+    )
+    qm = quantize_model(model, bits=9)
+    hw = build_opm_netlist(qm, t=2)
+    X = _toggles(20, 5, seed=5)
+    meter = OpmMeter(qm, t=2)
+    np.testing.assert_array_equal(hw.simulate(X), meter.accumulate(X))
+
+
+def test_hardware_area_scales_with_q_and_b():
+    small = build_opm_netlist(quantize_model(_model(q=6), bits=6))
+    big_q = build_opm_netlist(quantize_model(_model(q=24), bits=6))
+    big_b = build_opm_netlist(quantize_model(_model(q=6), bits=14))
+    assert big_q.area > small.area
+    assert big_b.area > small.area
+
+
+def test_hardware_validation():
+    qm = quantize_model(_model(q=4), bits=6)
+    with pytest.raises(OpmError):
+        build_opm_netlist(qm, t=3)
+    with pytest.raises(OpmError):
+        build_opm_netlist(qm, t=2, clock_mask=np.zeros(3, dtype=bool))
+    hw = build_opm_netlist(qm, t=2)
+    with pytest.raises(OpmError):
+        hw.simulate(np.zeros((1, 4), dtype=np.uint8))
+
+
+# --------------------------------------------------------------------- #
+# cost model
+# --------------------------------------------------------------------- #
+def test_cost_report_on_real_core():
+    from repro.design import build_core
+    from repro.uarch import CoreParams
+
+    core = build_core(CoreParams(name="cost-test", n_alu=1, n_vec=1,
+                                 vec_lanes=2, bp_entries=16, iq_size=8,
+                                 rob_size=16))
+    mon = core.monitorable_nets()
+    rng = np.random.default_rng(0)
+    proxies = np.sort(rng.choice(mon, size=10, replace=False))
+    model = ApolloModel(
+        proxies=proxies, weights=rng.uniform(0.1, 1.0, 10), intercept=0.5
+    )
+    qm = quantize_model(model, bits=8)
+    hw = build_opm_netlist(qm, t=4)
+    toggles = _toggles(64, 10)
+    report = estimate_opm_cost(core, hw, toggles, core_power_mw=3.0)
+    assert report.opm_area > 0
+    assert report.buffer_area > 0
+    assert report.area_overhead_pct > 0
+    assert (
+        report.area_overhead_pct_paper_scale < report.area_overhead_pct
+    )
+    assert 0 < report.power_overhead_pct
+    assert report.latency_cycles == 2
+
+
+def test_table3_shape():
+    rows = table3_rows(q=159)
+    methods = [r["method"] for r in rows]
+    assert any("APOLLO" in m for m in methods)
+    apollo = [r for r in rows if r["method"] == "APOLLO (per-cycle)"][0]
+    assert apollo["counters"] == 1
+    assert apollo["multipliers"] == 0
+    simmani = [r for r in rows if "Simmani" in r["method"]][0]
+    assert simmani["multipliers"] == 159**2

@@ -1,0 +1,155 @@
+"""Tests for OPM field features: recalibration, health monitoring, and
+fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import ApolloModel
+from repro.errors import OpmError
+from repro.opm import (
+    ProxyHealthMonitor,
+    inject_stuck_faults,
+    quantize_model,
+    recalibrate,
+)
+
+
+def _model(q=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return ApolloModel(
+        proxies=np.arange(q),
+        weights=rng.uniform(0.1, 1.5, q),
+        intercept=0.5,
+    )
+
+
+def _toggles(n, q, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.random((n, q)) < rng.uniform(0.1, 0.6, size=q)).astype(
+        np.uint8
+    )
+
+
+# --------------------------------------------------------------------- #
+# recalibration
+# --------------------------------------------------------------------- #
+def test_recalibration_recovers_from_drift():
+    """A global 15% silicon/model drift is calibrated away."""
+    model = _model()
+    qm = quantize_model(model, bits=10)
+    t = 16
+    X = _toggles(128 * t, qm.q)
+    # "measured" power: the true (drifted) silicon behaviour
+    drifted = 1.15 * (
+        X.astype(float) @ model.weights + model.intercept
+    ) + 0.2
+    measured = drifted.reshape(-1, t).mean(axis=1)
+    res = recalibrate(qm, X, measured, t=t)
+    assert res.rms_error_after < 0.25 * res.rms_error_before
+    assert res.improvement_pct > 50
+    # structure preserved: same proxies, same bit width
+    np.testing.assert_array_equal(res.model.proxies, qm.proxies)
+    assert res.model.bits == qm.bits
+
+
+def test_recalibration_never_regresses():
+    """On an already-accurate deployment the refit must not make the
+    meter worse — the deployed weights are kept when refit loses."""
+    model = _model()
+    qm = quantize_model(model, bits=12)
+    t = 8
+    X = _toggles(96 * t, qm.q)
+    exact = (X.astype(float) @ model.weights + model.intercept)
+    measured = exact.reshape(-1, t).mean(axis=1)
+    res = recalibrate(qm, X, measured, t=t)
+    assert res.rms_error_after <= res.rms_error_before + 1e-9
+    if not res.applied:
+        assert res.model is qm
+
+
+def test_recalibration_validation():
+    qm = quantize_model(_model(), bits=8)
+    X = _toggles(64, qm.q)
+    with pytest.raises(OpmError):
+        recalibrate(qm, X[:, :4], np.ones(4), t=16)
+    with pytest.raises(OpmError):
+        recalibrate(qm, X, np.ones(99), t=16)
+    with pytest.raises(OpmError):
+        recalibrate(qm, X, np.ones(4), t=0)
+    with pytest.raises(OpmError):
+        # too few windows for Q=16
+        recalibrate(qm, X[:32], np.ones(2), t=16)
+
+
+# --------------------------------------------------------------------- #
+# health monitoring + fault injection
+# --------------------------------------------------------------------- #
+def test_healthy_trace_reports_healthy():
+    qm = quantize_model(_model(), bits=10)
+    # reference and live windows drawn from the SAME per-proxy rates
+    rng = np.random.default_rng(2)
+    rates = rng.uniform(0.1, 0.6, size=qm.q)
+    ref = (rng.random((2048, qm.q)) < rates).astype(np.uint8)
+    live = (rng.random((1024, qm.q)) < rates).astype(np.uint8)
+    monitor = ProxyHealthMonitor(qm, ref)
+    report = monitor.check(live)
+    assert report.healthy
+    assert report.worst_misread_mw == 0.0
+
+
+def test_stuck_at_zero_detected():
+    qm = quantize_model(_model(), bits=10)
+    ref = _toggles(2048, qm.q, seed=2)
+    live = inject_stuck_faults(
+        _toggles(1024, qm.q, seed=3), nets=[2, 7], stuck_to=0
+    )
+    report = ProxyHealthMonitor(qm, ref).check(live)
+    assert set(report.stuck) == {2, 7}
+    assert report.worst_misread_mw > 0
+
+
+def test_stuck_at_one_detected_as_hyperactive():
+    qm = quantize_model(_model(), bits=10)
+    rng = np.random.default_rng(4)
+    # reference rates are low so stuck-at-1 is far outside the envelope
+    ref = (rng.random((2048, qm.q)) < 0.05).astype(np.uint8)
+    live = inject_stuck_faults(
+        (rng.random((1024, qm.q)) < 0.05).astype(np.uint8),
+        nets=[5],
+        stuck_to=1,
+    )
+    report = ProxyHealthMonitor(qm, ref).check(live)
+    assert 5 in report.hyperactive
+
+
+def test_fault_injection_degrades_meter_accuracy():
+    """End-to-end: stuck proxies bias the OPM reading by roughly the
+    faulted weights' contribution."""
+    from repro.opm import OpmMeter
+
+    model = _model()
+    qm = quantize_model(model, bits=10)
+    meter = OpmMeter(qm, t=1)
+    X = _toggles(512, qm.q, seed=5)
+    clean = meter.read(X)
+    faulty = meter.read(inject_stuck_faults(X, nets=[0, 1], stuck_to=0))
+    bias = (clean - faulty).mean()
+    expect = (
+        model.weights[0] * X[:, 0].mean()
+        + model.weights[1] * X[:, 1].mean()
+    )
+    assert bias == pytest.approx(expect, rel=0.1)
+
+
+def test_health_validation():
+    qm = quantize_model(_model(), bits=8)
+    ref = _toggles(512, qm.q)
+    with pytest.raises(OpmError):
+        ProxyHealthMonitor(qm, ref[:, :3])
+    monitor = ProxyHealthMonitor(qm, ref)
+    with pytest.raises(OpmError):
+        monitor.check(_toggles(16, qm.q))  # too short
+    with pytest.raises(OpmError):
+        monitor.check(_toggles(128, qm.q)[:, :3])
+    with pytest.raises(OpmError):
+        inject_stuck_faults(ref, [0], stuck_to=2)

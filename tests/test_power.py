@@ -1,0 +1,172 @@
+"""Tests for the power-analysis substrate: capacitance annotation, the
+analyzer's component decomposition, and the PDN model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import (
+    DEFAULT_TECH,
+    PdnModel,
+    PowerAnalyzer,
+    TechParams,
+    annotate_capacitance,
+    delta_current,
+    droop_events,
+)
+from repro.rtl import Netlist, RecordSpec, Simulator
+
+from helpers import simple_counter_design
+
+
+def _small_design():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    g1 = nl.and_(a, b)
+    g2 = nl.xor(g1, a)
+    dom = nl.clock_domain("main")
+    r = nl.reg(g2, dom)
+    return nl, (a, b, g1, g2, r)
+
+
+def test_capacitance_positive_and_fanout_sensitive():
+    nl, (a, b, g1, g2, r) = _small_design()
+    cap = annotate_capacitance(nl)
+    assert np.all(cap >= 0)
+    # 'a' drives two sinks, 'b' one: more wire + pin cap.
+    assert cap[a] > cap[b]
+
+
+def test_clock_net_carries_register_load():
+    nl, nets = simple_counter_design(width=8)
+    cap = annotate_capacitance(nl)
+    clk = nl.domains[0].clk_net
+    # The clock net outweighs any ordinary net (8 registers x tree factor).
+    ordinary = np.delete(cap, clk)
+    assert cap[clk] > ordinary.max()
+
+
+def test_component_weights_disjoint_and_total_consistent():
+    nl, _ = simple_counter_design(width=6)
+    pa = PowerAnalyzer(nl)
+    comps = pa.component_weights()
+    total = sum(comps.values())
+    np.testing.assert_allclose(
+        total, pa.label_weights(), rtol=1e-5
+    )
+
+
+def test_report_totals_match_accumulator():
+    nl, _ = simple_counter_design(width=6)
+    pa = PowerAnalyzer(nl)
+    sim = Simulator(nl)
+    res = sim.run(
+        np.zeros((50, 0), dtype=np.uint8),
+        RecordSpec(full_trace=True,
+                   accumulators={"p": pa.label_weights()}),
+    )
+    rep = pa.report(res.trace)
+    np.testing.assert_allclose(rep.total, res.accum["p"][0], rtol=1e-4)
+    assert rep.leakage_mw > 0
+    assert np.all(rep.total_with_leakage > rep.total)
+
+
+def test_unit_weights_partition_total():
+    nl, _ = simple_counter_design(width=4)
+    pa = PowerAnalyzer(nl)
+    unit_sum = sum(pa.unit_weights().values())
+    np.testing.assert_allclose(unit_sum, pa.label_weights(), rtol=1e-5)
+
+
+def test_report_batch_bounds():
+    nl, _ = simple_counter_design(width=4)
+    pa = PowerAnalyzer(nl)
+    sim = Simulator(nl)
+    res = sim.run(np.zeros((10, 0), dtype=np.uint8))
+    with pytest.raises(PowerModelError):
+        pa.report(res.trace, batch=5)
+
+
+def test_glitch_weight_grows_with_depth():
+    nl = Netlist("deep")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    shallow = nl.xor(a, b)
+    deep = shallow
+    for _ in range(10):
+        deep = nl.xor(deep, a)
+    pa = PowerAnalyzer(nl)
+    assert pa.w_glitch[deep] > pa.w_glitch[shallow]
+
+
+# --------------------------------------------------------------------- #
+# PDN
+# --------------------------------------------------------------------- #
+def test_delta_current_definition():
+    p = np.array([1.0, 2.0, 1.5])
+    di = delta_current(p, vdd=1.0)
+    np.testing.assert_allclose(di, [0.0, 1.0, -0.5])
+
+
+def test_pdn_steady_state_near_nominal():
+    pdn = PdnModel()
+    v = pdn.simulate(np.full(2000, 3.0))
+    # constant load: settles near vdd - IR
+    assert abs(v[-1] - pdn.vdd) < 0.01
+
+
+def test_pdn_step_causes_droop_then_recovery():
+    pdn = PdnModel()
+    power = np.concatenate([np.full(500, 1.0), np.full(3000, 12.0)])
+    v = pdn.simulate(power)
+    droop_region = v[500:560]
+    assert droop_region.min() < v[:500].min() - 1e-4  # visible droop
+    # recovers toward a new steady state
+    assert v[-1] > droop_region.min()
+
+
+def test_droop_magnitude_monotone_in_step_size():
+    pdn = PdnModel()
+    small = np.concatenate([np.full(200, 1.0), np.full(1000, 4.0)])
+    big = np.concatenate([np.full(200, 1.0), np.full(1000, 16.0)])
+    assert pdn.droop_magnitude(big) > pdn.droop_magnitude(small)
+
+
+def test_droop_events_threshold():
+    pdn = PdnModel()
+    power = np.concatenate([np.full(200, 1.0), np.full(1000, 20.0)])
+    v = pdn.simulate(power)
+    worst = (pdn.vdd - v.min()) * 1e3
+    events = droop_events(v, vdd=pdn.vdd, threshold_mv=worst * 0.8)
+    assert events.size > 0
+    assert events.min() >= 200  # droops only after the step
+
+
+def test_pdn_resonance_in_expected_range():
+    pdn = PdnModel()
+    # Ldi/dt noise develops in <~10s of cycles for realistic constants.
+    assert 3 < pdn.resonant_cycles < 300
+
+
+def test_pdn_validation():
+    with pytest.raises(PowerModelError):
+        PdnModel(l_henry=0.0)
+    with pytest.raises(PowerModelError):
+        PdnModel(c_farad=-1.0)
+    with pytest.raises(PowerModelError):
+        PdnModel(freq_ghz=0.0)
+    pdn = PdnModel()
+    with pytest.raises(PowerModelError):
+        pdn.simulate(np.ones((3, 3)))
+
+
+def test_pdn_long_simulation_stays_bounded():
+    """The exact discretization must not blow up on long noisy traces
+    (forward Euler on this lightly-damped tank diverges)."""
+    rng = np.random.default_rng(0)
+    pdn = PdnModel()
+    power = 3.0 + np.abs(rng.standard_normal(60000)) * 4.0
+    v = pdn.simulate(power)
+    assert np.isfinite(v).all()
+    assert 0.5 < v.min() <= v.max() < 0.9

@@ -1,0 +1,187 @@
+"""Functional tests for datapath combinators (exhaustive / randomized)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl import Netlist, Simulator
+from repro.rtl.datapath import (
+    array_multiplier,
+    barrel_shifter,
+    bus_and,
+    bus_xor,
+    const_bus,
+    decoder,
+    equality,
+    incrementer,
+    less_than,
+    mux_bus,
+    mux_tree,
+    reduce_and,
+    reduce_or,
+    reduce_xor,
+    ripple_adder,
+    subtractor,
+)
+
+from helpers import assign_bus, bus_value, eval_inputs
+
+
+def _build_two_bus(width):
+    nl = Netlist("t")
+    a = nl.input_bus("a", width)
+    b = nl.input_bus("b", width)
+    return nl, a, b
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+@settings(max_examples=40, deadline=None)
+def test_ripple_adder_matches_integer_addition(x, y):
+    nl, a, b = _build_two_bus(8)
+    s, cout = ripple_adder(nl, a, b)
+    assigns = {}
+    assign_bus(assigns, a, x)
+    assign_bus(assigns, b, y)
+    vals = eval_inputs(nl, assigns)
+    total = bus_value(vals, s) + (int(vals[cout, 0]) << 8)
+    assert total == x + y
+
+
+@given(st.integers(0, 255), st.integers(0, 255))
+@settings(max_examples=40, deadline=None)
+def test_subtractor_matches_wraparound_subtraction(x, y):
+    nl, a, b = _build_two_bus(8)
+    diff, not_borrow = subtractor(nl, a, b)
+    assigns = {}
+    assign_bus(assigns, a, x)
+    assign_bus(assigns, b, y)
+    vals = eval_inputs(nl, assigns)
+    assert bus_value(vals, diff) == (x - y) % 256
+    assert int(vals[not_borrow, 0]) == (1 if x >= y else 0)
+
+
+@given(st.integers(0, 63), st.integers(0, 63))
+@settings(max_examples=30, deadline=None)
+def test_array_multiplier_truncated_product(x, y):
+    nl, a, b = _build_two_bus(6)
+    p = array_multiplier(nl, a, b)
+    assigns = {}
+    assign_bus(assigns, a, x)
+    assign_bus(assigns, b, y)
+    vals = eval_inputs(nl, assigns)
+    assert bus_value(vals, p) == (x * y) % 64
+
+
+@given(st.integers(0, 255), st.integers(0, 7))
+@settings(max_examples=30, deadline=None)
+def test_barrel_shifter_left_shift(x, sh):
+    nl = Netlist("t")
+    a = nl.input_bus("a", 8)
+    s = nl.input_bus("sh", 3)
+    out = barrel_shifter(nl, a, s)
+    assigns = {}
+    assign_bus(assigns, a, x)
+    assign_bus(assigns, s, sh)
+    vals = eval_inputs(nl, assigns)
+    assert bus_value(vals, out) == (x << sh) % 256
+
+
+@given(st.integers(0, 15), st.integers(0, 15))
+@settings(max_examples=30, deadline=None)
+def test_equality_and_less_than(x, y):
+    nl, a, b = _build_two_bus(4)
+    eq = equality(nl, a, b)
+    lt = less_than(nl, a, b)
+    assigns = {}
+    assign_bus(assigns, a, x)
+    assign_bus(assigns, b, y)
+    vals = eval_inputs(nl, assigns)
+    assert int(vals[eq, 0]) == int(x == y)
+    assert int(vals[lt, 0]) == int(x < y)
+
+
+def test_incrementer_wraps():
+    nl = Netlist("t")
+    a = nl.input_bus("a", 4)
+    out = incrementer(nl, a)
+    for x in range(16):
+        assigns = {}
+        assign_bus(assigns, a, x)
+        vals = eval_inputs(nl, assigns)
+        assert bus_value(vals, out) == (x + 1) % 16
+
+
+def test_reduce_trees():
+    nl = Netlist("t")
+    a = nl.input_bus("a", 5)
+    r_or = reduce_or(nl, a)
+    r_and = reduce_and(nl, a)
+    r_xor = reduce_xor(nl, a)
+    for x in [0, 1, 0b10101, 0b11111, 0b00100]:
+        assigns = {}
+        assign_bus(assigns, a, x)
+        vals = eval_inputs(nl, assigns)
+        bits = [(x >> i) & 1 for i in range(5)]
+        assert int(vals[r_or, 0]) == int(any(bits))
+        assert int(vals[r_and, 0]) == int(all(bits))
+        assert int(vals[r_xor, 0]) == sum(bits) % 2
+
+
+def test_mux_bus_and_tree():
+    nl = Netlist("t")
+    sel = nl.input_bus("sel", 2)
+    buses = [const_bus(nl, v, 4) for v in (3, 7, 12, 9)]
+    out = mux_tree(nl, sel, buses)
+    for s in range(4):
+        assigns = {}
+        assign_bus(assigns, sel, s)
+        vals = eval_inputs(nl, assigns)
+        assert bus_value(vals, out) == (3, 7, 12, 9)[s]
+
+
+def test_mux_tree_pads_missing_choices():
+    nl = Netlist("t")
+    sel = nl.input_bus("sel", 2)
+    buses = [const_bus(nl, v, 4) for v in (1, 2, 3)]  # only 3 of 4
+    out = mux_tree(nl, sel, buses)
+    assigns = {}
+    assign_bus(assigns, sel, 3)
+    vals = eval_inputs(nl, assigns)
+    assert bus_value(vals, out) == 3  # last choice reused
+
+
+def test_decoder_one_hot():
+    nl = Netlist("t")
+    sel = nl.input_bus("sel", 3)
+    outs = decoder(nl, sel)
+    assert len(outs) == 8
+    for s in range(8):
+        assigns = {}
+        assign_bus(assigns, sel, s)
+        vals = eval_inputs(nl, assigns)
+        hot = [int(vals[o, 0]) for o in outs]
+        assert hot == [int(i == s) for i in range(8)]
+
+
+def test_bitwise_buses():
+    nl, a, b = _build_two_bus(6)
+    ab = bus_and(nl, a, b)
+    xb = bus_xor(nl, a, b)
+    assigns = {}
+    assign_bus(assigns, a, 0b101101)
+    assign_bus(assigns, b, 0b011011)
+    vals = eval_inputs(nl, assigns)
+    assert bus_value(vals, ab) == 0b101101 & 0b011011
+    assert bus_value(vals, xb) == 0b101101 ^ 0b011011
+
+
+def test_mux_bus_width_mismatch_raises():
+    from repro.errors import NetlistError
+
+    nl = Netlist("t")
+    a = nl.input_bus("a", 4)
+    b = nl.input_bus("b", 3)
+    s = nl.input_bit("s")
+    with pytest.raises(NetlistError):
+        mux_bus(nl, s, a, b)

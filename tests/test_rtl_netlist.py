@@ -1,0 +1,145 @@
+"""Unit tests for the netlist IR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.rtl import Netlist, Op
+from repro.rtl.cells import CELL_LIBRARY
+
+
+def test_gate_creation_and_introspection():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    g = nl.and_(a, b, name="g")
+    assert nl.op_of(g) == Op.AND
+    assert nl.fanin_of(g) == (a, b)
+    assert nl.n_nets == 3
+    assert "g" in nl.name_of(g)
+
+
+def test_fanin_must_exist():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    with pytest.raises(NetlistError):
+        nl.and_(a, 99)
+
+
+def test_fanin_arity_checked():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    with pytest.raises(NetlistError):
+        nl.gate(Op.AND, a)  # AND needs 2 fanins
+    with pytest.raises(NetlistError):
+        nl.gate(Op.REG, a)  # REG is not a combinational gate op
+
+
+def test_scope_nesting_tags_units():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    with nl.scope("exec"):
+        b = nl.not_(a)
+        with nl.scope("alu0"):
+            c = nl.not_(b)
+    assert nl.unit_of(a) == "top"
+    assert nl.unit_of(b) == "exec"
+    assert nl.unit_of(c) == "exec/alu0"
+    assert nl.unit_names() == ["top", "exec", "exec/alu0"]
+
+
+def test_names_are_unique():
+    nl = Netlist("t")
+    a = nl.input_bit("x")
+    b = nl.input_bit("x")
+    assert nl.name_of(a) != nl.name_of(b)
+
+
+def test_clock_domain_and_reg():
+    nl = Netlist("t")
+    en = nl.input_bit("en")
+    dom = nl.clock_domain("unit", enable=en)
+    d = nl.input_bit("d")
+    r = nl.reg(d, dom, init=1)
+    assert nl.op_of(r) == Op.REG
+    assert nl.domain_of_reg(r) is dom
+    assert dom.gated
+    assert nl.reg_init_array()[r] == 1
+    nl.validate()
+
+
+def test_reg_uninit_must_be_connected():
+    nl = Netlist("t")
+    dom = nl.clock_domain("main")
+    r = nl.reg_uninit(dom)
+    with pytest.raises(NetlistError):
+        nl.validate()
+    d = nl.not_(r)
+    nl.connect_reg(r, d)
+    nl.validate()
+    with pytest.raises(NetlistError):
+        nl.connect_reg(r, d)  # double connect
+
+
+def test_bus_registration():
+    nl = Netlist("t")
+    bus = nl.input_bus("data", 4)
+    assert len(bus) == 4
+    assert nl.buses["data"] == bus
+    assert nl.bus_of_net()[bus[2]] == "data"
+    with pytest.raises(NetlistError):
+        nl.add_bus("data", bus)
+
+
+def test_fanout_counts():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    nl.and_(a, b)
+    nl.or_(a, b)
+    nl.not_(a)
+    counts = nl.fanout_counts()
+    assert counts[a] == 3
+    assert counts[b] == 2
+
+
+def test_total_area_matches_library():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    nl.and_(a, b)
+    dom = nl.clock_domain("main")
+    nl.reg(a, dom)
+    expect = (
+        CELL_LIBRARY[Op.AND].area
+        + CELL_LIBRARY[Op.REG].area
+        + CELL_LIBRARY[Op.CLK].area
+    )
+    assert nl.total_area() == pytest.approx(expect)
+
+
+def test_positions_shape_checked():
+    nl = Netlist("t")
+    nl.input_bit("a")
+    with pytest.raises(NetlistError):
+        nl.set_positions(np.zeros((5, 2)))
+    nl.set_positions(np.zeros((1, 2)))
+    assert nl.positions is not None
+
+
+def test_summary_counts():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    nl.xor(a, b)
+    dom = nl.clock_domain("main")
+    nl.reg(a, dom)
+    s = nl.summary()
+    assert s == {
+        "nets": 5,
+        "inputs": 2,
+        "regs": 1,
+        "comb": 1,
+        "clk": 1,
+        "buses": 0,
+    }

@@ -1,0 +1,194 @@
+"""Tests for netlist optimization (constant folding + dead-logic
+elimination), including differential equivalence checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetlistError
+from repro.rtl import Netlist, Op, RecordSpec, Simulator
+from repro.rtl.optimize import optimize
+
+
+def _equiv_check(nl, keep, n_cycles=16, seed=0):
+    """The kept nets must toggle identically before and after."""
+    res = optimize(nl, keep=keep)
+    rng = np.random.default_rng(seed)
+    stim = rng.integers(
+        0, 2, size=(n_cycles, len(nl.input_ids)), dtype=np.uint8
+    )
+    before = Simulator(nl).run(
+        stim, RecordSpec(columns=np.asarray(keep))
+    )
+    new_keep = res.map_nets(keep)
+    after = Simulator(res.netlist).run(
+        stim, RecordSpec(columns=np.asarray(new_keep))
+    )
+    np.testing.assert_array_equal(before.columns, after.columns)
+    return res
+
+
+def test_and_with_const_zero_folds():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    zero = nl.const(0)
+    g = nl.and_(a, zero)
+    h = nl.or_(g, a)  # OR(0, a) -> alias a
+    res = _equiv_check(nl, keep=[h])
+    # h collapses onto the input itself; no gates remain.
+    assert res.netlist.summary()["comb"] == 0
+
+
+def test_xor_with_const_one_becomes_not():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    one = nl.const(1)
+    g = nl.xor(a, one)
+    res = _equiv_check(nl, keep=[g])
+    ops = res.netlist.ops_array()
+    assert int(np.count_nonzero(ops == int(Op.NOT))) == 1
+    assert res.netlist.summary()["comb"] == 1
+
+
+def test_mux_with_const_select_folds():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    one = nl.const(1)
+    g = nl.mux(one, a, b)  # always a
+    h = nl.xor(g, b)
+    res = _equiv_check(nl, keep=[h])
+    assert res.netlist.summary()["comb"] == 1  # only the xor remains
+
+
+def test_mux_const_arms():
+    nl = Netlist("t")
+    s = nl.input_bit("s")
+    g = nl.mux(s, nl.const(1), nl.const(0))  # = s
+    h = nl.mux(s, nl.const(0), nl.const(1))  # = not s
+    out = nl.or_(g, h)  # = s | ~s ... kept as a gate (no boolean axioms)
+    res = _equiv_check(nl, keep=[g, h, out])
+    ops = res.netlist.ops_array()
+    assert int(np.count_nonzero(ops == int(Op.NOT))) == 1
+
+
+def test_dead_logic_dropped():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    kept = nl.and_(a, b)
+    for _ in range(20):
+        b = nl.xor(a, b)  # dead cone
+    res = _equiv_check(nl, keep=[kept])
+    assert res.netlist.summary()["comb"] == 1
+    # dead nets map to -1
+    assert (res.net_map == -1).sum() >= 19
+
+
+def test_inputs_always_survive():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")  # unused
+    g = nl.buf(a)
+    res = optimize(nl, keep=[g])
+    assert len(res.netlist.input_ids) == 2
+
+
+def test_registers_and_domains_preserved():
+    from repro.rtl.datapath import (
+        connect_register_bus,
+        incrementer,
+        register_bus_uninit,
+    )
+
+    nl = Netlist("t")
+    en = nl.input_bit("en")
+    dom = nl.clock_domain("d", enable=en)
+    regs = register_bus_uninit(nl, 3, dom, name="q")
+    connect_register_bus(nl, regs, incrementer(nl, regs))
+    res = _equiv_check(nl, keep=list(regs), n_cycles=12)
+    s = res.netlist.summary()
+    assert s["regs"] == 3
+    assert s["clk"] == 1
+    assert res.netlist.domains[0].enable is not None
+
+
+def test_dead_register_dropped():
+    nl = Netlist("t")
+    dom = nl.clock_domain("d")
+    a = nl.input_bit("a")
+    live_reg = nl.reg(a, dom)
+    nl.reg(nl.not_(a), dom)  # dead register
+    res = optimize(nl, keep=[live_reg])
+    assert res.netlist.summary()["regs"] == 1
+
+
+def test_alias_chain_collapses():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    x = a
+    for _ in range(10):
+        x = nl.buf(x)
+    res = _equiv_check(nl, keep=[x])
+    assert res.netlist.summary()["comb"] == 0
+    assert res.net_map[x] == res.net_map[a]
+
+
+def test_xor_of_same_signal_is_zero():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    b = nl.buf(a)
+    g = nl.xor(a, b)  # x ^ x = 0
+    out = nl.or_(g, a)
+    res = _equiv_check(nl, keep=[out])
+    assert res.netlist.summary()["comb"] == 0
+
+
+def test_map_nets_raises_for_dead():
+    nl = Netlist("t")
+    a = nl.input_bit("a")
+    kept = nl.not_(a)
+    dead = nl.and_(a, kept)
+    res = optimize(nl, keep=[kept])
+    with pytest.raises(NetlistError):
+        res.map_nets([dead])
+
+
+def test_keep_validation():
+    nl = Netlist("t")
+    nl.input_bit("a")
+    with pytest.raises(NetlistError):
+        optimize(nl, keep=[99])
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_random_netlist_equivalence(seed):
+    """Random gate soup + consts: optimization preserves kept values."""
+    rng = np.random.default_rng(seed)
+    nl = Netlist("rand")
+    pool = [nl.input_bit(f"i{k}") for k in range(4)]
+    pool.append(nl.const(0))
+    pool.append(nl.const(1))
+    dom = nl.clock_domain("d", enable=pool[0])
+    gate_ops = [Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR,
+                Op.NOT, Op.BUF, Op.MUX]
+    for _ in range(60):
+        op = gate_ops[int(rng.integers(0, len(gate_ops)))]
+        picks = [
+            pool[int(rng.integers(0, len(pool)))] for _ in range(3)
+        ]
+        if op in (Op.NOT, Op.BUF):
+            net = nl.gate(op, picks[0])
+        elif op == Op.MUX:
+            net = nl.mux(picks[0], picks[1], picks[2])
+        else:
+            net = nl.gate(op, picks[0], picks[1])
+        if rng.random() < 0.15:
+            net = nl.reg(net, dom)
+        pool.append(net)
+    keep = [
+        pool[int(rng.integers(6, len(pool)))] for _ in range(5)
+    ]
+    _equiv_check(nl, keep=sorted(set(keep)), n_cycles=24, seed=seed)

@@ -1,0 +1,115 @@
+"""Tests for packed toggle traces, including property-based roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import SimulationError
+from repro.rtl import ToggleTrace
+
+
+@given(
+    arrays(
+        np.uint8,
+        st.tuples(
+            st.integers(1, 3), st.integers(1, 20), st.integers(1, 40)
+        ),
+        elements=st.integers(0, 1),
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_pack_unpack_roundtrip(dense):
+    trace = ToggleTrace.from_dense(dense)
+    np.testing.assert_array_equal(trace.dense(), dense)
+
+
+@given(
+    arrays(
+        np.uint8,
+        st.tuples(st.integers(1, 2), st.integers(1, 10), st.integers(2, 33)),
+        elements=st.integers(0, 1),
+    ),
+    st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_column_selection_matches_dense(dense, data):
+    trace = ToggleTrace.from_dense(dense)
+    n = dense.shape[2]
+    cols = data.draw(
+        st.lists(st.integers(0, n - 1), min_size=1, max_size=n, unique=True)
+    )
+    cols = np.asarray(cols)
+    np.testing.assert_array_equal(trace.dense(cols), dense[:, :, cols])
+
+
+def test_from_dense_accepts_2d():
+    dense = np.eye(4, dtype=np.uint8)
+    trace = ToggleTrace.from_dense(dense)
+    assert trace.batch == 1
+    np.testing.assert_array_equal(trace.dense()[0], dense)
+
+
+def test_toggle_counts():
+    dense = np.zeros((2, 3, 5), dtype=np.uint8)
+    dense[0, :, 1] = 1
+    dense[1, 0, 4] = 1
+    trace = ToggleTrace.from_dense(dense)
+    counts = trace.toggle_counts()
+    assert counts.tolist() == [0, 3, 0, 0, 1]
+
+
+def test_flatten_batch():
+    dense = np.random.default_rng(0).integers(
+        0, 2, size=(3, 4, 9), dtype=np.uint8
+    )
+    trace = ToggleTrace.from_dense(dense).flatten_batch()
+    assert trace.batch == 1
+    assert trace.n_cycles == 12
+    np.testing.assert_array_equal(
+        trace.dense()[0], dense.reshape(12, 9)
+    )
+
+
+def test_concat_and_slice_cycles():
+    rng = np.random.default_rng(1)
+    d1 = rng.integers(0, 2, size=(1, 4, 9), dtype=np.uint8)
+    d2 = rng.integers(0, 2, size=(1, 2, 9), dtype=np.uint8)
+    t = ToggleTrace.concat_cycles(
+        [ToggleTrace.from_dense(d1), ToggleTrace.from_dense(d2)]
+    )
+    assert t.n_cycles == 6
+    np.testing.assert_array_equal(t.slice_cycles(4, 6).dense(), d2)
+
+
+def test_concat_shape_mismatch_raises():
+    t1 = ToggleTrace.from_dense(np.zeros((1, 2, 8), dtype=np.uint8))
+    t2 = ToggleTrace.from_dense(np.zeros((1, 2, 9), dtype=np.uint8))
+    with pytest.raises(SimulationError):
+        ToggleTrace.concat_cycles([t1, t2])
+    with pytest.raises(SimulationError):
+        ToggleTrace.concat_cycles([])
+
+
+def test_out_of_range_column_raises():
+    t = ToggleTrace.from_dense(np.zeros((1, 2, 8), dtype=np.uint8))
+    with pytest.raises(SimulationError):
+        t.dense(np.array([8]))
+
+
+def test_save_load_roundtrip(tmp_path):
+    dense = np.random.default_rng(2).integers(
+        0, 2, size=(2, 5, 13), dtype=np.uint8
+    )
+    t = ToggleTrace.from_dense(dense)
+    path = tmp_path / "trace.npz"
+    t.save(path)
+    loaded = ToggleTrace.load(path)
+    np.testing.assert_array_equal(loaded.dense(), dense)
+
+
+def test_nbytes_reflects_packing():
+    dense = np.zeros((1, 100, 80), dtype=np.uint8)
+    t = ToggleTrace.from_dense(dense)
+    assert t.nbytes == 100 * 10  # 80 bits -> 10 bytes per cycle

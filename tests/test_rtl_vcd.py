@@ -1,0 +1,114 @@
+"""Tests for VCD export/import of toggle traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import SimulationError
+from repro.rtl import Netlist, Simulator, ToggleTrace
+from repro.rtl.vcd import read_vcd, vcd_identifiers, write_vcd
+
+from helpers import simple_counter_design
+
+
+def test_identifiers_unique_and_printable():
+    ids = vcd_identifiers(500)
+    assert len(set(ids)) == 500
+    assert all(
+        all(33 <= ord(ch) <= 126 for ch in s) for s in ids
+    )
+    assert ids[0] == "!"
+    assert len(ids[93]) == 1 and len(ids[94]) == 2
+
+
+@given(
+    arrays(
+        np.uint8,
+        st.tuples(st.just(1), st.integers(1, 30), st.integers(1, 20)),
+        elements=st.integers(0, 1),
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_vcd_roundtrip_preserves_toggles(tmp_path_factory, dense):
+    tmp = tmp_path_factory.mktemp("vcd")
+    trace = ToggleTrace.from_dense(dense)
+    path = tmp / "t.vcd"
+    write_vcd(trace, path)
+    loaded, names = read_vcd(path)
+    assert len(names) == dense.shape[2]
+    got = loaded.dense()[0]
+    want = dense[0]
+    # Trailing all-zero cycles produce no VCD events; pad to compare.
+    padded = np.zeros_like(want)
+    padded[: got.shape[0], : got.shape[1]] = got
+    np.testing.assert_array_equal(padded, want)
+
+
+def test_vcd_of_real_simulation(tmp_path):
+    nl, nets = simple_counter_design(width=4, gated=True)
+    sim = Simulator(nl)
+    rng = np.random.default_rng(0)
+    stim = rng.integers(0, 2, size=(20, 1), dtype=np.uint8)
+    res = sim.run(stim)
+    path = tmp_path / "counter.vcd"
+    n_changes = write_vcd(res.trace, path, netlist=nl)
+    assert n_changes > 0
+    text = path.read_text()
+    assert "$var wire 1" in text
+    assert "clk_main" in text  # the domain's clock net, by name
+    loaded, names = read_vcd(path)
+    # counter register toggles survive the roundtrip
+    q0 = names.index("ctr/q[0]")
+    col = loaded.dense()[0][:, q0]
+    want = res.trace.dense()[0][: col.shape[0], nets["regs"][0]]
+    np.testing.assert_array_equal(col, want)
+
+
+def test_write_selected_nets(tmp_path):
+    nl, nets = simple_counter_design(width=4)
+    res = Simulator(nl).run(np.zeros((8, 0), dtype=np.uint8))
+    path = tmp_path / "sel.vcd"
+    write_vcd(res.trace, path, netlist=nl, nets=nets["regs"][:2])
+    _loaded, names = read_vcd(path)
+    assert len(names) == 2
+
+
+def test_clock_net_emitted_as_pulse(tmp_path):
+    nl, _nets = simple_counter_design(width=2, gated=False)
+    res = Simulator(nl).run(np.zeros((3, 0), dtype=np.uint8))
+    clk = nl.domains[0].clk_net
+    path = tmp_path / "clk.vcd"
+    write_vcd(res.trace, path, netlist=nl, nets=[clk])
+    text = path.read_text()
+    # rises on the cycle boundary, falls at the half cycle
+    assert "#10\n1!" in text
+    assert "#15\n0!" in text
+
+
+def test_batch_bounds(tmp_path):
+    trace = ToggleTrace.from_dense(
+        np.zeros((1, 4, 3), dtype=np.uint8)
+    )
+    with pytest.raises(SimulationError):
+        write_vcd(trace, tmp_path / "x.vcd", batch=2)
+
+
+def test_read_rejects_wide_vars(tmp_path):
+    path = tmp_path / "wide.vcd"
+    path.write_text(
+        "$timescale 1ns $end\n$var wire 8 ! bus $end\n"
+        "$enddefinitions $end\n#0\n"
+    )
+    with pytest.raises(SimulationError):
+        read_vcd(path)
+
+
+def test_read_rejects_undeclared_id(tmp_path):
+    path = tmp_path / "bad.vcd"
+    path.write_text(
+        "$var wire 1 ! a $end\n$enddefinitions $end\n#10\n1?\n"
+    )
+    with pytest.raises(SimulationError):
+        read_vcd(path)

@@ -1,0 +1,119 @@
+"""Tests for structural Verilog export."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.rtl import Netlist
+from repro.rtl.verilog import net_identifier, write_verilog
+
+from helpers import simple_counter_design
+
+
+def test_identifiers_legal_and_unique():
+    nl = Netlist("t")
+    a = nl.input_bit("weird name![0]")
+    b = nl.input_bit("module")  # reserved word
+    c = nl.input_bit("9starts_with_digit")
+    idents = {net_identifier(nl, n) for n in (a, b, c)}
+    assert len(idents) == 3
+    for ident in idents:
+        assert re.match(r"^[A-Za-z_][A-Za-z0-9_]*$", ident)
+
+
+def test_counter_exports_complete_module(tmp_path):
+    nl, nets = simple_counter_design(width=4, gated=True)
+    path = tmp_path / "counter.v"
+    module = write_verilog(nl, path, module_name="ctr4")
+    text = path.read_text()
+    assert module == "ctr4"
+    assert text.startswith("// generated")
+    assert "module ctr4 (" in text
+    assert text.rstrip().endswith("endmodule")
+    # all four counter bits appear as registers with reset + enable
+    assert text.count("always @(posedge clk)") == len(nl.domains)
+    assert "end else if (" in text  # gated domain uses a clock enable
+    # balanced begin/end tokens
+    begins = len(re.findall(r"\bbegin\b", text))
+    ends = len(re.findall(r"\bend\b", text))
+    assert begins == ends
+
+
+def test_gate_expressions(tmp_path):
+    nl = Netlist("g")
+    a = nl.input_bit("a")
+    b = nl.input_bit("b")
+    s = nl.input_bit("s")
+    ops = {
+        "and": nl.and_(a, b),
+        "nand": nl.nand(a, b),
+        "xor": nl.xor(a, b),
+        "nor": nl.nor(a, b),
+        "xnor": nl.xnor(a, b),
+        "not": nl.not_(a),
+        "mux": nl.mux(s, a, b),
+    }
+    path = tmp_path / "g.v"
+    write_verilog(nl, path, outputs=list(ops.values()))
+    text = path.read_text()
+    assert "&" in text and "|" in text and "^" in text
+    assert "?" in text and ":" in text
+    assert "~(" in text
+    # every op net is exposed as an output
+    for net in ops.values():
+        assert f"{net_identifier(nl, net)}_o" in text
+
+
+def test_consts_and_clock_nets(tmp_path):
+    nl = Netlist("c")
+    en = nl.input_bit("en")
+    dom = nl.clock_domain("d", enable=en)
+    z = nl.const(0)
+    o = nl.const(1)
+    r = nl.reg(nl.or_(z, o), dom, init=1)
+    path = tmp_path / "c.v"
+    write_verilog(nl, path, outputs=[r])
+    text = path.read_text()
+    assert "= 1'b0;" in text
+    assert "= 1'b1;" in text
+    assert "<= 1'b1;" in text  # reset init value
+
+
+def test_default_outputs_are_registers(tmp_path):
+    nl, nets = simple_counter_design(width=3)
+    path = tmp_path / "d.v"
+    write_verilog(nl, path)
+    text = path.read_text()
+    for r in nets["regs"]:
+        assert f"{net_identifier(nl, r)}_o" in text
+
+
+def test_bad_output_rejected(tmp_path):
+    nl, _ = simple_counter_design(width=2)
+    with pytest.raises(NetlistError):
+        write_verilog(nl, tmp_path / "x.v", outputs=[10**6])
+
+
+def test_opm_exports(tmp_path):
+    """The OPM netlist — the artifact the paper ships — exports cleanly."""
+    from repro.core import ApolloModel
+    from repro.opm import build_opm_netlist, quantize_model
+
+    rng = np.random.default_rng(0)
+    model = ApolloModel(
+        proxies=np.arange(12),
+        weights=rng.uniform(0.1, 1.5, 12),
+        intercept=0.4,
+    )
+    hw = build_opm_netlist(quantize_model(model, bits=8), t=4)
+    path = tmp_path / "opm.v"
+    module = write_verilog(
+        hw.netlist, path, module_name="apollo_opm",
+        outputs=list(hw.out_bits),
+    )
+    text = path.read_text()
+    assert module == "apollo_opm"
+    assert text.count("input ") >= 12 + 2  # proxies + clk/rst
+    assert "endmodule" in text

@@ -1,0 +1,79 @@
+"""Tests for the cache model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.uarch import Cache
+
+
+def test_geometry_validation():
+    with pytest.raises(ReproError):
+        Cache(0, 1, 8)
+    with pytest.raises(ReproError):
+        Cache(3, 1, 8)  # not power of two
+    with pytest.raises(ReproError):
+        Cache(4, 1, 5)
+
+
+def test_cold_miss_then_hit():
+    c = Cache(n_sets=4, assoc=2, line_words=8)
+    assert not c.access(0)
+    assert c.access(0)
+    assert c.access(7)  # same line
+    assert not c.access(8)  # next line
+
+
+def test_lru_eviction():
+    c = Cache(n_sets=1, assoc=2, line_words=1)
+    c.access(0)
+    c.access(1)
+    c.access(0)  # 0 becomes MRU
+    c.access(2)  # evicts 1
+    assert c.access(0)
+    assert not c.access(1)
+
+
+def test_miss_rate_tracking():
+    c = Cache(n_sets=2, assoc=1, line_words=1)
+    for addr in (0, 1, 0, 1):
+        c.access(addr)
+    assert c.stats.accesses == 4
+    assert c.stats.misses == 2
+    assert c.stats.miss_rate == 0.5
+
+
+def test_probe_does_not_allocate():
+    c = Cache(n_sets=2, assoc=1, line_words=1)
+    assert not c.probe(0)
+    assert c.stats.accesses == 0
+    c.access(0)
+    assert c.probe(0)
+
+
+def test_flush():
+    c = Cache(n_sets=2, assoc=1, line_words=1)
+    c.access(0)
+    c.flush()
+    assert not c.probe(0)
+    assert c.occupancy() == 0
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=300))
+@settings(max_examples=25, deadline=None)
+def test_occupancy_bounded_by_capacity(addrs):
+    c = Cache(n_sets=4, assoc=2, line_words=4)
+    for a in addrs:
+        c.access(a)
+    assert c.occupancy() <= c.n_sets * c.assoc
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=100))
+@settings(max_examples=25, deadline=None)
+def test_repeat_access_always_hits(addrs):
+    """Accessing the same address twice in a row always hits the 2nd time."""
+    c = Cache(n_sets=8, assoc=2, line_words=4)
+    for a in addrs:
+        c.access(a)
+        assert c.access(a)

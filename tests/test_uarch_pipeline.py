@@ -1,0 +1,184 @@
+"""Tests for the pipeline timing model and activity traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, StimulusError
+from repro.isa import assemble, random_program, Program
+from repro.uarch import (
+    A77_LIKE,
+    ActivityTrace,
+    CoreParams,
+    N1_LIKE,
+    Pipeline,
+    ThrottleScheme,
+    stimulus_schema,
+)
+
+
+def _prog(src, name="t"):
+    return Program(name, tuple(assemble(src)))
+
+
+ALU_LOOP = _prog(
+    """
+    movi x1, 1
+    movi x2, 2
+    add x3, x1, x2
+    add x4, x3, x1
+    xor x5, x4, x2
+    add x6, x5, x1
+    """
+)
+
+VEC_LOOP = _prog(
+    """
+    movi x13, 0
+    vld v1, 0(x13)
+    vmac v2, v1, v1
+    vmac v3, v1, v2
+    vadd v4, v2, v3
+    """
+)
+
+
+def test_schema_is_deterministic_and_unique():
+    s1 = stimulus_schema(N1_LIKE)
+    s2 = stimulus_schema(N1_LIKE)
+    assert s1 == s2
+    names = [n for n, _ in s1]
+    assert len(set(names)) == len(names)
+
+
+def test_a77_schema_is_wider():
+    n1_bits = sum(w for _n, w in stimulus_schema(N1_LIKE))
+    a77_bits = sum(w for _n, w in stimulus_schema(A77_LIKE))
+    assert a77_bits > n1_bits
+
+
+def test_pipeline_runs_and_retires():
+    pipe = Pipeline(N1_LIKE)
+    trace, stats = pipe.run(ALU_LOOP, 300)
+    assert stats.cycles == 300
+    assert stats.retired > 100  # a dependent ALU chain still flows
+    assert 0 < stats.ipc <= N1_LIKE.retire_width
+
+
+def test_rejects_nonpositive_cycles():
+    with pytest.raises(ReproError):
+        Pipeline(N1_LIKE).run(ALU_LOOP, 0)
+
+
+def test_alu_channels_carry_operands():
+    pipe = Pipeline(N1_LIKE)
+    trace, _ = pipe.run(ALU_LOOP, 200)
+    valid = trace.get("alu0/valid")
+    a = trace.get("alu0/a")
+    assert valid.sum() > 20
+    # operand values appear on valid cycles
+    assert a[valid.astype(bool)].max() > 0
+
+
+def test_vector_program_lights_up_vec_unit():
+    pipe = Pipeline(N1_LIKE)
+    trace, _ = pipe.run(VEC_LOOP, 300)
+    assert trace.get("vec0/valid").sum() > 10
+    assert trace.duty_cycle("vec0/clk_en") > 0.1
+
+
+def test_scalar_program_gates_vector_clock():
+    pipe = Pipeline(N1_LIKE)
+    trace, _ = pipe.run(ALU_LOOP, 300)
+    assert trace.duty_cycle("vec0/clk_en") < 0.05
+    assert trace.duty_cycle("alu0/clk_en") > 0.5
+
+
+def test_dcache_misses_with_large_stride():
+    src_lines = ["movi x13, 0"]
+    # strided loads across a large footprint defeat the L1D
+    for i in range(20):
+        src_lines.append(f"ld x{1 + (i % 10)}, {i * 64}(x13)")
+    prog = _prog("\n".join(src_lines))
+    pipe = Pipeline(N1_LIKE)
+    trace, stats = pipe.run(prog, 600)
+    assert stats.l1d.miss_rate > 0.2
+    assert trace.get("l2ctl/req").sum() > 5
+
+
+def test_cache_resident_loads_mostly_hit():
+    src_lines = ["movi x13, 0"]
+    for i in range(12):
+        src_lines.append(f"ld x{1 + (i % 10)}, {i % 16}(x13)")
+    prog = _prog("\n".join(src_lines))
+    pipe = Pipeline(N1_LIKE)
+    _, stats = pipe.run(prog, 600)
+    assert stats.l1d.miss_rate < 0.2
+
+
+def test_branch_mispredicts_counted():
+    # data-dependent alternating branch pattern confuses 2-bit counters
+    prog = _prog(
+        """
+        movi x2, 1
+        xor x1, x1, x2
+        bne x1, x0, 2
+        nop
+        nop
+        add x3, x1, x2
+        """
+    )
+    pipe = Pipeline(N1_LIKE)
+    _, stats = pipe.run(prog, 500)
+    assert stats.mispredicts > 10
+
+
+def test_throttling_reduces_ipc():
+    prog = random_program(np.random.default_rng(0), 40)
+    base = Pipeline(N1_LIKE).run(prog, 400)[1]
+    throttled_params = N1_LIKE.with_throttle(ThrottleScheme(max_issue=1))
+    thr = Pipeline(throttled_params).run(prog, 400)[1]
+    assert thr.retired < base.retired
+
+
+def test_vector_block_throttle_stalls_vec():
+    params = N1_LIKE.with_throttle(ThrottleScheme(block_vector=True))
+    trace, _ = Pipeline(params).run(VEC_LOOP, 300)
+    assert trace.get("vec0/valid").sum() == 0
+
+
+def test_encode_stimulus_shape_and_bits():
+    pipe = Pipeline(N1_LIKE)
+    trace, _ = pipe.run(ALU_LOOP, 50)
+    stim = trace.encode_stimulus()
+    assert stim.shape == (50, trace.total_bits)
+    assert set(np.unique(stim)).issubset({0, 1})
+
+
+def test_encode_rejects_overwide_values():
+    trace = ActivityTrace([("a", 2)], 3)
+    trace.set("a", 0, 7)
+    with pytest.raises(StimulusError):
+        trace.encode_stimulus()
+
+
+def test_determinism():
+    prog = random_program(np.random.default_rng(3), 50)
+    t1, s1 = Pipeline(N1_LIKE).run(prog, 300)
+    t2, s2 = Pipeline(N1_LIKE).run(prog, 300)
+    assert s1.retired == s2.retired
+    np.testing.assert_array_equal(
+        t1.encode_stimulus(), t2.encode_stimulus()
+    )
+
+
+def test_rob_occupancy_bounded():
+    prog = random_program(np.random.default_rng(4), 60)
+    trace, _ = Pipeline(N1_LIKE).run(prog, 400)
+    assert trace.get("rob/occ").max() <= N1_LIKE.rob_size
+    assert trace.get("issue/occ").max() <= N1_LIKE.iq_size
+
+
+def test_retire_rate_bounded():
+    prog = random_program(np.random.default_rng(5), 60)
+    trace, _ = Pipeline(N1_LIKE).run(prog, 400)
+    assert trace.get("rob/retire").max() <= N1_LIKE.retire_width

@@ -1,0 +1,93 @@
+"""Tests for throttling schemes and activity-trace edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.isa import assemble, Program
+from repro.uarch import (
+    CoreParams,
+    N1_LIKE,
+    Pipeline,
+    ThrottleScheme,
+)
+
+
+def test_always_active_scheme():
+    s = ThrottleScheme(max_issue=2)
+    assert all(s.active(c) for c in range(10))
+
+
+def test_duty_cycled_scheme():
+    s = ThrottleScheme(max_issue=1, period=10, duty=0.3)
+    pattern = [s.active(c) for c in range(20)]
+    assert pattern[:10] == pattern[10:]  # periodic
+    assert sum(pattern[:10]) == 3  # 30% duty
+
+
+def test_zero_duty_never_active():
+    s = ThrottleScheme(max_issue=1, period=8, duty=0.0)
+    assert not any(s.active(c) for c in range(16))
+
+
+VIRUS = Program(
+    "virus",
+    tuple(
+        assemble(
+            """
+            movi x13, 0
+            vld v1, 0(x13)
+            vmac v2, v1, v1
+            add x1, x2, x3
+            add x4, x1, x2
+            mac x5, x4, x1
+            """
+        )
+    ),
+)
+
+
+def test_throttle_schemes_ordered_by_severity():
+    base = Pipeline(N1_LIKE).run(VIRUS, 400)[1].retired
+    cap2 = Pipeline(
+        N1_LIKE.with_throttle(ThrottleScheme(max_issue=2))
+    ).run(VIRUS, 400)[1].retired
+    cap1 = Pipeline(
+        N1_LIKE.with_throttle(ThrottleScheme(max_issue=1))
+    ).run(VIRUS, 400)[1].retired
+    assert base >= cap2 >= cap1
+    assert cap1 < base
+
+
+def test_duty_cycle_throttle_intermediate():
+    always = Pipeline(
+        N1_LIKE.with_throttle(ThrottleScheme(max_issue=1))
+    ).run(VIRUS, 512)[1].retired
+    half = Pipeline(
+        N1_LIKE.with_throttle(
+            ThrottleScheme(max_issue=1, period=64, duty=0.5)
+        )
+    ).run(VIRUS, 512)[1].retired
+    free = Pipeline(N1_LIKE).run(VIRUS, 512)[1].retired
+    assert always <= half <= free
+
+
+def test_with_throttle_is_pure():
+    p = N1_LIKE.with_throttle(ThrottleScheme(max_issue=1))
+    assert N1_LIKE.throttle is None
+    assert p.throttle is not None
+    assert p.fetch_width == N1_LIKE.fetch_width
+
+
+def test_activity_channels_quiet_when_throttled():
+    params = N1_LIKE.with_throttle(ThrottleScheme(block_vector=True))
+    trace, _ = Pipeline(params).run(VIRUS, 300)
+    assert trace.get("vec0/valid").sum() == 0
+    # scalar side still flows
+    assert trace.get("alu0/valid").sum() > 0
+
+
+def test_unit_names_match_channels():
+    for params in (N1_LIKE, CoreParams(name="w", n_alu=3, n_vec=2)):
+        trace, _ = Pipeline(params).run(VIRUS, 50)
+        for unit in params.unit_names:
+            assert f"{unit}/clk_en" in trace.channels
