@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench results examples clean
+.PHONY: install test bench bench-substrate results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,13 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Substrate micro-benchmarks only (gate-sim engines, MCP solver, trace
+# ops), with machine-readable output for tracking the perf trajectory.
+bench-substrate:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_substrate_perf.py \
+		--benchmark-only \
+		--benchmark-json=BENCH_substrate.json
 
 results:
 	$(PYTHON) -m repro.cli run-all --out results

@@ -19,29 +19,38 @@ def core(ctx_n1):
     return ctx_n1.core
 
 
-def test_perf_gate_sim_accumulate(benchmark, core):
-    """Gate-level simulation with a power accumulator (no trace)."""
-    sim = Simulator(core.netlist)
+@pytest.mark.parametrize("engine", ["uint8", "packed"])
+def test_perf_gate_sim_accumulate(benchmark, core, engine):
+    """Gate-level simulation with a power accumulator (no trace).
+
+    Parametrized over both engines on the same 16-lane batched workload
+    (the GA evaluates a whole generation per call), so the ratio between
+    the two rows is the packed engine's speedup.
+    """
+    sim = Simulator(core.netlist, engine=engine)
     pa = PowerAnalyzer(core.netlist)
     w = pa.label_weights()
     rng = np.random.default_rng(0)
     stim = rng.integers(
-        0, 2, size=(500, len(core.netlist.input_ids)), dtype=np.uint8
+        0, 2, size=(16, 500, len(core.netlist.input_ids)), dtype=np.uint8
     )
 
     def run():
         return sim.run(stim, RecordSpec(accumulators={"p": w}))
 
     res = benchmark.pedantic(run, rounds=3, iterations=1)
-    benchmark.extra_info["cycles_per_sec"] = f"{res.cycles_per_second:.0f}"
+    benchmark.extra_info["lane_cycles_per_sec"] = (
+        f"{res.cycles_per_second:.0f}"
+    )
 
 
-def test_perf_gate_sim_full_trace(benchmark, core):
+@pytest.mark.parametrize("engine", ["uint8", "packed"])
+def test_perf_gate_sim_full_trace(benchmark, core, engine):
     """Gate-level simulation recording the full packed toggle trace."""
-    sim = Simulator(core.netlist)
+    sim = Simulator(core.netlist, engine=engine)
     rng = np.random.default_rng(0)
     stim = rng.integers(
-        0, 2, size=(300, len(core.netlist.input_ids)), dtype=np.uint8
+        0, 2, size=(16, 300, len(core.netlist.input_ids)), dtype=np.uint8
     )
     res = benchmark.pedantic(
         lambda: sim.run(stim, RecordSpec(full_trace=True)),

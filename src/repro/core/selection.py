@@ -268,7 +268,12 @@ def _dedup_columns(X: np.ndarray) -> np.ndarray:
     if is_binary:
         hashable = np.packbits(X.astype(np.uint8), axis=0)
     else:
-        hashable = np.ascontiguousarray(X.astype(np.float32).T).T
+        # Byte-hashing floats must first canonicalize values that compare
+        # equal but differ in representation: -0.0 vs +0.0 and NaNs with
+        # different payloads.
+        hashable = X.astype(np.float32, copy=True)
+        hashable[hashable == 0.0] = 0.0  # -0.0 -> +0.0
+        hashable[np.isnan(hashable)] = np.float32("nan")
     seen: dict[bytes, int] = {}
     reps = []
     for j in range(hashable.shape[1]):

@@ -149,6 +149,10 @@ def coordinate_descent(
     it = 0
     active: np.ndarray | None = None
     for it in range(1, max_iter + 1):
+        # An active-set sweep below tolerance only *tentatively* converges
+        # (pending the confirming full sweep), so the flag must not
+        # survive into an iteration whose sweep still moves weights.
+        converged = False
         # Alternate full sweeps with active-set sweeps.
         full_sweep = active is None or (it % 10 == 1)
         idx = np.arange(m) if full_sweep else active

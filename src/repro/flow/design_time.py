@@ -48,10 +48,10 @@ class FlowEstimate:
 class DesignTimeFlow:
     """APOLLO-based per-cycle power estimation for one core + model."""
 
-    def __init__(self, core, model) -> None:
+    def __init__(self, core, model, engine: str = "packed") -> None:
         self.core = core
         self.model = model
-        self._sim = Simulator(core.netlist)
+        self._sim = Simulator(core.netlist, engine=engine)
         self._analyzer = PowerAnalyzer(core.netlist)
 
     def estimate(

@@ -167,6 +167,7 @@ def _simulate_benchmarks(
     core,
     runs: list[tuple[str, object, int, object]],
     batch_group: int = 8,
+    engine: str = "packed",
 ) -> tuple[ToggleTrace, np.ndarray, list[tuple[str, int, int]]]:
     """Simulate (name, program, cycles, throttle) runs; concat results.
 
@@ -174,7 +175,7 @@ def _simulate_benchmarks(
     """
     analyzer = PowerAnalyzer(core.netlist)
     weights = analyzer.label_weights()
-    simulator = Simulator(core.netlist)
+    simulator = Simulator(core.netlist, engine=engine)
 
     traces: list[ToggleTrace] = []
     labels: list[np.ndarray] = []
@@ -228,6 +229,7 @@ def build_training_dataset(
     target_cycles: int,
     replay_cycles: int = 300,
     seed: int = 0,
+    engine: str = "packed",
 ) -> PowerDataset:
     """Replay a uniform-power GA subset to collect ``target_cycles``.
 
@@ -243,7 +245,9 @@ def build_training_dataset(
         (ind.program.name, ind.program, replay_cycles, None)
         for ind in chosen
     ]
-    trace, labels, segments = _simulate_benchmarks(core, runs)
+    trace, labels, segments = _simulate_benchmarks(
+        core, runs, engine=engine
+    )
     return PowerDataset(
         trace=trace,
         labels=labels,
@@ -253,12 +257,14 @@ def build_training_dataset(
 
 
 def build_testing_dataset(
-    core, cycle_scale: float = 1.0
+    core, cycle_scale: float = 1.0, engine: str = "packed"
 ) -> PowerDataset:
     """Simulate the 12 handcrafted Table-4 benchmarks."""
     suite = testing_suite(cycle_scale)
     runs = [(b.name, b.program, b.cycles, b.throttle) for b in suite]
-    trace, labels, segments = _simulate_benchmarks(core, runs)
+    trace, labels, segments = _simulate_benchmarks(
+        core, runs, engine=engine
+    )
     return PowerDataset(
         trace=trace,
         labels=labels,

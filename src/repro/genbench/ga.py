@@ -70,6 +70,15 @@ class GaConfig:
             )
         if self.didt_window < 1:
             raise DatasetError("didt_window must be >= 1")
+        if self.program_length < 2:
+            raise DatasetError(
+                "program_length must be >= 2 (single-point crossover "
+                "needs an interior cut)"
+            )
+        if self.elite < 0:
+            raise DatasetError("elite must be >= 0")
+        if not (0 <= self.mutation_rate <= 1):
+            raise DatasetError("mutation_rate must be in [0, 1]")
 
 
 @dataclass
@@ -138,11 +147,16 @@ class GaResult:
 class BenchmarkEvolver:
     """Evolves power-virus micro-benchmarks for one core design."""
 
-    def __init__(self, core, config: GaConfig | None = None) -> None:
+    def __init__(
+        self,
+        core,
+        config: GaConfig | None = None,
+        engine: str = "packed",
+    ) -> None:
         self.core = core
         self.config = config or GaConfig()
         self.pipeline = Pipeline(core.params)
-        self.simulator = Simulator(core.netlist)
+        self.simulator = Simulator(core.netlist, engine=engine)
         analyzer = PowerAnalyzer(core.netlist)
         self._label_weights = analyzer.label_weights()
         self._rng = np.random.default_rng(self.config.seed)
@@ -235,6 +249,8 @@ class BenchmarkEvolver:
     def _crossover(
         self, a: Program, b: Program, name: str
     ) -> Program:
+        if len(a) < 2:  # no interior cut exists
+            return Program(name, a.instructions)
         cut = int(self._rng.integers(1, len(a)))
         child = a.instructions[:cut] + b.instructions[cut:]
         return Program(name, child)

@@ -160,10 +160,18 @@ class PowerAnalyzer:
             self.w_comb + self.w_seq + self.w_clock
             + self.w_glitch + self.w_short
         )
+        # Accumulator-ready form, shared by every caller: the simulator
+        # feeds this straight into per-cycle GEMVs, so keep one contiguous
+        # float32 copy instead of re-converting per call (read-only, since
+        # all callers now alias it).
+        self._label_w32 = np.ascontiguousarray(
+            self.w_total, dtype=np.float32
+        )
+        self._label_w32.setflags(write=False)
 
     def label_weights(self) -> np.ndarray:
         """float32 weights: ``w . toggles`` = switching power in mW."""
-        return self.w_total.astype(np.float32)
+        return self._label_w32
 
     def component_weights(self) -> dict[str, np.ndarray]:
         """Per-component weight vectors (float32), same convention."""

@@ -10,9 +10,14 @@ bits — the features APOLLO trains on.
 
 from repro.rtl.cells import Op, CELL_LIBRARY, CellInfo
 from repro.rtl.netlist import Netlist, ClockDomain
-from repro.rtl.levelize import levelize, LevelSchedule
-from repro.rtl.trace import ToggleTrace
-from repro.rtl.simulator import Simulator, SimResult, RecordSpec
+from repro.rtl.levelize import (
+    levelize,
+    LevelSchedule,
+    PackedSchedule,
+    compile_packed,
+)
+from repro.rtl.trace import ToggleTrace, pack_lanes, unpack_lanes
+from repro.rtl.simulator import Simulator, SimResult, RecordSpec, ENGINES
 
 __all__ = [
     "Op",
@@ -22,8 +27,13 @@ __all__ = [
     "ClockDomain",
     "levelize",
     "LevelSchedule",
+    "PackedSchedule",
+    "compile_packed",
     "ToggleTrace",
+    "pack_lanes",
+    "unpack_lanes",
     "Simulator",
     "SimResult",
     "RecordSpec",
+    "ENGINES",
 ]

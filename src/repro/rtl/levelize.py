@@ -8,6 +8,15 @@ nets at level 0.
 
 The simulator wants, per level and per op, contiguous index arrays
 ``(out, a, b, c)`` so each group is one vectorized NumPy expression.
+
+:func:`compile_packed` goes one step further for the bit-parallel engine:
+it folds inverting ops into per-net storage polarities (AIG-style) and
+fuses every gate of a level into at most four kernel segments — an
+AND-run (AND/NAND/OR/NOR), an XOR-run (XOR/XNOR), a copy-run (BUF/NOT)
+and a MUX-run — each driven by one concatenated fanin gather plus one
+precomputed complement mask.  A net's *stored* word is
+``true_value XOR pol[net]``; since both operands of a toggle XOR carry
+the same polarity, toggles computed on stored words are exact.
 """
 
 from __future__ import annotations
@@ -20,7 +29,14 @@ from repro.errors import NetlistError
 from repro.rtl.cells import EVAL_OPS, N_FANIN, Op
 from repro.rtl.netlist import NO_NET, Netlist
 
-__all__ = ["EvalGroup", "LevelSchedule", "levelize"]
+__all__ = [
+    "EvalGroup",
+    "LevelSchedule",
+    "levelize",
+    "PackedLevel",
+    "PackedSchedule",
+    "compile_packed",
+]
 
 
 @dataclass(frozen=True)
@@ -172,4 +188,372 @@ def levelize(netlist: Netlist) -> LevelSchedule:
         const_ids=const_ids,
         const_vals=const_vals,
         max_level=int(levels.max()) if n else 0,
+    )
+
+# ---------------------------------------------------------------------- #
+# Bit-parallel (packed uint64) compilation
+# ---------------------------------------------------------------------- #
+# The packed engine stores one uint64 word per net per 64 batch lanes and
+# keeps net values in *renumbered* storage rows chosen so that every write
+# target of the simulation loop is a contiguous slice:
+#
+#   [consts | inputs | free regs | gated regs | free CLKs | gated CLKs |
+#    level 1: AND-run, XOR-run, copy-run, MUX outs | level 2: ... |
+#    aliases]
+#
+# Per level the engine does one concatenated fanin gather, one
+# complement-mask XOR, and one in-place kernel per non-empty segment that
+# writes straight into the value array — no scatter indexing anywhere in
+# the cycle loop.  Inverting ops fold into per-net storage polarities
+# (AIG style): a net's stored word is ``true_value ^ pol[net]``, which
+# turns NAND/OR/NOR into the AND-run and XNOR into the XOR-run.  MUXes
+# fold into the AND-run too: ``sel ? x : y`` is the disjoint union
+# ``(sel & x) | (~sel & y)``, so two *virtual* product rows ``u = s & x``
+# and ``v = ~s & y`` ride along the AND-run and the MUX output is the
+# single extra call ``u ^ v``.  BUF/NOT nets are pure storage aliases of
+# their (transitive) source and are never evaluated; their toggle rows
+# are filled from the source rows once per cycle.  The one exception is a
+# BUF/NOT driven by a CLK net, which must keep the uint8 engine's
+# semantics of observing the previous-cycle clock value — those stay as
+# an evaluated copy-run.
+
+_POL_ONE_OPS = frozenset({int(Op.NAND), int(Op.OR), int(Op.XNOR)})
+_COMP_OPERAND_OPS = frozenset({int(Op.OR), int(Op.NOR)})
+_AND_FAMILY = frozenset({int(Op.AND), int(Op.NAND), int(Op.OR), int(Op.NOR)})
+_XOR_FAMILY = frozenset({int(Op.XOR), int(Op.XNOR)})
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _inv_column(bits: np.ndarray) -> np.ndarray:
+    """uint64 complement-mask column: all-ones where ``bits`` is set."""
+    return np.where(bits.astype(bool), _ALL_ONES, np.uint64(0))[:, None]
+
+
+@dataclass(frozen=True)
+class PackedLevel:
+    """One fused evaluation step of the packed engine.
+
+    ``gather`` holds the source *rows* (renumbered, alias-resolved) of
+    all operands, run-major (``[A-run | B-run | xor_a | xor_b | copy]``
+    with MUX select/data operands folded into the A/B runs); ``inv`` is
+    the matching complement-mask column.  The ``sl_*`` slices address
+    operand runs inside the gathered scratch buffer while ``out_*`` /
+    ``sl_u`` / ``sl_v`` slices address contiguous storage rows in the
+    value array (``sl_u``/``sl_v`` are the virtual MUX product rows).
+    """
+
+    gather: np.ndarray  # intp source rows, run-major
+    inv: np.ndarray  # uint64 (width, 1) complement-mask column
+    has_inv: bool
+    n_and: int  # A/B operand pairs (real AND-family + 2 per MUX)
+    n_xor: int
+    n_copy: int
+    n_mux: int
+    sl_and_a: slice
+    sl_and_b: slice
+    sl_xor_a: slice
+    sl_xor_b: slice
+    sl_copy: slice
+    out_and: slice  # AND-run rows: [real outs | u products | v products]
+    out_xor: slice
+    out_copy: slice
+    out_mux: slice
+    sl_u: slice  # virtual rows holding sel & x
+    sl_v: slice  # virtual rows holding ~sel & y
+
+    @property
+    def width(self) -> int:
+        return int(self.gather.size)
+
+
+@dataclass
+class PackedSchedule:
+    """Renumbered, polarity-folded compilation for the packed engine.
+
+    ``row_of_net`` maps net ids to storage rows; the value array has
+    ``n_rows >= n_nets`` rows because MUX gates contribute two virtual
+    product rows each.  All index arrays below live in storage-row space
+    with aliases already resolved to their driving root.  ``*_inv``
+    arrays are uint64 complement-mask columns derived from operand
+    polarities; the matching ``*_has_inv`` flags let the simulator skip
+    all-zero masks.
+    """
+
+    levels: list[PackedLevel]
+    pol: np.ndarray  # (n_nets,) uint8, indexed by net id
+    row_of_net: np.ndarray  # (n_nets,) int32: net id -> storage row
+    n_rows: int  # storage rows (nets + virtual MUX products)
+    max_gather: int
+    # Contiguous row blocks of the renumbered layout.
+    sl_const: slice
+    sl_inputs: slice
+    sl_free: slice
+    sl_gated: slice
+    sl_clk_free: slice
+    sl_clk_gated: slice
+    sl_clk_all: slice
+    sl_alias: slice
+    # Sequential-element sources (storage rows).
+    free_d: np.ndarray
+    free_d_inv: np.ndarray
+    free_has_inv: bool
+    gated_d: np.ndarray
+    gated_d_inv: np.ndarray
+    gated_d_has_inv: bool
+    gated_en: np.ndarray
+    gated_en_inv: np.ndarray
+    gated_en_has_inv: bool
+    clk_g_en: np.ndarray
+    clk_g_en_inv: np.ndarray
+    clk_g_has_inv: bool
+    alias_src: np.ndarray  # storage rows feeding the alias block
+
+    @property
+    def n_nets(self) -> int:
+        return int(self.pol.size)
+
+
+def compile_packed(
+    netlist: Netlist, schedule: LevelSchedule | None = None
+) -> PackedSchedule:
+    """Compile ``netlist`` for the bit-parallel engine.
+
+    Reuses an existing :class:`LevelSchedule` when given (the simulator
+    always has one) to avoid levelizing twice.
+    """
+    sch = schedule if schedule is not None else levelize(netlist)
+    n = sch.n_nets
+    ops = netlist.ops_array()
+    fanin = netlist.fanin_array() if n else np.zeros((0, 3), np.int32)
+
+    is_clk = np.zeros(n, dtype=bool)
+    if sch.clk_out.size:
+        is_clk[sch.clk_out] = True
+
+    # --- polarity assignment + alias resolution (ids are topological) ---
+    pol = np.zeros(n, dtype=np.uint8)
+    root = np.arange(n, dtype=np.int32)
+    buf_i, not_i = int(Op.BUF), int(Op.NOT)
+    is_alias = np.zeros(n, dtype=bool)
+    alias_list: list[int] = []
+    for i in range(n):
+        op = int(ops[i])
+        if op == buf_i or op == not_i:
+            a = int(fanin[i, 0])
+            if is_clk[root[a]]:
+                # Evaluated copy: comb logic must see the previous-cycle
+                # clock value, which only the level-ordered copy-run does.
+                continue
+            root[i] = root[a]
+            pol[i] = pol[a] ^ (1 if op == not_i else 0)
+            is_alias[i] = True
+            alias_list.append(i)
+        elif op in _POL_ONE_OPS:
+            pol[i] = 1
+    alias_ids = np.asarray(alias_list, dtype=np.int32)
+
+    # --- bucket comb gates by level into AND/XOR/copy/MUX segments ---
+    per_level: dict[int, dict[str, list]] = {}
+
+    def _bucket(lv: int) -> dict[str, list]:
+        return per_level.setdefault(
+            lv, {"and": [], "xor": [], "copy": [], "mux": []}
+        )
+
+    for g in sch.groups:
+        op = int(g.op)
+        lv = int(sch.levels[g.out[0]])
+        if op == buf_i or op == not_i:
+            keep = ~is_alias[g.out]
+            if keep.any():
+                flip = np.uint8(1 if op == not_i else 0)
+                _bucket(lv)["copy"].append((g.out[keep], g.a[keep], flip))
+            continue
+        if op in _AND_FAMILY:
+            comp = np.uint8(1 if op in _COMP_OPERAND_OPS else 0)
+            _bucket(lv)["and"].append((g.out, g.a, g.b, comp))
+        elif op in _XOR_FAMILY:
+            _bucket(lv)["xor"].append((g.out, g.a, g.b))
+        else:  # MUX: fanin order (sel, x, y) meaning sel ? x : y
+            _bucket(lv)["mux"].append((g.out, g.a, g.b, g.c))
+
+    # --- sequential bookkeeping (net-id space) ---
+    gated_m = sch.reg_en != NO_NET
+    free_out_ids = sch.reg_out[~gated_m]
+    free_d_ids = sch.reg_d[~gated_m]
+    gated_out_ids = sch.reg_out[gated_m]
+    gated_d_ids = sch.reg_d[gated_m]
+    gated_en_ids = sch.reg_en[gated_m]
+    clk_g_m = sch.clk_en != NO_NET
+    clk_free_ids = sch.clk_out[~clk_g_m]
+    clk_g_ids = sch.clk_out[clk_g_m]
+    clk_g_en_ids = sch.clk_en[clk_g_m]
+
+    # --- renumbered storage layout ---
+    row_of_net = np.full(n, -1, dtype=np.int32)
+    cursor = [0]
+
+    def _place(ids: np.ndarray) -> slice:
+        s = slice(cursor[0], cursor[0] + ids.size)
+        row_of_net[ids] = np.arange(s.start, s.stop, dtype=np.int32)
+        cursor[0] = s.stop
+        return s
+
+    def _skip(count: int) -> slice:
+        s = slice(cursor[0], cursor[0] + count)
+        cursor[0] = s.stop
+        return s
+
+    sl_const = _place(sch.const_ids)
+    sl_inputs = _place(sch.input_ids)
+    sl_free = _place(free_out_ids)
+    sl_gated = _place(gated_out_ids)
+    sl_clk_free = _place(clk_free_ids)
+    sl_clk_gated = _place(clk_g_ids)
+    sl_clk_all = slice(sl_clk_free.start, sl_clk_gated.stop)
+
+    def _cat(tuples: list, idx: int) -> np.ndarray:
+        if not tuples:
+            return np.zeros(0, dtype=np.int32)
+        return np.concatenate([t[idx] for t in tuples]).astype(np.int32)
+
+    def _flags(tuples: list) -> np.ndarray:
+        if not tuples:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(
+            [np.full(t[0].size, t[-1], dtype=np.uint8) for t in tuples]
+        )
+
+    level_tmp = []
+    for lv in sorted(per_level):
+        seg = per_level[lv]
+        and_out, and_a, and_b = (_cat(seg["and"], k) for k in range(3))
+        and_comp = _flags(seg["and"])
+        xor_out, xor_a, xor_b = (_cat(seg["xor"], k) for k in range(3))
+        copy_out, copy_a = (_cat(seg["copy"], k) for k in range(2))
+        copy_flip = _flags(seg["copy"])
+        mux_out, mux_s, mux_x, mux_y = (
+            _cat(seg["mux"], k) for k in range(4)
+        )
+        n_mux = mux_s.size
+        out_real_and = _place(and_out)
+        sl_u = _skip(n_mux)
+        sl_v = _skip(n_mux)
+        out_and = slice(out_real_and.start, sl_v.stop)
+        out_xor = _place(xor_out)
+        out_copy = _place(copy_out)
+        out_mux = _place(mux_out)
+        level_tmp.append(
+            (and_a, and_b, and_comp, xor_a, xor_b, copy_a, copy_flip,
+             mux_s, mux_x, mux_y, out_and, out_xor, out_copy, out_mux,
+             sl_u, sl_v)
+        )
+    sl_alias = _place(alias_ids)
+    n_rows = cursor[0]
+
+    if int((row_of_net >= 0).sum()) != n:  # pragma: no cover - invariant
+        raise NetlistError("packed layout does not cover every net")
+
+    def _rows(ids: np.ndarray) -> np.ndarray:
+        """Alias-resolved storage rows for operand net ids.
+
+        Returned as ``intp`` so the simulator's ``take`` calls skip the
+        per-call index-dtype conversion.
+        """
+        if not ids.size:
+            return np.zeros(0, dtype=np.intp)
+        return row_of_net[root[ids]].astype(np.intp)
+
+    def _invcol(bits: np.ndarray) -> tuple[np.ndarray, bool]:
+        return _inv_column(bits), bool(bits.any())
+
+    one = np.uint8(1)
+    levels_out: list[PackedLevel] = []
+    max_gather = 0
+    for (and_a, and_b, and_comp, xor_a, xor_b, copy_a, copy_flip,
+         mux_s, mux_x, mux_y, out_and, out_xor, out_copy, out_mux,
+         sl_u, sl_v) in level_tmp:
+        # A/B operand runs: real AND-family pairs, then (s, x) for the u
+        # products, then (s, y) — with s complemented — for the v ones.
+        src = np.concatenate(
+            [and_a, mux_s, mux_s, and_b, mux_x, mux_y,
+             xor_a, xor_b, copy_a]
+        )
+        inv_bits = np.concatenate([
+            pol[and_a] ^ and_comp,
+            pol[mux_s],
+            pol[mux_s] ^ one,
+            pol[and_b] ^ and_comp,
+            pol[mux_x],
+            pol[mux_y],
+            pol[xor_a],
+            pol[xor_b],
+            pol[copy_a] ^ copy_flip,
+        ])
+        n_and = and_a.size + 2 * mux_s.size
+        n_xor, n_copy, n_mux = xor_a.size, copy_a.size, mux_s.size
+        o = [0]
+
+        def _run(count: int) -> slice:
+            s = slice(o[0], o[0] + count)
+            o[0] = s.stop
+            return s
+
+        inv, has_inv = _invcol(inv_bits)
+        levels_out.append(
+            PackedLevel(
+                gather=np.ascontiguousarray(_rows(src)),
+                inv=inv,
+                has_inv=has_inv,
+                n_and=n_and,
+                n_xor=n_xor,
+                n_copy=n_copy,
+                n_mux=n_mux,
+                sl_and_a=_run(n_and),
+                sl_and_b=_run(n_and),
+                sl_xor_a=_run(n_xor),
+                sl_xor_b=_run(n_xor),
+                sl_copy=_run(n_copy),
+                out_and=out_and,
+                out_xor=out_xor,
+                out_copy=out_copy,
+                out_mux=out_mux,
+                sl_u=sl_u,
+                sl_v=sl_v,
+            )
+        )
+        max_gather = max(max_gather, src.size)
+
+    free_d_inv, free_has_inv = _invcol(pol[free_d_ids])
+    gated_d_inv, gated_d_has_inv = _invcol(pol[gated_d_ids])
+    gated_en_inv, gated_en_has_inv = _invcol(pol[gated_en_ids])
+    clk_g_en_inv, clk_g_has_inv = _invcol(pol[clk_g_en_ids])
+
+    return PackedSchedule(
+        levels=levels_out,
+        pol=pol,
+        row_of_net=row_of_net,
+        n_rows=n_rows,
+        max_gather=max_gather,
+        sl_const=sl_const,
+        sl_inputs=sl_inputs,
+        sl_free=sl_free,
+        sl_gated=sl_gated,
+        sl_clk_free=sl_clk_free,
+        sl_clk_gated=sl_clk_gated,
+        sl_clk_all=sl_clk_all,
+        sl_alias=sl_alias,
+        free_d=_rows(free_d_ids),
+        free_d_inv=free_d_inv,
+        free_has_inv=free_has_inv,
+        gated_d=_rows(gated_d_ids),
+        gated_d_inv=gated_d_inv,
+        gated_d_has_inv=gated_d_has_inv,
+        gated_en=_rows(gated_en_ids),
+        gated_en_inv=gated_en_inv,
+        gated_en_has_inv=gated_en_has_inv,
+        clk_g_en=_rows(clk_g_en_ids),
+        clk_g_en_inv=clk_g_en_inv,
+        clk_g_has_inv=clk_g_has_inv,
+        alias_src=_rows(alias_ids),
     )

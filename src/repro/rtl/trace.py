@@ -16,7 +16,56 @@ import numpy as np
 
 from repro.errors import SimulationError
 
-__all__ = ["ToggleTrace"]
+__all__ = ["ToggleTrace", "pack_lanes", "unpack_lanes"]
+
+
+# ---------------------------------------------------------------------- #
+# Lane-word packing (bit-parallel simulation engine)
+# ---------------------------------------------------------------------- #
+# The packed simulator stores 64 batch lanes per uint64 word: lane ``l``
+# lives in bit ``l`` of word ``l // 64``.  Packing along the last axis via
+# little-endian ``packbits`` plus a uint64 reinterpretation keeps every
+# conversion on the contiguous fast path; the reinterpretation assumes a
+# little-endian host (checked at call time).
+
+
+def _require_little_endian() -> None:
+    if not np.little_endian:  # pragma: no cover - no BE host to test on
+        raise SimulationError(
+            "lane-word packing requires a little-endian host; "
+            "use Simulator(engine='uint8') on this platform"
+        )
+
+
+def pack_lanes(bits: np.ndarray) -> np.ndarray:
+    """Pack 0/1 values along the last axis into uint64 lane words.
+
+    ``bits`` has shape ``(..., lanes)`` (uint8, values 0/1); the result has
+    shape ``(..., ceil(lanes / 64))`` with lane ``l`` in bit ``l`` of word
+    ``l // 64``.  Lanes beyond the input are zero-padded.
+    """
+    _require_little_endian()
+    bits = np.ascontiguousarray(bits, dtype=np.uint8)
+    lanes = bits.shape[-1]
+    n_words = (lanes + 63) // 64
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    out = np.zeros(bits.shape[:-1] + (n_words * 8,), dtype=np.uint8)
+    out[..., : packed.shape[-1]] = packed
+    return out.view(np.uint64)
+
+
+def unpack_lanes(words: np.ndarray, lanes: int) -> np.ndarray:
+    """Inverse of :func:`pack_lanes`: the first ``lanes`` bits as uint8.
+
+    ``words`` must be C-contiguous along its last axis; the result is a
+    fresh C-contiguous array of shape ``(..., lanes)``.
+    """
+    _require_little_endian()
+    if not words.flags.c_contiguous:
+        words = np.ascontiguousarray(words)
+    return np.unpackbits(
+        words.view(np.uint8), axis=-1, count=lanes, bitorder="little"
+    )
 
 
 @dataclass

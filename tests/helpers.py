@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.rtl import Netlist, Simulator
+from repro.rtl import Netlist, Op, Simulator
 
 
 def bus_value(vals: np.ndarray, bus: list[int], batch: int = 0) -> int:
@@ -53,3 +53,36 @@ def simple_counter_design(width: int = 4, gated: bool = False):
         inc = incrementer(nl, regs)
         connect_register_bus(nl, regs, inc)
     return nl, {"dom": dom, "regs": regs, "inc": inc, "en": en_in}
+
+
+def random_netlist(seed: int, n_gates: int = 50) -> Netlist:
+    """Random gate soup with registers, gated domains, and consts.
+
+    Used by the differential simulator tests (vectorized vs reference
+    interpreter, packed vs uint8 engine).
+    """
+    rng = np.random.default_rng(seed)
+    nl = Netlist("rand")
+    pool = [nl.input_bit(f"i{k}") for k in range(4)]
+    pool.append(nl.const(0))
+    pool.append(nl.const(1))
+    dom_free = nl.clock_domain("free")
+    dom_gated = nl.clock_domain("gated", enable=pool[0])
+    gate_ops = [Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR,
+                Op.NOT, Op.BUF, Op.MUX]
+    for _ in range(n_gates):
+        op = gate_ops[int(rng.integers(0, len(gate_ops)))]
+        picks = [pool[int(rng.integers(0, len(pool)))] for _ in range(3)]
+        if op in (Op.NOT, Op.BUF):
+            net = nl.gate(op, picks[0])
+        elif op == Op.MUX:
+            net = nl.mux(picks[0], picks[1], picks[2])
+        else:
+            net = nl.gate(op, picks[0], picks[1])
+        r = rng.random()
+        if r < 0.10:
+            net = nl.reg(net, dom_free, init=int(rng.integers(0, 2)))
+        elif r < 0.20:
+            net = nl.reg(net, dom_gated, init=int(rng.integers(0, 2)))
+        pool.append(net)
+    return nl

@@ -114,3 +114,34 @@ def test_deterministic():
     r2 = ProxySelector().select(X, y, 8)
     np.testing.assert_array_equal(r1.proxies, r2.proxies)
     np.testing.assert_allclose(r1.temp_weights, r2.temp_weights)
+
+
+def test_dedup_negative_zero_and_nan_columns_collapse():
+    """Float dedup hashes canonicalized bytes: -0.0 == +0.0 and NaNs with
+    different payloads are the same column."""
+    from repro.core.selection import _dedup_columns
+
+    base = np.array([0.5, 0.0, 1.25, 2.0])
+    neg = base.copy()
+    neg[1] = -0.0
+    nan_a = base.copy()
+    nan_a[2] = np.float64(np.nan)
+    # A NaN with a different payload, same everywhere else.
+    nan_b = nan_a.copy()
+    nan_b[2] = np.frombuffer(
+        np.uint64(0x7FF8000000000001).tobytes(), dtype=np.float64
+    )[0]
+    distinct = base + 1.0
+    X = np.stack([base, neg, nan_a, nan_b, distinct], axis=1)
+    reps = _dedup_columns(X)
+    assert list(reps) == [0, 2, 4]
+
+
+def test_dedup_float_distinct_columns_kept():
+    from repro.core.selection import _dedup_columns
+
+    rng = np.random.default_rng(3)
+    X = rng.standard_normal((40, 8))
+    X[:, 5] = X[:, 2]  # exact duplicate
+    reps = _dedup_columns(X)
+    assert list(reps) == [0, 1, 2, 3, 4, 6, 7]

@@ -138,3 +138,31 @@ def test_ridge_no_intercept():
 def test_ridge_shape_validation():
     with pytest.raises(PowerModelError):
         ridge_fit(np.zeros((4, 2)), np.zeros(5))
+
+
+def test_converged_flag_reset_each_iteration():
+    """Stale-flag regression: a *tentative* active-set convergence must
+    not survive into the result when the confirming full sweep still
+    moves weights and the iteration budget runs out."""
+    rng = np.random.default_rng(9)
+    n, m = 80, 30
+    X = rng.standard_normal((n, m))
+    # Strongly correlated columns make the active set miss coordinates,
+    # so active-set sweeps stall below tol while full sweeps still move.
+    X[:, 1] = X[:, 0] * 0.98 + 0.02 * X[:, 1]
+    w_true = np.zeros(m)
+    w_true[[0, 3, 5]] = [2.0, -1.5, 1.0]
+    y = X @ w_true + 0.2 * rng.standard_normal(n)
+
+    res = coordinate_descent(X, y, lam=0.05, tol=1e-3, max_iter=5)
+    assert res.n_iter == 5
+    assert not res.converged
+
+    # With budget to finish, the same problem genuinely converges: a
+    # warm restart's first full sweep stays below tolerance.
+    full = coordinate_descent(X, y, lam=0.05, tol=1e-3, max_iter=200)
+    assert full.converged
+    again = coordinate_descent(
+        X, y, lam=0.05, tol=1e-3, max_iter=1, warm_start=full.weights_std
+    )
+    assert again.converged

@@ -53,6 +53,28 @@ def test_ga_config_validation():
         GaConfig(parent_frac=0.0)
     with pytest.raises(DatasetError):
         GaConfig(elite=16, population=8)
+    with pytest.raises(DatasetError):
+        GaConfig(program_length=1)  # crossover needs an interior cut
+    with pytest.raises(DatasetError):
+        GaConfig(elite=-1)
+    with pytest.raises(DatasetError):
+        GaConfig(mutation_rate=1.5)
+    with pytest.raises(DatasetError):
+        GaConfig(mutation_rate=-0.1)
+    GaConfig(program_length=2, elite=0, mutation_rate=0.0)
+    GaConfig(mutation_rate=1.0)
+
+
+def test_ga_crossover_single_instruction_programs(tiny_core):
+    """Length-1 parents can't crash crossover (rng.integers(1, 1))."""
+    ev = BenchmarkEvolver(tiny_core, GaConfig(population=4))
+    a4 = random_program(np.random.default_rng(0), 4, name="a4")
+    b4 = random_program(np.random.default_rng(1), 4, name="b4")
+    a = Program("a", a4.instructions[:1])
+    b = Program("b", b4.instructions[:1])
+    child = ev._crossover(a, b, "child")
+    assert len(child) == 1
+    assert child.instructions == a.instructions
 
 
 def test_ga_runs_all_generations(tiny_ga):

@@ -12,44 +12,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import StimulusError
-from repro.rtl import Netlist, Op, Simulator
+from repro.rtl import Netlist, Simulator
 from repro.rtl.reference import ReferenceSimulator
 
-from helpers import simple_counter_design
-
-
-def _random_netlist(seed: int, n_gates: int = 50) -> Netlist:
-    rng = np.random.default_rng(seed)
-    nl = Netlist("rand")
-    pool = [nl.input_bit(f"i{k}") for k in range(4)]
-    pool.append(nl.const(0))
-    pool.append(nl.const(1))
-    dom_free = nl.clock_domain("free")
-    dom_gated = nl.clock_domain("gated", enable=pool[0])
-    gate_ops = [Op.AND, Op.OR, Op.XOR, Op.NAND, Op.NOR, Op.XNOR,
-                Op.NOT, Op.BUF, Op.MUX]
-    for _ in range(n_gates):
-        op = gate_ops[int(rng.integers(0, len(gate_ops)))]
-        picks = [pool[int(rng.integers(0, len(pool)))] for _ in range(3)]
-        if op in (Op.NOT, Op.BUF):
-            net = nl.gate(op, picks[0])
-        elif op == Op.MUX:
-            net = nl.mux(picks[0], picks[1], picks[2])
-        else:
-            net = nl.gate(op, picks[0], picks[1])
-        r = rng.random()
-        if r < 0.10:
-            net = nl.reg(net, dom_free, init=int(rng.integers(0, 2)))
-        elif r < 0.20:
-            net = nl.reg(net, dom_gated, init=int(rng.integers(0, 2)))
-        pool.append(net)
-    return nl
+from helpers import random_netlist, simple_counter_design
 
 
 @given(st.integers(0, 100_000))
 @settings(max_examples=30, deadline=None)
 def test_vectorized_matches_reference_on_random_netlists(seed):
-    nl = _random_netlist(seed)
+    nl = random_netlist(seed)
     rng = np.random.default_rng(seed + 1)
     stim = rng.integers(0, 2, size=(12, 4), dtype=np.uint8)
     fast = Simulator(nl).run(stim).trace.dense()[0]
