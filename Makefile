@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-substrate results examples clean
+.PHONY: install test bench bench-substrate bench-stream results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,13 @@ bench-substrate:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_substrate_perf.py \
 		--benchmark-only \
 		--benchmark-json=BENCH_substrate.json
+
+# Streaming-pipeline throughput (cycles/sec vs concurrent session
+# count), machine-readable alongside the substrate numbers.
+bench-stream:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_stream_perf.py \
+		--benchmark-only \
+		--benchmark-json=BENCH_stream.json
 
 results:
 	$(PYTHON) -m repro.cli run-all --out results

@@ -6,11 +6,19 @@ Examples::
     apollo-repro info
     apollo-repro run fig10 --scale small
     apollo-repro run-all --scale default --out results/
+    apollo-repro stream --scale tiny --sessions 4 --cycles 100000
+
+The ``stream`` subcommand runs the bounded-memory streaming
+introspection pipeline (``repro.stream``) end-to-end: it loads a saved
+:class:`~repro.opm.quantize.QuantizedModel` (``--model``) or
+quick-trains one, streams one workload per session through batched OPM
+inference, and prints the final metrics snapshot as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -98,6 +106,63 @@ def _cmd_run_all(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from repro.experiments import ExperimentContext
+    from repro.flow.dvfs import DvfsGovernor
+    from repro.genbench.workloads import workload_suite
+    from repro.opm import QuantizedModel, quantize_model
+    from repro.stream import StreamConfig, service_for_programs
+
+    ctx = ExperimentContext(design=args.design or "n1", scale=args.scale)
+    if args.model:
+        qmodel = QuantizedModel.load(args.model)
+    else:
+        q = args.q or ctx.default_q()
+        print(
+            f"# quick-training APOLLO (design={ctx.design}, "
+            f"scale={ctx.scale.name}, Q={q})",
+            file=sys.stderr,
+        )
+        qmodel = quantize_model(ctx.apollo(q), bits=args.bits)
+    if args.save_model:
+        qmodel.save(args.save_model)
+        print(f"# model saved to {args.save_model}", file=sys.stderr)
+
+    # hmmer_like first: the Fig. 16 long benchmark is the headline
+    # streaming workload, then the rest of the suite round-robins.
+    programs = list(workload_suite().values())
+    programs = [
+        programs[i % len(programs)] for i in range(args.sessions)
+    ]
+    governor = DvfsGovernor() if args.budget_mw is not None else None
+    service = service_for_programs(
+        ctx.core,
+        qmodel,
+        programs,
+        cycles=args.cycles,
+        t=args.t,
+        chunk_cycles=args.chunk_cycles,
+        engine=args.engine,
+        config=StreamConfig(
+            queue_depth=args.queue_depth,
+            pump_blocks=args.pump_blocks,
+            drain_blocks=args.drain_blocks,
+        ),
+        droop_enter_ma=args.droop_enter_ma,
+        budget_mw=args.budget_mw,
+        governor=governor,
+    )
+    snapshot = service.run()
+    text = json.dumps(snapshot, indent=2)
+    print(text)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"# snapshot written to {path}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="apollo-repro",
@@ -122,6 +187,58 @@ def main(argv: list[str] | None = None) -> int:
         help="output directory (default: results)",
     )
 
+    p_stream = sub.add_parser(
+        "stream",
+        help="run the streaming introspection pipeline end-to-end",
+    )
+    p_stream.add_argument(
+        "--design", choices=["n1", "a77"], default=None
+    )
+    p_stream.add_argument("--scale", choices=list(SCALES), default=None)
+    p_stream.add_argument(
+        "--model", default=None,
+        help="saved QuantizedModel (.npz); omit to quick-train",
+    )
+    p_stream.add_argument(
+        "--save-model", default=None,
+        help="persist the (quick-trained) quantized model here",
+    )
+    p_stream.add_argument(
+        "--q", type=int, default=0,
+        help="proxy count for quick-training (0 = context default)",
+    )
+    p_stream.add_argument("--bits", type=int, default=10)
+    p_stream.add_argument(
+        "--sessions", type=int, default=4,
+        help="number of concurrent per-core streams",
+    )
+    p_stream.add_argument(
+        "--cycles", type=int, default=100_000,
+        help="stream duration per session (cycles)",
+    )
+    p_stream.add_argument("--chunk-cycles", type=int, default=256)
+    p_stream.add_argument(
+        "--t", type=int, default=8,
+        help="OPM averaging window (power of two)",
+    )
+    p_stream.add_argument(
+        "--engine", choices=["packed", "uint8"], default="packed"
+    )
+    p_stream.add_argument("--queue-depth", type=int, default=8)
+    p_stream.add_argument("--pump-blocks", type=int, default=1)
+    p_stream.add_argument("--drain-blocks", type=int, default=1)
+    p_stream.add_argument(
+        "--droop-enter-ma", type=float, default=2.0,
+        help="delta-I droop-precursor alert threshold (mA)",
+    )
+    p_stream.add_argument(
+        "--budget-mw", type=float, default=None,
+        help="power budget for violation events + DVFS governing (mW)",
+    )
+    p_stream.add_argument(
+        "--out", default=None, help="also write the JSON snapshot here"
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -131,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "run-all":
         return _cmd_run_all(args)
+    if args.command == "stream":
+        return _cmd_stream(args)
     parser.error("unreachable")
     return 2
 

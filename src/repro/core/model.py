@@ -9,6 +9,7 @@ emulator-assisted flow, and the hardware OPM generator.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -18,7 +19,57 @@ from repro.errors import PowerModelError
 from repro.core.selection import ProxySelector, SelectionResult
 from repro.core.solvers import ridge_fit
 
-__all__ = ["ApolloModel", "train_apollo"]
+__all__ = ["ApolloModel", "train_apollo", "MODEL_SCHEMA_VERSION"]
+
+#: On-disk artifact schema.  v1 was a bare npz (proxies/weights/
+#: intercept); v2 adds an embedded version plus a JSON sidecar, so a
+#: stream service can validate an artifact without loading arrays.
+MODEL_SCHEMA_VERSION = 2
+
+
+def resolve_npz_path(path: str | Path) -> Path:
+    """The actual file ``np.savez`` writes (it appends ``.npz``)."""
+    p = Path(path)
+    return p if p.name.endswith(".npz") else p.with_name(p.name + ".npz")
+
+
+def sidecar_path(path: str | Path) -> Path:
+    """The JSON sidecar next to a saved model artifact."""
+    p = resolve_npz_path(path)
+    return p.with_name(p.name + ".json")
+
+
+def write_sidecar(path: str | Path, kind: str, extra: dict) -> None:
+    meta = {
+        "format": "apollo-repro-model",
+        "schema_version": MODEL_SCHEMA_VERSION,
+        "kind": kind,
+        **extra,
+    }
+    sidecar_path(path).write_text(json.dumps(meta, indent=2) + "\n")
+
+
+def check_artifact(path: str | Path, kind: str) -> dict | None:
+    """Validate a sidecar (if present) against the expected kind.
+
+    Returns the sidecar metadata, or ``None`` for v1 artifacts saved
+    without one (accepted for backward compatibility).
+    """
+    sc = sidecar_path(path)
+    if not sc.exists():
+        return None
+    meta = json.loads(sc.read_text())
+    if meta.get("kind") != kind:
+        raise PowerModelError(
+            f"{sc} holds a {meta.get('kind')!r} artifact, expected {kind!r}"
+        )
+    version = int(meta.get("schema_version", 0))
+    if version > MODEL_SCHEMA_VERSION:
+        raise PowerModelError(
+            f"{sc} uses schema v{version}, newer than supported "
+            f"v{MODEL_SCHEMA_VERSION}"
+        )
+    return meta
 
 
 @dataclass
@@ -82,16 +133,29 @@ class ApolloModel:
 
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> None:
+        """Persist as versioned npz + JSON sidecar (schema v2)."""
         np.savez_compressed(
             path,
             proxies=self.proxies,
             weights=self.weights,
             intercept=np.float64(self.intercept),
+            schema_version=np.int64(MODEL_SCHEMA_VERSION),
+        )
+        write_sidecar(
+            path,
+            "ApolloModel",
+            {
+                "q": self.q,
+                "intercept": float(self.intercept),
+                "abs_weight_sum": self.abs_weight_sum(),
+            },
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "ApolloModel":
-        with np.load(path) as data:
+        """Load a saved model; v1 artifacts (no sidecar) still load."""
+        check_artifact(path, "ApolloModel")
+        with np.load(resolve_npz_path(path)) as data:
             return cls(
                 proxies=data["proxies"],
                 weights=data["weights"],

@@ -17,6 +17,7 @@ __all__ = [
     "DatasetError",
     "IsaError",
     "OpmError",
+    "StreamError",
     "ExperimentError",
 ]
 
@@ -55,6 +56,10 @@ class SelectionError(PowerModelError):
 
 class OpmError(ReproError):
     """Raised by OPM construction, quantization, or simulation."""
+
+
+class StreamError(ReproError):
+    """Raised by the streaming introspection pipeline."""
 
 
 class ExperimentError(ReproError):

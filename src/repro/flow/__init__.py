@@ -24,6 +24,8 @@ from repro.flow.highlevel import (
 from repro.flow.dvfs import (
     DvfsGovernor,
     DvfsPolicy,
+    DvfsState,
+    DvfsStep,
     OperatingPoint,
 )
 from repro.flow.multicore import MulticoreRun, MulticoreSimulator
@@ -40,6 +42,8 @@ __all__ = [
     "train_activity_model",
     "DvfsGovernor",
     "DvfsPolicy",
+    "DvfsState",
+    "DvfsStep",
     "OperatingPoint",
     "MulticoreSimulator",
     "MulticoreRun",

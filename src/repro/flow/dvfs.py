@@ -22,7 +22,14 @@ import numpy as np
 from repro.errors import ReproError
 from repro.power.thermal import ThermalModel
 
-__all__ = ["OperatingPoint", "DvfsPolicy", "DvfsGovernor", "DvfsRun"]
+__all__ = [
+    "OperatingPoint",
+    "DvfsPolicy",
+    "DvfsGovernor",
+    "DvfsRun",
+    "DvfsState",
+    "DvfsStep",
+]
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,34 @@ class DvfsPolicy:
 
 
 @dataclass
+class DvfsState:
+    """Mutable continuation state for window-at-a-time governing.
+
+    Created by :meth:`DvfsGovernor.start`; advanced by
+    :meth:`DvfsGovernor.step`.  Streaming callers feed OPM window
+    readings as they complete instead of materializing a whole series.
+    """
+
+    level: int
+    t_now: float
+    calm: int = 0
+    n: int = 0
+    perf_acc: float = 0.0
+    energy_mj: float = 0.0
+    budget_violations: int = 0
+    thermal_violations: int = 0
+
+
+@dataclass(frozen=True)
+class DvfsStep:
+    """One governed window: what ran, at what power and temperature."""
+
+    power_mw: float
+    level: int
+    temperature_c: float
+
+
+@dataclass
 class DvfsRun:
     """Outcome of one governed run."""
 
@@ -108,6 +143,56 @@ class DvfsGovernor:
         self.reference = reference or points[-1]
 
     # ------------------------------------------------------------------ #
+    def start(self, start_level: int | None = None) -> DvfsState:
+        """Begin an incremental governed run (streaming entry point)."""
+        level = (
+            len(self.points) - 1 if start_level is None else start_level
+        )
+        if not (0 <= level < len(self.points)):
+            raise ReproError(f"bad start level {level}")
+        return DvfsState(level=level, t_now=self.thermal.t_ambient)
+
+    def step(self, reading_mw: float, state: DvfsState) -> DvfsStep:
+        """Govern one window reading, mutating ``state`` in place.
+
+        Identical arithmetic to :meth:`run`'s loop (which is built on
+        this method), so a streamed run reproduces the offline one.
+        """
+        pol = self.policy
+        point = self.points[state.level]
+        p_now = float(reading_mw) * point.power_scale(self.reference)
+        level_used = state.level
+        state.perf_acc += point.perf_scale(self.reference)
+        # thermal step (power in watts)
+        steady = self.thermal.t_ambient + (
+            p_now * 1e-3
+        ) * self.thermal.r_th
+        state.t_now = steady + (state.t_now - steady) * self.thermal._decay
+        state.n += 1
+        state.energy_mj += p_now * 1e-3 * self.thermal.window_seconds * 1e3
+
+        over_budget = p_now > pol.power_budget_mw
+        over_thermal = state.t_now > pol.thermal_cap_c
+        if over_budget:
+            state.budget_violations += 1
+        if over_thermal:
+            state.thermal_violations += 1
+        if over_budget or over_thermal:
+            state.level = max(0, state.level - 1)
+            state.calm = 0
+        elif p_now < pol.upshift_frac * pol.power_budget_mw:
+            state.calm += 1
+            if state.calm >= pol.hysteresis_windows:
+                state.level = min(len(self.points) - 1, state.level + 1)
+                state.calm = 0
+        else:
+            state.calm = 0
+        return DvfsStep(
+            power_mw=p_now,
+            level=level_used,
+            temperature_c=state.t_now,
+        )
+
     def run(
         self, opm_readings_mw: np.ndarray, start_level: int | None = None
     ) -> DvfsRun:
@@ -120,53 +205,20 @@ class DvfsGovernor:
         readings = np.asarray(opm_readings_mw, dtype=np.float64)
         if readings.ndim != 1 or readings.size == 0:
             raise ReproError("need a 1-D, non-empty reading series")
-        pol = self.policy
         n = readings.size
-        level = (
-            len(self.points) - 1 if start_level is None else start_level
-        )
-        if not (0 <= level < len(self.points)):
-            raise ReproError(f"bad start level {level}")
+        state = self.start(start_level)
 
         levels = np.empty(n, dtype=np.int64)
         power = np.empty(n, dtype=np.float64)
         temp = np.empty(n, dtype=np.float64)
-        t_now = self.thermal.t_ambient
-        calm = 0
-        perf_acc = 0.0
-        budget_viol = 0
-        thermal_viol = 0
-
         for k in range(n):
-            point = self.points[level]
-            p_now = readings[k] * point.power_scale(self.reference)
-            power[k] = p_now
-            levels[k] = level
-            perf_acc += point.perf_scale(self.reference)
-            # thermal step (power in watts)
-            steady = self.thermal.t_ambient + (
-                p_now * 1e-3
-            ) * self.thermal.r_th
-            t_now = steady + (t_now - steady) * self.thermal._decay
-            temp[k] = t_now
+            s = self.step(readings[k], state)
+            power[k] = s.power_mw
+            levels[k] = s.level
+            temp[k] = s.temperature_c
 
-            over_budget = p_now > pol.power_budget_mw
-            over_thermal = t_now > pol.thermal_cap_c
-            if over_budget:
-                budget_viol += 1
-            if over_thermal:
-                thermal_viol += 1
-            if over_budget or over_thermal:
-                level = max(0, level - 1)
-                calm = 0
-            elif p_now < pol.upshift_frac * pol.power_budget_mw:
-                calm += 1
-                if calm >= pol.hysteresis_windows:
-                    level = min(len(self.points) - 1, level + 1)
-                    calm = 0
-            else:
-                calm = 0
-
+        # Recomputed vectorized (not from state.energy_mj) to keep the
+        # historical float summation order of this method.
         energy_mj = float(
             (power * 1e-3 * self.thermal.window_seconds).sum() * 1e3
         )
@@ -174,10 +226,10 @@ class DvfsGovernor:
             levels=levels,
             power_mw=power,
             temperature_c=temp,
-            performance=perf_acc / n,
+            performance=state.perf_acc / n,
             energy_mj=energy_mj,
-            budget_violations=budget_viol,
-            thermal_violations=thermal_viol,
+            budget_violations=state.budget_violations,
+            thermal_violations=state.thermal_violations,
         )
 
     def run_fixed(self, opm_readings_mw: np.ndarray, level: int) -> DvfsRun:

@@ -14,7 +14,7 @@ The trained linear model is turned into hardware three ways:
 """
 
 from repro.opm.quantize import QuantizedModel, quantize_model
-from repro.opm.meter import OpmMeter
+from repro.opm.meter import OpmMeter, OpmStream
 from repro.opm.hardware import build_opm_netlist, OpmHardware
 from repro.opm.cost import OpmCostReport, estimate_opm_cost, table3_rows
 from repro.opm.calibrate import CalibrationResult, recalibrate
@@ -28,6 +28,7 @@ __all__ = [
     "QuantizedModel",
     "quantize_model",
     "OpmMeter",
+    "OpmStream",
     "build_opm_netlist",
     "OpmHardware",
     "OpmCostReport",

@@ -13,7 +13,7 @@ from repro.power.analyzer import (
     PowerReport,
     annotate_capacitance,
 )
-from repro.power.pdn import PdnModel, delta_current, droop_events
+from repro.power.pdn import PdnModel, PdnState, delta_current, droop_events
 
 __all__ = [
     "TechParams",
@@ -22,6 +22,7 @@ __all__ = [
     "PowerReport",
     "annotate_capacitance",
     "PdnModel",
+    "PdnState",
     "delta_current",
     "droop_events",
 ]

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import PowerModelError
 
-__all__ = ["PdnModel", "delta_current", "droop_events"]
+__all__ = ["PdnModel", "PdnState", "delta_current", "droop_events"]
 
 
 def delta_current(power: np.ndarray, vdd: float = 0.75) -> np.ndarray:
@@ -28,6 +28,20 @@ def delta_current(power: np.ndarray, vdd: float = 0.75) -> np.ndarray:
     out = np.zeros_like(current)
     out[1:] = np.diff(current)
     return out
+
+
+@dataclass
+class PdnState:
+    """Continuation state of an incremental PDN simulation.
+
+    Holds the two state variables of the RLC system — regulator-side
+    inductor current and on-die decap voltage — so long simulations can
+    be advanced chunk by chunk with results bit-identical to one
+    whole-trace :meth:`PdnModel.simulate` call.
+    """
+
+    i_l: float
+    v_c: float
 
 
 @dataclass
@@ -85,8 +99,20 @@ class PdnModel:
         period = 2 * np.pi * np.sqrt(self.l_henry * self.c_farad)
         return period / self.dt
 
-    def simulate(self, power_mw: np.ndarray) -> np.ndarray:
-        """Supply-voltage waveform (volts) for a per-cycle power trace."""
+    def equilibrium_state(self, power_mw: float = 0.0) -> PdnState:
+        """DC operating point for a constant load (start of a stream)."""
+        il = float(power_mw) * 1e-3 / self.vdd
+        return PdnState(i_l=il, v_c=self.vdd - self.r_ohm * il)
+
+    def step_chunk(
+        self, power_mw: np.ndarray, state: PdnState
+    ) -> tuple[np.ndarray, PdnState]:
+        """Advance the PDN over one power chunk from ``state``.
+
+        Returns the voltage waveform for the chunk and the continuation
+        state; splitting a trace into chunks and chaining states is
+        bit-identical to :meth:`simulate` on the whole trace.
+        """
         power = np.asarray(power_mw, dtype=np.float64)
         if power.ndim != 1:
             raise PowerModelError("power trace must be 1-D")
@@ -94,10 +120,7 @@ class PdnModel:
         n = i_load.size
         v = np.empty(n, dtype=np.float64)
         ad, bd = self._ad, self._bd
-        # Start at equilibrium for the first cycle's load.
-        il = float(i_load[0]) if n else 0.0
-        vc = self.vdd - self.r_ohm * il
-        x0, x1 = il, vc
+        x0, x1 = state.i_l, state.v_c
         a00, a01, a10, a11 = ad[0, 0], ad[0, 1], ad[1, 0], ad[1, 1]
         b00, b01, b10, b11 = bd[0, 0], bd[0, 1], bd[1, 0], bd[1, 1]
         vreg = self.vdd
@@ -107,6 +130,16 @@ class PdnModel:
             nx1 = a10 * x0 + a11 * x1 + b10 * vreg + b11 * u1
             x0, x1 = nx0, nx1
             v[k] = x1
+        return v, PdnState(i_l=float(x0), v_c=float(x1))
+
+    def simulate(self, power_mw: np.ndarray) -> np.ndarray:
+        """Supply-voltage waveform (volts) for a per-cycle power trace."""
+        power = np.asarray(power_mw, dtype=np.float64)
+        if power.ndim != 1:
+            raise PowerModelError("power trace must be 1-D")
+        # Start at equilibrium for the first cycle's load.
+        state = self.equilibrium_state(float(power[0]) if power.size else 0.0)
+        v, _state = self.step_chunk(power, state)
         return v
 
     def droop_magnitude(self, power_mw: np.ndarray) -> float:

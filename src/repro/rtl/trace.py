@@ -161,6 +161,32 @@ class ToggleTrace:
             packed=self.packed[:, start:stop], n_nets=self.n_nets
         )
 
+    def iter_chunks(
+        self,
+        chunk_cycles: int,
+        cols: np.ndarray | None = None,
+        batch_index: int = 0,
+    ):
+        """Yield ``(start_cycle, dense_block)`` over fixed-size chunks.
+
+        Each block is the dense uint8 toggle matrix of one batch element
+        for ``cols`` (or all nets), shape ``(chunk, len(cols))``; the
+        final block may be shorter.  Only one chunk's selected columns
+        are ever unpacked at a time, so iterating a long trace stays
+        bounded-memory regardless of its length.
+        """
+        if chunk_cycles < 1:
+            raise SimulationError("chunk_cycles must be >= 1")
+        if not (0 <= batch_index < self.batch):
+            raise SimulationError(
+                f"batch index {batch_index} out of range "
+                f"[0, {self.batch})"
+            )
+        for start in range(0, self.n_cycles, chunk_cycles):
+            stop = min(start + chunk_cycles, self.n_cycles)
+            block = self.slice_cycles(start, stop).dense(cols)[batch_index]
+            yield start, block
+
     @classmethod
     def concat_cycles(cls, traces: list["ToggleTrace"]) -> "ToggleTrace":
         """Concatenate traces (equal batch and n_nets) along cycles."""

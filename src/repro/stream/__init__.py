@@ -1,0 +1,112 @@
+"""Bounded-memory streaming introspection pipeline (fleet-scale OPM).
+
+The offline flows (:mod:`repro.flow`) materialize a whole trace, then
+analyze it.  This package runs the same chain — simulate -> capture
+proxy toggles -> OPM inference -> aggregate -> alert — *incrementally*
+over fixed-size chunks, with explicit state handoff at every layer, so
+a stream of millions of cycles needs memory for one chunk per session:
+
+* :mod:`repro.stream.source` — chunked proxy-block sources
+  (:class:`SimulatorSource`, :class:`TraceSource`);
+* :mod:`repro.stream.session` — per-core sessions with bounded queues,
+  drop-oldest backpressure, and degraded T-cycle fallback, multiplexed
+  through batched OPM inference by :class:`StreamService`;
+* :mod:`repro.stream.aggregate` — rolling/EMA aggregation, droop
+  precursor alerts with hysteresis, power-budget checks feeding the
+  :class:`~repro.flow.dvfs.DvfsGovernor`;
+* :mod:`repro.stream.metrics` — counters/gauges/histograms with JSON
+  snapshots.
+
+The streamed per-cycle and T-window readings are bit-identical to
+:class:`~repro.opm.meter.OpmMeter` on the whole trace (property-tested
+against both simulator engines).
+"""
+
+from __future__ import annotations
+
+from repro.opm.meter import OpmMeter
+from repro.stream.aggregate import (
+    BudgetWatcher,
+    DroopWatcher,
+    EmaTracker,
+    RingBuffer,
+)
+from repro.stream.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.stream.session import StreamConfig, StreamService, StreamSession
+from repro.stream.source import ProxyBlock, SimulatorSource, TraceSource
+
+__all__ = [
+    "ProxyBlock",
+    "SimulatorSource",
+    "TraceSource",
+    "StreamConfig",
+    "StreamSession",
+    "StreamService",
+    "RingBuffer",
+    "EmaTracker",
+    "DroopWatcher",
+    "BudgetWatcher",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "service_for_programs",
+]
+
+
+def service_for_programs(
+    core,
+    qmodel,
+    programs,
+    cycles: int,
+    t: int = 8,
+    chunk_cycles: int = 256,
+    engine: str = "packed",
+    config: StreamConfig | None = None,
+    pdn=None,
+    droop_enter_ma: float | None = None,
+    budget_mw: float | None = None,
+    governor=None,
+) -> StreamService:
+    """Wire one session per program into a ready-to-run service.
+
+    The per-core path mirrors :class:`~repro.flow.multicore`'s socket
+    model — one workload per core, one session per core here — and all
+    sessions share a single compiled simulator.  ``qmodel`` is a
+    :class:`~repro.opm.quantize.QuantizedModel`; pass ``droop_enter_ma``
+    and/or ``budget_mw`` to enable the alert layers.
+    """
+    from repro.rtl.simulator import Simulator
+
+    meter = OpmMeter(qmodel, t=t)
+    config = config or StreamConfig()
+    sim = Simulator(core.netlist, engine=engine)
+    sessions = []
+    for i, program in enumerate(programs):
+        source = SimulatorSource.from_program(
+            core,
+            qmodel.proxies,
+            program,
+            cycles,
+            chunk_cycles=chunk_cycles,
+            engine=engine,
+            simulator=sim,
+        )
+        droop = (
+            DroopWatcher(pdn=pdn, enter_ma=droop_enter_ma)
+            if droop_enter_ma is not None
+            else None
+        )
+        budget = (
+            BudgetWatcher(budget_mw, governor=governor)
+            if budget_mw is not None
+            else None
+        )
+        name = f"core{i}-{getattr(program, 'name', 'workload')}"
+        sessions.append(
+            StreamSession(
+                name, source, meter, config=config,
+                droop=droop, budget=budget,
+            )
+        )
+    return StreamService(meter, sessions)

@@ -1,0 +1,316 @@
+"""Multi-session streaming introspection service.
+
+One :class:`StreamSession` is one core's telemetry stream: a chunked
+proxy source, a bounded pending-block queue, incremental T-cycle
+windowing (:class:`~repro.opm.meter.OpmStream`), ring buffers of recent
+readings, and optional droop/budget watchers.  A :class:`StreamService`
+multiplexes many sessions through *batched* OPM inference — one integer
+GEMV per drain covers every session's pending chunks, the same
+amortization the hardware gets from one adder tree serving T cycles.
+
+Flow control is explicit and deterministic (no threads):
+
+* ``pump`` moves blocks from sources into per-session queues; a full
+  queue drops its *oldest* block (freshest-data-wins, as a real
+  telemetry bus would) and accounts the loss;
+* ``drain`` runs batched inference over at most ``drain_blocks`` queued
+  blocks per session, so a fast producer + slow consumer genuinely falls
+  behind;
+* a session that dropped blocks enters *degraded* mode: per-cycle
+  products (ring, EMA, droop detection) pause — per-cycle continuity is
+  broken anyway — while T-cycle-averaged window readings keep flowing.
+  The session recovers once its queue fully drains.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.opm.meter import OpmMeter
+from repro.stream.aggregate import (
+    BudgetWatcher,
+    DroopWatcher,
+    EmaTracker,
+    RingBuffer,
+)
+from repro.stream.metrics import MetricsRegistry
+from repro.stream.source import ProxyBlock
+
+__all__ = ["StreamConfig", "StreamSession", "StreamService"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Tuning knobs shared by every session of a service.
+
+    ``pump_blocks`` > ``drain_blocks`` models a producer faster than the
+    inference path — the backpressure scenario; the defaults are
+    balanced (no drops unless a source bursts).
+    """
+
+    queue_depth: int = 8
+    pump_blocks: int = 1
+    drain_blocks: int = 1
+    ring_capacity: int = 4096
+    window_ring_capacity: int = 1024
+    ema_alpha: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise StreamError("queue_depth must be >= 1")
+        if self.pump_blocks < 1 or self.drain_blocks < 1:
+            raise StreamError("pump/drain block counts must be >= 1")
+        if self.ring_capacity < 1 or self.window_ring_capacity < 1:
+            raise StreamError("ring capacities must be >= 1")
+
+
+class StreamSession:
+    """One core's stream: source -> bounded queue -> aggregations."""
+
+    def __init__(
+        self,
+        name: str,
+        source,
+        meter: OpmMeter,
+        config: StreamConfig | None = None,
+        droop: DroopWatcher | None = None,
+        budget: BudgetWatcher | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config or StreamConfig()
+        self._it = iter(source)
+        self.queue: deque[ProxyBlock] = deque()
+        self.exhausted = False
+        self.opm_stream = meter.stream()
+        self.ring = RingBuffer(self.config.ring_capacity)
+        self.window_ring = RingBuffer(self.config.window_ring_capacity)
+        self.ema = EmaTracker(self.config.ema_alpha)
+        self.droop = droop
+        self.budget = budget
+        self.degraded = False
+        self.cycles_processed = 0
+        self.blocks_processed = 0
+        self.dropped_blocks = 0
+        self.dropped_cycles = 0
+        self.degraded_entries = 0
+        self.degraded_cycles = 0
+        self.window_sum = 0.0
+        self.window_count = 0
+
+    @property
+    def done(self) -> bool:
+        return self.exhausted and not self.queue
+
+    # -------------------------------------------------------------- #
+    def pump(self, max_blocks: int | None = None) -> int:
+        """Pull up to ``max_blocks`` blocks from the source."""
+        if self.exhausted:
+            return 0
+        n = self.config.pump_blocks if max_blocks is None else max_blocks
+        pulled = 0
+        for _ in range(n):
+            block = next(self._it, None)
+            if block is None:
+                self.exhausted = True
+                break
+            self._enqueue(block)
+            pulled += 1
+        return pulled
+
+    def _enqueue(self, block: ProxyBlock) -> None:
+        if len(self.queue) >= self.config.queue_depth:
+            lost = self.queue.popleft()
+            self.dropped_blocks += 1
+            self.dropped_cycles += lost.n_cycles
+            if not self.degraded:
+                self.degraded = True
+                self.degraded_entries += 1
+        self.queue.append(block)
+
+    def take(self, max_blocks: int) -> list[ProxyBlock]:
+        """Dequeue up to ``max_blocks`` blocks for inference."""
+        out = []
+        while self.queue and len(out) < max_blocks:
+            out.append(self.queue.popleft())
+        return out
+
+    # -------------------------------------------------------------- #
+    def ingest(
+        self, per_cycle_ints: np.ndarray, n_blocks: int = 1
+    ) -> None:
+        """Fold one inferred chunk into the session's aggregations."""
+        stream = self.opm_stream
+        windows_int = stream.push_per_cycle(per_cycle_ints)
+        per_cycle_mw = stream.read_per_cycle(per_cycle_ints)
+        windows_mw = stream.read_windows(windows_int)
+        n = int(per_cycle_ints.size)
+        self.cycles_processed += n
+        self.blocks_processed += n_blocks
+        if self.degraded:
+            # T-cycle fallback: windowed readings continue below,
+            # per-cycle products pause until the queue drains.
+            self.degraded_cycles += n
+        else:
+            self.ring.push(per_cycle_mw)
+            self.ema.update(per_cycle_mw)
+            if self.droop is not None:
+                self.droop.observe(per_cycle_mw)
+        if windows_mw.size:
+            self.window_ring.push(windows_mw)
+            self.window_sum += float(windows_mw.sum())
+            self.window_count += int(windows_mw.size)
+            if self.budget is not None:
+                self.budget.observe(windows_mw)
+        if self.degraded and not self.queue:
+            self.degraded = False  # caught up
+
+    # -------------------------------------------------------------- #
+    def stats(self) -> dict:
+        """Per-session slice of the metrics snapshot (plain data)."""
+        out = {
+            "cycles_processed": self.cycles_processed,
+            "blocks_processed": self.blocks_processed,
+            "dropped_blocks": self.dropped_blocks,
+            "dropped_cycles": self.dropped_cycles,
+            "degraded": self.degraded,
+            "degraded_entries": self.degraded_entries,
+            "degraded_cycles": self.degraded_cycles,
+            "queue_depth": len(self.queue),
+            "windows_emitted": self.window_count,
+            "mean_window_mw": (
+                self.window_sum / self.window_count
+                if self.window_count else 0.0
+            ),
+            "ema_mw": self.ema.value if self.ema.value is not None else 0.0,
+            "pending_window_cycles": self.opm_stream.pending_cycles,
+        }
+        if self.droop is not None:
+            out["droop_alerts"] = self.droop.alerts
+            out["droop_alert_cycles"] = self.droop.alert_cycles
+            out["min_voltage_v"] = (
+                self.droop.min_voltage
+                if self.droop.min_voltage != float("inf") else None
+            )
+            out["max_delta_i_ma"] = self.droop.max_delta_i
+        if self.budget is not None:
+            out["budget_violations"] = self.budget.violations
+            if self.budget.dvfs_state is not None:
+                out["dvfs_level"] = self.budget.dvfs_state.level
+        return out
+
+
+class StreamService:
+    """Drives many sessions through batched OPM inference."""
+
+    #: Bucket edges (seconds) for the per-drain inference-latency
+    #: histogram.
+    LATENCY_EDGES = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0)
+
+    def __init__(
+        self,
+        meter: OpmMeter,
+        sessions: list[StreamSession],
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if not sessions:
+            raise StreamError("service needs at least one session")
+        names = [s.name for s in sessions]
+        if len(set(names)) != len(names):
+            raise StreamError(f"duplicate session names in {names}")
+        self.meter = meter
+        self.sessions = sessions
+        self.metrics = registry or MetricsRegistry()
+        self._elapsed = 0.0
+        self.steps = 0
+
+    # -------------------------------------------------------------- #
+    def step(self) -> bool:
+        """One pump + one batched drain; False when all streams end."""
+        t0 = time.perf_counter()
+        for sess in self.sessions:
+            sess.pump()
+
+        # Gather pending chunks across sessions and run ONE integer
+        # GEMV over their concatenation — the batched-inference path.
+        picks: list[tuple[StreamSession, list[ProxyBlock]]] = []
+        mats: list[np.ndarray] = []
+        for sess in self.sessions:
+            blocks = sess.take(sess.config.drain_blocks)
+            if blocks:
+                picks.append((sess, blocks))
+                mats.extend(b.toggles for b in blocks)
+        if mats:
+            t_inf = time.perf_counter()
+            per_cycle = self.meter.per_cycle(np.concatenate(mats, axis=0))
+            inf_seconds = time.perf_counter() - t_inf
+            self.metrics.histogram(
+                "inference_seconds", self.LATENCY_EDGES
+            ).observe(inf_seconds)
+            offset = 0
+            for sess, blocks in picks:
+                n = sum(b.n_cycles for b in blocks)
+                sess.ingest(
+                    per_cycle[offset:offset + n], n_blocks=len(blocks)
+                )
+                offset += n
+
+        self.steps += 1
+        self._elapsed += time.perf_counter() - t0
+        self._refresh_metrics()
+        return not all(s.done for s in self.sessions)
+
+    def run(self, max_steps: int | None = None) -> dict:
+        """Step until every session completes; return the snapshot."""
+        steps = 0
+        while self.step():
+            steps += 1
+            if max_steps is not None and steps >= max_steps:
+                break
+        return self.snapshot()
+
+    # -------------------------------------------------------------- #
+    def _refresh_metrics(self) -> None:
+        m = self.metrics
+        totals = {
+            "cycles_processed": 0,
+            "blocks_processed": 0,
+            "blocks_dropped": 0,
+            "windows_emitted": 0,
+            "droop_alerts": 0,
+            "budget_violations": 0,
+            "degraded_entries": 0,
+        }
+        queue_total = 0
+        for s in self.sessions:
+            totals["cycles_processed"] += s.cycles_processed
+            totals["blocks_processed"] += s.blocks_processed
+            totals["blocks_dropped"] += s.dropped_blocks
+            totals["windows_emitted"] += s.window_count
+            totals["degraded_entries"] += s.degraded_entries
+            if s.droop is not None:
+                totals["droop_alerts"] += s.droop.alerts
+            if s.budget is not None:
+                totals["budget_violations"] += s.budget.violations
+            queue_total += len(s.queue)
+        for name, value in totals.items():
+            c = m.counter(name)
+            c.value = value  # totals are recomputed, not incremented
+        m.gauge("queue_depth_total").set(queue_total)
+        m.gauge("n_sessions").set(len(self.sessions))
+        m.gauge("elapsed_seconds").set(self._elapsed)
+        if self._elapsed > 0:
+            m.gauge("cycles_per_second").set(
+                totals["cycles_processed"] / self._elapsed
+            )
+
+    def snapshot(self) -> dict:
+        """Full metrics snapshot: service totals + per-session stats."""
+        snap = self.metrics.snapshot()
+        snap["sessions"] = {s.name: s.stats() for s in self.sessions}
+        snap["steps"] = self.steps
+        return snap

@@ -50,3 +50,34 @@ def test_run_table_experiment_on_tiny_context(tmp_path, monkeypatch,
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_stream_command_end_to_end(tmp_path, capsys, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "art"))
+    model_path = str(tmp_path / "opm.npz")
+    cycles, sessions, t = 2000, 2, 8
+    rc = main([
+        "stream", "--scale", "tiny",
+        "--sessions", str(sessions), "--cycles", str(cycles),
+        "--chunk-cycles", "128", "--t", str(t),
+        "--save-model", model_path,
+        "--out", str(tmp_path / "snap.json"),
+    ])
+    assert rc == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["cycles_processed"] == sessions * cycles
+    assert snap["counters"]["windows_emitted"] == sessions * (cycles // t)
+    assert snap["counters"]["blocks_dropped"] == 0
+    assert len(snap["sessions"]) == sessions
+    assert (tmp_path / "snap.json").exists()
+
+    # round 2: reload the saved quantized model instead of retraining
+    rc = main([
+        "stream", "--scale", "tiny", "--model", model_path,
+        "--sessions", "1", "--cycles", "512", "--t", "4",
+    ])
+    assert rc == 0
+    snap2 = json.loads(capsys.readouterr().out)
+    assert snap2["counters"]["cycles_processed"] == 512

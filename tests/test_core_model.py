@@ -100,3 +100,50 @@ def test_custom_selector_passthrough():
     )
     assert model.selection is not None
     assert model.selection.penalty == "lasso"
+
+
+def test_save_writes_versioned_sidecar(tmp_path):
+    import json
+
+    from repro.core.model import MODEL_SCHEMA_VERSION, sidecar_path
+
+    model = ApolloModel(proxies=[1, 4], weights=[2.0, -1.0], intercept=0.5)
+    path = tmp_path / "m.npz"
+    model.save(path)
+    meta = json.loads(sidecar_path(path).read_text())
+    assert meta["kind"] == "ApolloModel"
+    assert meta["schema_version"] == MODEL_SCHEMA_VERSION
+    assert meta["q"] == 2
+    assert meta["abs_weight_sum"] == 3.0
+
+
+def test_load_accepts_v1_artifact_without_sidecar(tmp_path):
+    from repro.core.model import sidecar_path
+
+    model = ApolloModel(proxies=[0, 2], weights=[1.0, 3.0], intercept=2.0)
+    path = tmp_path / "legacy.npz"
+    model.save(path)
+    sidecar_path(path).unlink()  # simulate a pre-versioning artifact
+    loaded = ApolloModel.load(path)
+    np.testing.assert_array_equal(loaded.proxies, model.proxies)
+
+
+def test_load_rejects_wrong_kind_and_newer_schema(tmp_path):
+    import json
+
+    from repro.core.model import sidecar_path
+
+    model = ApolloModel(proxies=[0], weights=[1.0])
+    path = tmp_path / "m.npz"
+    model.save(path)
+    sc = sidecar_path(path)
+    meta = json.loads(sc.read_text())
+    meta["kind"] = "QuantizedModel"
+    sc.write_text(json.dumps(meta))
+    with pytest.raises(PowerModelError):
+        ApolloModel.load(path)
+    meta["kind"] = "ApolloModel"
+    meta["schema_version"] = 99
+    sc.write_text(json.dumps(meta))
+    with pytest.raises(PowerModelError):
+        ApolloModel.load(path)

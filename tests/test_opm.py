@@ -210,3 +210,34 @@ def test_table3_shape():
     assert apollo["multipliers"] == 0
     simmani = [r for r in rows if "Simmani" in r["method"]][0]
     assert simmani["multipliers"] == 159**2
+
+
+def test_quantized_model_save_load_roundtrip(tmp_path):
+    from repro.opm import QuantizedModel
+
+    qm = quantize_model(_model(q=9, seed=3), bits=10)
+    path = tmp_path / "opm.npz"
+    qm.save(path)
+    loaded = QuantizedModel.load(path)
+    np.testing.assert_array_equal(loaded.proxies, qm.proxies)
+    np.testing.assert_array_equal(loaded.int_weights, qm.int_weights)
+    assert loaded.int_intercept == qm.int_intercept
+    assert loaded.step == qm.step  # exact: float stored, not re-derived
+    assert loaded.bits == qm.bits
+    # loaded model meters bit-identically
+    X = _toggles(64, 9, seed=4)
+    np.testing.assert_array_equal(
+        OpmMeter(loaded, t=8).accumulate(X),
+        OpmMeter(qm, t=8).accumulate(X),
+    )
+
+
+def test_quantized_model_load_rejects_apollo_artifact(tmp_path):
+    from repro.errors import PowerModelError
+    from repro.opm import QuantizedModel
+
+    model = _model(q=4, seed=5)
+    path = tmp_path / "apollo.npz"
+    model.save(path)
+    with pytest.raises(PowerModelError):
+        QuantizedModel.load(path)

@@ -243,3 +243,32 @@ def test_pack_lanes_bit_order():
     words = pack_lanes(bits)
     assert words[0, 0] == np.uint64(1)
     assert words[0, 1] == np.uint64(2)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_stream_source_extends_chunked_run(engine):
+    """The stream source layer inherits the chunked-run guarantee:
+    concatenated SimulatorSource blocks equal the whole-trace proxy
+    columns, with per-chunk state handoff hidden from the consumer."""
+    from repro.stream import SimulatorSource
+
+    nl = random_netlist(51, n_gates=60)
+    rng = np.random.default_rng(52)
+    cycles = 53
+    stim = rng.integers(0, 2, size=(cycles, len(nl.input_ids)), dtype=np.uint8)
+    proxies = np.sort(rng.choice(nl.n_nets, size=7, replace=False))
+    whole = Simulator(nl, engine=engine).run(
+        stim, RecordSpec(columns=proxies)
+    )
+    for chunk in (1, 16, 17, 53, 64):
+        blocks = list(
+            SimulatorSource(
+                nl, proxies, stim, chunk_cycles=chunk, engine=engine
+            )
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([b.toggles for b in blocks], axis=0),
+            whole.columns[0],
+        )
+        assert blocks[-1].last
+        assert sum(b.n_cycles for b in blocks) == cycles
