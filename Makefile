@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-substrate bench-stream results examples clean
+.PHONY: install test bench bench-substrate bench-stream trace-demo \
+	results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,18 +18,27 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Substrate micro-benchmarks only (gate-sim engines, MCP solver, trace
-# ops), with machine-readable output for tracking the perf trajectory.
+# ops).  Each run *appends* per-bench records to BENCH_substrate.json
+# (the perf trajectory, via benchmarks/conftest.py); the raw
+# pytest-benchmark dump goes to a separate .raw.json snapshot.
 bench-substrate:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_substrate_perf.py \
 		--benchmark-only \
-		--benchmark-json=BENCH_substrate.json
+		--benchmark-json=BENCH_substrate.raw.json
 
 # Streaming-pipeline throughput (cycles/sec vs concurrent session
-# count), machine-readable alongside the substrate numbers.
+# count), appending to BENCH_stream.json alongside the substrate numbers.
 bench-stream:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_stream_perf.py \
 		--benchmark-only \
-		--benchmark-json=BENCH_stream.json
+		--benchmark-json=BENCH_stream.raw.json
+
+# Tiny end-to-end traced pipeline run: exports Chrome/JSONL traces plus
+# a provenance manifest under results/trace-demo and self-checks them.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.obs.demo --out results/trace-demo
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace results/trace-demo/trace.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli manifest results/trace-demo/manifest.json
 
 results:
 	$(PYTHON) -m repro.cli run-all --out results

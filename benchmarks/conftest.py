@@ -8,11 +8,20 @@ pipeline cost and later ones only the experiment math.
 Each benchmark writes its rendered table to ``results/<id>.txt`` and
 attaches the experiment summary to the benchmark's ``extra_info`` so the
 numbers appear in ``--benchmark-json`` output too.
+
+The perf-suite modules additionally *append* one record per benchmark
+(wall time plus any numeric ``extra_info`` throughput stats) to the
+repo-root trajectory files ``BENCH_substrate.json`` / ``BENCH_stream.json``
+— a flat list of ``{bench, value, unit, commit, timestamp}`` objects, so
+``make bench-*`` runs accumulate a perf history across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import time
 from pathlib import Path
 
 import pytest
@@ -20,6 +29,72 @@ import pytest
 from repro.experiments import ExperimentContext, run_experiment
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Perf-suite module -> trajectory file it appends to.
+TRAJECTORY_FILES = {
+    "test_substrate_perf": "BENCH_substrate.json",
+    "test_stream_perf": "BENCH_stream.json",
+}
+
+
+def _git_commit() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, cwd=REPO_ROOT,
+        )
+        return proc.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def _append_records(path: Path, records: list[dict]) -> None:
+    history: list = []
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if isinstance(loaded, list):
+                history = loaded
+        except ValueError:
+            pass  # unreadable trajectory: start a fresh list
+    history.extend(records)
+    path.write_text(json.dumps(history, indent=1) + "\n")
+
+
+@pytest.fixture(autouse=True)
+def bench_record(request):
+    """Append this benchmark's numbers to its module's trajectory file."""
+    yield
+    fname = TRAJECTORY_FILES.get(request.module.__name__)
+    bench = request.node.funcargs.get("benchmark")
+    stats = getattr(bench, "stats", None)
+    if fname is None or stats is None:
+        return
+    commit = _git_commit()
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    name = request.node.name
+    records = [{
+        "bench": name,
+        "value": float(stats.stats.mean),
+        "unit": "s",
+        "commit": commit,
+        "timestamp": stamp,
+    }]
+    for key, raw in bench.extra_info.items():
+        try:
+            value = float(raw)
+        except (TypeError, ValueError):
+            continue
+        records.append({
+            "bench": f"{name}:{key}",
+            "value": value,
+            "unit": "/s" if "per_sec" in key else "",
+            "commit": commit,
+            "timestamp": stamp,
+        })
+    _append_records(REPO_ROOT / fname, records)
 
 
 @pytest.fixture(scope="session")

@@ -5,7 +5,7 @@ training data, train APOLLO, quantize into an OPM.  Subsystems live in
 their own packages (``repro.rtl``, ``repro.power``, ``repro.isa``,
 ``repro.uarch``, ``repro.design``, ``repro.genbench``, ``repro.core``,
 ``repro.baselines``, ``repro.opm``, ``repro.flow``,
-``repro.experiments``).
+``repro.experiments``, ``repro.obs``).
 """
 
 from repro.core import (
@@ -25,6 +25,7 @@ from repro.genbench import (
     build_testing_dataset,
     build_training_dataset,
 )
+from repro.obs import NULL_TRACER, MetricsRegistry, RunManifest, Tracer
 from repro.opm import OpmMeter, build_opm_netlist, quantize_model
 from repro.uarch import A77_LIKE, N1_LIKE, CoreParams
 
@@ -51,4 +52,8 @@ __all__ = [
     "CoreParams",
     "N1_LIKE",
     "A77_LIKE",
+    "Tracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "RunManifest",
 ]

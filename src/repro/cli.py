@@ -7,12 +7,19 @@ Examples::
     apollo-repro run fig10 --scale small
     apollo-repro run-all --scale default --out results/
     apollo-repro stream --scale tiny --sessions 4 --cycles 100000
+    apollo-repro trace results/trace-demo/trace.json
+    apollo-repro manifest results/trace-demo/manifest.json
 
 The ``stream`` subcommand runs the bounded-memory streaming
 introspection pipeline (``repro.stream``) end-to-end: it loads a saved
 :class:`~repro.opm.quantize.QuantizedModel` (``--model``) or
 quick-trains one, streams one workload per session through batched OPM
 inference, and prints the final metrics snapshot as JSON.
+
+``trace`` renders a span tree from a :mod:`repro.obs` export (JSONL or
+Chrome trace-event JSON, auto-detected); ``manifest`` renders a
+provenance sidecar's identity block and stage-time table — both work
+from the exported files alone, no pipeline state needed.
 """
 
 from __future__ import annotations
@@ -163,6 +170,35 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.errors import ObsError
+    from repro.obs.trace import load_trace, render_tree
+
+    try:
+        roots = load_trace(args.trace)
+    except (ObsError, ValueError, KeyError) as exc:
+        print(f"cannot load trace: {exc}", file=sys.stderr)
+        return 2
+    if not roots:
+        print("trace contains no spans", file=sys.stderr)
+        return 1
+    print(render_tree(roots, max_attrs=args.attrs))
+    return 0
+
+
+def _cmd_manifest(args) -> int:
+    from repro.errors import ObsError
+    from repro.obs.provenance import RunManifest
+
+    try:
+        manifest = RunManifest.load(args.manifest)
+    except (ObsError, ValueError) as exc:
+        print(f"cannot load manifest: {exc}", file=sys.stderr)
+        return 2
+    print(manifest.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="apollo-repro",
@@ -239,6 +275,22 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, help="also write the JSON snapshot here"
     )
 
+    p_trace = sub.add_parser(
+        "trace", help="render a span tree from an exported trace file"
+    )
+    p_trace.add_argument(
+        "trace", help="trace export (.jsonl or Chrome-trace .json)"
+    )
+    p_trace.add_argument(
+        "--attrs", type=int, default=4,
+        help="max attributes shown per span",
+    )
+
+    p_manifest = sub.add_parser(
+        "manifest", help="render a run-provenance manifest sidecar"
+    )
+    p_manifest.add_argument("manifest", help="manifest .json sidecar")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -250,6 +302,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run_all(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "manifest":
+        return _cmd_manifest(args)
     parser.error("unreachable")
     return 2
 

@@ -16,6 +16,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import PowerModelError
+from repro.obs.trace import NULL_TRACER
 from repro.core.selection import ProxySelector, SelectionResult
 from repro.core.solvers import ridge_fit
 
@@ -171,6 +172,7 @@ def train_apollo(
     selector: ProxySelector | None = None,
     ridge_lam: float = 1e-3,
     relax: bool = True,
+    tracer=None,
 ) -> ApolloModel:
     """Full APOLLO training: MCP selection + ridge relaxation.
 
@@ -191,23 +193,41 @@ def train_apollo(
         Disable to keep the raw MCP temporary-model weights — the ablation
         of §4.4 ("this temporary model can already provide rather accurate
         predictions").
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`: wraps the run in a
+        ``train.apollo`` span with ``select.*``/``solver.cd`` children
+        (via a default-constructed selector) and a ``train.relax`` span
+        around the ridge relaxation.
     """
-    selector = selector or ProxySelector()
-    sel = selector.select(X, y, q, candidate_ids=candidate_ids)
-    if candidate_ids is None:
-        cols = sel.proxies
-    else:
-        lookup = {int(cid): i for i, cid in enumerate(candidate_ids)}
-        cols = np.asarray([lookup[int(p)] for p in sel.proxies])
-    if not relax:
-        return ApolloModel(
-            proxies=sel.proxies,
-            weights=sel.temp_weights,
-            intercept=sel.temp_intercept,
-            selection=sel,
+    tracer = tracer or NULL_TRACER
+    selector = selector or ProxySelector(tracer=tracer)
+    with tracer.span("train.apollo", q=q, relax=relax) as root:
+        sel = selector.select(X, y, q, candidate_ids=candidate_ids)
+        if candidate_ids is None:
+            cols = sel.proxies
+        else:
+            lookup = {int(cid): i for i, cid in enumerate(candidate_ids)}
+            cols = np.asarray([lookup[int(p)] for p in sel.proxies])
+        if not relax:
+            return ApolloModel(
+                proxies=sel.proxies,
+                weights=sel.temp_weights,
+                intercept=sel.temp_intercept,
+                selection=sel,
+            )
+        with tracer.span(
+            "train.relax", q=sel.q, ridge_lam=float(ridge_lam)
+        ):
+            Xq = np.asarray(X, dtype=np.float64)[:, cols]
+            w, b = ridge_fit(
+                Xq, np.asarray(y, dtype=np.float64), lam=ridge_lam
+            )
+        model = ApolloModel(
+            proxies=sel.proxies, weights=w, intercept=b, selection=sel
         )
-    Xq = np.asarray(X, dtype=np.float64)[:, cols]
-    w, b = ridge_fit(Xq, np.asarray(y, dtype=np.float64), lam=ridge_lam)
-    return ApolloModel(
-        proxies=sel.proxies, weights=w, intercept=b, selection=sel
-    )
+        if root:
+            root.set(
+                lam=float(sel.lam),
+                abs_weight_sum=model.abs_weight_sum(),
+            )
+    return model

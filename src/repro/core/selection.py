@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SelectionError
+from repro.obs.trace import NULL_TRACER
 from repro.core.solvers import (
     CdResult,
     coordinate_descent,
@@ -75,6 +76,7 @@ class ProxySelector:
         path_len: int = 60,
         max_iter: int = 200,
         seed: int = 0,
+        tracer=None,
     ) -> None:
         if penalty not in ("mcp", "lasso"):
             raise SelectionError(
@@ -86,6 +88,7 @@ class ProxySelector:
         self.path_len = path_len
         self.max_iter = max_iter
         self.seed = seed
+        self.tracer = tracer or NULL_TRACER
 
     # ------------------------------------------------------------------ #
     def select_many(
@@ -145,12 +148,17 @@ class ProxySelector:
                 f"q values {q_list} out of range for {m_in} candidates"
             )
 
+        tracer = self.tracer
+
         # 1. constant pruning
-        Xf = X.astype(np.float32, copy=False)
-        col_min = Xf.min(axis=0)
-        col_max = Xf.max(axis=0)
-        live = col_max > col_min
-        n_const = int(live.sum())
+        with tracer.span("select.constant", n_in=m_in) as sp:
+            Xf = X.astype(np.float32, copy=False)
+            col_min = Xf.min(axis=0)
+            col_max = Xf.max(axis=0)
+            live = col_max > col_min
+            n_const = int(live.sum())
+            if sp:
+                sp.set(n_out=n_const)
         if n_const < q_max:
             raise SelectionError(
                 f"only {n_const} non-constant candidates for q={q_max}"
@@ -158,55 +166,78 @@ class ProxySelector:
         keep = np.nonzero(live)[0]
 
         # 2. duplicate collapsing (hash whole columns)
-        keep = keep[_dedup_columns(Xf[:, keep])]
-        n_dedup = keep.size
+        with tracer.span("select.dedup", n_in=n_const) as sp:
+            keep = keep[_dedup_columns(Xf[:, keep])]
+            n_dedup = keep.size
+            if sp:
+                sp.set(n_out=int(n_dedup))
         if n_dedup < q_max:
             raise SelectionError(
                 f"only {n_dedup} distinct candidates for q={q_max}"
             )
 
         # 3. correlation screening
-        if self.screen_width is not None and n_dedup > self.screen_width:
-            width = max(self.screen_width, 4 * q_max)
-            corr = _abs_corr(Xf[:, keep], y)
-            order = np.argsort(-corr, kind="stable")
-            keep = keep[np.sort(order[:width])]
-        n_screen = keep.size
+        with tracer.span("select.screen", n_in=int(n_dedup)) as sp:
+            if (
+                self.screen_width is not None
+                and n_dedup > self.screen_width
+            ):
+                width = max(self.screen_width, 4 * q_max)
+                corr = _abs_corr(Xf[:, keep], y)
+                order = np.argsort(-corr, kind="stable")
+                keep = keep[np.sort(order[:width])]
+            n_screen = keep.size
+            if sp:
+                sp.set(n_out=int(n_screen))
         if n_screen < q_max:
             raise SelectionError(
                 f"screening left {n_screen} candidates for q={q_max}"
             )
 
         # 4. MCP / Lasso path, shared by every requested Q.
-        Xd = Xf[:, keep].astype(np.float64)
-        pre = precompute(Xd, y)
-        std, G, c, y_mean, y_c = pre
-        lam_hi = lambda_max(std.transform(Xd), y_c)
-        path = lambda_path(lam_hi, n=self.path_len)
+        with tracer.span(
+            "select.path",
+            penalty=self.penalty,
+            q_max=q_max,
+            n_candidates=int(n_screen),
+        ) as sp:
+            Xd = Xf[:, keep].astype(np.float64)
+            pre = precompute(Xd, y)
+            std, G, c, y_mean, y_c = pre
+            lam_hi = lambda_max(std.transform(Xd), y_c)
+            path = lambda_path(lam_hi, n=self.path_len)
 
-        warm = None
-        path_nnz: list[tuple[float, int]] = []
-        fits_for_q: dict[int, CdResult] = {}
-        pending = sorted(q_list)
-        last_fit: CdResult | None = None
-        for lam in path:
-            fit = coordinate_descent(
-                Xd,
-                y,
-                lam=float(lam),
-                penalty=self.penalty,
-                gamma=self.gamma,
-                max_iter=self.max_iter,
-                warm_start=warm,
-                _precomputed=pre,
-            )
-            warm = fit.weights_std
-            path_nnz.append((float(lam), fit.n_nonzero))
-            last_fit = fit
-            while pending and fit.n_nonzero >= pending[0]:
-                fits_for_q[pending.pop(0)] = fit
-            if not pending:
-                break
+            warm = None
+            path_nnz: list[tuple[float, int]] = []
+            fits_for_q: dict[int, CdResult] = {}
+            pending = sorted(q_list)
+            last_fit: CdResult | None = None
+            for lam in path:
+                fit = coordinate_descent(
+                    Xd,
+                    y,
+                    lam=float(lam),
+                    penalty=self.penalty,
+                    gamma=self.gamma,
+                    max_iter=self.max_iter,
+                    warm_start=warm,
+                    _precomputed=pre,
+                    tracer=tracer,
+                )
+                warm = fit.weights_std
+                path_nnz.append((float(lam), fit.n_nonzero))
+                last_fit = fit
+                while pending and fit.n_nonzero >= pending[0]:
+                    fits_for_q[pending.pop(0)] = fit
+                if not pending:
+                    break
+            if sp:
+                sp.set(
+                    n_path_points=len(path_nnz),
+                    final_nnz=(
+                        last_fit.n_nonzero if last_fit is not None else 0
+                    ),
+                )
         if last_fit is None:
             raise SelectionError("empty lambda path")
         # Any q the path never reached uses the final (densest) fit with

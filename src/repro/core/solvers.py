@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import PowerModelError
+from repro.obs.trace import NULL_TRACER
 from repro.core.mcp import mcp_prox, soft_threshold
 
 __all__ = [
@@ -121,6 +122,7 @@ def coordinate_descent(
     tol: float = 1e-6,
     warm_start: np.ndarray | None = None,
     _precomputed: tuple | None = None,
+    tracer=None,
 ) -> CdResult:
     """Solve ``min_w 1/(2N) ||y - Xw - b||^2 + sum P(w_j)``.
 
@@ -129,8 +131,11 @@ def coordinate_descent(
     — ``max_iter`` defaults accordingly.
 
     ``_precomputed`` lets the path driver share the standardizer and Gram
-    matrix across lambda values.
+    matrix across lambda values.  With an enabled ``tracer`` each fit
+    becomes a ``solver.cd`` span carrying the per-iteration residual
+    (max coordinate delta) history alongside the convergence outcome.
     """
+    tracer = tracer or NULL_TRACER
     if _precomputed is None:
         _precomputed = precompute(X, y)
     std, G, c, y_mean, y_c = _precomputed
@@ -148,32 +153,49 @@ def coordinate_descent(
     converged = False
     it = 0
     active: np.ndarray | None = None
-    for it in range(1, max_iter + 1):
-        # An active-set sweep below tolerance only *tentatively* converges
-        # (pending the confirming full sweep), so the flag must not
-        # survive into an iteration whose sweep still moves weights.
-        converged = False
-        # Alternate full sweeps with active-set sweeps.
-        full_sweep = active is None or (it % 10 == 1)
-        idx = np.arange(m) if full_sweep else active
-        max_delta = 0.0
-        for j in idx:
-            zj = c[j] - Gw[j] + w[j]
-            wj_new = float(
-                _prox_update(np.asarray(zj), penalty, lam, gamma, alpha)
-            )
-            delta = wj_new - w[j]
-            if delta != 0.0:
-                Gw += G[:, j] * delta
-                w[j] = wj_new
-                max_delta = max(max_delta, abs(delta))
-        if full_sweep:
-            active = np.nonzero(w != 0.0)[0]
-        if max_delta < tol:
-            converged = True
+    # Residual history is only materialized when tracing is on, so the
+    # disabled-by-default path stays allocation-free.
+    history: list[float] | None = [] if tracer.enabled else None
+    with tracer.span(
+        "solver.cd", penalty=penalty, lam=float(lam)
+    ) as sp:
+        for it in range(1, max_iter + 1):
+            # An active-set sweep below tolerance only *tentatively*
+            # converges (pending the confirming full sweep), so the flag
+            # must not survive into an iteration whose sweep still moves
+            # weights.
+            converged = False
+            # Alternate full sweeps with active-set sweeps.
+            full_sweep = active is None or (it % 10 == 1)
+            idx = np.arange(m) if full_sweep else active
+            max_delta = 0.0
+            for j in idx:
+                zj = c[j] - Gw[j] + w[j]
+                wj_new = float(
+                    _prox_update(np.asarray(zj), penalty, lam, gamma, alpha)
+                )
+                delta = wj_new - w[j]
+                if delta != 0.0:
+                    Gw += G[:, j] * delta
+                    w[j] = wj_new
+                    max_delta = max(max_delta, abs(delta))
+            if history is not None:
+                history.append(max_delta)
             if full_sweep:
-                break
-            active = None  # confirm with one final full sweep
+                active = np.nonzero(w != 0.0)[0]
+            if max_delta < tol:
+                converged = True
+                if full_sweep:
+                    break
+                active = None  # confirm with one final full sweep
+
+        if sp:
+            sp.set(
+                n_iter=it,
+                converged=converged,
+                n_nonzero=int(np.count_nonzero(w)),
+                residual_history=history,
+            )
 
     weights, intercept = std.unstandardize_weights(w, y_mean)
     return CdResult(

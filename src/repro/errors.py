@@ -17,6 +17,7 @@ __all__ = [
     "DatasetError",
     "IsaError",
     "OpmError",
+    "ObsError",
     "StreamError",
     "ExperimentError",
 ]
@@ -56,6 +57,10 @@ class SelectionError(PowerModelError):
 
 class OpmError(ReproError):
     """Raised by OPM construction, quantization, or simulation."""
+
+
+class ObsError(ReproError):
+    """Raised by the observability layer (tracing, provenance)."""
 
 
 class StreamError(ReproError):

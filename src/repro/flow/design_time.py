@@ -7,16 +7,23 @@ over the same workload so experiments can report accuracy *and* the
 measured speed/storage ratios, plus the §8.1 inference-throughput
 extrapolations (minutes per billion cycles for APOLLO vs days/months for
 the all-signal baselines).
+
+Stage timing goes through :mod:`repro.obs.trace` spans instead of ad-hoc
+``perf_counter`` triples: ``estimate`` always runs its stages under a
+``flow.estimate`` span tree (an internal tracer if the caller did not
+supply one), and :class:`FlowEstimate` carries the resulting per-stage
+seconds on the result object.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.obs.trace import Tracer
 from repro.power.analyzer import PowerAnalyzer
 from repro.rtl.simulator import RecordSpec, Simulator
 from repro.uarch.pipeline import Pipeline
@@ -26,19 +33,34 @@ __all__ = ["FlowEstimate", "DesignTimeFlow", "inference_seconds_per_1e9"]
 
 @dataclass
 class FlowEstimate:
-    """Result of one APOLLO-flow power estimation run."""
+    """Result of one APOLLO-flow power estimation run.
+
+    ``stage_seconds`` maps stage name (``"uarch"``, ``"rtl"``,
+    ``"inference"``) to wall seconds, extracted from the run's span tree;
+    the legacy per-stage properties read from it.
+    """
 
     name: str
     power: np.ndarray  # per-cycle predicted power (mW)
-    uarch_seconds: float
-    rtl_seconds: float
-    inference_seconds: float
     proxy_bytes: int
+    stage_seconds: dict[str, float] = field(default_factory=dict)
     label: np.ndarray | None = None  # ground truth if requested
 
     @property
+    def uarch_seconds(self) -> float:
+        return self.stage_seconds.get("uarch", 0.0)
+
+    @property
+    def rtl_seconds(self) -> float:
+        return self.stage_seconds.get("rtl", 0.0)
+
+    @property
+    def inference_seconds(self) -> float:
+        return self.stage_seconds.get("inference", 0.0)
+
+    @property
     def total_seconds(self) -> float:
-        return self.uarch_seconds + self.rtl_seconds + self.inference_seconds
+        return sum(self.stage_seconds.values())
 
     @property
     def n_cycles(self) -> int:
@@ -48,9 +70,12 @@ class FlowEstimate:
 class DesignTimeFlow:
     """APOLLO-based per-cycle power estimation for one core + model."""
 
-    def __init__(self, core, model, engine: str = "packed") -> None:
+    def __init__(
+        self, core, model, engine: str = "packed", tracer=None
+    ) -> None:
         self.core = core
         self.model = model
+        self.tracer = tracer
         self._sim = Simulator(core.netlist, engine=engine)
         self._analyzer = PowerAnalyzer(core.netlist)
 
@@ -60,43 +85,60 @@ class DesignTimeFlow:
         cycles: int,
         with_reference: bool = False,
         throttle=None,
+        tracer=None,
     ) -> FlowEstimate:
         """Per-cycle power for ``program`` over ``cycles`` cycles.
 
         ``with_reference`` additionally runs the signoff accumulator (the
         "commercial flow" stand-in) for accuracy comparison — on the same
         simulation pass, so the comparison is apples-to-apples.
+
+        ``tracer`` (or the constructor's) collects the ``flow.estimate``
+        span tree; without one, a private tracer still measures the
+        stages so :class:`FlowEstimate` always reports its timings.
         """
         if cycles <= 0:
             raise ReproError("cycles must be positive")
+        tracer = tracer or self.tracer
+        if tracer is None or not tracer.enabled:
+            tracer = Tracer()  # timings must exist even untraced
         params = self.core.params.with_throttle(throttle)
-        t0 = time.perf_counter()
-        activity, _stats = Pipeline(params).run(program, cycles)
-        stim = self.core.stimulus_for(activity)
-        t_uarch = time.perf_counter() - t0
 
-        accum = {}
-        if with_reference:
-            accum["label"] = self._analyzer.label_weights()
-        t0 = time.perf_counter()
-        res = self._sim.run(
-            stim,
-            RecordSpec(columns=self.model.proxies, accumulators=accum),
-        )
-        t_rtl = time.perf_counter() - t0
+        with tracer.span(
+            "flow.estimate",
+            workload=getattr(program, "name", "workload"),
+            cycles=cycles,
+            engine=self._sim.engine,
+            q=self.model.q,
+        ) as root:
+            with tracer.span("flow.uarch"):
+                activity, _stats = Pipeline(params).run(program, cycles)
+                stim = self.core.stimulus_for(activity)
 
-        toggles = res.columns[0].astype(np.float64)
-        t0 = time.perf_counter()
-        power = self.model.predict(toggles)
-        t_inf = time.perf_counter() - t0
+            accum = {}
+            if with_reference:
+                accum["label"] = self._analyzer.label_weights()
+            with tracer.span("flow.rtl"):
+                res = self._sim.run(
+                    stim,
+                    RecordSpec(
+                        columns=self.model.proxies, accumulators=accum
+                    ),
+                    tracer=tracer,
+                )
 
+            with tracer.span("flow.inference"):
+                toggles = res.columns[0].astype(np.float64)
+                power = self.model.predict(toggles)
+
+        stage_seconds = {
+            c.name.split(".", 1)[1]: c.duration for c in root.children
+        }
         return FlowEstimate(
             name=getattr(program, "name", "workload"),
             power=power,
-            uarch_seconds=t_uarch,
-            rtl_seconds=t_rtl,
-            inference_seconds=t_inf,
             proxy_bytes=(self.model.q * cycles + 7) // 8,
+            stage_seconds=stage_seconds,
             label=res.accum.get("label", [None])[0]
             if with_reference
             else None,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.obs.trace import NULL_TRACER
 from repro.isa.instructions import Instruction
 from repro.isa.program import (
     DEFAULT_MIX,
@@ -152,9 +153,11 @@ class BenchmarkEvolver:
         core,
         config: GaConfig | None = None,
         engine: str = "packed",
+        tracer=None,
     ) -> None:
         self.core = core
         self.config = config or GaConfig()
+        self.tracer = tracer or NULL_TRACER
         self.pipeline = Pipeline(core.params)
         self.simulator = Simulator(core.netlist, engine=engine)
         analyzer = PowerAnalyzer(core.netlist)
@@ -273,47 +276,77 @@ class BenchmarkEvolver:
     def run(self) -> GaResult:
         """Run the full GA; returns every evaluated individual."""
         cfg = self.config
-        population = self._initial_population()
-        all_individuals: list[GaIndividual] = []
+        with self.tracer.span(
+            "ga.run",
+            population=cfg.population,
+            generations=cfg.generations,
+            fitness=cfg.fitness,
+            engine=self.simulator.engine,
+            seed=cfg.seed,
+        ) as root:
+            population = self._initial_population()
+            all_individuals: list[GaIndividual] = []
 
-        for gen in range(cfg.generations):
-            traces = self._power_traces(population)
-            powers = traces.mean(axis=1)
-            if cfg.fitness == "didt":
-                fitness = self.measure_didt(traces)
-            else:
-                fitness = powers
-            scored = sorted(
-                zip(population, powers, fitness), key=lambda t: -t[2]
-            )
-            all_individuals.extend(
-                GaIndividual(
-                    program=p,
-                    power=float(pw),
-                    generation=gen,
-                    fitness=float(fit),
-                )
-                for p, pw, fit in scored
-            )
-            if gen == cfg.generations - 1:
-                break
-            n_parents = max(2, int(cfg.parent_frac * cfg.population))
-            parents = [p for p, _pw, _fit in scored[:n_parents]]
-            nxt: list[Program] = [
-                p for p, _pw, _fit in scored[: cfg.elite]
-            ]
-            k = 0
-            while len(nxt) < cfg.population:
-                pa, pb = self._rng.choice(len(parents), size=2, replace=False)
-                child = self._crossover(
-                    parents[int(pa)],
-                    parents[int(pb)],
-                    name=f"ga_g{gen + 1}_i{k}",
-                )
-                nxt.append(self._mutate(child, child.name))
-                k += 1
-            population = nxt
+            for gen in range(cfg.generations):
+                with self.tracer.span(
+                    "ga.generation", generation=gen
+                ) as sp:
+                    traces = self._power_traces(population)
+                    powers = traces.mean(axis=1)
+                    if cfg.fitness == "didt":
+                        fitness = self.measure_didt(traces)
+                    else:
+                        fitness = powers
+                    scored = sorted(
+                        zip(population, powers, fitness),
+                        key=lambda t: -t[2],
+                    )
+                    all_individuals.extend(
+                        GaIndividual(
+                            program=p,
+                            power=float(pw),
+                            generation=gen,
+                            fitness=float(fit),
+                        )
+                        for p, pw, fit in scored
+                    )
+                    if sp:
+                        sp.set(
+                            min_power=float(powers.min()),
+                            mean_power=float(np.mean(powers)),
+                            max_power=float(powers.max()),
+                            best_fitness=float(np.max(fitness)),
+                        )
+                    if gen == cfg.generations - 1:
+                        break
+                    n_parents = max(
+                        2, int(cfg.parent_frac * cfg.population)
+                    )
+                    parents = [p for p, _pw, _fit in scored[:n_parents]]
+                    nxt: list[Program] = [
+                        p for p, _pw, _fit in scored[: cfg.elite]
+                    ]
+                    k = 0
+                    while len(nxt) < cfg.population:
+                        pa, pb = self._rng.choice(
+                            len(parents), size=2, replace=False
+                        )
+                        child = self._crossover(
+                            parents[int(pa)],
+                            parents[int(pb)],
+                            name=f"ga_g{gen + 1}_i{k}",
+                        )
+                        nxt.append(self._mutate(child, child.name))
+                        k += 1
+                    population = nxt
 
-        return GaResult(
-            individuals=all_individuals, generations=cfg.generations
-        )
+            result = GaResult(
+                individuals=all_individuals, generations=cfg.generations
+            )
+            if root:
+                root.set(
+                    n_individuals=len(all_individuals),
+                    max_min_ratio=float(result.max_min_ratio),
+                    best_power=float(result.best.power),
+                )
+        return result

@@ -1,0 +1,66 @@
+"""Unified observability for the APOLLO pipeline (``repro.obs``).
+
+The pipeline's own claim — per-cycle power visibility at negligible
+overhead — deserves the same treatment applied to itself.  This package
+is a dependency-free (stdlib + the repo's error types) observability
+layer shared by every subsystem:
+
+* :mod:`repro.obs.trace` — :class:`Tracer` with nested spans (monotonic
+  start/duration, attributes, thread-safe collection), a zero-overhead
+  :data:`NULL_TRACER` default, and exporters to JSONL and Chrome
+  ``chrome://tracing`` trace-event JSON;
+* :mod:`repro.obs.metrics` — the Counter/Gauge/Histogram registry
+  promoted from ``repro.stream.metrics`` (which remains as a re-export
+  shim) so any layer can publish operational metrics;
+* :mod:`repro.obs.provenance` — :class:`RunManifest`, a JSON sidecar
+  capturing config hashes, seeds, engine choice, proxy count Q, model
+  artifact version, and per-stage wall/CPU time.
+
+Hot paths accept an optional ``tracer=`` (default: no-op): the GA
+(:class:`~repro.genbench.ga.BenchmarkEvolver`), the MCP solver
+(:func:`~repro.core.solvers.coordinate_descent`), proxy selection and
+relaxation (:class:`~repro.core.selection.ProxySelector`,
+:func:`~repro.core.model.train_apollo`), the gate-level simulator, the
+design-time flow, and the streaming service.  ``apollo-repro trace`` and
+``apollo-repro manifest`` render the exported artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.provenance import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    config_hash,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    load_trace,
+    render_tree,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace",
+    "render_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "RunManifest",
+    "config_hash",
+    "MANIFEST_SCHEMA_VERSION",
+]

@@ -1,0 +1,154 @@
+"""Shared operational metrics: counters, gauges, histograms.
+
+Promoted from ``repro.stream.metrics`` (kept there as a re-export shim)
+so *every* layer — the GA, the solvers, the flows, the streaming service
+— can publish into one registry.  The vocabulary stays deliberately
+small and Prometheus-flavored, and ``snapshot()`` is plain
+JSON-serializable data, so fleet tooling can scrape a run without
+touching NumPy objects.
+
+Misuse keeps raising :class:`~repro.errors.StreamError` — the type the
+registry raised before the promotion — so existing callers' error
+handling is unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import StreamError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise StreamError(f"counter {self.name!r} cannot decrease")
+        self.value += int(n)
+
+
+@dataclass
+class Gauge:
+    """Last-observed value (queue depth, EMA power, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Fixed-boundary histogram with sum/count for mean recovery.
+
+    ``edges`` are the upper bounds of each bucket; one overflow bucket
+    catches everything above the last edge (Prometheus ``le`` semantics,
+    cumulative form left to the consumer).
+    """
+
+    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise StreamError(
+                f"histogram {name!r} needs ascending bucket edges"
+            )
+        self.name = name
+        self.edges = tuple(float(e) for e in edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        for i, edge in enumerate(self.edges):
+            if v <= edge:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += 1
+        self.sum += v
+
+    def observe_many(self, values) -> None:
+        for v in values:
+            self.observe(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Name -> metric container with one-call JSON snapshots."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str, edges: tuple[float, ...]) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name, edges)
+        return self.histograms[name]
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every metric (JSON-serializable)."""
+        return {
+            "counters": {
+                n: c.value for n, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                n: g.value for n, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                n: {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "count": h.total,
+                    "sum": h.sum,
+                    "mean": h.mean,
+                }
+                for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+
+_DEFAULT_REGISTRY: MetricsRegistry | None = None
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide shared registry (created on first use).
+
+    Layers that are not handed an explicit registry can publish here, so
+    one snapshot covers a whole in-process pipeline.
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = MetricsRegistry()
+    return _DEFAULT_REGISTRY

@@ -1,0 +1,365 @@
+"""Nested-span tracing with JSONL and Chrome trace-event export.
+
+A :class:`Tracer` records *spans*: named intervals with a monotonic
+start, a duration, free-form attributes, and parent/child nesting.  The
+API is the usual context-manager shape::
+
+    tracer = Tracer()
+    with tracer.span("ga.run", generations=14) as sp:
+        with tracer.span("ga.generation", generation=0) as g:
+            ...
+            g.set(mean_power=3.2)
+    tracer.to_chrome("trace.json")     # load in chrome://tracing / Perfetto
+    tracer.to_jsonl("trace.jsonl")     # one span per line, grep-friendly
+
+Design points:
+
+* **Zero-overhead default.**  Every instrumented function takes
+  ``tracer=None`` and falls back to :data:`NULL_TRACER`, whose
+  ``span()`` returns a shared inert context manager — no allocation, no
+  timing, no collection.  ``tracer.enabled`` gates any attribute
+  computation that is not already free (e.g. per-iteration residual
+  histories).
+* **Thread safety.**  The open-span stack is thread-local (each thread
+  nests independently), finished spans go into one lock-protected list,
+  and Chrome export tags each thread with its own ``tid``.
+* **Plain data.**  Attributes must be JSON-serializable; exports contain
+  explicit ``span_id``/``parent_id`` fields so either file format
+  round-trips the tree exactly (see :func:`load_trace`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ObsError
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "load_trace",
+    "load_jsonl",
+    "load_chrome",
+    "render_tree",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced interval.
+
+    ``start`` is seconds on the tracer's monotonic clock (relative to
+    tracer creation, so exported timestamps are small and comparable
+    within one trace); ``duration`` is filled at exit.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    tid: int
+    start: float
+    duration: float = 0.0
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (JSON-serializable values)."""
+        self.attrs.update(attrs)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __bool__(self) -> bool:  # real spans are truthy, the null span
+        return True              # is falsy — ``if sp:`` gates attr work
+
+
+class _SpanCm:
+    """Context manager that opens a :class:`Span` on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", repr(exc))
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects nested spans; export with :meth:`to_jsonl`/:meth:`to_chrome`."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self._tids: dict[int, int] = {}
+        self.spans: list[Span] = []  # finished spans, completion order
+        self.roots: list[Span] = []
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs) -> _SpanCm:
+        """Open a nested span: ``with tracer.span("stage", k=v) as sp:``."""
+        return _SpanCm(self, name, attrs)
+
+    def _stack(self) -> list[Span]:
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = self._local.stack = []
+        return st
+
+    def _open(self, name: str, attrs: dict) -> Span:
+        stack = self._stack()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+            tid = self._tids.setdefault(
+                threading.get_ident(), len(self._tids)
+            )
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            tid=tid,
+            start=time.perf_counter() - self._epoch,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.duration = (time.perf_counter() - self._epoch) - span.start
+        stack = self._stack()
+        if not stack or stack[-1] is not span:  # pragma: no cover
+            raise ObsError(
+                f"span {span.name!r} closed out of order"
+            )
+        stack.pop()
+        with self._lock:
+            self.spans.append(span)
+            if stack:
+                stack[-1].children.append(span)
+            else:
+                self.roots.append(span)
+
+    # ------------------------------------------------------------------ #
+    def find(self, name: str) -> list[Span]:
+        """Finished spans with the given name, completion order."""
+        with self._lock:
+            return [s for s in self.spans if s.name == name]
+
+    def total_seconds(self, name: str) -> float:
+        """Summed duration of every finished span with this name."""
+        return sum(s.duration for s in self.find(name))
+
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self, path: str | Path) -> Path:
+        """One JSON object per finished span, start-time order."""
+        path = Path(path)
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: s.start)
+        with path.open("w") as fh:
+            for s in spans:
+                fh.write(json.dumps({
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                    "name": s.name,
+                    "tid": s.tid,
+                    "start": s.start,
+                    "dur": s.duration,
+                    "attrs": s.attrs,
+                }) + "\n")
+        return path
+
+    def to_chrome(self, path: str | Path) -> Path:
+        """Chrome trace-event JSON (complete ``"X"`` events, microseconds).
+
+        Loadable in ``chrome://tracing`` or Perfetto; ``span_id`` and
+        ``parent_id`` ride along in ``args`` so :func:`load_chrome` can
+        rebuild exact nesting without containment heuristics.
+        """
+        path = Path(path)
+        with self._lock:
+            spans = sorted(self.spans, key=lambda s: s.start)
+        events = [
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": 0,
+                "tid": s.tid,
+                "args": {
+                    **s.attrs,
+                    "span_id": s.span_id,
+                    "parent_id": s.parent_id,
+                },
+            }
+            for s in spans
+        ]
+        path.write_text(json.dumps(
+            {"traceEvents": events, "displayTimeUnit": "ms"}, indent=1,
+        ) + "\n")
+        return path
+
+
+class _NullSpan:
+    """Inert span: accepts the full :class:`Span` surface, does nothing."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: tuple = ()
+    duration = 0.0
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Zero-overhead tracer: ``span()`` returns one shared inert object."""
+
+    enabled = False
+    spans: tuple = ()
+    roots: tuple = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def find(self, name: str) -> list:
+        return []
+
+    def total_seconds(self, name: str) -> float:
+        return 0.0
+
+
+#: Shared no-op tracer; the default for every ``tracer=`` parameter.
+NULL_TRACER = NullTracer()
+
+
+# --------------------------------------------------------------------- #
+# Loading exported traces (the CLI's side of the contract).
+# --------------------------------------------------------------------- #
+def _link(records: list[dict]) -> list[Span]:
+    """Rebuild the span forest from exported flat records."""
+    spans: dict[int, Span] = {}
+    for r in records:
+        spans[int(r["span_id"])] = Span(
+            name=str(r["name"]),
+            span_id=int(r["span_id"]),
+            parent_id=(
+                None if r.get("parent_id") is None else int(r["parent_id"])
+            ),
+            tid=int(r.get("tid", 0)),
+            start=float(r["start"]),
+            duration=float(r["dur"]),
+            attrs=dict(r.get("attrs", {})),
+        )
+    roots: list[Span] = []
+    for s in sorted(spans.values(), key=lambda s: s.start):
+        if s.parent_id is not None and s.parent_id in spans:
+            spans[s.parent_id].children.append(s)
+        else:
+            roots.append(s)
+    return roots
+
+
+def load_jsonl(path: str | Path) -> list[Span]:
+    """Load a :meth:`Tracer.to_jsonl` export; returns the root spans."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        if line.strip():
+            records.append(json.loads(line))
+    return _link(records)
+
+
+def load_chrome(path: str | Path) -> list[Span]:
+    """Load a :meth:`Tracer.to_chrome` export; returns the root spans."""
+    doc = json.loads(Path(path).read_text())
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    records = []
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        args = dict(e.get("args", {}))
+        records.append({
+            "span_id": args.pop("span_id", len(records)),
+            "parent_id": args.pop("parent_id", None),
+            "name": e["name"],
+            "tid": e.get("tid", 0),
+            "start": float(e["ts"]) / 1e6,
+            "dur": float(e.get("dur", 0.0)) / 1e6,
+            "attrs": args,
+        })
+    return _link(records)
+
+
+def load_trace(path: str | Path) -> list[Span]:
+    """Auto-detect the export format (JSONL vs Chrome JSON) and load."""
+    p = Path(path)
+    if not p.exists():
+        raise ObsError(f"no trace file at {p}")
+    text = p.read_text()
+    first = text.lstrip()[:1]
+    if first == "{" and "traceEvents" in text[:2048]:
+        return load_chrome(p)
+    return load_jsonl(p)
+
+
+def render_tree(roots: list[Span], max_attrs: int = 4) -> str:
+    """Human-readable span tree: one line per span, indented by depth."""
+    lines: list[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        attrs = {
+            k: v for k, v in span.attrs.items()
+            if not isinstance(v, (list, dict))
+        }
+        shown = list(attrs.items())[:max_attrs]
+        suffix = "".join(
+            f"  {k}={v:.4g}" if isinstance(v, float) else f"  {k}={v}"
+            for k, v in shown
+        )
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(1, 30 - 2 * depth)}} "
+            f"{span.duration * 1e3:9.2f} ms{suffix}"
+        )
+        for child in sorted(span.children, key=lambda s: s.start):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=lambda s: s.start):
+        walk(root, 0)
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError, StimulusError
+from repro.obs.trace import NULL_TRACER
 from repro.rtl.cells import Op
 from repro.rtl.levelize import (
     LevelSchedule,
@@ -213,6 +214,7 @@ class Simulator:
         stimulus: np.ndarray,
         record: RecordSpec | None = None,
         init_values: np.ndarray | None = None,
+        tracer=None,
     ) -> SimResult:
         """Simulate ``stimulus`` and record per the :class:`RecordSpec`.
 
@@ -228,6 +230,10 @@ class Simulator:
             Full value vector from a previous run's ``final_values`` to
             continue a long simulation in chunks with identical results;
             ``None`` starts from reset.
+        tracer:
+            Optional :class:`~repro.obs.trace.Tracer`; the cycle loop
+            becomes an ``rtl.sim.run`` span (engine, cycles, batch,
+            throughput).  Default is the zero-overhead no-op tracer.
         """
         record = record or RecordSpec(full_trace=True)
         stim = np.asarray(stimulus, dtype=np.uint8)
@@ -280,15 +286,28 @@ class Simulator:
                 f"({self._n}, {batch})"
             )
 
-        t0 = time.perf_counter()
         loop = (
             self._run_packed if self.engine == "packed" else self._run_uint8
         )
-        final_values = loop(
-            stim, cols, acc_weights, packed_out, cols_out, acc_out,
-            init_values,
-        )
-        elapsed = time.perf_counter() - t0
+        with (tracer or NULL_TRACER).span(
+            "rtl.sim.run",
+            engine=self.engine,
+            cycles=cycles,
+            batch=batch,
+        ) as sp:
+            t0 = time.perf_counter()
+            final_values = loop(
+                stim, cols, acc_weights, packed_out, cols_out, acc_out,
+                init_values,
+            )
+            elapsed = time.perf_counter() - t0
+            if sp:
+                sp.set(
+                    lane_cycles_per_second=(
+                        cycles * batch / elapsed if elapsed > 0
+                        else float("inf")
+                    )
+                )
 
         trace = None
         if packed_out is not None:

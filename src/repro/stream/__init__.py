@@ -14,8 +14,9 @@ a stream of millions of cycles needs memory for one chunk per session:
 * :mod:`repro.stream.aggregate` — rolling/EMA aggregation, droop
   precursor alerts with hysteresis, power-budget checks feeding the
   :class:`~repro.flow.dvfs.DvfsGovernor`;
-* :mod:`repro.stream.metrics` — counters/gauges/histograms with JSON
-  snapshots.
+* :mod:`repro.stream.metrics` — back-compat shim over
+  :mod:`repro.obs.metrics` (counters/gauges/histograms with JSON
+  snapshots now live in the shared observability layer).
 
 The streamed per-cycle and T-window readings are bit-identical to
 :class:`~repro.opm.meter.OpmMeter` on the whole trace (property-tested
@@ -31,7 +32,7 @@ from repro.stream.aggregate import (
     EmaTracker,
     RingBuffer,
 )
-from repro.stream.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.stream.session import StreamConfig, StreamService, StreamSession
 from repro.stream.source import ProxyBlock, SimulatorSource, TraceSource
 
@@ -67,6 +68,8 @@ def service_for_programs(
     droop_enter_ma: float | None = None,
     budget_mw: float | None = None,
     governor=None,
+    registry: MetricsRegistry | None = None,
+    tracer=None,
 ) -> StreamService:
     """Wire one session per program into a ready-to-run service.
 
@@ -91,6 +94,7 @@ def service_for_programs(
             chunk_cycles=chunk_cycles,
             engine=engine,
             simulator=sim,
+            tracer=tracer,
         )
         droop = (
             DroopWatcher(pdn=pdn, enter_ma=droop_enter_ma)
@@ -109,4 +113,4 @@ def service_for_programs(
                 droop=droop, budget=budget,
             )
         )
-    return StreamService(meter, sessions)
+    return StreamService(meter, sessions, registry=registry, tracer=tracer)

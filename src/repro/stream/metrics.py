@@ -1,129 +1,25 @@
-"""Operational metrics for the streaming pipeline.
+"""Back-compat shim: the metrics vocabulary moved to ``repro.obs.metrics``.
 
-A deliberately small Prometheus-style vocabulary — counters, gauges, and
-fixed-bucket histograms — collected in a registry whose ``snapshot()`` is
-plain JSON-serializable data.  The service exports one snapshot per run
-(cycles processed, inference throughput, queue depths, dropped chunks,
-alert counts) so fleet tooling can scrape the stream without touching
-NumPy objects.
+The streaming pipeline's Counter/Gauge/Histogram/MetricsRegistry are now
+shared by every layer through :mod:`repro.obs.metrics`; this module
+re-exports the same objects so existing ``repro.stream.metrics`` imports
+keep working unchanged.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
 
-from repro.errors import StreamError
-
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
-
-
-@dataclass
-class Counter:
-    """Monotonically increasing count."""
-
-    name: str
-    value: int = 0
-
-    def inc(self, n: int = 1) -> None:
-        if n < 0:
-            raise StreamError(f"counter {self.name!r} cannot decrease")
-        self.value += int(n)
-
-
-@dataclass
-class Gauge:
-    """Last-observed value (queue depth, EMA power, ...)."""
-
-    name: str
-    value: float = 0.0
-
-    def set(self, v: float) -> None:
-        self.value = float(v)
-
-
-class Histogram:
-    """Fixed-boundary histogram with sum/count for mean recovery.
-
-    ``edges`` are the upper bounds of each bucket; one overflow bucket
-    catches everything above the last edge (Prometheus ``le`` semantics,
-    cumulative form left to the consumer).
-    """
-
-    def __init__(self, name: str, edges: tuple[float, ...]) -> None:
-        if not edges or list(edges) != sorted(edges):
-            raise StreamError(
-                f"histogram {name!r} needs ascending bucket edges"
-            )
-        self.name = name
-        self.edges = tuple(float(e) for e in edges)
-        self.counts = [0] * (len(edges) + 1)
-        self.total = 0
-        self.sum = 0.0
-
-    def observe(self, value: float) -> None:
-        v = float(value)
-        for i, edge in enumerate(self.edges):
-            if v <= edge:
-                self.counts[i] += 1
-                break
-        else:
-            self.counts[-1] += 1
-        self.total += 1
-        self.sum += v
-
-    def observe_many(self, values) -> None:
-        for v in values:
-            self.observe(v)
-
-    @property
-    def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
-
-
-@dataclass
-class MetricsRegistry:
-    """Name -> metric container with one-call JSON snapshots."""
-
-    counters: dict[str, Counter] = field(default_factory=dict)
-    gauges: dict[str, Gauge] = field(default_factory=dict)
-    histograms: dict[str, Histogram] = field(default_factory=dict)
-
-    def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
-
-    def gauge(self, name: str) -> Gauge:
-        if name not in self.gauges:
-            self.gauges[name] = Gauge(name)
-        return self.gauges[name]
-
-    def histogram(self, name: str, edges: tuple[float, ...]) -> Histogram:
-        if name not in self.histograms:
-            self.histograms[name] = Histogram(name, edges)
-        return self.histograms[name]
-
-    def snapshot(self) -> dict:
-        """Plain-data view of every metric (JSON-serializable)."""
-        return {
-            "counters": {
-                n: c.value for n, c in sorted(self.counters.items())
-            },
-            "gauges": {
-                n: g.value for n, g in sorted(self.gauges.items())
-            },
-            "histograms": {
-                n: {
-                    "edges": list(h.edges),
-                    "counts": list(h.counts),
-                    "count": h.total,
-                    "sum": h.sum,
-                    "mean": h.mean,
-                }
-                for n, h in sorted(self.histograms.items())
-            },
-        }
-
-    def to_json(self, indent: int | None = 2) -> str:
-        return json.dumps(self.snapshot(), indent=indent)
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]

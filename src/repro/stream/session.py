@@ -31,6 +31,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import StreamError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
 from repro.opm.meter import OpmMeter
 from repro.stream.aggregate import (
     BudgetWatcher,
@@ -38,7 +40,6 @@ from repro.stream.aggregate import (
     EmaTracker,
     RingBuffer,
 )
-from repro.stream.metrics import MetricsRegistry
 from repro.stream.source import ProxyBlock
 
 __all__ = ["StreamConfig", "StreamSession", "StreamService"]
@@ -216,6 +217,7 @@ class StreamService:
         meter: OpmMeter,
         sessions: list[StreamSession],
         registry: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         if not sessions:
             raise StreamError("service needs at least one session")
@@ -225,6 +227,7 @@ class StreamService:
         self.meter = meter
         self.sessions = sessions
         self.metrics = registry or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
         self._elapsed = 0.0
         self.steps = 0
 
@@ -245,9 +248,18 @@ class StreamService:
                 picks.append((sess, blocks))
                 mats.extend(b.toggles for b in blocks)
         if mats:
-            t_inf = time.perf_counter()
-            per_cycle = self.meter.per_cycle(np.concatenate(mats, axis=0))
-            inf_seconds = time.perf_counter() - t_inf
+            with self.tracer.span(
+                "stream.drain",
+                n_sessions=len(picks),
+                n_blocks=sum(len(b) for _s, b in picks),
+            ) as sp:
+                t_inf = time.perf_counter()
+                per_cycle = self.meter.per_cycle(
+                    np.concatenate(mats, axis=0)
+                )
+                inf_seconds = time.perf_counter() - t_inf
+                if sp:
+                    sp.set(n_cycles=int(per_cycle.size))
             self.metrics.histogram(
                 "inference_seconds", self.LATENCY_EDGES
             ).observe(inf_seconds)
@@ -266,11 +278,21 @@ class StreamService:
 
     def run(self, max_steps: int | None = None) -> dict:
         """Step until every session completes; return the snapshot."""
-        steps = 0
-        while self.step():
-            steps += 1
-            if max_steps is not None and steps >= max_steps:
-                break
+        with self.tracer.span(
+            "stream.run", n_sessions=len(self.sessions)
+        ) as sp:
+            steps = 0
+            while self.step():
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    break
+            if sp:
+                sp.set(
+                    steps=self.steps,
+                    cycles_processed=self.metrics.counter(
+                        "cycles_processed"
+                    ).value,
+                )
         return self.snapshot()
 
     # -------------------------------------------------------------- #

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import StreamError
+from repro.obs.trace import NULL_TRACER
 from repro.rtl.simulator import RecordSpec, Simulator
 from repro.rtl.trace import ToggleTrace
 from repro.uarch.pipeline import Pipeline
@@ -66,6 +67,9 @@ class SimulatorSource:
     simulator:
         Optionally share one compiled :class:`Simulator` across many
         sources of the same design (compilation is the expensive part).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`: each emitted chunk
+        becomes a ``stream.chunk`` span (start cycle, cycles).
     """
 
     def __init__(
@@ -76,6 +80,7 @@ class SimulatorSource:
         chunk_cycles: int = 256,
         engine: str = "packed",
         simulator: Simulator | None = None,
+        tracer=None,
     ) -> None:
         _check_chunk(chunk_cycles)
         stim = np.asarray(stimulus, dtype=np.uint8)
@@ -90,6 +95,7 @@ class SimulatorSource:
         self.chunk_cycles = int(chunk_cycles)
         self.sim = simulator or Simulator(netlist, engine=engine)
         self.record = RecordSpec(columns=self.proxies)
+        self.tracer = tracer or NULL_TRACER
 
     @classmethod
     def from_program(
@@ -101,6 +107,7 @@ class SimulatorSource:
         chunk_cycles: int = 256,
         engine: str = "packed",
         simulator: Simulator | None = None,
+        tracer=None,
     ) -> "SimulatorSource":
         """Build the stimulus from a pipeline-model workload run.
 
@@ -117,6 +124,7 @@ class SimulatorSource:
             chunk_cycles=chunk_cycles,
             engine=engine,
             simulator=simulator,
+            tracer=tracer,
         )
 
     @property
@@ -128,11 +136,14 @@ class SimulatorSource:
         n = self.n_cycles
         for start in range(0, n, self.chunk_cycles):
             stop = min(start + self.chunk_cycles, n)
-            res = self.sim.run(
-                self.stimulus[start:stop],
-                self.record,
-                init_values=state,
-            )
+            with self.tracer.span(
+                "stream.chunk", start_cycle=start, n_cycles=stop - start
+            ):
+                res = self.sim.run(
+                    self.stimulus[start:stop],
+                    self.record,
+                    init_values=state,
+                )
             state = res.final_values
             yield ProxyBlock(
                 start_cycle=start,

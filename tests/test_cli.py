@@ -81,3 +81,73 @@ def test_stream_command_end_to_end(tmp_path, capsys, monkeypatch):
     assert rc == 0
     snap2 = json.loads(capsys.readouterr().out)
     assert snap2["counters"]["cycles_processed"] == 512
+
+
+@pytest.fixture
+def exported_run(tmp_path):
+    """A tiny traced run's export files (trace + manifest)."""
+    from repro.obs import RunManifest, Tracer
+
+    tracer = Tracer()
+    with tracer.span("flow.estimate", workload="smoke", cycles=64):
+        with tracer.span("flow.uarch"):
+            pass
+        with tracer.span("flow.rtl") as sp:
+            sp.set(engine="packed")
+        with tracer.span("flow.inference"):
+            pass
+    manifest = RunManifest(
+        run="cli-smoke",
+        design="n1-like",
+        scale="tiny",
+        seed=20211018,
+        engine="packed",
+        q=12,
+        config={"t": 8},
+    )
+    manifest.record_tracer(tracer)
+    return {
+        "chrome": tracer.to_chrome(tmp_path / "trace.json"),
+        "jsonl": tracer.to_jsonl(tmp_path / "trace.jsonl"),
+        "manifest": manifest.save(tmp_path / "manifest.json"),
+    }
+
+
+@pytest.mark.parametrize("fmt", ["chrome", "jsonl"])
+def test_trace_command_renders_span_tree(exported_run, capsys, fmt):
+    assert main(["trace", str(exported_run[fmt])]) == 0
+    out = capsys.readouterr().out
+    assert "flow.estimate" in out
+    assert "flow.rtl" in out
+    assert "workload=smoke" in out
+    # children are indented under the root
+    rtl_line = next(
+        line for line in out.splitlines() if "flow.rtl" in line
+    )
+    assert rtl_line.startswith("  ")
+
+
+def test_trace_command_rejects_bad_input(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.json")]) == 2
+    assert "cannot load trace" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["trace", str(empty)]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+def test_manifest_command_renders_sidecar(exported_run, capsys):
+    assert main(["manifest", str(exported_run["manifest"])]) == 0
+    out = capsys.readouterr().out
+    assert "cli-smoke" in out
+    assert "20211018" in out  # the seed
+    assert "config hash" in out
+    assert "flow.estimate" in out  # the stage-time table
+    assert "total" in out
+
+
+def test_manifest_command_rejects_foreign_json(
+    tmp_path, capsys, exported_run
+):
+    assert main(["manifest", str(exported_run["chrome"])]) == 2
+    assert "cannot load manifest" in capsys.readouterr().err

@@ -1,0 +1,494 @@
+"""The observability layer: tracing, exporters, provenance, parity.
+
+Covers the exporter round-trip contract (JSONL and Chrome trace-event
+JSON reproduce the exact span forest), the zero-entry no-op tracer
+property, the ``repro.stream.metrics`` shim, manifest save/load/render,
+and the GA per-generation span stats' parity with
+:meth:`GaResult.generation_stats` on both simulation engines.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ObsError, StreamError
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    RunManifest,
+    Tracer,
+    config_hash,
+    load_trace,
+    render_tree,
+)
+from repro.obs.trace import load_chrome, load_jsonl
+
+
+def _build_nested_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("pipeline", run="demo") as root:
+        with tracer.span("ga", generations=2) as ga:
+            with tracer.span("ga.generation", generation=0) as g:
+                g.set(mean_power=3.25)
+            with tracer.span("ga.generation", generation=1):
+                pass
+            ga.set(best_power=4.5)
+        with tracer.span("train", q=8):
+            pass
+        root.set(ok=True)
+    return tracer
+
+
+def _forest_shape(roots):
+    return [
+        (s.name, s.attrs, [_forest_shape([c])[0] for c in s.children])
+        for s in roots
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Tracer core behaviour
+# --------------------------------------------------------------------- #
+class TestTracer:
+    def test_nesting_and_attrs(self):
+        tracer = _build_nested_tracer()
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "pipeline"
+        assert [c.name for c in root.children] == ["ga", "train"]
+        ga = root.children[0]
+        assert [c.attrs["generation"] for c in ga.children] == [0, 1]
+        assert ga.attrs["best_power"] == 4.5
+        assert root.attrs == {"run": "demo", "ok": True}
+
+    def test_durations_are_monotone(self):
+        tracer = _build_nested_tracer()
+        root = tracer.roots[0]
+        assert root.duration >= sum(c.duration for c in root.children)
+        for c in root.children:
+            assert c.start >= root.start
+            assert c.end <= root.end + 1e-9
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        assert [s.name for s in tracer.roots] == ["outer"]
+        names = {s.name: s for s in tracer.spans}
+        assert "boom" in names["inner"].attrs["error"]
+        assert "boom" in names["outer"].attrs["error"]
+        # the stack unwound fully: a new span is again a root
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.roots] == ["outer", "after"]
+
+    def test_find_and_total_seconds(self):
+        tracer = _build_nested_tracer()
+        gens = tracer.find("ga.generation")
+        assert len(gens) == 2
+        assert tracer.total_seconds("ga.generation") == pytest.approx(
+            sum(s.duration for s in gens)
+        )
+        assert tracer.total_seconds("nope") == 0.0
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            barrier.wait()
+            with tracer.span(f"{label}.outer"):
+                with tracer.span(f"{label}.inner"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(lab,))
+            for lab in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(s.name for s in tracer.roots) == [
+            "a.outer", "b.outer"
+        ]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [
+                root.name.replace("outer", "inner")
+            ]
+        tids = {s.tid for s in tracer.spans}
+        assert len(tids) == 2
+
+
+# --------------------------------------------------------------------- #
+# Exporter round-trips (satellite 4)
+# --------------------------------------------------------------------- #
+class TestExporters:
+    @pytest.mark.parametrize("fmt", ["jsonl", "chrome"])
+    def test_round_trip_preserves_forest(self, tmp_path, fmt):
+        tracer = _build_nested_tracer()
+        if fmt == "jsonl":
+            path = tracer.to_jsonl(tmp_path / "t.jsonl")
+            roots = load_jsonl(path)
+        else:
+            path = tracer.to_chrome(tmp_path / "t.json")
+            roots = load_chrome(path)
+        assert _forest_shape(roots) == _forest_shape(tracer.roots)
+        loaded = {s.span_id: s for r in roots for s in _walk(r)}
+        for s in tracer.spans:
+            assert loaded[s.span_id].start == pytest.approx(
+                s.start, abs=1e-6
+            )
+            assert loaded[s.span_id].duration == pytest.approx(
+                s.duration, abs=1e-6
+            )
+
+    def test_chrome_event_schema(self, tmp_path):
+        tracer = _build_nested_tracer()
+        path = tracer.to_chrome(tmp_path / "t.json")
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == len(tracer.spans)
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert e["pid"] == 0
+            assert "span_id" in e["args"]
+        # microsecond scaling against the recorded spans
+        by_id = {s.span_id: s for s in tracer.spans}
+        for e in events:
+            s = by_id[e["args"]["span_id"]]
+            assert e["ts"] == pytest.approx(s.start * 1e6)
+            assert e["dur"] == pytest.approx(s.duration * 1e6)
+
+    def test_load_trace_autodetects(self, tmp_path):
+        tracer = _build_nested_tracer()
+        j = tracer.to_jsonl(tmp_path / "t.jsonl")
+        c = tracer.to_chrome(tmp_path / "t.json")
+        assert _forest_shape(load_trace(j)) == _forest_shape(
+            load_trace(c)
+        )
+        with pytest.raises(ObsError):
+            load_trace(tmp_path / "missing.json")
+
+    def test_render_tree_lines(self, tmp_path):
+        tracer = _build_nested_tracer()
+        text = render_tree(tracer.roots)
+        lines = text.splitlines()
+        assert len(lines) == len(tracer.spans)
+        assert lines[0].startswith("pipeline")
+        assert "  ga" in lines[1]
+        assert "generation=0" in text
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        names=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    whitelist_categories=("L", "N"), max_codepoint=0x7F
+                ),
+                min_size=1, max_size=12,
+            ),
+            min_size=1, max_size=6,
+        ),
+        attr=st.integers(),
+    )
+    def test_null_tracer_records_nothing(self, names, attr):
+        tracer = NullTracer()
+        for name in names:
+            with tracer.span(name, k=attr) as sp:
+                assert not sp  # falsy: attr work is skipped
+                sp.set(expensive=attr)
+        assert list(tracer.spans) == []
+        assert list(tracer.roots) == []
+        assert tracer.find(names[0]) == []
+        assert tracer.total_seconds(names[0]) == 0.0
+
+    def test_null_tracer_singleton_is_shared_and_disabled(self):
+        assert NULL_TRACER.enabled is False
+        cm1 = NULL_TRACER.span("a", x=1)
+        cm2 = NULL_TRACER.span("b")
+        assert cm1 is cm2  # one inert object, no per-call allocation
+
+
+def _walk(span):
+    yield span
+    for c in span.children:
+        yield from _walk(c)
+
+
+# --------------------------------------------------------------------- #
+# Metrics shim (satellite 4) and shared registry
+# --------------------------------------------------------------------- #
+class TestMetricsShim:
+    def test_stream_metrics_reexports_obs_objects(self):
+        import repro.obs.metrics as obs_metrics
+        import repro.stream.metrics as stream_metrics
+
+        for name in ("Counter", "Gauge", "Histogram", "MetricsRegistry"):
+            assert getattr(stream_metrics, name) is getattr(
+                obs_metrics, name
+            )
+
+    def test_stream_package_uses_shared_registry_class(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.stream import MetricsRegistry as StreamRegistry
+
+        assert StreamRegistry is MetricsRegistry
+
+    def test_validation_still_raises_stream_error(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        with pytest.raises(StreamError):
+            reg.counter("c").inc(-1)
+        with pytest.raises(StreamError):
+            reg.histogram("bad", (3.0, 1.0))
+
+    def test_default_registry_is_singleton(self):
+        from repro.obs.metrics import default_registry
+
+        assert default_registry() is default_registry()
+
+
+# --------------------------------------------------------------------- #
+# Provenance manifests
+# --------------------------------------------------------------------- #
+class TestManifest:
+    def _manifest(self) -> RunManifest:
+        return RunManifest(
+            run="unit",
+            design="small-shared",
+            scale="tiny",
+            seed=20211018,
+            engine="packed",
+            q=8,
+            config={"ga": {"population": 6}, "bits": 10},
+            model_schema_version=2,
+            extra={"note": "test"},
+        )
+
+    def test_config_hash_is_stable_and_order_free(self):
+        h1 = config_hash({"a": 1, "b": [2, 3]})
+        h2 = config_hash({"b": [2, 3], "a": 1})
+        assert h1 == h2
+        assert len(h1) == 12
+        assert h1 != config_hash({"a": 1, "b": [2, 4]})
+
+    def test_stage_timing_accumulates(self):
+        m = self._manifest()
+        with m.stage("train"):
+            sum(range(1000))
+        with m.stage("train"):
+            pass
+        assert set(m.stages) == {"train"}
+        assert m.stages["train"]["wall_s"] > 0.0
+        assert m.stages["train"]["cpu_s"] is not None
+        assert m.total_wall_s == pytest.approx(
+            m.stages["train"]["wall_s"]
+        )
+
+    def test_record_tracer_imports_root_spans(self):
+        m = self._manifest()
+        tracer = _build_nested_tracer()
+        m.record_tracer(tracer)
+        assert set(m.stages) == {"pipeline"}
+        assert m.stages["pipeline"]["wall_s"] == pytest.approx(
+            tracer.roots[0].duration
+        )
+
+    def test_save_load_round_trip(self, tmp_path):
+        m = self._manifest()
+        with m.stage("ga"):
+            pass
+        path = m.save(tmp_path / "manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded.run == "unit"
+        assert loaded.design == "small-shared"
+        assert loaded.seed == 20211018
+        assert loaded.engine == "packed"
+        assert loaded.q == 8
+        assert loaded.config_hash == m.config_hash
+        assert loaded.model_schema_version == 2
+        assert loaded.extra == {"note": "test"}
+        assert loaded.stages["ga"]["wall_s"] == pytest.approx(
+            m.stages["ga"]["wall_s"]
+        )
+
+    def test_render_from_sidecar_alone(self, tmp_path):
+        m = self._manifest()
+        with m.stage("ga"):
+            pass
+        path = m.save(tmp_path / "manifest.json")
+        text = RunManifest.load(path).render()
+        for needle in (
+            "seed", "20211018", "packed", "config hash",
+            m.config_hash, "ga", "total",
+        ):
+            assert str(needle) in text
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        bad = tmp_path / "other.json"
+        bad.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ObsError):
+            RunManifest.load(bad)
+        with pytest.raises(ObsError):
+            RunManifest.load(tmp_path / "missing.json")
+
+    def test_sidecar_for_convention(self, tmp_path):
+        p = RunManifest.sidecar_for(tmp_path / "fig10.txt")
+        assert p.name == "fig10.txt.manifest.json"
+
+
+# --------------------------------------------------------------------- #
+# Pipeline instrumentation parity (satellite 3 + flow timing)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ["packed", "uint8"])
+def test_ga_generation_spans_match_generation_stats(small_core, engine):
+    from repro.genbench import BenchmarkEvolver, GaConfig
+
+    cfg = GaConfig(
+        population=6, generations=3, eval_cycles=100, program_length=16,
+        elite=1,
+    )
+    tracer = Tracer()
+    result = BenchmarkEvolver(
+        small_core, cfg, engine=engine, tracer=tracer
+    ).run()
+
+    spans = tracer.find("ga.generation")
+    stats = result.generation_stats()
+    assert len(spans) == len(stats) == cfg.generations
+    for span, (gen, lo, mean, hi) in zip(spans, stats):
+        assert span.attrs["generation"] == gen
+        assert span.attrs["min_power"] == pytest.approx(lo)
+        assert span.attrs["mean_power"] == pytest.approx(mean)
+        assert span.attrs["max_power"] == pytest.approx(hi)
+
+    root = tracer.find("ga.run")[0]
+    assert root.attrs["max_min_ratio"] == pytest.approx(
+        result.max_min_ratio
+    )
+    assert root.attrs["best_power"] == pytest.approx(result.best.power)
+    assert [c.name for c in root.children] == (
+        ["ga.generation"] * cfg.generations
+    )
+
+
+def test_solver_span_carries_residual_history(small_train):
+    from repro.core.solvers import coordinate_descent
+
+    X = small_train.features()[:, :40]
+    y = small_train.labels
+    tracer = Tracer()
+    plain = coordinate_descent(X, y, lam=0.1)
+    traced = coordinate_descent(X, y, lam=0.1, tracer=tracer)
+    np.testing.assert_allclose(plain.weights, traced.weights)
+    assert plain.intercept == traced.intercept
+    assert plain.n_iter == traced.n_iter
+
+    (span,) = tracer.find("solver.cd")
+    assert span.attrs["n_iter"] == traced.n_iter
+    history = span.attrs["residual_history"]
+    assert len(history) == traced.n_iter
+    if span.attrs["converged"] and len(history) > 1:
+        assert history[-1] <= history[0]
+
+
+def test_flow_estimate_reports_stage_seconds(small_core, small_model):
+    from repro.flow.design_time import DesignTimeFlow
+    from repro.genbench.workloads import mcf_like
+
+    flow = DesignTimeFlow(small_core, small_model)
+    tracer = Tracer()
+    est = flow.estimate(mcf_like(), cycles=120, tracer=tracer)
+
+    assert set(est.stage_seconds) == {"uarch", "rtl", "inference"}
+    assert all(v >= 0.0 for v in est.stage_seconds.values())
+    assert est.total_seconds == pytest.approx(
+        sum(est.stage_seconds.values())
+    )
+    assert est.uarch_seconds == est.stage_seconds["uarch"]
+    assert est.rtl_seconds == est.stage_seconds["rtl"]
+    assert est.inference_seconds == est.stage_seconds["inference"]
+
+    (root,) = tracer.find("flow.estimate")
+    assert [c.name for c in root.children] == [
+        "flow.uarch", "flow.rtl", "flow.inference"
+    ]
+    # the simulator's own span nests under the rtl stage
+    rtl = root.children[1]
+    assert [c.name for c in rtl.children] == ["rtl.sim.run"]
+
+    # an untraced call still reports timings
+    est2 = flow.estimate(mcf_like(), cycles=120)
+    assert set(est2.stage_seconds) == {"uarch", "rtl", "inference"}
+    assert est2.total_seconds > 0.0
+    np.testing.assert_allclose(est.power, est2.power)
+
+
+def test_train_apollo_span_tree(small_train):
+    from repro.core import ProxySelector, train_apollo
+
+    tracer = Tracer()
+    model = train_apollo(
+        small_train.features(),
+        small_train.labels,
+        q=10,
+        candidate_ids=small_train.candidate_ids,
+        selector=ProxySelector(screen_width=300, tracer=tracer),
+        tracer=tracer,
+    )
+    (root,) = tracer.find("train.apollo")
+    child_names = [c.name for c in root.children]
+    assert child_names[-1] == "train.relax"
+    assert "select.path" in child_names
+    assert tracer.find("solver.cd"), "path search ran the MCP solver"
+    assert root.attrs["abs_weight_sum"] == pytest.approx(
+        model.abs_weight_sum()
+    )
+
+
+def test_stream_service_spans_and_shared_registry(small_core, small_model):
+    from repro.obs.metrics import MetricsRegistry
+    from repro.opm import OpmMeter, quantize_model
+    from repro.stream import SimulatorSource, StreamService, StreamSession
+
+    meter = OpmMeter(quantize_model(small_model, bits=10), t=8)
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    source = SimulatorSource.from_program(
+        small_core, small_model.proxies,
+        _tiny_program(), cycles=256, chunk_cycles=64, tracer=tracer,
+    )
+    service = StreamService(
+        meter,
+        [StreamSession("s0", source, meter)],
+        registry=registry,
+        tracer=tracer,
+    )
+    service.run()
+
+    assert service.metrics is registry
+    assert registry.counter("cycles_processed").value == 256
+    (run_span,) = tracer.find("stream.run")
+    assert run_span.attrs["cycles_processed"] == 256
+    assert tracer.find("stream.drain")
+    chunks = tracer.find("stream.chunk")
+    assert [s.attrs["start_cycle"] for s in chunks] == [0, 64, 128, 192]
+
+
+def _tiny_program():
+    from repro.genbench.workloads import mcf_like
+
+    return mcf_like()

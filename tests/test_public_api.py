@@ -40,6 +40,11 @@ def test_top_level_exports_resolve():
         "repro.flow",
         "repro.flow.multicore",
         "repro.experiments",
+        "repro.obs",
+        "repro.obs.trace",
+        "repro.obs.metrics",
+        "repro.obs.provenance",
+        "repro.stream.metrics",
         "repro.cli",
     ],
 )
@@ -55,7 +60,7 @@ def test_module_all_exports_resolve(module):
         "repro.rtl", "repro.power", "repro.isa", "repro.uarch",
         "repro.design", "repro.genbench", "repro.core",
         "repro.baselines", "repro.opm", "repro.flow",
-        "repro.experiments",
+        "repro.experiments", "repro.obs",
     ],
 )
 def test_packages_have_docstrings(module):
