@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-substrate bench-stream trace-demo \
-	results examples clean
+.PHONY: install test bench bench-substrate bench-stream bench-parallel \
+	trace-demo results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,14 @@ bench-stream:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_stream_perf.py \
 		--benchmark-only \
 		--benchmark-json=BENCH_stream.raw.json
+
+# Parallel-layer benchmarks: GA evaluation serial vs WorkerPool+EvalCache
+# (asserting bit-identical results), appending speedup and cache-hit-rate
+# records to BENCH_parallel.json.
+bench-parallel:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_perf.py \
+		--benchmark-only \
+		--benchmark-json=BENCH_parallel.raw.json
 
 # Tiny end-to-end traced pipeline run: exports Chrome/JSONL traces plus
 # a provenance manifest under results/trace-demo and self-checks them.

@@ -36,6 +36,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 TRAJECTORY_FILES = {
     "test_substrate_perf": "BENCH_substrate.json",
     "test_stream_perf": "BENCH_stream.json",
+    "test_parallel_perf": "BENCH_parallel.json",
 }
 
 

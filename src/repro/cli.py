@@ -59,12 +59,26 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _run_one(exp_id: str, ctx_cache: dict, args) -> str:
+def _eval_cache(args):
+    """Shared on-disk EvalCache when ``--cache-dir`` was given."""
+    if not getattr(args, "cache_dir", None):
+        return None
+    from repro.parallel import EvalCache
+
+    return EvalCache(disk_dir=Path(args.cache_dir))
+
+
+def _run_one(exp_id: str, ctx_cache: dict, args, cache=None) -> str:
     _fn, design = EXPERIMENTS[exp_id]
     design = args.design or design
     key = (design, args.scale)
     if key not in ctx_cache:
-        ctx_cache[key] = ExperimentContext(design=design, scale=args.scale)
+        ctx_cache[key] = ExperimentContext(
+            design=design,
+            scale=args.scale,
+            workers=getattr(args, "workers", 1),
+            eval_cache=cache,
+        )
     t0 = time.time()
     result = run_experiment(exp_id, ctx=ctx_cache[key])
     rendered = result.render() + f"\n\n[{time.time() - t0:.1f}s]"
@@ -80,7 +94,7 @@ def _cmd_run(args) -> int:
         )
         return 2
     ctx_cache: dict = {}
-    text = _run_one(args.experiment, ctx_cache, args)
+    text = _run_one(args.experiment, ctx_cache, args, cache=_eval_cache(args))
     print(text)
     if args.out:
         path = Path(args.out)
@@ -94,11 +108,12 @@ def _cmd_run_all(args) -> int:
     out_dir = Path(args.out or "results")
     out_dir.mkdir(parents=True, exist_ok=True)
     ctx_cache: dict = {}
+    cache = _eval_cache(args)
     failures = []
     for exp_id in sorted(EXPERIMENTS):
         print(f"=== {exp_id} ===", flush=True)
         try:
-            text = _run_one(exp_id, ctx_cache, args)
+            text = _run_one(exp_id, ctx_cache, args, cache=cache)
         except Exception as exc:  # keep going; report at the end
             failures.append((exp_id, str(exc)))
             print(f"FAILED: {exc}", file=sys.stderr)
@@ -214,6 +229,16 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--design", choices=["n1", "a77"], default=None)
     p_run.add_argument("--scale", choices=list(SCALES), default=None)
     p_run.add_argument("--out", default=None, help="write rendering here")
+    p_run.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (1 = serial; results are "
+        "bit-identical for any value)",
+    )
+    p_run.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk evaluation cache directory (content-addressed; "
+        "safe to share between runs)",
+    )
 
     p_all = sub.add_parser("run-all", help="run every experiment")
     p_all.add_argument("--design", choices=["n1", "a77"], default=None)
@@ -221,6 +246,16 @@ def main(argv: list[str] | None = None) -> int:
     p_all.add_argument(
         "--out", default="results",
         help="output directory (default: results)",
+    )
+    p_all.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (1 = serial; results are "
+        "bit-identical for any value)",
+    )
+    p_all.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk evaluation cache directory (content-addressed; "
+        "safe to share between runs)",
     )
 
     p_stream = sub.add_parser(

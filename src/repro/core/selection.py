@@ -203,8 +203,11 @@ class ProxySelector:
         ) as sp:
             Xd = Xf[:, keep].astype(np.float64)
             pre = precompute(Xd, y)
-            std, G, c, y_mean, y_c = pre
-            lam_hi = lambda_max(std.transform(Xd), y_c)
+            std, _G, _c, y_mean = pre
+            lam_hi = lambda_max(
+                std.transform(Xd),
+                np.asarray(y, dtype=np.float64) - y_mean,
+            )
             path = lambda_path(lam_hi, n=self.path_len)
 
             warm = None

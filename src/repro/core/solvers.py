@@ -138,7 +138,7 @@ def coordinate_descent(
     tracer = tracer or NULL_TRACER
     if _precomputed is None:
         _precomputed = precompute(X, y)
-    std, G, c, y_mean, y_c = _precomputed
+    std, G, c, y_mean = _precomputed
     m = G.shape[0]
 
     w = (
@@ -210,8 +210,14 @@ def coordinate_descent(
 
 def precompute(
     X: np.ndarray, y: np.ndarray
-) -> tuple[Standardizer, np.ndarray, np.ndarray, float, np.ndarray]:
-    """Standardize and form the Gram matrix / correlation vector."""
+) -> tuple[Standardizer, np.ndarray, np.ndarray, float]:
+    """Standardize and form the Gram matrix / correlation vector.
+
+    Returns ``(std, G, c, y_mean)`` — exactly what the coordinate-
+    descent hot path consumes.  The centered target is cheap to rebuild
+    (``y - y_mean``) where a caller needs it (e.g. ``lambda_max``), so
+    it is not carried in the tuple.
+    """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64)
     if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
@@ -224,10 +230,9 @@ def precompute(
     std = Standardizer(X)
     Xs = std.transform(X)
     y_mean = float(y.mean())
-    y_c = y - y_mean
     G = (Xs.T @ Xs) / n
-    c = (Xs.T @ y_c) / n
-    return std, G, c, y_mean, y_c
+    c = (Xs.T @ (y - y_mean)) / n
+    return std, G, c, y_mean
 
 
 def ridge_fit(

@@ -9,6 +9,7 @@ those procedures for Q, tau, and the relaxation ridge strength.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,8 +19,39 @@ from repro.core.metrics import nrmse
 from repro.core.model import train_apollo
 from repro.core.multicycle import train_apollo_tau, window_average
 from repro.core.selection import ProxySelector
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import (
+    drop_state,
+    get_state,
+    init_state,
+    seed_state,
+)
 
 __all__ = ["TuningResult", "tune_tau", "tune_q", "tune_ridge"]
+
+#: Distinguishes concurrent grid payloads in the parent's state registry.
+_TUNE_TOKEN = itertools.count()
+
+
+def _grid_map(kind: str, payload: dict, task, values: list, workers: int):
+    """Score every grid value via a WorkerPool (serial when workers<=1).
+
+    The shared payload (split arrays, selections) ships to each worker
+    once through the pool initializer; the parent seeds the same state
+    so the serial path and any degraded fallback reuse its arrays.
+    Scores come back in grid order — identical to the sequential loop.
+    """
+    key = ("tune", kind, next(_TUNE_TOKEN))
+    seed_state(key, payload)
+    try:
+        with WorkerPool(
+            workers, initializer=init_state, initargs=(key, payload)
+        ) as pool:
+            return pool.map(
+                task, [(key, v) for v in values], label=f"tune.{kind}"
+            )
+    finally:
+        drop_state(key)
 
 
 @dataclass
@@ -67,6 +99,37 @@ def _block_split(
     return np.asarray(train_idx), np.asarray(val_idx)
 
 
+def _tau_score(payload: dict, tau: int) -> float:
+    """Validation NRMSE of one tau (runs in parent or worker)."""
+    Xtr, ytr = payload["Xtr"], payload["ytr"]
+    candidate_ids = payload["candidate_ids"]
+    if tau == 1:
+        model = train_apollo(
+            Xtr, ytr, q=payload["q"], candidate_ids=candidate_ids,
+            selector=ProxySelector(screen_width=None),
+        )
+    else:
+        model = train_apollo_tau(
+            Xtr, ytr, q=payload["q"], tau=tau,
+            candidate_ids=candidate_ids,
+            selector=ProxySelector(screen_width=None),
+        )
+    if candidate_ids is None:
+        cols = model.proxies
+    else:
+        lookup = {int(c): i for i, c in enumerate(candidate_ids)}
+        cols = np.asarray([lookup[int(p)] for p in model.proxies])
+    p = model.predict_window(
+        payload["Xva"][:, cols].astype(np.float64), payload["t_eval"]
+    )
+    return nrmse(payload["yw"], p)
+
+
+def _tau_task(args) -> float:
+    key, tau = args
+    return _tau_score(get_state(key), tau)
+
+
 def tune_tau(
     X: np.ndarray,
     y: np.ndarray,
@@ -76,12 +139,15 @@ def tune_tau(
     candidate_ids: np.ndarray | None = None,
     val_frac: float = 0.2,
     seed: int = 0,
+    workers: int = 1,
 ) -> TuningResult:
     """Pick the interval size tau by validation NRMSE at window ``t_eval``.
 
     Mirrors the paper's procedure behind Fig. 11: train APOLLO_tau for
     each tau, evaluate T-cycle accuracy on held-out cycles, keep the best.
     The split is block-contiguous (windows must not straddle the split).
+    Grid points are independent fits, so ``workers > 1`` scores them in
+    parallel with identical results.
     """
     tau_grid = tau_grid or [1, 4, 8, 16, min(32, t_eval)]
     tau_grid = sorted({t for t in tau_grid if t <= t_eval})
@@ -90,35 +156,38 @@ def tune_tau(
     train_idx, val_idx = _block_split(
         X.shape[0], val_frac, block=8 * t_eval, seed=seed
     )
-    Xtr, ytr = X[train_idx], y[train_idx]
     Xva, yva = X[val_idx], y[val_idx]
     _xw, yw = window_average(
         np.zeros((yva.size, 1)), yva, t_eval
     )
-
-    scores: list[tuple[object, float]] = []
-    for tau in tau_grid:
-        if tau == 1:
-            model = train_apollo(
-                Xtr, ytr, q=q, candidate_ids=candidate_ids,
-                selector=ProxySelector(screen_width=None),
-            )
-        else:
-            model = train_apollo_tau(
-                Xtr, ytr, q=q, tau=tau, candidate_ids=candidate_ids,
-                selector=ProxySelector(screen_width=None),
-            )
-        if candidate_ids is None:
-            cols = model.proxies
-        else:
-            lookup = {int(c): i for i, c in enumerate(candidate_ids)}
-            cols = np.asarray([lookup[int(p)] for p in model.proxies])
-        p = model.predict_window(
-            Xva[:, cols].astype(np.float64), t_eval
-        )
-        scores.append((tau, nrmse(yw, p)))
+    payload = {
+        "Xtr": X[train_idx], "ytr": y[train_idx], "Xva": Xva, "yw": yw,
+        "q": q, "t_eval": t_eval, "candidate_ids": candidate_ids,
+    }
+    vals = _grid_map("tau", payload, _tau_task, tau_grid, workers)
+    scores = list(zip(tau_grid, vals))
     best = min(scores, key=lambda t: t[1])[0]
     return TuningResult(parameter="tau", best=best, scores=scores)
+
+
+def _ridge_cols_score(payload: dict, cols: np.ndarray) -> float:
+    """Validation NRMSE of one ridge fit on the given columns."""
+    from repro.core.solvers import ridge_fit
+
+    w, b = ridge_fit(
+        np.asarray(payload["Xtr"], dtype=np.float64)[:, cols],
+        payload["ytr"],
+        lam=payload.get("lam", 1e-3),
+    )
+    p = (
+        np.asarray(payload["Xva"], dtype=np.float64)[:, cols] @ w + b
+    )
+    return nrmse(payload["yva"], p)
+
+
+def _q_task(args) -> float:
+    key, cols = args
+    return _ridge_cols_score(get_state(key), cols)
 
 
 def tune_q(
@@ -129,10 +198,12 @@ def tune_q(
     val_frac: float = 0.2,
     seed: int = 0,
     knee_tolerance: float = 0.02,
+    workers: int = 1,
 ) -> TuningResult:
     """Pick the smallest Q whose validation NRMSE is within
     ``knee_tolerance`` (absolute) of the best — the accuracy/cost knee
-    that §3 describes Q as controlling."""
+    that §3 describes Q as controlling.  The shared selection path runs
+    once; the per-Q ridge scores fan out across ``workers``."""
     if not q_grid:
         raise PowerModelError("q_grid must be non-empty")
     X = np.asarray(X)
@@ -145,26 +216,32 @@ def tune_q(
     sels = selector.select_many(
         Xtr, ytr, sorted(set(q_grid)), candidate_ids=candidate_ids
     )
-    from repro.core.solvers import ridge_fit
-
-    scores = []
-    for q_val in sorted(set(q_grid)):
+    q_vals = sorted(set(q_grid))
+    cols_per_q = []
+    for q_val in q_vals:
         sel = sels[q_val]
         if candidate_ids is None:
             cols = sel.proxies
         else:
             lookup = {int(c): i for i, c in enumerate(candidate_ids)}
             cols = np.asarray([lookup[int(p)] for p in sel.proxies])
-        w, b = ridge_fit(
-            np.asarray(Xtr, dtype=np.float64)[:, cols], ytr
-        )
-        p = np.asarray(Xva, dtype=np.float64)[:, cols] @ w + b
-        scores.append((q_val, nrmse(yva, p)))
+        cols_per_q.append(cols)
+    payload = {"Xtr": Xtr, "ytr": ytr, "Xva": Xva, "yva": yva}
+    vals = _grid_map("q", payload, _q_task, cols_per_q, workers)
+    scores = list(zip(q_vals, vals))
     best_score = min(s for _q, s in scores)
     best = next(
         q_val for q_val, s in scores if s <= best_score + knee_tolerance
     )
     return TuningResult(parameter="q", best=best, scores=scores)
+
+
+def _ridge_task(args) -> float:
+    key, lam = args
+    payload = get_state(key)
+    return _ridge_cols_score(
+        dict(payload, lam=lam), payload["cols"]
+    )
 
 
 def tune_ridge(
@@ -175,8 +252,13 @@ def tune_ridge(
     candidate_ids: np.ndarray | None = None,
     val_frac: float = 0.2,
     seed: int = 0,
+    workers: int = 1,
 ) -> TuningResult:
-    """Pick the relaxation ridge strength by validation NRMSE."""
+    """Pick the relaxation ridge strength by validation NRMSE.
+
+    One shared selection, then independent per-lambda ridge fits scored
+    across ``workers``.
+    """
     lam_grid = lam_grid or [1e-5, 1e-4, 1e-3, 1e-2, 1e-1]
     X = np.asarray(X)
     y = np.asarray(y, dtype=np.float64)
@@ -191,14 +273,10 @@ def tune_ridge(
     else:
         lookup = {int(c): i for i, c in enumerate(candidate_ids)}
         cols = np.asarray([lookup[int(p)] for p in sel.proxies])
-    from repro.core.solvers import ridge_fit
-
-    scores = []
-    for lam in lam_grid:
-        w, b = ridge_fit(
-            np.asarray(Xtr, dtype=np.float64)[:, cols], ytr, lam=lam
-        )
-        p = np.asarray(Xva, dtype=np.float64)[:, cols] @ w + b
-        scores.append((lam, nrmse(yva, p)))
+    payload = {
+        "Xtr": Xtr, "ytr": ytr, "Xva": Xva, "yva": yva, "cols": cols,
+    }
+    vals = _grid_map("ridge", payload, _ridge_task, lam_grid, workers)
+    scores = list(zip(lam_grid, vals))
     best = min(scores, key=lambda t: t[1])[0]
     return TuningResult(parameter="ridge_lam", best=best, scores=scores)

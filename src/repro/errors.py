@@ -20,6 +20,7 @@ __all__ = [
     "ObsError",
     "StreamError",
     "ExperimentError",
+    "ParallelError",
 ]
 
 
@@ -69,3 +70,7 @@ class StreamError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised by experiment drivers (bad ids, missing artifacts, ...)."""
+
+
+class ParallelError(ReproError):
+    """Raised by the parallel execution layer (pool/cache misuse)."""

@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     EXPERIMENTS,
     ExperimentResult,
     run_experiment,
+    run_experiments,
 )
 
 __all__ = [
@@ -25,4 +26,5 @@ __all__ = [
     "ExperimentResult",
     "EXPERIMENTS",
     "run_experiment",
+    "run_experiments",
 ]

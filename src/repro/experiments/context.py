@@ -62,6 +62,8 @@ class ExperimentContext:
         scale: Scale | str | None = None,
         seed: int = GLOBAL_SEED,
         cache_dir: Path | None = None,
+        workers: int = 1,
+        eval_cache=None,
     ) -> None:
         if design not in _DESIGNS:
             raise ExperimentError(
@@ -75,6 +77,12 @@ class ExperimentContext:
         )
         self.seed = seed
         self.cache_dir = cache_dir or artifacts_dir()
+        # Simulation fan-out width and content-addressed evaluation cache
+        # (repro.parallel.EvalCache); both deterministic no-ops at the
+        # defaults.  Results are bit-identical for any workers/cache
+        # combination, so these are pure throughput knobs.
+        self.workers = workers
+        self.eval_cache = eval_cache
         self._core: CoreDesign | None = None
         self._ga: GaResult | None = None
         self._train: PowerDataset | None = None
@@ -129,7 +137,16 @@ class ExperimentContext:
                 eval_cycles=self.scale.ga_benchmark_cycles,
                 seed=self.seed,
             )
-            self._ga = BenchmarkEvolver(self.core, cfg).run()
+            evolver = BenchmarkEvolver(
+                self.core,
+                cfg,
+                workers=self.workers,
+                cache=self.eval_cache,
+            )
+            try:
+                self._ga = evolver.run()
+            finally:
+                evolver.close()
         return self._ga
 
     @property
@@ -145,6 +162,8 @@ class ExperimentContext:
                     target_cycles=self.scale.train_cycles,
                     replay_cycles=self.scale.ga_benchmark_cycles,
                     seed=self.seed,
+                    workers=self.workers,
+                    cache=self.eval_cache,
                 )
                 self._train.save(path)
         return self._train
@@ -157,7 +176,10 @@ class ExperimentContext:
                 self._test = PowerDataset.load(path)
             else:
                 self._test = build_testing_dataset(
-                    self.core, cycle_scale=self.scale.test_cycle_scale
+                    self.core,
+                    cycle_scale=self.scale.test_cycle_scale,
+                    workers=self.workers,
+                    cache=self.eval_cache,
                 )
                 self._test.save(path)
         return self._test

@@ -8,7 +8,12 @@ from typing import Callable
 from repro.errors import ExperimentError
 from repro.experiments.context import ExperimentContext
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiments",
+]
 
 
 @dataclass
@@ -100,3 +105,58 @@ def run_experiment(
         result.id = "fig12"
         result.title = result.title.replace("(n1", "(a77")
     return result
+
+
+#: Per-process context cache for the fan-out task: experiments sharing a
+#: (design, scale) in one worker reuse its datasets and models.
+_TASK_CONTEXTS: dict[tuple, ExperimentContext] = {}
+
+
+def _experiment_task(args):
+    """Run one experiment in a worker; never raises (errors are data).
+
+    ``args = (exp_id, design, scale)``; returns
+    ``(exp_id, ExperimentResult | None, error_str | None)``.
+    """
+    exp_id, design, scale = args
+    try:
+        key = (design, scale)
+        ctx = _TASK_CONTEXTS.get(key)
+        if ctx is None:
+            ctx = _TASK_CONTEXTS[key] = ExperimentContext(
+                design=design, scale=scale
+            )
+        return exp_id, run_experiment(exp_id, ctx=ctx), None
+    except Exception as exc:  # noqa: BLE001 - reported to the caller
+        return exp_id, None, f"{type(exc).__name__}: {exc}"
+
+
+def run_experiments(
+    exp_ids: list[str],
+    design: str | None = None,
+    scale: str | None = None,
+    workers: int = 1,
+    tracer=None,
+) -> list[tuple]:
+    """Run several experiments, optionally fanned out across processes.
+
+    Returns one ``(exp_id, result_or_None, error_or_None)`` tuple per
+    id, in input order.  Each worker builds (and then reuses) one
+    :class:`ExperimentContext` per (design, scale) it encounters; a
+    failed experiment yields an error string instead of aborting the
+    batch — mirroring the CLI's keep-going behavior.
+    """
+    from repro.parallel.pool import WorkerPool
+
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiments {unknown!r}; choose from "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    items = [
+        (exp_id, design or EXPERIMENTS[exp_id][1], scale)
+        for exp_id in exp_ids
+    ]
+    with WorkerPool(workers=workers, tracer=tracer) as pool:
+        return pool.map(_experiment_task, items, label="experiments")

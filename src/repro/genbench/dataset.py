@@ -9,6 +9,7 @@ segment boundaries so Fig. 9(b)'s per-benchmark metrics can be computed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -16,11 +17,24 @@ import numpy as np
 
 from repro.errors import DatasetError
 from repro.genbench.ga import GaIndividual, GaResult
-from repro.genbench.handcrafted import Benchmark, testing_suite
+from repro.genbench.handcrafted import testing_suite
+from repro.parallel.cache import (
+    EvalCache,
+    array_fingerprint,
+    make_key,
+    program_fingerprint,
+    throttle_fingerprint,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import (
+    CoreState,
+    init_core_state,
+    seed_state,
+    simulate_group,
+    state_key_for,
+)
 from repro.power.analyzer import PowerAnalyzer
-from repro.rtl.simulator import RecordSpec, Simulator
 from repro.rtl.trace import ToggleTrace
-from repro.uarch.pipeline import Pipeline
 
 __all__ = [
     "PowerDataset",
@@ -31,8 +45,10 @@ __all__ = [
 ]
 
 #: Bump when benchmark/dataset generators change semantics, so cached
-#: datasets (keyed on this) regenerate.
-DATASET_VERSION = 3
+#: datasets (keyed on this) regenerate.  v4: batch-width-independent
+#: float64 accumulator reduction in the simulator (labels shift at
+#: float32 rounding level relative to v3).
+DATASET_VERSION = 4
 
 
 @dataclass
@@ -89,19 +105,29 @@ class PowerDataset:
 
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> None:
+        path = Path(path)
         names = np.array([s[0] for s in self.segments])
         bounds = np.array(
             [[s[1], s[2]] for s in self.segments], dtype=np.int64
         ).reshape(-1, 2)
-        np.savez_compressed(
-            path,
-            packed=self.trace.packed,
-            n_nets=np.int64(self.trace.n_nets),
-            labels=self.labels,
-            candidate_ids=self.candidate_ids,
-            seg_names=names,
-            seg_bounds=bounds,
-        )
+        # Atomic publish (tmp + rename): concurrent experiment fan-out
+        # must never observe a partially-written artifact.  The tmp name
+        # keeps the .npz suffix so savez doesn't append another.
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
+        try:
+            np.savez_compressed(
+                tmp,
+                packed=self.trace.packed,
+                n_nets=np.int64(self.trace.n_nets),
+                labels=self.labels,
+                candidate_ids=self.candidate_ids,
+                seg_names=names,
+                seg_bounds=bounds,
+            )
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - error path
+                tmp.unlink()
 
     @classmethod
     def load(cls, path: str | Path) -> "PowerDataset":
@@ -168,56 +194,106 @@ def _simulate_benchmarks(
     runs: list[tuple[str, object, int, object]],
     batch_group: int = 8,
     engine: str = "packed",
+    workers: int = 1,
+    cache: EvalCache | None = None,
+    pool: WorkerPool | None = None,
 ) -> tuple[ToggleTrace, np.ndarray, list[tuple[str, int, int]]]:
     """Simulate (name, program, cycles, throttle) runs; concat results.
 
-    Runs with identical (cycles, throttle) are batched together.
+    Runs with identical (cycles, throttle) are batched together; cached
+    runs are skipped and the remaining groups fan out across ``workers``
+    processes (or the caller-supplied ``pool``).  Output is
+    bit-identical for any worker count and cache state — per-benchmark
+    results depend only on the benchmark itself, never on its
+    batch-mates (width-independent accumulator reduction).
     """
-    analyzer = PowerAnalyzer(core.netlist)
-    weights = analyzer.label_weights()
-    simulator = Simulator(core.netlist, engine=engine)
+    weights = PowerAnalyzer(core.netlist).label_weights()
+    state_key = state_key_for(core, engine)
+    seed_state(
+        state_key,
+        CoreState.from_parts(core, engine, label_weights=weights),
+    )
+    netlist_fp = core.netlist.fingerprint()
+    weights_fp = array_fingerprint(weights) if cache is not None else ""
+
+    n = len(runs)
+    results: list[dict[str, np.ndarray] | None] = [None] * n
+    keys: list[str | None] = [None] * n
+    if cache is not None:
+        for i, (_name, prog, cycles, throttle) in enumerate(runs):
+            keys[i] = make_key(
+                "dataset-run",
+                netlist_fp,
+                engine,
+                cycles,
+                throttle_fingerprint(throttle),
+                program_fingerprint(prog),
+                weights_fp,
+            )
+            results[i] = cache.get(keys[i])
+
+    # Group consecutive misses by (cycles, throttle identity).
+    miss = [i for i in range(n) if results[i] is None]
+    groups: list[tuple[list[int], int, object]] = []
+    j = 0
+    while j < len(miss):
+        cycles, throttle = runs[miss[j]][2], runs[miss[j]][3]
+        group = [miss[j]]
+        while (
+            len(group) < batch_group
+            and j + len(group) < len(miss)
+            and runs[miss[j + len(group)]][2] == cycles
+            and runs[miss[j + len(group)]][3] is throttle
+        ):
+            group.append(miss[j + len(group)])
+        j += len(group)
+        groups.append((group, cycles, throttle))
+
+    if groups:
+        own_pool = pool is None
+        if own_pool:
+            pool = WorkerPool(
+                workers,
+                initializer=init_core_state,
+                initargs=(state_key, core, engine),
+            )
+        try:
+            outs = pool.map(
+                simulate_group,
+                [
+                    (
+                        state_key,
+                        cycles,
+                        throttle,
+                        [runs[i][1] for i in group],
+                    )
+                    for group, cycles, throttle in groups
+                ],
+                label="dataset.sim",
+            )
+        finally:
+            if own_pool:
+                pool.close()
+        for (group, _cyc, _thr), payloads in zip(groups, outs):
+            for i, payload in zip(group, payloads):
+                results[i] = payload
+                if keys[i] is not None:
+                    cache.put(keys[i], payload)
 
     traces: list[ToggleTrace] = []
     labels: list[np.ndarray] = []
     segments: list[tuple[str, int, int]] = []
     cursor = 0
-
-    # Group consecutive runs by (cycles, throttle identity) for batching.
-    i = 0
-    while i < len(runs):
-        name_i, _prog, cycles, throttle = runs[i]
-        group = [runs[i]]
-        while (
-            len(group) < batch_group
-            and i + len(group) < len(runs)
-            and runs[i + len(group)][2] == cycles
-            and runs[i + len(group)][3] is throttle
-        ):
-            group.append(runs[i + len(group)])
-        i += len(group)
-
-        params = core.params.with_throttle(throttle)
-        pipeline = Pipeline(params)
-        stims = []
-        for _name, prog, _cyc, _thr in group:
-            activity, _stats = pipeline.run(prog, cycles)
-            stims.append(core.stimulus_for(activity))
-        res = simulator.run(
-            np.stack(stims),
-            RecordSpec(
-                full_trace=True, accumulators={"label": weights}
-            ),
-        )
-        for k, (name, _prog2, _cyc2, _thr2) in enumerate(group):
-            traces.append(
-                ToggleTrace(
-                    packed=res.trace.packed[k : k + 1],
-                    n_nets=res.trace.n_nets,
-                )
+    for (name, _prog, cycles, _thr), payload in zip(runs, results):
+        traces.append(
+            ToggleTrace(
+                packed=payload["packed"][None],
+                n_nets=core.netlist.n_nets,
             )
-            labels.append(res.accum["label"][k])
-            segments.append((name, cursor, cursor + cycles))
-            cursor += cycles
+        )
+        labels.append(payload["label"])
+        segments.append((name, cursor, cursor + cycles))
+        cursor += cycles
 
     trace = ToggleTrace.concat_cycles(traces)
     return trace, np.concatenate(labels), segments
@@ -230,6 +306,8 @@ def build_training_dataset(
     replay_cycles: int = 300,
     seed: int = 0,
     engine: str = "packed",
+    workers: int = 1,
+    cache: EvalCache | None = None,
 ) -> PowerDataset:
     """Replay a uniform-power GA subset to collect ``target_cycles``.
 
@@ -246,7 +324,7 @@ def build_training_dataset(
         for ind in chosen
     ]
     trace, labels, segments = _simulate_benchmarks(
-        core, runs, engine=engine
+        core, runs, engine=engine, workers=workers, cache=cache
     )
     return PowerDataset(
         trace=trace,
@@ -257,13 +335,17 @@ def build_training_dataset(
 
 
 def build_testing_dataset(
-    core, cycle_scale: float = 1.0, engine: str = "packed"
+    core,
+    cycle_scale: float = 1.0,
+    engine: str = "packed",
+    workers: int = 1,
+    cache: EvalCache | None = None,
 ) -> PowerDataset:
     """Simulate the 12 handcrafted Table-4 benchmarks."""
     suite = testing_suite(cycle_scale)
     runs = [(b.name, b.program, b.cycles, b.throttle) for b in suite]
     trace, labels, segments = _simulate_benchmarks(
-        core, runs, engine=engine
+        core, runs, engine=engine, workers=workers, cache=cache
     )
     return PowerDataset(
         trace=trace,

@@ -20,6 +20,20 @@ import numpy as np
 
 from repro.errors import DatasetError
 from repro.obs.trace import NULL_TRACER
+from repro.parallel.cache import (
+    EvalCache,
+    array_fingerprint,
+    make_key,
+    program_fingerprint,
+)
+from repro.parallel.pool import WorkerPool
+from repro.parallel.tasks import (
+    CoreState,
+    eval_power_shard,
+    init_core_state,
+    seed_state,
+    state_key_for,
+)
 from repro.isa.instructions import Instruction
 from repro.isa.program import (
     DEFAULT_MIX,
@@ -146,7 +160,25 @@ class GaResult:
 
 
 class BenchmarkEvolver:
-    """Evolves power-virus micro-benchmarks for one core design."""
+    """Evolves power-virus micro-benchmarks for one core design.
+
+    Parameters beyond PR 1's:
+
+    workers:
+        Process count for fitness evaluation.  Each generation's
+        pipeline walks + batched simulation are sharded across workers;
+        results are bit-identical to ``workers=1`` for any count (the
+        simulator's accumulator reduction is batch-width independent).
+    cache:
+        Optional :class:`repro.parallel.EvalCache`; per-program power
+        traces are memoized by content hash, so re-encountered programs
+        (elites with ``reuse_elites=False``, duplicate children,
+        cross-run repeats via a disk tier) skip simulation entirely.
+    reuse_elites:
+        Carry elite individuals' measured traces into the next
+        generation instead of re-simulating them (on by default; the
+        flag exists so tests can compare both paths).
+    """
 
     def __init__(
         self,
@@ -154,6 +186,9 @@ class BenchmarkEvolver:
         config: GaConfig | None = None,
         engine: str = "packed",
         tracer=None,
+        workers: int = 1,
+        cache: EvalCache | None = None,
+        reuse_elites: bool = True,
     ) -> None:
         self.core = core
         self.config = config or GaConfig()
@@ -163,20 +198,105 @@ class BenchmarkEvolver:
         analyzer = PowerAnalyzer(core.netlist)
         self._label_weights = analyzer.label_weights()
         self._rng = np.random.default_rng(self.config.seed)
+        self.cache = cache
+        self.reuse_elites = reuse_elites
+        self._netlist_fp = core.netlist.fingerprint()
+        self._weights_fp = (
+            array_fingerprint(self._label_weights)
+            if cache is not None else ""
+        )
+        # Workers rebuild this state from (core, engine) in their
+        # initializer; the parent seeds its already-built objects under
+        # the same key so the serial path reuses them.
+        self._state_key = state_key_for(core, engine)
+        seed_state(
+            self._state_key,
+            CoreState.from_parts(
+                core,
+                engine,
+                pipeline=self.pipeline,
+                simulator=self.simulator,
+                label_weights=self._label_weights,
+            ),
+        )
+        self.pool = WorkerPool(
+            workers,
+            initializer=init_core_state,
+            initargs=(self._state_key, core, engine),
+            tracer=self.tracer,
+        )
+        #: Work counters (cumulative over this evolver's lifetime).
+        self.n_simulated = 0
+        self.n_cache_hits = 0
+        self.n_elite_reuses = 0
+
+    def close(self) -> None:
+        """Release worker processes (idempotent)."""
+        self.pool.close()
+
+    def __enter__(self) -> "BenchmarkEvolver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
-    def _power_traces(self, programs: list[Program]) -> np.ndarray:
-        """Per-cycle power of each program, batched: (B, cycles)."""
+    def _power_traces(
+        self,
+        programs: list[Program],
+        known: dict[int, np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Per-cycle power of each program, batched: (B, cycles).
+
+        ``known`` maps positions to already-measured traces (elite
+        carry-over).  Remaining programs are looked up in the cache,
+        and the misses simulated in up to ``workers`` shards; every
+        path yields the same bits as one monolithic serial batch.
+        """
         cycles = self.config.eval_cycles
-        stims = []
-        for prog in programs:
-            activity, _stats = self.pipeline.run(prog, cycles)
-            stims.append(self.core.stimulus_for(activity))
-        stim = np.stack(stims)  # (B, cycles, bits)
-        res = self.simulator.run(
-            stim, RecordSpec(accumulators={"label": self._label_weights})
-        )
-        return res.accum["label"]
+        n = len(programs)
+        out = np.empty((n, cycles), dtype=np.float64)
+        keys: list[str | None] = [None] * n
+        miss: list[int] = []
+        for i, prog in enumerate(programs):
+            if known is not None and i in known:
+                out[i] = known[i]
+                self.n_elite_reuses += 1
+                continue
+            if self.cache is not None:
+                keys[i] = make_key(
+                    "ga-power",
+                    self._netlist_fp,
+                    self.simulator.engine,
+                    cycles,
+                    program_fingerprint(prog),
+                    self._weights_fp,
+                )
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    out[i] = hit["power"]
+                    self.n_cache_hits += 1
+                    continue
+            miss.append(i)
+        if miss:
+            shards = [
+                (
+                    self._state_key,
+                    cycles,
+                    [programs[i] for i in miss[sl]],
+                )
+                for sl in self.pool.shard(len(miss))
+            ]
+            rows = np.concatenate(
+                self.pool.map(eval_power_shard, shards, label="ga.eval"),
+                axis=0,
+            )
+            self.n_simulated += len(miss)
+            for j, i in enumerate(miss):
+                out[i] = rows[j]
+                if keys[i] is not None:
+                    self.cache.put(keys[i], {"power": rows[j]})
+        return out
 
     def measure_power(self, programs: list[Program]) -> np.ndarray:
         """Average switching power (mW) of each program, batched."""
@@ -189,10 +309,26 @@ class BenchmarkEvolver:
 
         The ramp is the difference between the mean current of the next
         ``didt_window`` cycles and the previous ``didt_window`` cycles —
-        the quantity that excites Ldi/dt droops (§8.2).
+        the quantity that excites Ldi/dt droops (§8.2).  Computed for
+        the whole batch at once via sliding-window sums (one pass, no
+        per-trace Python loop).
         """
         w = self.config.didt_window
-        cur = traces / 0.75  # mA at nominal vdd
+        cur = np.asarray(traces, dtype=np.float64) / 0.75  # mA at vdd
+        if cur.shape[1] < 2 * w:
+            raise DatasetError("eval_cycles too short for didt_window")
+        # sw[:, t] = sum(cur[:, t:t+w]); the ramp at t compares the
+        # window starting at t+w against the one starting at t.
+        sw = np.lib.stride_tricks.sliding_window_view(
+            cur, w, axis=1
+        ).sum(axis=2)
+        ramps = (sw[:, w:] - sw[:, :-w]) / w
+        return ramps.max(axis=1)
+
+    def _measure_didt_loop(self, traces: np.ndarray) -> np.ndarray:
+        """Reference per-trace convolution (kept for property tests)."""
+        w = self.config.didt_window
+        cur = traces / 0.75
         if cur.shape[1] < 2 * w:
             raise DatasetError("eval_cycles too short for didt_window")
         kernel = np.concatenate(
@@ -286,19 +422,24 @@ class BenchmarkEvolver:
         ) as root:
             population = self._initial_population()
             all_individuals: list[GaIndividual] = []
+            known: dict[int, np.ndarray] | None = None
+            sim0, hit0, reuse0 = (
+                self.n_simulated, self.n_cache_hits, self.n_elite_reuses
+            )
 
             for gen in range(cfg.generations):
                 with self.tracer.span(
                     "ga.generation", generation=gen
                 ) as sp:
-                    traces = self._power_traces(population)
+                    traces = self._power_traces(population, known=known)
                     powers = traces.mean(axis=1)
                     if cfg.fitness == "didt":
                         fitness = self.measure_didt(traces)
                     else:
                         fitness = powers
                     scored = sorted(
-                        zip(population, powers, fitness),
+                        zip(population, powers, fitness,
+                            range(len(population))),
                         key=lambda t: -t[2],
                     )
                     all_individuals.extend(
@@ -308,7 +449,7 @@ class BenchmarkEvolver:
                             generation=gen,
                             fitness=float(fit),
                         )
-                        for p, pw, fit in scored
+                        for p, pw, fit, _i in scored
                     )
                     if sp:
                         sp.set(
@@ -316,16 +457,30 @@ class BenchmarkEvolver:
                             mean_power=float(np.mean(powers)),
                             max_power=float(powers.max()),
                             best_fitness=float(np.max(fitness)),
+                            n_simulated=self.n_simulated - sim0,
                         )
                     if gen == cfg.generations - 1:
                         break
                     n_parents = max(
                         2, int(cfg.parent_frac * cfg.population)
                     )
-                    parents = [p for p, _pw, _fit in scored[:n_parents]]
-                    nxt: list[Program] = [
-                        p for p, _pw, _fit in scored[: cfg.elite]
+                    parents = [
+                        p for p, _pw, _fit, _i in scored[:n_parents]
                     ]
+                    nxt: list[Program] = [
+                        p for p, _pw, _fit, _i in scored[: cfg.elite]
+                    ]
+                    # Elites keep their measured traces: positions
+                    # 0..elite-1 of the next population need no
+                    # re-simulation (bit-identical either way — the
+                    # accumulator reduction is batch-width independent).
+                    if self.reuse_elites:
+                        known = {
+                            pos: traces[i]
+                            for pos, (_p, _pw, _fit, i) in enumerate(
+                                scored[: cfg.elite]
+                            )
+                        }
                     k = 0
                     while len(nxt) < cfg.population:
                         pa, pb = self._rng.choice(
@@ -348,5 +503,8 @@ class BenchmarkEvolver:
                     n_individuals=len(all_individuals),
                     max_min_ratio=float(result.max_min_ratio),
                     best_power=float(result.best.power),
+                    n_simulated=self.n_simulated - sim0,
+                    n_cache_hits=self.n_cache_hits - hit0,
+                    n_elite_reuses=self.n_elite_reuses - reuse0,
                 )
         return result

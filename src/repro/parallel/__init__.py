@@ -1,0 +1,39 @@
+"""Parallel execution layer + content-addressed evaluation cache.
+
+The training pipeline's hot paths — GA fitness evaluation, dataset
+collection, hyper-parameter grids, experiment fan-out — all reduce to
+"map a deterministic task over items".  :class:`WorkerPool` runs that
+map across processes with an order-preserving reduce and a serial
+fallback; :class:`EvalCache` memoizes per-program simulation results by
+content hash so repeated evaluations (GA elites, shared workloads,
+tuning folds) are simulated once.
+
+Determinism guarantee: with fixed seeds, any worker count, and any
+cache state, results are bit-identical to the single-process serial
+path on both simulation engines.  This rests on the simulator's
+batch-width-independent accumulator reduction (see
+``repro.rtl.simulator._acc_reduce``).
+"""
+
+from repro.parallel.cache import (
+    EvalCache,
+    array_fingerprint,
+    make_key,
+    program_fingerprint,
+    throttle_fingerprint,
+)
+from repro.parallel.pool import WorkerPool, default_workers
+from repro.parallel.tasks import CoreState, seed_state, state_key_for
+
+__all__ = [
+    "WorkerPool",
+    "EvalCache",
+    "CoreState",
+    "default_workers",
+    "seed_state",
+    "state_key_for",
+    "make_key",
+    "array_fingerprint",
+    "program_fingerprint",
+    "throttle_fingerprint",
+]

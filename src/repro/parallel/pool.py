@@ -1,0 +1,214 @@
+"""Process-pool execution with a deterministic serial twin.
+
+:class:`WorkerPool` is the one fan-out primitive the training pipeline
+uses (GA generations, dataset groups, tuning grids, experiment fan-out).
+Its contract:
+
+* **Order-preserving**: ``map(fn, items)`` returns results in item
+  order, whatever order workers finish in — so reductions downstream
+  are independent of scheduling.
+* **Deterministic**: ``fn`` must be a pure function of its item (plus
+  per-process state seeded identically everywhere); under that contract
+  the pool's output is bit-identical to ``[fn(x) for x in items]`` for
+  any worker count.
+* **Graceful degradation**: the serial path is used outright when
+  ``workers <= 1`` or there are fewer items than workers (spawn cost
+  would dominate); if the pool itself breaks — a worker dies, the task
+  won't pickle — the batch is re-run serially in-process and the pool
+  marks itself degraded.  Application exceptions raised by ``fn`` are
+  *not* swallowed: they propagate to the caller unchanged.
+
+Task functions must be module-level (picklable); closures over local
+state belong in per-process state seeded via ``initializer`` /
+:func:`repro.parallel.tasks.seed_state` instead.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ParallelError
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import NULL_TRACER
+
+__all__ = ["WorkerPool", "default_workers"]
+
+#: Exceptions that mean "the pool broke", as opposed to "the task
+#: failed"; only these trigger the serial fallback.
+_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError)
+
+
+def default_workers() -> int:
+    """Worker count for ``workers=0``: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """Order-preserving map over a process pool, with serial fallback.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``<= 1`` never spawns (pure serial); ``0`` means
+        :func:`default_workers`.
+    initializer, initargs:
+        Run once in every worker process at spawn — the place to build
+        expensive per-process state (compiled simulators, pipelines) via
+        :mod:`repro.parallel.tasks`.  The *parent* process must seed the
+        equivalent state itself when the serial path may run.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`; every ``map`` becomes
+        a ``parallel.map`` span (label, items, workers, fallbacks).
+    metrics:
+        :class:`~repro.obs.metrics.MetricsRegistry` for the
+        ``parallel.pool.*`` counters; defaults to the process-global
+        registry.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+        tracer=None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ParallelError(f"workers must be >= 0, got {workers}")
+        self.workers = default_workers() if workers == 0 else workers
+        self._initializer = initializer
+        self._initargs = initargs
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics if metrics is not None else default_registry()
+        self._executor: ProcessPoolExecutor | None = None
+        self.degraded = False  # a pool failure demoted us to serial
+
+    # ------------------------------------------------------------------ #
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool may run tasks out-of-process."""
+        return self.workers > 1 and not self.degraded
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            # fork keeps spawn latency low and inherits the parent's
+            # imports; ProcessPoolExecutor (unlike multiprocessing.Pool)
+            # surfaces dead workers as BrokenProcessPool instead of
+            # hanging.
+            import multiprocessing
+
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._executor
+
+    def _degrade(self, reason: str, wait: bool = True) -> None:
+        self.degraded = True
+        self.metrics.counter("parallel.pool.degraded").inc()
+        self._shutdown_executor(wait=wait)
+        self._last_failure = reason
+
+    def _shutdown_executor(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            # wait=True so the executor's management thread and pipes
+            # are fully torn down (wait=False leaves a wakeup fd that
+            # trips an OSError in the interpreter's atexit hook).  The
+            # exception is a pickling failure, whose wedged feeder
+            # thread would make the wait deadlock.
+            self._executor.shutdown(wait=wait, cancel_futures=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------ #
+    def map(
+        self,
+        fn: Callable,
+        items: Sequence | Iterable,
+        label: str = "map",
+    ) -> list:
+        """``[fn(x) for x in items]``, possibly across processes.
+
+        Results come back in item order.  Exceptions raised by ``fn``
+        propagate; pool-level failures (dead worker, unpicklable task)
+        fall back to in-process serial execution and mark the pool
+        degraded for subsequent calls.
+        """
+        items = list(items)
+        serial = not self.parallel or len(items) < self.workers
+        if not serial:
+            # An unpicklable task wedges the executor's feeder thread
+            # (its shutdown would then deadlock), so catch it up front
+            # and degrade before the executor ever sees the task.
+            try:
+                pickle.dumps(fn)
+            except Exception as exc:
+                self._degrade(f"task not picklable: {exc}")
+                serial = True
+        with self.tracer.span(
+            "parallel.map",
+            label=label,
+            n_items=len(items),
+            workers=self.workers,
+            serial=serial,
+        ) as sp:
+            if serial:
+                self.metrics.counter("parallel.pool.serial_maps").inc()
+                return [fn(x) for x in items]
+            try:
+                results = list(self._ensure_executor().map(fn, items))
+                self.metrics.counter("parallel.pool.parallel_maps").inc()
+                self.metrics.counter("parallel.pool.tasks").inc(len(items))
+                return results
+            except _POOL_FAILURES as exc:
+                # The *pool* failed, not the task: rerun serially so the
+                # caller still gets an answer, and stop trying to spawn.
+                # (An unpicklable *item* — a pickling failure the
+                # up-front check can't see — leaves the feeder thread
+                # wedged; don't wait on it.)
+                self._degrade(
+                    f"{type(exc).__name__}: {exc}",
+                    wait=not isinstance(exc, pickle.PicklingError),
+                )
+                if sp:
+                    sp.set(fallback=str(exc))
+                return [fn(x) for x in items]
+
+    def shard(self, n_items: int) -> list[slice]:
+        """Contiguous near-even slices covering ``range(n_items)``.
+
+        At most ``workers`` shards, never an empty one.  With the
+        width-independent accumulator reduction, any shard plan yields
+        bit-identical results, so the plan only affects load balance.
+        """
+        n_shards = max(1, min(self.workers, n_items))
+        bounds = [
+            round(k * n_items / n_shards) for k in range(n_shards + 1)
+        ]
+        return [
+            slice(lo, hi)
+            for lo, hi in zip(bounds, bounds[1:])
+            if hi > lo
+        ]
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down worker processes (idempotent)."""
+        self._shutdown_executor()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "degraded" if self.degraded else (
+            "parallel" if self.workers > 1 else "serial"
+        )
+        return f"WorkerPool(workers={self.workers}, {state})"

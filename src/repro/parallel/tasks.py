@@ -1,0 +1,186 @@
+"""Per-process worker state and the module-level task functions.
+
+Process pools can only ship *picklable* callables, and rebuilding a
+compiled :class:`~repro.rtl.simulator.Simulator` per task would eat the
+speedup — so workers keep expensive objects in a module-global state
+registry, built once per process by the pool ``initializer`` and looked
+up by key inside each task.
+
+The parent process seeds the *same* state with :func:`seed_state`
+before mapping, so the serial path (and the degraded fallback) executes
+the identical task functions against the parent's already-built
+objects.  One code path, two execution modes, bit-identical results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParallelError
+
+__all__ = [
+    "CoreState",
+    "seed_state",
+    "drop_state",
+    "get_state",
+    "init_state",
+    "init_core_state",
+    "eval_power_shard",
+    "simulate_group",
+]
+
+#: key -> arbitrary per-process state (survives for the process's life).
+_STATE: dict = {}
+
+
+def seed_state(key, value) -> None:
+    """Register state in *this* process (parent-side pre-seeding)."""
+    _STATE[key] = value
+
+
+def drop_state(key) -> None:
+    """Remove state (parent-side cleanup after a map)."""
+    _STATE.pop(key, None)
+
+
+def get_state(key):
+    """Fetch state registered by an initializer or :func:`seed_state`."""
+    try:
+        return _STATE[key]
+    except KeyError:
+        raise ParallelError(
+            f"no worker state under key {key!r}; the pool initializer "
+            "and the task disagree, or the parent forgot seed_state()"
+        ) from None
+
+
+def init_state(key, value) -> None:
+    """Pool initializer: install an already-built (pickled) value."""
+    _STATE[key] = value
+
+
+class CoreState:
+    """Lazily-built per-process simulation objects for one core design.
+
+    Everything is derived deterministically from ``(core, engine)``, so
+    a worker's rebuilt state produces bit-identical results to the
+    parent's.  The parent can donate its existing objects via
+    :meth:`from_parts` to avoid recompiling on the serial path.
+    """
+
+    def __init__(self, core, engine: str) -> None:
+        self.core = core
+        self.engine = engine
+        self._simulator = None
+        self._pipeline = None
+        self._label_weights = None
+
+    @classmethod
+    def from_parts(
+        cls, core, engine, pipeline=None, simulator=None, label_weights=None
+    ) -> "CoreState":
+        st = cls(core, engine)
+        st._pipeline = pipeline
+        st._simulator = simulator
+        st._label_weights = label_weights
+        return st
+
+    @property
+    def simulator(self):
+        if self._simulator is None:
+            from repro.rtl.simulator import Simulator
+
+            self._simulator = Simulator(
+                self.core.netlist, engine=self.engine
+            )
+        return self._simulator
+
+    @property
+    def pipeline(self):
+        if self._pipeline is None:
+            from repro.uarch.pipeline import Pipeline
+
+            self._pipeline = Pipeline(self.core.params)
+        return self._pipeline
+
+    @property
+    def label_weights(self) -> np.ndarray:
+        if self._label_weights is None:
+            from repro.power.analyzer import PowerAnalyzer
+
+            self._label_weights = PowerAnalyzer(
+                self.core.netlist
+            ).label_weights()
+        return self._label_weights
+
+
+def init_core_state(key, core, engine: str) -> None:
+    """Pool initializer: build :class:`CoreState` once per worker."""
+    _STATE[key] = CoreState(core, engine)
+
+
+def state_key_for(core, engine: str) -> tuple:
+    """Registry key for a (core, engine) pair: content-addressed."""
+    return ("core", core.netlist.fingerprint()[:16], engine)
+
+
+# ---------------------------------------------------------------------- #
+# task functions (module-level: picklable)
+# ---------------------------------------------------------------------- #
+def eval_power_shard(args) -> np.ndarray:
+    """GA fitness shard: per-cycle label power of a program batch.
+
+    ``args = (state_key, cycles, programs)``; returns ``(B, cycles)``
+    float64.  Bit-identical for any sharding of the same programs (the
+    simulator's accumulator reduction is batch-width independent).
+    """
+    key, cycles, programs = args
+    st = get_state(key)
+    from repro.rtl.simulator import RecordSpec
+
+    stims = []
+    for prog in programs:
+        activity, _stats = st.pipeline.run(prog, cycles)
+        stims.append(st.core.stimulus_for(activity))
+    res = st.simulator.run(
+        np.stack(stims),
+        RecordSpec(accumulators={"label": st.label_weights}),
+    )
+    return res.accum["label"]
+
+
+def simulate_group(args) -> list[dict[str, np.ndarray]]:
+    """Dataset group: full traces + labels for a (throttled) batch.
+
+    ``args = (state_key, cycles, throttle, programs)``; returns one
+    ``{"packed": (cycles, words) uint8, "label": (cycles,) float64}``
+    dict per program — the exact payload an :class:`EvalCache` entry
+    stores.
+    """
+    key, cycles, throttle, programs = args
+    st = get_state(key)
+    from repro.rtl.simulator import RecordSpec
+    from repro.uarch.pipeline import Pipeline
+
+    if throttle is None and st.core.params.throttle is None:
+        pipeline = st.pipeline  # same params as with_throttle(None)
+    else:
+        pipeline = Pipeline(st.core.params.with_throttle(throttle))
+    stims = []
+    for prog in programs:
+        activity, _stats = pipeline.run(prog, cycles)
+        stims.append(st.core.stimulus_for(activity))
+    res = st.simulator.run(
+        np.stack(stims),
+        RecordSpec(
+            full_trace=True,
+            accumulators={"label": st.label_weights},
+        ),
+    )
+    return [
+        {
+            "packed": res.trace.packed[k],
+            "label": res.accum["label"][k],
+        }
+        for k in range(len(programs))
+    ]

@@ -21,6 +21,7 @@ Concepts
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
@@ -86,6 +87,8 @@ class Netlist:
         # Optional physical placement (set by the design generator); used by
         # the OPM routing-overhead model.  Filled lazily; None until set.
         self._xy: np.ndarray | None = None
+        # Cached content hash; invalidated by structural edits.
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -155,6 +158,32 @@ class Netlist:
         if used.size:
             np.add.at(counts, used, 1)
         return counts
+
+    def fingerprint(self) -> str:
+        """Content hash (hex sha256) of the simulation-relevant structure.
+
+        Covers ops, fanin, register init values and domain assignments,
+        and each domain's enable/CLK wiring — everything that determines
+        simulation results.  Names, units, buses, and placement are
+        deliberately excluded: two netlists with the same fingerprint
+        simulate identically, which is what content-addressed evaluation
+        caching (:class:`repro.parallel.EvalCache`) keys on.  The hash is
+        cached and invalidated by structural edits.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(np.int64(self.n_nets).tobytes())
+            h.update(self.ops_array().tobytes())
+            h.update(self.fanin_array().tobytes())
+            h.update(self.reg_init_array().tobytes())
+            h.update(self.reg_domain_array().tobytes())
+            for dom in self.domains:
+                enable = NO_NET if dom.enable is None else dom.enable
+                h.update(np.asarray(
+                    [enable, dom.clk_net], dtype=np.int64
+                ).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def total_area(self) -> float:
         """Sum of cell areas in gate equivalents."""
@@ -243,6 +272,7 @@ class Netlist:
         self._reg_domain.append(domain)
         self._reg_init.append(init)
         self._xy = None  # placement invalidated by structural edits
+        self._fingerprint = None
         return nid
 
     def const(self, value: int, name: str | None = None) -> int:
@@ -309,6 +339,7 @@ class Netlist:
         if not (0 <= enable < self.n_nets):
             raise NetlistError(f"enable net {enable} does not exist")
         domain.enable = enable
+        self._fingerprint = None
 
     def reg(
         self,
@@ -344,6 +375,7 @@ class Netlist:
         self._reg_domain.append(domain.index)
         self._reg_init.append(init & 1)
         self._xy = None
+        self._fingerprint = None
         return nid
 
     def connect_reg(self, reg: int, d: int) -> None:
@@ -355,6 +387,7 @@ class Netlist:
         if not (0 <= d < self.n_nets):
             raise NetlistError(f"D net {d} does not exist")
         self._fanin[reg] = (d, NO_NET, NO_NET)
+        self._fingerprint = None
 
     def add_bus(self, name: str, nets: Iterable[int]) -> None:
         nets = list(nets)

@@ -58,6 +58,21 @@ ENGINES = ("packed", "uint8")
 _WORD_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
+def _acc_reduce(w64: np.ndarray, toggles: np.ndarray) -> np.ndarray:
+    """Weighted per-lane toggle sum, independent of the batch width.
+
+    ``sum(axis=0)`` reduces each lane's column with numpy's pairwise
+    summation, whose blocking depends only on the reduction *length* —
+    never on how many other lanes share the call — so lane ``b`` of the
+    result is a pure function of ``toggles[:, b]``.  That is what makes
+    sharded, cached, and elite-reusing evaluation paths
+    (:mod:`repro.parallel`) bit-identical to one monolithic batched
+    call.  A float32 BLAS GEMV (``w @ toggles``) lacks this property:
+    its reduction order changes with the batch width.
+    """
+    return (w64[:, None] * toggles).sum(axis=0)
+
+
 @dataclass(frozen=True)
 class RecordSpec:
     """What a simulation run should record.
@@ -264,7 +279,10 @@ class Simulator:
                     f"accumulator {name!r} has shape {w.shape}, expected "
                     f"({self._n},)"
                 )
-            acc_weights[name] = w
+            # Accumulate in float64: exact upcast of the canonical
+            # float32 weights, and _acc_reduce keeps each lane's sum
+            # independent of the batch width.
+            acc_weights[name] = w.astype(np.float64)
 
         # Output buffers.
         packed_out = None
@@ -392,7 +410,7 @@ class Simulator:
             if cols_out is not None:
                 cols_out[:, i, :] = toggles[cols].T
             for name, w in acc_weights.items():
-                acc_out[name][:, i] = w @ toggles
+                acc_out[name][:, i] = _acc_reduce(w, toggles)
             v_prev, vals = vals, v_prev
 
         return v_prev.copy()
@@ -420,9 +438,9 @@ class Simulator:
         polarity; each cycle they are gathered back into net-id order and
         appended to a block buffer, so the lane unpacking runs once per
         ``_REC_BLOCK`` cycles on one contiguous array, while the
-        accumulator GEMV keeps the reference engine's exact per-cycle
-        call shape — making every recorded artifact bit-identical across
-        engines.
+        accumulator reduction (``_acc_reduce``) keeps the reference
+        engine's exact per-cycle call shape — making every recorded
+        artifact bit-identical across engines.
         """
         psch = self.packed_schedule
         assert psch is not None
@@ -524,7 +542,7 @@ class Simulator:
                     for name, w in acc_items:
                         o = acc_out[name]
                         for k in range(j):
-                            o[:, blk0 + k] = w @ dense[k]
+                            o[:, blk0 + k] = _acc_reduce(w, dense[k])
                 else:
                     cols_out[:, blk0:blk0 + j, :] = dense.transpose(
                         2, 0, 1

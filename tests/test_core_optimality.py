@@ -94,7 +94,8 @@ def test_objective_never_increases_along_path():
 
     X, y = _problem(1)
     pre = precompute(X, y)
-    std, G, c, y_mean, y_c = pre
+    std, G, c, y_mean = pre
+    y_c = y - y_mean
     Xs = std.transform(X)
     lam_hi = lambda_max(Xs, y_c)
     warm = None

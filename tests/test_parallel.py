@@ -1,0 +1,359 @@
+"""Tests for the parallel execution layer (repro.parallel).
+
+The layer's contract is strong: for *any* worker count and *any* cache
+state, pipeline results are bit-identical to the plain serial run.  The
+tests here exercise that contract end-to-end (GA, dataset builders,
+tuning grids) plus the failure modes the pool must absorb (dead
+workers, unpicklable tasks) and the cache's eviction/disk behavior.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.genbench import BenchmarkEvolver, GaConfig, build_training_dataset
+from repro.isa.program import DEFAULT_MIX, random_program
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import (
+    EvalCache,
+    WorkerPool,
+    make_key,
+    program_fingerprint,
+    throttle_fingerprint,
+)
+from repro.rtl import Netlist
+from repro.uarch import ThrottleScheme
+
+_PARENT_PID = os.getpid()
+
+
+# --------------------------------------------------------------------- #
+# module-level task functions (fork pickles them by reference)
+# --------------------------------------------------------------------- #
+def _square(x):
+    return x * x
+
+
+def _raise_on_three(x):
+    if x == 3:
+        raise ValueError("task failure for item 3")
+    return x
+
+
+def _die_in_worker(x):
+    # Kills worker processes only; the parent survives so the serial
+    # fallback can still produce the answer.
+    if os.getpid() != _PARENT_PID:
+        os._exit(13)
+    return x * 2
+
+
+# --------------------------------------------------------------------- #
+# WorkerPool
+# --------------------------------------------------------------------- #
+class TestWorkerPool:
+    def test_serial_when_workers_one(self):
+        with WorkerPool(1) as pool:
+            assert not pool.parallel
+            assert pool.map(_square, range(5)) == [0, 1, 4, 9, 16]
+            assert pool._executor is None  # never spawned
+
+    def test_serial_when_fewer_items_than_workers(self):
+        with WorkerPool(8) as pool:
+            assert pool.map(_square, [2, 3]) == [4, 9]
+            assert pool._executor is None
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ParallelError):
+            WorkerPool(-1)
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_identical_results_across_worker_counts(self, workers):
+        items = list(range(11))
+        with WorkerPool(workers) as pool:
+            assert pool.map(_square, items) == [x * x for x in items]
+
+    def test_app_exception_propagates_serial(self):
+        with WorkerPool(1) as pool:
+            with pytest.raises(ValueError, match="item 3"):
+                pool.map(_raise_on_three, range(6))
+            assert not pool.degraded
+
+    def test_app_exception_propagates_parallel(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(ValueError, match="item 3"):
+                pool.map(_raise_on_three, range(6))
+            # A failing task is not a pool failure.
+            assert not pool.degraded
+
+    def test_dead_worker_falls_back_to_serial(self):
+        reg = MetricsRegistry()
+        with WorkerPool(2, metrics=reg) as pool:
+            out = pool.map(_die_in_worker, range(6))
+            assert out == [x * 2 for x in range(6)]
+            assert pool.degraded
+            assert not pool.parallel
+            assert reg.counter("parallel.pool.degraded").value == 1
+            # Subsequent maps stay serial (and still work).
+            assert pool.map(_square, range(6)) == [x * x for x in range(6)]
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        with WorkerPool(2) as pool:
+            out = pool.map(lambda x: x + 1, range(8))
+            assert out == list(range(1, 9))
+            assert pool.degraded
+
+    def test_shard_covers_everything_contiguously(self):
+        for workers in (1, 2, 3, 7):
+            pool = WorkerPool(workers)
+            for n in (1, 2, 5, 16, 17):
+                shards = pool.shard(n)
+                assert len(shards) <= min(workers, n)
+                flat = [i for sl in shards for i in range(n)[sl]]
+                assert flat == list(range(n))
+                assert all(sl.stop > sl.start for sl in shards)
+            pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.map(_square, range(4))
+        pool.close()
+        pool.close()
+        assert pool.map(_square, range(4)) == [0, 1, 4, 9]
+        pool.close()
+
+
+# --------------------------------------------------------------------- #
+# EvalCache
+# --------------------------------------------------------------------- #
+class TestEvalCache:
+    def test_roundtrip_and_stats(self):
+        cache = EvalCache(metrics=MetricsRegistry())
+        key = make_key("a", 1)
+        assert cache.get(key) is None
+        cache.put(key, {"power": np.arange(4.0)})
+        hit = cache.get(key)
+        np.testing.assert_array_equal(hit["power"], np.arange(4.0))
+        s = cache.stats()
+        assert (s["hits"], s["misses"], s["stores"]) == (1, 1, 1)
+        assert key in cache and len(cache) == 1
+
+    def test_lru_eviction_by_entries(self):
+        cache = EvalCache(max_entries=2, metrics=MetricsRegistry())
+        for i in range(3):
+            cache.put(f"k{i}", {"v": np.full(4, i, dtype=np.float64)})
+        assert cache.get("k0") is None  # oldest evicted
+        assert cache.get("k2") is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_lru_recency_protects_reused_entries(self):
+        cache = EvalCache(max_entries=2, metrics=MetricsRegistry())
+        cache.put("a", {"v": np.zeros(2)})
+        cache.put("b", {"v": np.zeros(2)})
+        cache.get("a")  # refresh a: b becomes the eviction victim
+        cache.put("c", {"v": np.zeros(2)})
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_eviction_by_bytes(self):
+        one_kb = np.zeros(128, dtype=np.float64)  # 1024 bytes
+        cache = EvalCache(max_bytes=2500, metrics=MetricsRegistry())
+        for name in ("a", "b", "c"):
+            cache.put(name, {"v": one_kb})
+        assert len(cache) == 2 and cache.nbytes <= 2500
+        assert cache.get("a") is None
+
+    def test_oversized_entry_skips_memory_tier(self, tmp_path):
+        cache = EvalCache(
+            max_bytes=64, disk_dir=tmp_path, metrics=MetricsRegistry()
+        )
+        cache.put("big", {"v": np.zeros(1024)})
+        assert len(cache) == 0  # too big for memory...
+        assert cache.get("big") is not None  # ...but served from disk
+
+    def test_disk_tier_survives_memory_clear(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path, metrics=MetricsRegistry())
+        cache.put("k", {"v": np.arange(8.0), "w": np.eye(2)})
+        cache.clear_memory()
+        assert len(cache) == 0
+        hit = cache.get("k")
+        np.testing.assert_array_equal(hit["v"], np.arange(8.0))
+        np.testing.assert_array_equal(hit["w"], np.eye(2))
+        assert cache.stats()["disk_hits"] == 1
+        assert len(cache) == 1  # promoted back into memory
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path, metrics=MetricsRegistry())
+        (tmp_path / "bad.npz").write_bytes(b"this is not a zipfile")
+        assert cache.get("bad") is None
+        assert cache.stats()["misses"] == 1
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ParallelError):
+            EvalCache(max_entries=0)
+        with pytest.raises(ParallelError):
+            EvalCache(max_bytes=0)
+
+
+# --------------------------------------------------------------------- #
+# fingerprints / keys
+# --------------------------------------------------------------------- #
+class TestFingerprints:
+    def _tiny_netlist(self):
+        nl = Netlist("fp")
+        a = nl.input_bit("a")
+        b = nl.input_bit("b")
+        nl.and_(a, b)
+        return nl
+
+    def test_netlist_fingerprint_deterministic(self):
+        assert (
+            self._tiny_netlist().fingerprint()
+            == self._tiny_netlist().fingerprint()
+        )
+
+    def test_netlist_fingerprint_tracks_structure(self):
+        nl = self._tiny_netlist()
+        before = nl.fingerprint()
+        nl.xor(0, 1)
+        assert nl.fingerprint() != before
+
+    def test_program_fingerprint_ignores_name(self):
+        rng1 = np.random.default_rng(3)
+        rng2 = np.random.default_rng(3)
+        p1 = random_program(rng1, 16, DEFAULT_MIX, name="first")
+        p2 = random_program(rng2, 16, DEFAULT_MIX, name="second")
+        assert program_fingerprint(p1) == program_fingerprint(p2)
+        p3 = random_program(np.random.default_rng(4), 16, DEFAULT_MIX)
+        assert program_fingerprint(p1) != program_fingerprint(p3)
+
+    def test_throttle_fingerprint(self):
+        assert throttle_fingerprint(None) == "none"
+        t1 = ThrottleScheme(max_issue=1, period=8, duty=4)
+        t2 = ThrottleScheme(max_issue=1, period=8, duty=4)
+        t3 = ThrottleScheme(max_issue=2, period=8, duty=4)
+        assert throttle_fingerprint(t1) == throttle_fingerprint(t2)
+        assert throttle_fingerprint(t1) != throttle_fingerprint(t3)
+
+    def test_make_key_separates_parts(self):
+        # ("ab", "c") and ("a", "bc") must not collide.
+        assert make_key("ab", "c") != make_key("a", "bc")
+        assert make_key("x", 1) == make_key("x", 1)
+
+
+# --------------------------------------------------------------------- #
+# GA integration: bit-identity, elite reuse, vectorized dI/dt
+# --------------------------------------------------------------------- #
+def _ga_cfg() -> GaConfig:
+    return GaConfig(
+        population=6, generations=3, eval_cycles=100,
+        program_length=16, seed=5,
+    )
+
+
+def _ga_signature(result):
+    return [
+        (program_fingerprint(i.program), i.power, i.generation, i.fitness)
+        for i in result.individuals
+    ]
+
+
+@pytest.mark.parametrize("engine", ["uint8", "packed"])
+def test_ga_parallel_cached_bit_identical(small_core, engine, tmp_path):
+    with BenchmarkEvolver(small_core, _ga_cfg(), engine=engine) as ev:
+        baseline = ev.run()
+    cache = EvalCache(disk_dir=tmp_path, metrics=MetricsRegistry())
+    with BenchmarkEvolver(
+        small_core, _ga_cfg(), engine=engine, workers=2, cache=cache
+    ) as ev:
+        result = ev.run()
+        assert not ev.pool.degraded
+    assert _ga_signature(result) == _ga_signature(baseline)
+    # Warm rerun: everything comes from the cache, still identical.
+    with BenchmarkEvolver(
+        small_core, _ga_cfg(), engine=engine, workers=2, cache=cache
+    ) as ev:
+        rerun = ev.run()
+        assert ev.n_simulated == 0
+        assert ev.n_cache_hits > 0
+    assert _ga_signature(rerun) == _ga_signature(baseline)
+
+
+def test_elite_reuse_identical_with_fewer_simulations(small_core):
+    cfg = _ga_cfg()
+    with BenchmarkEvolver(small_core, cfg, reuse_elites=False) as ev:
+        full = ev.run()
+        n_full = ev.n_simulated
+    with BenchmarkEvolver(small_core, cfg, reuse_elites=True) as ev:
+        reused = ev.run()
+        n_reused = ev.n_simulated
+        assert ev.n_elite_reuses == (cfg.generations - 1) * cfg.elite
+    assert _ga_signature(reused) == _ga_signature(full)
+    assert n_reused == n_full - (cfg.generations - 1) * cfg.elite
+
+
+def test_measure_didt_matches_loop_reference(small_core):
+    ev = BenchmarkEvolver(
+        small_core, GaConfig(population=4, generations=1, didt_window=3)
+    )
+    try:
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            traces = rng.uniform(0.0, 30.0, size=(7, 64))
+            np.testing.assert_allclose(
+                ev.measure_didt(traces),
+                ev._measure_didt_loop(traces),
+                rtol=1e-12,
+            )
+    finally:
+        ev.close()
+
+
+# --------------------------------------------------------------------- #
+# dataset + tuning parity
+# --------------------------------------------------------------------- #
+def test_dataset_parallel_cached_bit_identical(small_core, small_ga):
+    kw = dict(target_cycles=600, replay_cycles=150)
+    serial = build_training_dataset(small_core, small_ga, **kw)
+    cache = EvalCache(metrics=MetricsRegistry())
+    par = build_training_dataset(
+        small_core, small_ga, workers=2, cache=cache, **kw
+    )
+    np.testing.assert_array_equal(serial.labels, par.labels)
+    np.testing.assert_array_equal(
+        serial.trace.packed, par.trace.packed
+    )
+    assert serial.segments == par.segments
+    assert cache.stats()["stores"] > 0
+    # Warm rebuild: all simulation skipped, same bits.
+    again = build_training_dataset(
+        small_core, small_ga, workers=2, cache=cache, **kw
+    )
+    assert cache.stats()["misses"] == cache.stats()["stores"]
+    np.testing.assert_array_equal(serial.labels, again.labels)
+    np.testing.assert_array_equal(
+        serial.trace.packed, again.trace.packed
+    )
+
+
+def test_tuning_workers_parity():
+    from repro.core.tuning import tune_q, tune_ridge
+
+    rng = np.random.default_rng(2)
+    X = rng.integers(0, 2, size=(240, 24)).astype(np.float32)
+    w = np.zeros(24)
+    w[[1, 5, 9]] = (2.0, 1.0, 3.0)
+    y = X @ w + 0.1 * rng.standard_normal(240)
+
+    for fn, kw in (
+        (tune_ridge, dict(q=4)),
+        (tune_q, dict(q_grid=[2, 4, 8])),
+    ):
+        serial = fn(X, y, workers=1, **kw)
+        fanned = fn(X, y, workers=2, **kw)
+        assert serial.best == fanned.best
+        assert serial.scores == fanned.scores

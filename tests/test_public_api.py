@@ -40,6 +40,10 @@ def test_top_level_exports_resolve():
         "repro.flow",
         "repro.flow.multicore",
         "repro.experiments",
+        "repro.parallel",
+        "repro.parallel.pool",
+        "repro.parallel.cache",
+        "repro.parallel.tasks",
         "repro.obs",
         "repro.obs.trace",
         "repro.obs.metrics",
@@ -60,7 +64,7 @@ def test_module_all_exports_resolve(module):
         "repro.rtl", "repro.power", "repro.isa", "repro.uarch",
         "repro.design", "repro.genbench", "repro.core",
         "repro.baselines", "repro.opm", "repro.flow",
-        "repro.experiments", "repro.obs",
+        "repro.experiments", "repro.obs", "repro.parallel",
     ],
 )
 def test_packages_have_docstrings(module):
