@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-substrate bench-stream bench-parallel \
-	trace-demo results examples clean
+	bench-resilience chaos trace-demo results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -40,6 +40,22 @@ bench-parallel:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_parallel_perf.py \
 		--benchmark-only \
 		--benchmark-json=BENCH_parallel.raw.json
+
+# Resilience benchmarks: per-generation checkpoint overhead vs a bare GA
+# run (asserted < 5%) and raw CheckpointStore save/load throughput,
+# appending to BENCH_resilience.json.
+bench-resilience:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience_perf.py \
+		--benchmark-only \
+		--benchmark-json=BENCH_resilience.raw.json
+
+# Seeded chaos run: inject a deterministic fault plan (worker kills,
+# torn checkpoints, corrupt cache entries, mid-stage interrupts) into a
+# full train+quantize pipeline and verify the recovered model is
+# bit-identical to a fault-free baseline.  Exit 1 on mismatch.
+chaos:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 5 --workers 2 \
+		--out results/chaos
 
 # Tiny end-to-end traced pipeline run: exports Chrome/JSONL traces plus
 # a provenance manifest under results/trace-demo and self-checks them.

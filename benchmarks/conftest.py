@@ -37,6 +37,7 @@ TRAJECTORY_FILES = {
     "test_substrate_perf": "BENCH_substrate.json",
     "test_stream_perf": "BENCH_stream.json",
     "test_parallel_perf": "BENCH_parallel.json",
+    "test_resilience_perf": "BENCH_resilience.json",
 }
 
 

@@ -7,6 +7,7 @@ Examples::
     apollo-repro run fig10 --scale small
     apollo-repro run-all --scale default --out results/
     apollo-repro stream --scale tiny --sessions 4 --cycles 100000
+    apollo-repro chaos --seed 7 --workers 2
     apollo-repro trace results/trace-demo/trace.json
     apollo-repro manifest results/trace-demo/manifest.json
 
@@ -185,6 +186,28 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.resilience import FaultPlan, run_chaos
+
+    plan = None
+    if args.plan:
+        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    report = run_chaos(
+        seed=args.seed,
+        design=args.design or "m0",
+        scale=args.scale or "tiny",
+        engine=args.engine,
+        workers=args.workers,
+        out_dir=args.out,
+        plan=plan,
+        n_faults=args.faults,
+    )
+    print(report.render())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.match else 1
+
+
 def _cmd_trace(args) -> int:
     from repro.errors import ObsError
     from repro.obs.trace import load_trace, render_tree
@@ -310,6 +333,43 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None, help="also write the JSON snapshot here"
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run the training pipeline under a seeded fault plan and "
+        "verify the final model is bit-identical to a fault-free run",
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the pipeline and the random fault plan",
+    )
+    p_chaos.add_argument(
+        "--design", choices=["m0", "n1", "a77"], default=None
+    )
+    p_chaos.add_argument("--scale", choices=list(SCALES), default=None)
+    p_chaos.add_argument(
+        "--engine", choices=["packed", "uint8"], default="packed"
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for the faulted run (baseline is serial)",
+    )
+    p_chaos.add_argument(
+        "--faults", type=int, default=6,
+        help="faults drawn into a random plan",
+    )
+    p_chaos.add_argument(
+        "--plan", default=None,
+        help="explicit fault-plan JSON file (overrides --seed's plan)",
+    )
+    p_chaos.add_argument(
+        "--out", default=None,
+        help="directory for checkpoints/cache/report (default: temp)",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="also print the full JSON report",
+    )
+
     p_trace = sub.add_parser(
         "trace", help="render a span tree from an exported trace file"
     )
@@ -337,6 +397,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run_all(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "manifest":

@@ -41,13 +41,17 @@ def sidecar_path(path: str | Path) -> Path:
 
 
 def write_sidecar(path: str | Path, kind: str, extra: dict) -> None:
+    from repro.resilience.atomic import atomic_write_bytes
+
     meta = {
         "format": "apollo-repro-model",
         "schema_version": MODEL_SCHEMA_VERSION,
         "kind": kind,
         **extra,
     }
-    sidecar_path(path).write_text(json.dumps(meta, indent=2) + "\n")
+    atomic_write_bytes(
+        sidecar_path(path), (json.dumps(meta, indent=2) + "\n").encode()
+    )
 
 
 def check_artifact(path: str | Path, kind: str) -> dict | None:
@@ -134,13 +138,21 @@ class ApolloModel:
 
     # ------------------------------------------------------------------ #
     def save(self, path: str | Path) -> None:
-        """Persist as versioned npz + JSON sidecar (schema v2)."""
-        np.savez_compressed(
-            path,
-            proxies=self.proxies,
-            weights=self.weights,
-            intercept=np.float64(self.intercept),
-            schema_version=np.int64(MODEL_SCHEMA_VERSION),
+        """Persist as versioned npz + JSON sidecar (schema v2).
+
+        Both files publish atomically (tmp + rename), so a crashed save
+        can never leave a torn artifact behind.
+        """
+        from repro.resilience.atomic import atomic_save_npz
+
+        atomic_save_npz(
+            resolve_npz_path(path),
+            {
+                "proxies": self.proxies,
+                "weights": self.weights,
+                "intercept": np.float64(self.intercept),
+                "schema_version": np.int64(MODEL_SCHEMA_VERSION),
+            },
         )
         write_sidecar(
             path,

@@ -21,6 +21,10 @@ __all__ = [
     "StreamError",
     "ExperimentError",
     "ParallelError",
+    "ResilienceError",
+    "CheckpointError",
+    "CacheCorruptionError",
+    "TransientFault",
 ]
 
 
@@ -74,3 +78,20 @@ class ExperimentError(ReproError):
 
 class ParallelError(ReproError):
     """Raised by the parallel execution layer (pool/cache misuse)."""
+
+
+class ResilienceError(ReproError):
+    """Raised by the resilience layer (checkpointing, retries, faults)."""
+
+
+class CheckpointError(ResilienceError):
+    """Raised for missing, corrupt, or incompatible checkpoints."""
+
+
+class CacheCorruptionError(ResilienceError):
+    """Raised (in strict mode) when a disk cache entry fails to decode."""
+
+
+class TransientFault(ResilienceError):
+    """A recoverable injected or transient fault; retry policies treat
+    it as retryable by default."""

@@ -9,13 +9,14 @@ segment boundaries so Fig. 9(b)'s per-benchmark metrics can be computed.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.resilience.atomic import atomic_save_npz
+from repro.resilience.checkpoint import CheckpointStore
 from repro.genbench.ga import GaIndividual, GaResult
 from repro.genbench.handcrafted import testing_suite
 from repro.parallel.cache import (
@@ -110,24 +111,19 @@ class PowerDataset:
         bounds = np.array(
             [[s[1], s[2]] for s in self.segments], dtype=np.int64
         ).reshape(-1, 2)
-        # Atomic publish (tmp + rename): concurrent experiment fan-out
-        # must never observe a partially-written artifact.  The tmp name
-        # keeps the .npz suffix so savez doesn't append another.
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp.npz")
-        try:
-            np.savez_compressed(
-                tmp,
-                packed=self.trace.packed,
-                n_nets=np.int64(self.trace.n_nets),
-                labels=self.labels,
-                candidate_ids=self.candidate_ids,
-                seg_names=names,
-                seg_bounds=bounds,
-            )
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - error path
-                tmp.unlink()
+        # Atomic publish: concurrent experiment fan-out must never
+        # observe a partially-written artifact.
+        atomic_save_npz(
+            path,
+            {
+                "packed": self.trace.packed,
+                "n_nets": np.int64(self.trace.n_nets),
+                "labels": self.labels,
+                "candidate_ids": self.candidate_ids,
+                "seg_names": names,
+                "seg_bounds": bounds,
+            },
+        )
 
     @classmethod
     def load(cls, path: str | Path) -> "PowerDataset":
@@ -197,6 +193,10 @@ def _simulate_benchmarks(
     workers: int = 1,
     cache: EvalCache | None = None,
     pool: WorkerPool | None = None,
+    checkpoints: CheckpointStore | None = None,
+    stage: str = "dataset",
+    faults=None,
+    resume: bool = False,
 ) -> tuple[ToggleTrace, np.ndarray, list[tuple[str, int, int]]]:
     """Simulate (name, program, cycles, throttle) runs; concat results.
 
@@ -206,6 +206,12 @@ def _simulate_benchmarks(
     bit-identical for any worker count and cache state — per-benchmark
     results depend only on the benchmark itself, never on its
     batch-mates (width-independent accumulator reduction).
+
+    With ``checkpoints`` set, completed per-run results are checkpointed
+    under ``stage`` after every wave of ``workers`` groups;
+    ``resume=True`` restores a matching checkpoint and simulates only
+    the remaining runs.  Re-grouping the survivors changes batch-mates
+    but (by the contract above) not a single output bit.
     """
     weights = PowerAnalyzer(core.netlist).label_weights()
     state_key = state_key_for(core, engine)
@@ -232,6 +238,32 @@ def _simulate_benchmarks(
             )
             results[i] = cache.get(keys[i])
 
+    # Checkpoint identity: any change to the run list or its inputs
+    # makes old checkpoints unusable (they are ignored, not trusted).
+    ckpt_identity = None
+    if checkpoints is not None:
+        ckpt_identity = make_key(
+            "dataset-stage",
+            netlist_fp,
+            engine,
+            *(
+                make_key(
+                    name, cycles, throttle_fingerprint(throttle),
+                    program_fingerprint(prog),
+                )
+                for name, prog, cycles, throttle in runs
+            ),
+        )
+        if resume:
+            ck = checkpoints.latest(stage)
+            if ck is not None and ck.meta.get("identity") == ckpt_identity:
+                for i in ck.arrays["done"]:
+                    i = int(i)
+                    results[i] = {
+                        "packed": ck.arrays[f"run{i}_packed"],
+                        "label": ck.arrays[f"run{i}_label"],
+                    }
+
     # Group consecutive misses by (cycles, throttle identity).
     miss = [i for i in range(n) if results[i] is None]
     groups: list[tuple[list[int], int, object]] = []
@@ -256,29 +288,54 @@ def _simulate_benchmarks(
                 workers,
                 initializer=init_core_state,
                 initargs=(state_key, core, engine),
+                faults=faults,
             )
+        # Without a checkpoint store every group goes out in one map;
+        # with one, groups go out in waves of ``workers`` so progress is
+        # persisted at pool-width granularity.
+        wave = len(groups) if checkpoints is None else max(1, pool.workers)
         try:
-            outs = pool.map(
-                simulate_group,
-                [
-                    (
-                        state_key,
-                        cycles,
-                        throttle,
-                        [runs[i][1] for i in group],
+            for w0 in range(0, len(groups), wave):
+                wave_groups = groups[w0:w0 + wave]
+                outs = pool.map(
+                    simulate_group,
+                    [
+                        (
+                            state_key,
+                            cycles,
+                            throttle,
+                            [runs[i][1] for i in group],
+                        )
+                        for group, cycles, throttle in wave_groups
+                    ],
+                    label="dataset.sim",
+                )
+                for (group, _cyc, _thr), payloads in zip(wave_groups, outs):
+                    for i, payload in zip(group, payloads):
+                        results[i] = payload
+                        if keys[i] is not None:
+                            cache.put(keys[i], payload)
+                if checkpoints is not None:
+                    done = [
+                        i for i in range(n) if results[i] is not None
+                    ]
+                    arrays = {"done": np.asarray(done, dtype=np.int64)}
+                    for i in done:
+                        arrays[f"run{i}_packed"] = results[i]["packed"]
+                        arrays[f"run{i}_label"] = results[i]["label"]
+                    # step = completed-run count: monotonic across
+                    # interrupted and resumed builds alike.
+                    checkpoints.save(
+                        stage,
+                        len(done),
+                        arrays,
+                        meta={"identity": ckpt_identity},
                     )
-                    for group, cycles, throttle in groups
-                ],
-                label="dataset.sim",
-            )
+                if faults is not None:
+                    faults.raise_if(f"{stage}.wave")
         finally:
             if own_pool:
                 pool.close()
-        for (group, _cyc, _thr), payloads in zip(groups, outs):
-            for i, payload in zip(group, payloads):
-                results[i] = payload
-                if keys[i] is not None:
-                    cache.put(keys[i], payload)
 
     traces: list[ToggleTrace] = []
     labels: list[np.ndarray] = []
@@ -308,10 +365,16 @@ def build_training_dataset(
     engine: str = "packed",
     workers: int = 1,
     cache: EvalCache | None = None,
+    checkpoints: CheckpointStore | None = None,
+    faults=None,
+    resume: bool = False,
 ) -> PowerDataset:
     """Replay a uniform-power GA subset to collect ``target_cycles``.
 
     Each selected micro-benchmark contributes ``replay_cycles`` cycles.
+    With ``checkpoints``, progress persists under stage
+    ``"dataset.train"`` and ``resume=True`` skips already-simulated
+    benchmarks (bit-identical output either way).
     """
     if target_cycles < replay_cycles:
         raise DatasetError("target_cycles smaller than one replay")
@@ -324,7 +387,9 @@ def build_training_dataset(
         for ind in chosen
     ]
     trace, labels, segments = _simulate_benchmarks(
-        core, runs, engine=engine, workers=workers, cache=cache
+        core, runs, engine=engine, workers=workers, cache=cache,
+        checkpoints=checkpoints, stage="dataset.train",
+        faults=faults, resume=resume,
     )
     return PowerDataset(
         trace=trace,
@@ -340,12 +405,21 @@ def build_testing_dataset(
     engine: str = "packed",
     workers: int = 1,
     cache: EvalCache | None = None,
+    checkpoints: CheckpointStore | None = None,
+    faults=None,
+    resume: bool = False,
 ) -> PowerDataset:
-    """Simulate the 12 handcrafted Table-4 benchmarks."""
+    """Simulate the 12 handcrafted Table-4 benchmarks.
+
+    With ``checkpoints``, progress persists under stage
+    ``"dataset.test"`` and ``resume=True`` skips completed benchmarks.
+    """
     suite = testing_suite(cycle_scale)
     runs = [(b.name, b.program, b.cycles, b.throttle) for b in suite]
     trace, labels, segments = _simulate_benchmarks(
-        core, runs, engine=engine, workers=workers, cache=cache
+        core, runs, engine=engine, workers=workers, cache=cache,
+        checkpoints=checkpoints, stage="dataset.test",
+        faults=faults, resume=resume,
     )
     return PowerDataset(
         trace=trace,

@@ -18,8 +18,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import DatasetError
+from repro.errors import CheckpointError, DatasetError
 from repro.obs.trace import NULL_TRACER
+from repro.resilience.checkpoint import (
+    CheckpointStore,
+    programs_from_arrays,
+    programs_to_arrays,
+    restore_rng_state,
+    rng_state_meta,
+)
 from repro.parallel.cache import (
     EvalCache,
     array_fingerprint,
@@ -178,6 +185,19 @@ class BenchmarkEvolver:
         Carry elite individuals' measured traces into the next
         generation instead of re-simulating them (on by default; the
         flag exists so tests can compare both paths).
+    checkpoints:
+        Optional :class:`~repro.resilience.CheckpointStore`.  When set,
+        the full GA state (population, RNG bit-generator state, every
+        evaluated individual, elite traces) is checkpointed under stage
+        ``"ga"`` at the top of each generation, and ``run(resume=True)``
+        continues an interrupted run **bit-identically** to an
+        uninterrupted one.
+    faults:
+        Optional :class:`~repro.resilience.FaultInjector`, forwarded to
+        the worker pool (``pool.map`` site) and fired at the
+        ``ga.generation`` site just after each checkpoint is saved — a
+        scheduled ``interrupt`` there models a crash at the stage
+        boundary that a later ``run(resume=True)`` recovers from.
     """
 
     def __init__(
@@ -189,6 +209,8 @@ class BenchmarkEvolver:
         workers: int = 1,
         cache: EvalCache | None = None,
         reuse_elites: bool = True,
+        checkpoints: CheckpointStore | None = None,
+        faults=None,
     ) -> None:
         self.core = core
         self.config = config or GaConfig()
@@ -219,11 +241,14 @@ class BenchmarkEvolver:
                 label_weights=self._label_weights,
             ),
         )
+        self.checkpoints = checkpoints
+        self.faults = faults
         self.pool = WorkerPool(
             workers,
             initializer=init_core_state,
             initargs=(self._state_key, core, engine),
             tracer=self.tracer,
+            faults=faults,
         )
         #: Work counters (cumulative over this evolver's lifetime).
         self.n_simulated = 0
@@ -409,8 +434,128 @@ class BenchmarkEvolver:
                 insts.append(inst)
         return Program(name, tuple(insts))
 
-    def run(self) -> GaResult:
-        """Run the full GA; returns every evaluated individual."""
+    # ------------------------------------------------------------------ #
+    def _ckpt_identity(self) -> dict:
+        """What a checkpoint must match to be resumable by this evolver."""
+        cfg = self.config
+        return {
+            "population": cfg.population,
+            "generations": cfg.generations,
+            "program_length": cfg.program_length,
+            "eval_cycles": cfg.eval_cycles,
+            "elite": cfg.elite,
+            "parent_frac": cfg.parent_frac,
+            "mutation_rate": cfg.mutation_rate,
+            "seed": cfg.seed,
+            "fitness": cfg.fitness,
+            "didt_window": cfg.didt_window,
+            "engine": self.simulator.engine,
+            "netlist": self._netlist_fp,
+            "reuse_elites": self.reuse_elites,
+        }
+
+    def _save_generation(
+        self,
+        gen: int,
+        population: list[Program],
+        all_individuals: list[GaIndividual],
+        known: dict[int, np.ndarray] | None,
+    ) -> None:
+        """Checkpoint the exact state the top of generation ``gen`` sees."""
+        pop_arrs, pop_names = programs_to_arrays(population)
+        ind_arrs, ind_names = programs_to_arrays(
+            [ind.program for ind in all_individuals]
+        )
+        arrays = {
+            "pop_fields": pop_arrs["prog_fields"],
+            "pop_offsets": pop_arrs["prog_offsets"],
+            "ind_fields": ind_arrs["prog_fields"],
+            "ind_offsets": ind_arrs["prog_offsets"],
+            "ind_power": np.asarray(
+                [ind.power for ind in all_individuals], dtype=np.float64
+            ),
+            "ind_fitness": np.asarray(
+                [ind.fitness for ind in all_individuals], dtype=np.float64
+            ),
+            "ind_generation": np.asarray(
+                [ind.generation for ind in all_individuals], dtype=np.int64
+            ),
+        }
+        if known:
+            positions = sorted(known)
+            arrays["known_positions"] = np.asarray(positions, dtype=np.int64)
+            arrays["known_traces"] = np.stack(
+                [np.asarray(known[p], dtype=np.float64) for p in positions]
+            )
+        meta = {
+            "rng_state": rng_state_meta(self._rng),
+            "pop_names": pop_names,
+            "ind_names": ind_names,
+            "identity": self._ckpt_identity(),
+            "counters": {
+                "n_simulated": self.n_simulated,
+                "n_cache_hits": self.n_cache_hits,
+                "n_elite_reuses": self.n_elite_reuses,
+            },
+        }
+        self.checkpoints.save("ga", gen, arrays, meta)
+
+    def _restore_generation(self, ck) -> tuple[
+        int, list[Program], list[GaIndividual], dict[int, np.ndarray] | None
+    ]:
+        """Inverse of :meth:`_save_generation` (validates identity)."""
+        identity = ck.meta.get("identity")
+        if identity != self._ckpt_identity():
+            raise CheckpointError(
+                "GA checkpoint belongs to a different run configuration "
+                f"(checkpoint {identity!r} vs current "
+                f"{self._ckpt_identity()!r})"
+            )
+        population = programs_from_arrays(
+            {
+                "prog_fields": ck.arrays["pop_fields"],
+                "prog_offsets": ck.arrays["pop_offsets"],
+            },
+            ck.meta["pop_names"],
+        )
+        ind_programs = programs_from_arrays(
+            {
+                "prog_fields": ck.arrays["ind_fields"],
+                "prog_offsets": ck.arrays["ind_offsets"],
+            },
+            ck.meta["ind_names"],
+        )
+        all_individuals = [
+            GaIndividual(
+                program=p,
+                power=float(pw),
+                generation=int(g),
+                fitness=float(fit),
+            )
+            for p, pw, fit, g in zip(
+                ind_programs,
+                ck.arrays["ind_power"],
+                ck.arrays["ind_fitness"],
+                ck.arrays["ind_generation"],
+            )
+        ]
+        known: dict[int, np.ndarray] | None = None
+        if "known_positions" in ck.arrays:
+            known = {
+                int(pos): ck.arrays["known_traces"][j]
+                for j, pos in enumerate(ck.arrays["known_positions"])
+            }
+        restore_rng_state(self._rng, ck.meta["rng_state"])
+        return ck.step, population, all_individuals, known
+
+    def run(self, resume: bool = False) -> GaResult:
+        """Run the full GA; returns every evaluated individual.
+
+        With a checkpoint store attached, ``resume=True`` continues from
+        the newest verifying ``"ga"`` checkpoint (falling back to a
+        fresh start when none exists); the resumed run's result is
+        bit-identical to an uninterrupted run of the same configuration.
+        """
         cfg = self.config
         with self.tracer.span(
             "ga.run",
@@ -420,14 +565,36 @@ class BenchmarkEvolver:
             engine=self.simulator.engine,
             seed=cfg.seed,
         ) as root:
-            population = self._initial_population()
+            start_gen = 0
+            population: list[Program] | None = None
             all_individuals: list[GaIndividual] = []
             known: dict[int, np.ndarray] | None = None
+            if resume and self.checkpoints is not None:
+                ck = self.checkpoints.latest("ga")
+                if ck is not None:
+                    (
+                        start_gen,
+                        population,
+                        all_individuals,
+                        known,
+                    ) = self._restore_generation(ck)
+                    if root:
+                        root.set(resumed_from=start_gen)
+            if population is None:
+                population = self._initial_population()
             sim0, hit0, reuse0 = (
                 self.n_simulated, self.n_cache_hits, self.n_elite_reuses
             )
 
-            for gen in range(cfg.generations):
+            for gen in range(start_gen, cfg.generations):
+                if self.checkpoints is not None:
+                    self._save_generation(
+                        gen, population, all_individuals, known
+                    )
+                if self.faults is not None:
+                    # A scheduled "interrupt" models a crash right after
+                    # the checkpoint: run(resume=True) re-enters here.
+                    self.faults.raise_if("ga.generation")
                 with self.tracer.span(
                     "ga.generation", generation=gen
                 ) as sp:

@@ -109,6 +109,43 @@ class RunManifest:
         for span in tracer.roots:
             self.add_stage(span.name, span.duration)
 
+    # ------------------------------------------------------------------ #
+    def record_fault_plan(self, injector_or_plan) -> None:
+        """Record the chaos fault plan (and what actually fired).
+
+        Accepts a :class:`~repro.resilience.FaultInjector` (recording
+        both plan and fired log) or a bare
+        :class:`~repro.resilience.FaultPlan`.  Stored under
+        ``extra["fault_plan"]`` so a faulted run's manifest is a full
+        reproduction recipe.
+        """
+        if hasattr(injector_or_plan, "summary"):
+            self.extra["fault_plan"] = injector_or_plan.summary()
+        else:
+            self.extra["fault_plan"] = {
+                "plan": injector_or_plan.to_dict(),
+                "fired": [],
+            }
+
+    def record_resume(
+        self, stage: str, step: int, checkpoint_path=None
+    ) -> None:
+        """Record that ``stage`` resumed from checkpoint ``step``.
+
+        Accumulates under ``extra["resumed_from"]`` — one entry per
+        resumed stage — so manifests show a run's full restart lineage.
+        """
+        lineage = self.extra.setdefault("resumed_from", [])
+        lineage.append(
+            {
+                "stage": stage,
+                "step": int(step),
+                "checkpoint": (
+                    None if checkpoint_path is None else str(checkpoint_path)
+                ),
+            }
+        )
+
     @property
     def total_wall_s(self) -> float:
         return sum(st["wall_s"] for st in self.stages.values())

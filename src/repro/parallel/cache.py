@@ -6,9 +6,17 @@ record spec, accumulator weights.  Values are ``dict[str, ndarray]``
 payloads.  Two tiers:
 
 * an in-memory LRU bounded by entry count and total bytes;
-* an optional on-disk ``.npz`` tier (atomic writes: tmp + rename), so
-  GA elites, handcrafted workloads reused across experiments, and
-  repeated tuning folds survive process boundaries.
+* an optional on-disk ``.npz`` tier (atomic writes via
+  :func:`repro.resilience.atomic.atomic_save_npz`), so GA elites,
+  handcrafted workloads reused across experiments, and repeated tuning
+  folds survive process boundaries.
+
+Disk-tier I/O runs under a :class:`~repro.resilience.retry.RetryPolicy`
+(transient ``OSError`` heals in place).  A disk entry that fails to
+*decode* is corruption, not transience: by default it is deleted,
+counted in ``parallel.cache.corrupt``, and served as a miss; with
+``strict_corruption=True`` it raises
+:class:`~repro.errors.CacheCorruptionError` instead.
 
 Because the simulator's accumulator reduction is batch-width
 independent, a cached per-program result is *bit-identical* to what any
@@ -22,15 +30,16 @@ Hits/misses/stores/evictions are exported through
 from __future__ import annotations
 
 import hashlib
-import os
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ParallelError
+from repro.errors import CacheCorruptionError, ParallelError
 from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.resilience.atomic import atomic_save_npz
+from repro.resilience.retry import RetryPolicy
 
 __all__ = [
     "EvalCache",
@@ -112,6 +121,20 @@ class EvalCache:
     metrics:
         Registry for ``parallel.cache.*`` counters/gauges; defaults to
         the process-global registry.
+    strict_corruption:
+        When ``True``, a disk entry that fails to decode raises
+        :class:`CacheCorruptionError` instead of being deleted and
+        served as a miss.  Either way it is counted in
+        ``parallel.cache.corrupt``.
+    retry:
+        :class:`~repro.resilience.retry.RetryPolicy` for disk-tier
+        reads and writes; the default retries transient I/O errors
+        twice with no delay.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; the
+        ``cache.read`` site can corrupt an entry before it is decoded
+        and ``cache.write`` can raise a transient error into the retry
+        loop.
 
     Values are dicts of arrays and are returned by reference from the
     memory tier — callers must treat them as read-only.
@@ -123,6 +146,9 @@ class EvalCache:
         max_bytes: int = 512 * 1024 * 1024,
         disk_dir: str | Path | None = None,
         metrics: MetricsRegistry | None = None,
+        strict_corruption: bool = False,
+        retry: RetryPolicy | None = None,
+        faults=None,
     ) -> None:
         if max_entries < 1:
             raise ParallelError("max_entries must be >= 1")
@@ -132,12 +158,15 @@ class EvalCache:
         self.max_bytes = max_bytes
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self.metrics = metrics if metrics is not None else default_registry()
+        self.strict_corruption = strict_corruption
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.faults = faults
         self._mem: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
         self._bytes = 0
         # Instance-local stats (the registry may be shared across caches).
         self._stats = {
             "hits": 0, "misses": 0, "stores": 0,
-            "evictions": 0, "disk_hits": 0,
+            "evictions": 0, "disk_hits": 0, "corrupt": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -154,8 +183,18 @@ class EvalCache:
         return self.disk_dir / f"{key}.npz"
 
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _read_disk(path: Path) -> dict[str, np.ndarray]:
+        with np.load(path, allow_pickle=False) as data:
+            return {k: data[k].copy() for k in data.files}
+
     def get(self, key: str) -> dict[str, np.ndarray] | None:
-        """Look up ``key``; promotes disk hits into the memory tier."""
+        """Look up ``key``; promotes disk hits into the memory tier.
+
+        A disk entry that fails to decode is counted as corrupt and
+        deleted (so a later ``put`` can repair it); strict mode raises
+        :class:`CacheCorruptionError` instead.
+        """
         value = self._mem.get(key)
         if value is not None:
             self._mem.move_to_end(key)
@@ -163,11 +202,29 @@ class EvalCache:
             return value
         path = self._disk_path(key)
         if path is not None and path.exists():
+            if self.faults is not None:
+                for spec in self.faults.fire("cache.read"):
+                    if spec.kind == "corrupt":
+                        from repro.resilience.faults import truncate_file
+
+                        truncate_file(path)
             try:
-                with np.load(path, allow_pickle=False) as data:
-                    value = {k: data[k].copy() for k in data.files}
-            except (OSError, ValueError, zipfile.BadZipFile):
-                value = None  # corrupt/partial file: treat as a miss
+                value = self.retry.call(
+                    self._read_disk,
+                    path,
+                    label="cache.read",
+                    metrics=self.metrics,
+                )
+            except (OSError, ValueError, zipfile.BadZipFile) as exc:
+                # Not transience (retries are exhausted): the entry is
+                # corrupt.  Drop it so a future put() repairs the slot.
+                value = None
+                self._count("corrupt")
+                path.unlink(missing_ok=True)
+                if self.strict_corruption:
+                    raise CacheCorruptionError(
+                        f"cache entry {path} failed to decode: {exc}"
+                    ) from exc
             if value is not None:
                 self._store_mem(key, value)
                 self._count("hits")
@@ -183,15 +240,17 @@ class EvalCache:
         path = self._disk_path(key)
         if path is not None and not path.exists():
             self.disk_dir.mkdir(parents=True, exist_ok=True)
-            # Atomic publish: concurrent writers race benignly — both
-            # write identical content and the rename is atomic.
-            tmp = path.with_name(f".{key}.{os.getpid()}.tmp.npz")
-            try:
-                np.savez_compressed(tmp, **value)
-                os.replace(tmp, path)
-            finally:
-                if tmp.exists():  # pragma: no cover - error path
-                    tmp.unlink()
+
+            def _write() -> None:
+                if self.faults is not None:
+                    self.faults.raise_if("cache.write")
+                # Atomic publish: concurrent writers race benignly —
+                # both write identical content and the rename is atomic.
+                atomic_save_npz(path, value)
+
+            self.retry.call(
+                _write, label="cache.write", metrics=self.metrics
+            )
         self._count("stores")
 
     def _store_mem(self, key: str, value: dict[str, np.ndarray]) -> None:

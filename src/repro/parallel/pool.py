@@ -13,10 +13,17 @@ Its contract:
   any worker count.
 * **Graceful degradation**: the serial path is used outright when
   ``workers <= 1`` or there are fewer items than workers (spawn cost
-  would dominate); if the pool itself breaks — a worker dies, the task
-  won't pickle — the batch is re-run serially in-process and the pool
-  marks itself degraded.  Application exceptions raised by ``fn`` are
-  *not* swallowed: they propagate to the caller unchanged.
+  would dominate).  If the pool itself breaks — a worker dies, the task
+  won't pickle — the batch is retried once on a freshly spawned pool
+  (transient worker deaths heal in place); only a second consecutive
+  failure demotes the pool to serial, re-runs the batch in-process, and
+  marks it degraded.  :meth:`WorkerPool.reset` restores a degraded pool
+  to full service.  Application exceptions raised by ``fn`` are *not*
+  swallowed: they propagate to the caller unchanged.
+
+Health is tracked by a shared :class:`~repro.resilience.retry.HealthState`
+machine (``ok -> degraded -> failed``) exposed as ``pool.health``;
+``pool.degraded`` remains as the boolean view of it.
 
 Task functions must be module-level (picklable); closures over local
 state belong in per-process state seeded via ``initializer`` /
@@ -31,15 +38,16 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import ParallelError
+from repro.errors import ParallelError, TransientFault
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.trace import NULL_TRACER
+from repro.resilience.retry import HealthState
 
 __all__ = ["WorkerPool", "default_workers"]
 
 #: Exceptions that mean "the pool broke", as opposed to "the task
-#: failed"; only these trigger the serial fallback.
-_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError)
+#: failed"; only these trigger the respawn retry / serial fallback.
+_POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError, TransientFault)
 
 
 def default_workers() -> int:
@@ -67,6 +75,11 @@ class WorkerPool:
         :class:`~repro.obs.metrics.MetricsRegistry` for the
         ``parallel.pool.*`` counters; defaults to the process-global
         registry.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultInjector`; the
+        ``pool.map`` site can kill a live worker or raise a transient
+        error on a scheduled parallel dispatch, exercising the respawn
+        and serial-fallback paths deterministically.
     """
 
     def __init__(
@@ -76,6 +89,7 @@ class WorkerPool:
         initargs: tuple = (),
         tracer=None,
         metrics: MetricsRegistry | None = None,
+        faults=None,
     ) -> None:
         if workers < 0:
             raise ParallelError(f"workers must be >= 0, got {workers}")
@@ -84,14 +98,21 @@ class WorkerPool:
         self._initargs = initargs
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics if metrics is not None else default_registry()
+        self.faults = faults
         self._executor: ProcessPoolExecutor | None = None
-        self.degraded = False  # a pool failure demoted us to serial
+        self.health = HealthState()
+        self._last_failure: str | None = None
 
     # ------------------------------------------------------------------ #
     @property
+    def degraded(self) -> bool:
+        """Whether a pool failure has demoted this pool to serial."""
+        return not self.health.ok
+
+    @property
     def parallel(self) -> bool:
         """Whether this pool may run tasks out-of-process."""
-        return self.workers > 1 and not self.degraded
+        return self.workers > 1 and self.health.ok
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -110,7 +131,7 @@ class WorkerPool:
         return self._executor
 
     def _degrade(self, reason: str, wait: bool = True) -> None:
-        self.degraded = True
+        self.health.degrade(reason)
         self.metrics.counter("parallel.pool.degraded").inc()
         self._shutdown_executor(wait=wait)
         self._last_failure = reason
@@ -125,7 +146,26 @@ class WorkerPool:
             self._executor.shutdown(wait=wait, cancel_futures=True)
             self._executor = None
 
+    def reset(self) -> None:
+        """Restore a degraded pool to full (parallel) service.
+
+        Drops any broken executor so the next ``map`` spawns fresh
+        workers, and returns health to OK.  Safe to call on a healthy
+        pool (no-op beyond an executor recycle).
+        """
+        self._shutdown_executor()
+        self.health.reset("pool reset")
+        self.metrics.counter("parallel.pool.resets").inc()
+
     # ------------------------------------------------------------------ #
+    def _map_parallel(self, fn: Callable, items: list) -> list:
+        """One parallel dispatch attempt (may raise ``_POOL_FAILURES``)."""
+        if self.faults is not None:
+            specs = self.faults.raise_if("pool.map")
+            if any(s.kind == "kill_worker" for s in specs):
+                self.faults.kill_one_worker(self._ensure_executor())
+        return list(self._ensure_executor().map(fn, items))
+
     def map(
         self,
         fn: Callable,
@@ -135,9 +175,12 @@ class WorkerPool:
         """``[fn(x) for x in items]``, possibly across processes.
 
         Results come back in item order.  Exceptions raised by ``fn``
-        propagate; pool-level failures (dead worker, unpicklable task)
-        fall back to in-process serial execution and mark the pool
-        degraded for subsequent calls.
+        propagate.  Pool-level failures (dead worker, broken pipe) get
+        one retry on a freshly spawned pool; if that also fails, the
+        batch is re-run in-process serially and the pool marks itself
+        degraded for subsequent calls (until :meth:`reset`).  Tasks that
+        fail to pickle are a deterministic defect, not a transient: they
+        degrade immediately without a respawn attempt.
         """
         items = list(items)
         serial = not self.parallel or len(items) < self.workers
@@ -161,23 +204,42 @@ class WorkerPool:
                 self.metrics.counter("parallel.pool.serial_maps").inc()
                 return [fn(x) for x in items]
             try:
-                results = list(self._ensure_executor().map(fn, items))
-                self.metrics.counter("parallel.pool.parallel_maps").inc()
-                self.metrics.counter("parallel.pool.tasks").inc(len(items))
-                return results
+                results = self._map_parallel(fn, items)
             except _POOL_FAILURES as exc:
-                # The *pool* failed, not the task: rerun serially so the
-                # caller still gets an answer, and stop trying to spawn.
-                # (An unpicklable *item* — a pickling failure the
-                # up-front check can't see — leaves the feeder thread
-                # wedged; don't wait on it.)
-                self._degrade(
-                    f"{type(exc).__name__}: {exc}",
-                    wait=not isinstance(exc, pickle.PicklingError),
-                )
-                if sp:
-                    sp.set(fallback=str(exc))
-                return [fn(x) for x in items]
+                results = None
+                if not isinstance(exc, pickle.PicklingError):
+                    # A dead worker is often transient (OOM kill, fault
+                    # injection): spawn a fresh pool and retry the batch
+                    # once before giving up on parallelism.
+                    self._shutdown_executor(wait=True)
+                    self.metrics.counter("parallel.pool.respawns").inc()
+                    try:
+                        results = self._map_parallel(fn, items)
+                        self.metrics.counter(
+                            "parallel.pool.respawn_recoveries"
+                        ).inc()
+                        if sp:
+                            sp.set(respawned=True)
+                    except _POOL_FAILURES as exc2:
+                        exc = exc2
+                        results = None
+                if results is None:
+                    # The *pool* failed twice (or the task can't move
+                    # between processes at all): rerun serially so the
+                    # caller still gets an answer, and stop trying to
+                    # spawn.  (An unpicklable *item* — a pickling
+                    # failure the up-front check can't see — leaves the
+                    # feeder thread wedged; don't wait on it.)
+                    self._degrade(
+                        f"{type(exc).__name__}: {exc}",
+                        wait=not isinstance(exc, pickle.PicklingError),
+                    )
+                    if sp:
+                        sp.set(fallback=str(exc))
+                    return [fn(x) for x in items]
+            self.metrics.counter("parallel.pool.parallel_maps").inc()
+            self.metrics.counter("parallel.pool.tasks").inc(len(items))
+            return results
 
     def shard(self, n_items: int) -> list[slice]:
         """Contiguous near-even slices covering ``range(n_items)``.

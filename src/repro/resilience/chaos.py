@@ -1,0 +1,388 @@
+"""End-to-end chaos harness: a faulted pipeline must match a clean one.
+
+:func:`run_chaos` runs the training pipeline (GA micro-benchmark
+evolution -> training-dataset collection -> APOLLO selection/relaxation
+-> fixed-point quantization) twice:
+
+1. a **baseline** run — serial, no faults, no checkpoints;
+2. a **faulted** run — checkpointed, cached, worker-pooled, and driven
+   under a seeded :class:`~repro.resilience.faults.FaultPlan` that
+   kills workers, raises transients, tears checkpoint writes, corrupts
+   cache entries, and interrupts stage boundaries.  Every interrupt is
+   handled the way production would handle a crashed process: the stage
+   is re-entered with ``resume=True`` and continues from its newest
+   verifying checkpoint.
+
+The harness then compares the two quantized models **bit for bit**.
+A match is the whole point of the resilience layer: faults may cost
+time, but they may never change the answer.  The ``apollo-repro chaos``
+subcommand wraps this function; chaos property tests drive it (and the
+individual fault sites) directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ResilienceError, TransientFault
+from repro.obs.trace import NULL_TRACER
+from repro.resilience.checkpoint import CheckpointStore
+from repro.resilience.faults import FaultInjector, FaultPlan
+
+__all__ = ["CHAOS_SITES", "ChaosReport", "run_chaos"]
+
+#: Fault sites a default chaos plan draws from — exactly the ones the
+#: GA + dataset + training pipeline passes through.
+CHAOS_SITES: dict[str, tuple[str, ...]] = {
+    "pool.map": ("kill_worker", "transient"),
+    "cache.read": ("corrupt",),
+    "cache.write": ("transient",),
+    "checkpoint.write": ("truncate",),
+    "ga.generation": ("interrupt",),
+    "dataset.train.wave": ("interrupt",),
+}
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos experiment (JSON-ready via :meth:`to_dict`)."""
+
+    seed: int
+    match: bool
+    restarts: int
+    injected: list[dict]
+    plan: dict
+    baseline_sha256: str
+    faulted_sha256: str
+    baseline_seconds: float
+    faulted_seconds: float
+    design: str = "m0"
+    scale: str = "tiny"
+    engine: str = "packed"
+    workers: int = 2
+    out_dir: str | None = None
+    stages: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "match": self.match,
+            "restarts": self.restarts,
+            "injected": self.injected,
+            "plan": self.plan,
+            "baseline_sha256": self.baseline_sha256,
+            "faulted_sha256": self.faulted_sha256,
+            "baseline_seconds": self.baseline_seconds,
+            "faulted_seconds": self.faulted_seconds,
+            "design": self.design,
+            "scale": self.scale,
+            "engine": self.engine,
+            "workers": self.workers,
+            "out_dir": self.out_dir,
+            "stages": self.stages,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos seed {self.seed}: "
+            + ("MATCH — faulted run is bit-identical" if self.match
+               else "MISMATCH — faulted run diverged"),
+            f"  design {self.design} · scale {self.scale} · engine "
+            f"{self.engine} · workers {self.workers}",
+            f"  faults injected: {len(self.injected)}  "
+            f"stage restarts: {self.restarts}",
+            f"  baseline {self.baseline_seconds:.2f}s  "
+            f"faulted {self.faulted_seconds:.2f}s",
+            f"  model sha256 {self.baseline_sha256[:16]} vs "
+            f"{self.faulted_sha256[:16]}",
+        ]
+        for site, kind, at in sorted(
+            (f["site"], f["kind"], f["at"]) for f in self.injected
+        ):
+            lines.append(f"    {site:<18} {kind:<12} arrival {at}")
+        return "\n".join(lines)
+
+
+def _model_sha256(qmodel) -> str:
+    """Content hash over every array/scalar the artifact persists."""
+    h = hashlib.sha256()
+    for arr in (
+        np.asarray(qmodel.proxies, dtype=np.int64),
+        np.asarray(qmodel.int_weights, dtype=np.int64),
+        np.asarray([qmodel.int_intercept], dtype=np.int64),
+        np.asarray([qmodel.step], dtype=np.float64),
+        np.asarray([qmodel.bits], dtype=np.int64),
+    ):
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def _models_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.proxies, b.proxies)
+        and np.array_equal(a.int_weights, b.int_weights)
+        and a.int_intercept == b.int_intercept
+        and a.step == b.step
+        and a.bits == b.bits
+    )
+
+
+def _restartable(fn, counters: dict, label: str, max_restarts: int):
+    """Crash-restart driver: re-enter ``fn(resume=True)`` on interrupts.
+
+    ``fn(resume)`` is one pipeline stage; an escaped
+    :class:`TransientFault` models the process dying at a stage
+    boundary, and the re-entry models the operator (or supervisor)
+    restarting it — which resumes from the newest checkpoint.
+    """
+    for attempt in range(max_restarts + 1):
+        try:
+            return fn(resume=attempt > 0)
+        except TransientFault:
+            counters["restarts"] += 1
+            counters.setdefault("by_stage", {}).setdefault(label, 0)
+            counters["by_stage"][label] += 1
+    raise ResilienceError(
+        f"stage {label!r} did not complete within {max_restarts} restarts"
+    )
+
+
+def _pipeline(
+    core,
+    scale,
+    seed: int,
+    engine: str,
+    workers: int,
+    cache,
+    checkpoints,
+    faults,
+    tracer,
+    counters: dict,
+    max_restarts: int,
+    stages: dict | None = None,
+):
+    """GA -> training dataset -> APOLLO -> quantized model."""
+    from repro.core.model import train_apollo
+    from repro.core.selection import _abs_corr
+    from repro.genbench import (
+        BenchmarkEvolver,
+        GaConfig,
+        build_training_dataset,
+    )
+    from repro.opm import quantize_model
+
+    def timed(name):
+        t0 = time.perf_counter()
+
+        def done():
+            if stages is not None:
+                stages[name] = round(time.perf_counter() - t0, 4)
+
+        return done
+
+    done = timed("ga")
+    cfg = GaConfig(
+        population=scale.ga_population,
+        generations=scale.ga_generations,
+        eval_cycles=scale.ga_benchmark_cycles,
+        seed=seed,
+    )
+    evolver = BenchmarkEvolver(
+        core,
+        cfg,
+        engine=engine,
+        tracer=tracer,
+        workers=workers,
+        cache=cache,
+        checkpoints=checkpoints,
+        faults=faults,
+    )
+    try:
+        ga = _restartable(
+            lambda resume: evolver.run(resume=resume),
+            counters, "ga", max_restarts,
+        )
+    finally:
+        evolver.close()
+    done()
+
+    done = timed("dataset")
+    train = _restartable(
+        lambda resume: build_training_dataset(
+            core,
+            ga,
+            target_cycles=scale.train_cycles,
+            replay_cycles=scale.ga_benchmark_cycles,
+            seed=seed,
+            engine=engine,
+            workers=workers,
+            cache=cache,
+            checkpoints=checkpoints,
+            faults=faults,
+            resume=resume,
+        ),
+        counters, "dataset", max_restarts,
+    )
+    done()
+
+    done = timed("train")
+    # Correlation screen + MCP selection + ridge relaxation, the same
+    # shape ExperimentContext uses (inlined so the chaos pipeline has no
+    # hidden disk caches of its own).
+    ids = train.candidate_ids
+    X = train.features(ids)
+    if X.shape[1] > scale.screen_width:
+        corr = _abs_corr(X.astype(np.float32), train.labels)
+        keep = np.sort(
+            np.argsort(-corr, kind="stable")[: scale.screen_width]
+        )
+        X = X[:, keep]
+        ids = ids[keep]
+    q = max(4, min(scale.max_quickstart_q, X.shape[1] // 4))
+    model = train_apollo(
+        np.ascontiguousarray(X),
+        train.labels,
+        q=q,
+        candidate_ids=np.asarray(ids),
+        tracer=tracer,
+    )
+    qmodel = quantize_model(model)
+    done()
+    return qmodel
+
+
+def run_chaos(
+    seed: int = 0,
+    design: str = "m0",
+    scale: str | None = "tiny",
+    engine: str = "packed",
+    workers: int = 2,
+    out_dir: str | Path | None = None,
+    plan: FaultPlan | None = None,
+    n_faults: int = 6,
+    max_at: int = 3,
+    tracer=None,
+) -> ChaosReport:
+    """Run the faulted-vs-clean pipeline comparison; see module docs.
+
+    Parameters
+    ----------
+    seed:
+        Seeds both the pipeline (GA etc.) and, when ``plan`` is not
+        given, the random :class:`FaultPlan` — the whole experiment is
+        reproducible from this one number.
+    design, scale, engine, workers:
+        Pipeline configuration for both runs.  The baseline runs
+        serial/uncached regardless of ``workers``; the faulted run uses
+        the full parallel+cache+checkpoint machinery.
+    out_dir:
+        Where checkpoints, the cache tier, the report JSON, and the run
+        manifest land.  A temporary directory is used when omitted.
+    plan:
+        Explicit :class:`FaultPlan`; default is
+        ``FaultPlan.random(seed, sites=CHAOS_SITES, ...)``.
+    """
+    import tempfile
+
+    from repro.config import get_scale
+    from repro.design import build_core
+    from repro.obs.provenance import RunManifest, config_hash
+    from repro.parallel.cache import EvalCache
+    from repro.uarch import A77_LIKE, M0_LIKE, N1_LIKE
+
+    params = {"m0": M0_LIKE, "n1": N1_LIKE, "a77": A77_LIKE}.get(design)
+    if params is None:
+        raise ResilienceError(f"unknown design {design!r}")
+    scale_obj = get_scale(scale if isinstance(scale, str) else None)
+    tracer = tracer or NULL_TRACER
+    core = build_core(params)
+    plan = plan or FaultPlan.random(
+        seed, sites=CHAOS_SITES, n_faults=n_faults, max_at=max_at
+    )
+    # Every scheduled fault can fire at most once, so interrupts (the
+    # only kind that escapes a stage) bound the restart count.
+    max_restarts = len(plan.faults) + 1
+
+    tmp = None
+    if out_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="apollo-chaos-")
+        out_dir = tmp.name
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    try:
+        t0 = time.perf_counter()
+        baseline = _pipeline(
+            core, scale_obj, seed, engine,
+            workers=1, cache=None, checkpoints=None, faults=None,
+            tracer=tracer, counters={"restarts": 0}, max_restarts=0,
+        )
+        baseline_s = time.perf_counter() - t0
+
+        injector = FaultInjector(plan)
+        checkpoints = CheckpointStore(
+            out / "checkpoints", tracer=tracer, faults=injector
+        )
+        cache = EvalCache(disk_dir=out / "cache", faults=injector)
+        counters: dict = {"restarts": 0}
+        stages: dict = {}
+        t0 = time.perf_counter()
+        faulted = _pipeline(
+            core, scale_obj, seed, engine,
+            workers=workers, cache=cache, checkpoints=checkpoints,
+            faults=injector, tracer=tracer, counters=counters,
+            max_restarts=max_restarts, stages=stages,
+        )
+        faulted_s = time.perf_counter() - t0
+
+        report = ChaosReport(
+            seed=seed,
+            match=_models_equal(baseline, faulted),
+            restarts=counters["restarts"],
+            injected=[
+                {"site": site, "kind": kind, "at": at}
+                for site, kind, at in injector.fired
+            ],
+            plan=plan.to_dict(),
+            baseline_sha256=_model_sha256(baseline),
+            faulted_sha256=_model_sha256(faulted),
+            baseline_seconds=round(baseline_s, 4),
+            faulted_seconds=round(faulted_s, 4),
+            design=design,
+            scale=scale_obj.name,
+            engine=engine,
+            workers=workers,
+            out_dir=None if tmp is not None else str(out),
+            stages=stages,
+        )
+
+        manifest = RunManifest(
+            run="chaos",
+            design=design,
+            scale=scale_obj.name,
+            seed=seed,
+            engine=engine,
+            config={"workers": workers, "n_faults": len(plan.faults)},
+            extra={
+                "match": report.match,
+                "restarts": report.restarts,
+                "config_hash": config_hash(plan.to_dict()),
+            },
+        )
+        manifest.record_fault_plan(injector)
+        for name, wall in stages.items():
+            manifest.add_stage(name, wall)
+        manifest.save(out / "chaos.manifest.json")
+        (out / "chaos.report.json").write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        return report
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

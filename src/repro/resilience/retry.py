@@ -1,0 +1,191 @@
+"""Bounded, deterministic retries and a shared health-state machine.
+
+:class:`RetryPolicy` retries transient failures a bounded number of
+times with a *deterministic* backoff schedule (no jitter — reproducible
+runs are the repo's core contract), publishing ``resilience.retry.*``
+counters and a ``resilience.retry`` span per retried call through
+:mod:`repro.obs`.  When attempts are exhausted the **original**
+exception propagates unchanged, so callers' error handling never has to
+unwrap a policy-specific wrapper.
+
+:class:`HealthState` is the three-state machine (``ok -> degraded ->
+failed``) that replaces the ad-hoc ``degraded`` booleans previously
+scattered through :class:`~repro.parallel.pool.WorkerPool` and
+:class:`~repro.stream.session.StreamSession`: *degraded* means the
+component lost capacity but still produces correct output (serial
+fallback, T-cycle-only readings) and may recover; *failed* is terminal
+until an explicit :meth:`HealthState.reset`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.errors import ResilienceError, TransientFault
+from repro.obs.metrics import MetricsRegistry, default_registry
+from repro.obs.trace import NULL_TRACER
+
+__all__ = ["RetryPolicy", "Health", "HealthState"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with a deterministic exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries, including the first (``1`` means "no retries").
+    base_delay, multiplier, max_delay:
+        Delay before retry ``k`` (1-based) is
+        ``min(base_delay * multiplier**(k-1), max_delay)`` seconds —
+        fully determined by the policy, never randomized.
+    retry_on:
+        Exception types considered transient.  Anything else propagates
+        immediately.
+    sleep:
+        Injectable clock for tests; defaults to :func:`time.sleep`.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    retry_on: tuple[type[BaseException], ...] = (
+        TransientFault,
+        OSError,
+    )
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ResilienceError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ResilienceError("delays must be >= 0")
+
+    def delays(self) -> list[float]:
+        """The deterministic backoff schedule (one entry per retry)."""
+        return [
+            min(self.base_delay * self.multiplier ** k, self.max_delay)
+            for k in range(self.max_attempts - 1)
+        ]
+
+    def call(
+        self,
+        fn: Callable,
+        *args,
+        label: str = "call",
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        **kwargs,
+    ):
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        ``on_retry(attempt, exc)`` runs before each re-attempt — the
+        hook components use to rebuild broken state (re-spawn a pool,
+        reopen a file) between tries.  On exhaustion the last exception
+        is re-raised as-is.
+        """
+        metrics = metrics if metrics is not None else default_registry()
+        tracer = tracer or NULL_TRACER
+        delays = self.delays()
+        last: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            metrics.counter("resilience.retry.attempts").inc()
+            try:
+                result = fn(*args, **kwargs)
+            except self.retry_on as exc:
+                last = exc
+                if attempt == self.max_attempts:
+                    break
+                metrics.counter("resilience.retry.retries").inc()
+                with tracer.span(
+                    "resilience.retry",
+                    label=label,
+                    attempt=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                ):
+                    delay = delays[attempt - 1]
+                    if delay > 0:
+                        self.sleep(delay)
+                    if on_retry is not None:
+                        on_retry(attempt, exc)
+                continue
+            if attempt > 1:
+                metrics.counter("resilience.retry.recovered").inc()
+            return result
+        metrics.counter("resilience.retry.exhausted").inc()
+        assert last is not None
+        raise last
+
+
+class Health(Enum):
+    """Component health: correct+full, correct+reduced, or stopped."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+
+
+@dataclass
+class HealthState:
+    """The ``ok -> degraded -> failed`` machine with transition log.
+
+    ``degrade``/``recover`` move between OK and DEGRADED; ``fail`` is a
+    one-way door reopened only by :meth:`reset`.  Every transition is
+    recorded (old state, new state, reason), so snapshots and manifests
+    can show *why* a component is where it is.
+    """
+
+    state: Health = Health.OK
+    reason: str | None = None
+    transitions: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.state is Health.OK
+
+    @property
+    def degraded(self) -> bool:
+        return self.state is Health.DEGRADED
+
+    @property
+    def failed(self) -> bool:
+        return self.state is Health.FAILED
+
+    def _move(self, to: Health, reason: str) -> None:
+        self.transitions.append((self.state.value, to.value, reason))
+        self.state = to
+        self.reason = reason
+
+    def degrade(self, reason: str = "") -> None:
+        """OK -> DEGRADED (no-op when already degraded or failed)."""
+        if self.state is Health.OK:
+            self._move(Health.DEGRADED, reason)
+
+    def recover(self, reason: str = "recovered") -> None:
+        """DEGRADED -> OK (failure is sticky; use :meth:`reset`)."""
+        if self.state is Health.DEGRADED:
+            self._move(Health.OK, reason)
+
+    def fail(self, reason: str = "") -> None:
+        """Any state -> FAILED."""
+        if self.state is not Health.FAILED:
+            self._move(Health.FAILED, reason)
+
+    def reset(self, reason: str = "reset") -> None:
+        """Force back to OK from any state (operator intervention)."""
+        if self.state is not Health.OK:
+            self._move(Health.OK, reason)
+
+    def as_dict(self) -> dict:
+        """JSON-ready view for snapshots and manifests."""
+        return {
+            "state": self.state.value,
+            "reason": self.reason,
+            "transitions": [list(t) for t in self.transitions],
+        }

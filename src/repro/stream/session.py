@@ -20,6 +20,16 @@ Flow control is explicit and deterministic (no threads):
   products (ring, EMA, droop detection) pause — per-cycle continuity is
   broken anyway — while T-cycle-averaged window readings keep flowing.
   The session recovers once its queue fully drains.
+
+Session health is a full ``ok -> degraded -> failed``
+:class:`~repro.resilience.retry.HealthState` machine (``session.health``;
+the old ``degraded`` boolean remains as a property over it).  Source
+pulls run under a :class:`~repro.resilience.retry.RetryPolicy`, so a
+transient source error (or an injected
+:class:`~repro.errors.TransientFault` stall) heals in place; a stall
+that outlives the retry budget degrades the session, and
+``max_source_errors`` *consecutive* failed pumps fail it outright —
+its remaining queue still drains, then the session reports done.
 """
 
 from __future__ import annotations
@@ -30,10 +40,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import StreamError
+from repro.errors import StreamError, TransientFault
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
 from repro.opm.meter import OpmMeter
+from repro.resilience.retry import HealthState, RetryPolicy
 from repro.stream.aggregate import (
     BudgetWatcher,
     DroopWatcher,
@@ -60,6 +71,7 @@ class StreamConfig:
     ring_capacity: int = 4096
     window_ring_capacity: int = 1024
     ema_alpha: float = 0.05
+    max_source_errors: int = 3
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -68,6 +80,8 @@ class StreamConfig:
             raise StreamError("pump/drain block counts must be >= 1")
         if self.ring_capacity < 1 or self.window_ring_capacity < 1:
             raise StreamError("ring capacities must be >= 1")
+        if self.max_source_errors < 1:
+            raise StreamError("max_source_errors must be >= 1")
 
 
 class StreamSession:
@@ -81,6 +95,7 @@ class StreamSession:
         config: StreamConfig | None = None,
         droop: DroopWatcher | None = None,
         budget: BudgetWatcher | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.name = name
         self.config = config or StreamConfig()
@@ -93,44 +108,92 @@ class StreamSession:
         self.ema = EmaTracker(self.config.ema_alpha)
         self.droop = droop
         self.budget = budget
-        self.degraded = False
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.health = HealthState()
         self.cycles_processed = 0
         self.blocks_processed = 0
         self.dropped_blocks = 0
         self.dropped_cycles = 0
         self.degraded_entries = 0
         self.degraded_cycles = 0
+        self.source_errors = 0
+        self._consecutive_source_errors = 0
         self.window_sum = 0.0
         self.window_count = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Boolean view of :attr:`health` (degraded or failed)."""
+        return not self.health.ok
+
+    @property
+    def failed(self) -> bool:
+        return self.health.failed
 
     @property
     def done(self) -> bool:
         return self.exhausted and not self.queue
 
     # -------------------------------------------------------------- #
+    def _pull(self) -> ProxyBlock:
+        return next(self._it)
+
     def pump(self, max_blocks: int | None = None) -> int:
-        """Pull up to ``max_blocks`` blocks from the source."""
+        """Pull up to ``max_blocks`` blocks from the source.
+
+        Each pull runs under the session's retry policy, so transient
+        source errors shorter than the retry budget are invisible.  A
+        pull that exhausts its retries counts as one source error and
+        degrades the session; ``max_source_errors`` *consecutive* such
+        pumps fail it (the source is considered dead and the session
+        finishes from its queue).
+        """
         if self.exhausted:
             return 0
         n = self.config.pump_blocks if max_blocks is None else max_blocks
         pulled = 0
         for _ in range(n):
-            block = next(self._it, None)
-            if block is None:
+            try:
+                block = self.retry.call(
+                    self._pull, label=f"stream.pump.{self.name}"
+                )
+            except StopIteration:
                 self.exhausted = True
                 break
+            except (TransientFault, StreamError, OSError) as exc:
+                self.source_errors += 1
+                self._consecutive_source_errors += 1
+                if (
+                    self._consecutive_source_errors
+                    >= self.config.max_source_errors
+                ):
+                    self.health.fail(
+                        f"source dead after "
+                        f"{self._consecutive_source_errors} consecutive "
+                        f"errors ({exc})"
+                    )
+                    self.exhausted = True
+                else:
+                    self._degrade(f"source stall: {exc}")
+                break
+            self._consecutive_source_errors = 0
+            if self.health.degraded and not self.queue:
+                self.health.recover("source recovered")
             self._enqueue(block)
             pulled += 1
         return pulled
+
+    def _degrade(self, reason: str) -> None:
+        if self.health.ok:
+            self.health.degrade(reason)
+            self.degraded_entries += 1
 
     def _enqueue(self, block: ProxyBlock) -> None:
         if len(self.queue) >= self.config.queue_depth:
             lost = self.queue.popleft()
             self.dropped_blocks += 1
             self.dropped_cycles += lost.n_cycles
-            if not self.degraded:
-                self.degraded = True
-                self.degraded_entries += 1
+            self._degrade("queue overflow: dropped oldest block")
         self.queue.append(block)
 
     def take(self, max_blocks: int) -> list[ProxyBlock]:
@@ -167,8 +230,8 @@ class StreamSession:
             self.window_count += int(windows_mw.size)
             if self.budget is not None:
                 self.budget.observe(windows_mw)
-        if self.degraded and not self.queue:
-            self.degraded = False  # caught up
+        if self.health.degraded and not self.queue:
+            self.health.recover("queue drained")  # caught up
 
     # -------------------------------------------------------------- #
     def stats(self) -> dict:
@@ -181,6 +244,8 @@ class StreamSession:
             "degraded": self.degraded,
             "degraded_entries": self.degraded_entries,
             "degraded_cycles": self.degraded_cycles,
+            "health": self.health.as_dict(),
+            "source_errors": self.source_errors,
             "queue_depth": len(self.queue),
             "windows_emitted": self.window_count,
             "mean_window_mw": (
@@ -306,6 +371,7 @@ class StreamService:
             "droop_alerts": 0,
             "budget_violations": 0,
             "degraded_entries": 0,
+            "source_errors": 0,
         }
         queue_total = 0
         for s in self.sessions:
@@ -314,6 +380,7 @@ class StreamService:
             totals["blocks_dropped"] += s.dropped_blocks
             totals["windows_emitted"] += s.window_count
             totals["degraded_entries"] += s.degraded_entries
+            totals["source_errors"] += s.source_errors
             if s.droop is not None:
                 totals["droop_alerts"] += s.droop.alerts
             if s.budget is not None:
@@ -335,4 +402,11 @@ class StreamService:
         snap = self.metrics.snapshot()
         snap["sessions"] = {s.name: s.stats() for s in self.sessions}
         snap["steps"] = self.steps
+        # Worst session health wins the service rollup.
+        if any(s.health.failed for s in self.sessions):
+            snap["health"] = "failed"
+        elif any(s.degraded for s in self.sessions):
+            snap["health"] = "degraded"
+        else:
+            snap["health"] = "ok"
         return snap

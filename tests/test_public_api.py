@@ -49,6 +49,12 @@ def test_top_level_exports_resolve():
         "repro.obs.metrics",
         "repro.obs.provenance",
         "repro.stream.metrics",
+        "repro.resilience",
+        "repro.resilience.atomic",
+        "repro.resilience.checkpoint",
+        "repro.resilience.faults",
+        "repro.resilience.retry",
+        "repro.resilience.chaos",
         "repro.cli",
     ],
 )
@@ -65,6 +71,7 @@ def test_module_all_exports_resolve(module):
         "repro.design", "repro.genbench", "repro.core",
         "repro.baselines", "repro.opm", "repro.flow",
         "repro.experiments", "repro.obs", "repro.parallel",
+        "repro.resilience",
     ],
 )
 def test_packages_have_docstrings(module):
