@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.solvers import coordinate_descent, precompute
 from repro.power import PowerAnalyzer
-from repro.rtl import RecordSpec, Simulator, ToggleTrace
+from repro.rtl import ENGINES, RecordSpec, Simulator, ToggleTrace
 
 
 @pytest.fixture(scope="module")
@@ -19,13 +19,14 @@ def core(ctx_n1):
     return ctx_n1.core
 
 
-@pytest.mark.parametrize("engine", ["uint8", "packed"])
+@pytest.mark.parametrize("engine", list(ENGINES))
 def test_perf_gate_sim_accumulate(benchmark, core, engine):
     """Gate-level simulation with a power accumulator (no trace).
 
-    Parametrized over both engines on the same 16-lane batched workload
-    (the GA evaluates a whole generation per call), so the ratio between
-    the two rows is the packed engine's speedup.
+    Parametrized over every registered engine on the same 16-lane
+    batched workload (the GA evaluates a whole generation per call), so
+    the ratios between rows are the engines' relative speedups over the
+    uint8 reference.
     """
     sim = Simulator(core.netlist, engine=engine)
     pa = PowerAnalyzer(core.netlist)
@@ -44,7 +45,7 @@ def test_perf_gate_sim_accumulate(benchmark, core, engine):
     )
 
 
-@pytest.mark.parametrize("engine", ["uint8", "packed"])
+@pytest.mark.parametrize("engine", list(ENGINES))
 def test_perf_gate_sim_full_trace(benchmark, core, engine):
     """Gate-level simulation recording the full packed toggle trace."""
     sim = Simulator(core.netlist, engine=engine)

@@ -33,6 +33,7 @@ from pathlib import Path
 
 from repro.config import SCALES
 from repro.experiments import EXPERIMENTS, ExperimentContext, run_experiment
+from repro.rtl.simulator import ENGINES
 
 __all__ = ["main"]
 
@@ -80,9 +81,11 @@ def _run_one(exp_id: str, ctx_cache: dict, args, cache=None) -> str:
             workers=getattr(args, "workers", 1),
             eval_cache=cache,
         )
-    t0 = time.time()
+    # perf_counter, not time.time: wall-clock can step backwards under
+    # NTP adjustment and would report a negative duration.
+    t0 = time.perf_counter()
     result = run_experiment(exp_id, ctx=ctx_cache[key])
-    rendered = result.render() + f"\n\n[{time.time() - t0:.1f}s]"
+    rendered = result.render() + f"\n\n[{time.perf_counter() - t0:.1f}s]"
     return rendered
 
 
@@ -316,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         help="OPM averaging window (power of two)",
     )
     p_stream.add_argument(
-        "--engine", choices=["packed", "uint8"], default="packed"
+        "--engine", choices=list(ENGINES), default="packed"
     )
     p_stream.add_argument("--queue-depth", type=int, default=8)
     p_stream.add_argument("--pump-blocks", type=int, default=1)
@@ -347,7 +350,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_chaos.add_argument("--scale", choices=list(SCALES), default=None)
     p_chaos.add_argument(
-        "--engine", choices=["packed", "uint8"], default="packed"
+        "--engine", choices=list(ENGINES), default="packed"
     )
     p_chaos.add_argument(
         "--workers", type=int, default=2,

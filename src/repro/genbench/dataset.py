@@ -226,11 +226,12 @@ def _simulate_benchmarks(
     results: list[dict[str, np.ndarray] | None] = [None] * n
     keys: list[str | None] = [None] * n
     if cache is not None:
+        # No engine in the key: backends are bit-identical by contract,
+        # so cached runs are shared (and resumable) across them.
         for i, (_name, prog, cycles, throttle) in enumerate(runs):
             keys[i] = make_key(
                 "dataset-run",
                 netlist_fp,
-                engine,
                 cycles,
                 throttle_fingerprint(throttle),
                 program_fingerprint(prog),
@@ -242,10 +243,11 @@ def _simulate_benchmarks(
     # makes old checkpoints unusable (they are ignored, not trusted).
     ckpt_identity = None
     if checkpoints is not None:
+        # Engine-agnostic identity: a stage checkpointed under one
+        # backend resumes under any other with the same bits.
         ckpt_identity = make_key(
             "dataset-stage",
             netlist_fp,
-            engine,
             *(
                 make_key(
                     name, cycles, throttle_fingerprint(throttle),

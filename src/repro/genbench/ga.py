@@ -289,10 +289,11 @@ class BenchmarkEvolver:
                 self.n_elite_reuses += 1
                 continue
             if self.cache is not None:
+                # No engine in the key: every backend is bit-identical
+                # by contract, so cached traces are shared across them.
                 keys[i] = make_key(
                     "ga-power",
                     self._netlist_fp,
-                    self.simulator.engine,
                     cycles,
                     program_fingerprint(prog),
                     self._weights_fp,
@@ -304,13 +305,23 @@ class BenchmarkEvolver:
                     continue
             miss.append(i)
         if miss:
+            # Cross-individual batching: the whole generation's misses
+            # compile into packed runs.  Shard only when the pool will
+            # actually fan out (mirroring WorkerPool.map's own serial
+            # criterion); otherwise one monolithic batch beats many
+            # small ones.  Either plan yields the same bits — the
+            # accumulator reduction is batch-width independent.
+            if self.pool.parallel and len(miss) >= self.pool.workers:
+                slices = self.pool.shard(len(miss))
+            else:
+                slices = [slice(0, len(miss))]
             shards = [
                 (
                     self._state_key,
                     cycles,
                     [programs[i] for i in miss[sl]],
                 )
-                for sl in self.pool.shard(len(miss))
+                for sl in slices
             ]
             rows = np.concatenate(
                 self.pool.map(eval_power_shard, shards, label="ga.eval"),
@@ -449,7 +460,11 @@ class BenchmarkEvolver:
             "seed": cfg.seed,
             "fitness": cfg.fitness,
             "didt_window": cfg.didt_window,
-            "engine": self.simulator.engine,
+            # Deliberately no engine field: backends are bit-identical,
+            # so a checkpoint written under one resumes under any other
+            # with the same results.  (Checkpoints from the era when the
+            # engine was part of the identity are refused, determinis-
+            # tically, by the dict mismatch.)
             "netlist": self._netlist_fp,
             "reuse_elites": self.reuse_elites,
         }

@@ -29,6 +29,7 @@ from repro.design import build_core
 from repro.genbench import BenchmarkEvolver, GaConfig, build_training_dataset
 from repro.obs.provenance import RunManifest
 from repro.obs.trace import Tracer, load_trace, render_tree
+from repro.rtl.simulator import ENGINES
 from repro.uarch import CoreParams
 
 __all__ = ["run_demo", "main"]
@@ -185,7 +186,7 @@ def main(argv: list[str] | None = None) -> int:
         help="output directory for trace.json / trace.jsonl / manifest.json",
     )
     parser.add_argument(
-        "--engine", choices=["packed", "uint8"], default="packed"
+        "--engine", choices=list(ENGINES), default="packed"
     )
     parser.add_argument("--q", type=int, default=8)
     args = parser.parse_args(argv)

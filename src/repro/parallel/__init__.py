@@ -10,12 +10,15 @@ tuning folds) are simulated once.
 
 Determinism guarantee: with fixed seeds, any worker count, and any
 cache state, results are bit-identical to the single-process serial
-path on both simulation engines.  This rests on the simulator's
+path on every simulation engine.  This rests on the simulator's
 batch-width-independent accumulator reduction (see
-``repro.rtl.simulator._acc_reduce``).
+``repro.rtl.backends.base.acc_reduce``) and on lane purity, which is
+also what lets :func:`repro.parallel.sharding.run_sharded` split one
+large simulation's batch across workers without changing a bit.
 """
 
 from repro.parallel.cache import (
+    CACHE_SCHEMA,
     EvalCache,
     array_fingerprint,
     make_key,
@@ -23,6 +26,7 @@ from repro.parallel.cache import (
     throttle_fingerprint,
 )
 from repro.parallel.pool import WorkerPool, default_workers
+from repro.parallel.sharding import lane_shards, run_sharded
 from repro.parallel.tasks import CoreState, seed_state, state_key_for
 
 __all__ = [
@@ -30,9 +34,12 @@ __all__ = [
     "EvalCache",
     "CoreState",
     "default_workers",
+    "lane_shards",
+    "run_sharded",
     "seed_state",
     "state_key_for",
     "make_key",
+    "CACHE_SCHEMA",
     "array_fingerprint",
     "program_fingerprint",
     "throttle_fingerprint",

@@ -30,6 +30,7 @@ Hits/misses/stores/evictions are exported through
 from __future__ import annotations
 
 import hashlib
+import struct
 import zipfile
 from collections import OrderedDict
 from pathlib import Path
@@ -42,12 +43,21 @@ from repro.resilience.atomic import atomic_save_npz
 from repro.resilience.retry import RetryPolicy
 
 __all__ = [
+    "CACHE_SCHEMA",
     "EvalCache",
     "make_key",
     "array_fingerprint",
     "program_fingerprint",
     "throttle_fingerprint",
 ]
+
+#: Key-schema version, mixed into every :func:`make_key` digest.  Bump
+#: it whenever the byte layout of any fingerprint changes so stale
+#: on-disk entries become silent misses instead of wrong hits.
+#: History: 1 = str()-coerced parts and repr()-based fingerprints;
+#: 2 = type-tagged parts, struct-packed fingerprints, engine dropped
+#: from simulation keys (backends are bit-identical).
+CACHE_SCHEMA = 2
 
 
 def array_fingerprint(arr: np.ndarray) -> str:
@@ -65,37 +75,67 @@ def program_fingerprint(program) -> str:
 
     Hashes the instruction stream only — two programs with different
     names but identical instructions evaluate identically and share a
-    cache entry.
+    cache entry.  Fields are struct-packed (five little-endian int64s
+    per instruction), not ``repr()``-ed: ``repr`` of a NumPy scalar
+    changed between NumPy 1.x and 2.x (``1`` vs ``np.int64(1)``), which
+    would silently split or invalidate on-disk entries across
+    environments.
     """
     h = hashlib.sha256()
     for inst in program.instructions:
-        h.update(
-            repr((
-                int(inst.opcode), inst.dst, inst.src1, inst.src2, inst.imm
-            )).encode()
-        )
+        h.update(struct.pack(
+            "<5q",
+            int(inst.opcode), int(inst.dst), int(inst.src1),
+            int(inst.src2), int(inst.imm),
+        ))
     return h.hexdigest()
 
 
 def throttle_fingerprint(throttle) -> str:
-    """Stable digest of a ThrottleScheme (or ``None``)."""
+    """Stable digest of a ThrottleScheme (or ``None``).
+
+    Explicit field bytes (ints as little-endian int64, duty as a
+    little-endian float64) for the same cross-NumPy-version stability
+    as :func:`program_fingerprint`.
+    """
     if throttle is None:
         return "none"
     h = hashlib.sha256()
-    h.update(repr((
-        throttle.max_issue,
-        throttle.period,
-        throttle.duty,
-        bool(throttle.block_vector),
-    )).encode())
+    h.update(struct.pack(
+        "<qqdq",
+        -1 if throttle.max_issue is None else int(throttle.max_issue),
+        int(throttle.period),
+        float(throttle.duty),
+        int(bool(throttle.block_vector)),
+    ))
     return h.hexdigest()
 
 
 def make_key(*parts: str | int) -> str:
-    """Combine fingerprint parts into one cache key (hex sha256)."""
+    """Combine fingerprint parts into one cache key (hex sha256).
+
+    Each part is tagged with its type before hashing so values that
+    stringify identically cannot collide: ``make_key(1, "2")`` and
+    ``make_key("1", 2)`` are distinct keys.  The schema version is
+    mixed in first, so bumping :data:`CACHE_SCHEMA` retires every old
+    key at once.
+    """
     h = hashlib.sha256()
+    h.update(b"schema:%d\x00" % CACHE_SCHEMA)
     for p in parts:
-        h.update(str(p).encode())
+        # Normalize NumPy integer scalars to int so a key built from a
+        # config value and one built from an array element agree.
+        if isinstance(p, (bool, np.bool_)):
+            tag, text = b"bool", str(bool(p))
+        elif isinstance(p, (int, np.integer)):
+            tag, text = b"int", str(int(p))
+        elif isinstance(p, str):
+            tag, text = b"str", p
+        else:
+            tag, text = type(p).__name__.encode(), str(p)
+        h.update(tag)
+        h.update(b":")
+        h.update(text.encode())
         h.update(b"\x00")
     return h.hexdigest()
 

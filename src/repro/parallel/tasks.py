@@ -20,13 +20,16 @@ from repro.errors import ParallelError
 
 __all__ = [
     "CoreState",
+    "NetlistState",
     "seed_state",
     "drop_state",
     "get_state",
     "init_state",
     "init_core_state",
     "eval_power_shard",
+    "netlist_state_key",
     "simulate_group",
+    "simulate_lane_shard",
 ]
 
 #: key -> arbitrary per-process state (survives for the process's life).
@@ -124,6 +127,35 @@ def state_key_for(core, engine: str) -> tuple:
     return ("core", core.netlist.fingerprint()[:16], engine)
 
 
+class NetlistState:
+    """Lazily-built per-process simulator for one bare netlist.
+
+    The lane-sharding path (:mod:`repro.parallel.sharding`) works below
+    the core abstraction — a shard task only needs a compiled
+    :class:`~repro.rtl.simulator.Simulator` for the netlist, rebuilt
+    deterministically from ``(netlist, engine)`` in whichever process
+    the shard lands in.
+    """
+
+    def __init__(self, netlist, engine: str) -> None:
+        self.netlist = netlist
+        self.engine = engine
+        self._simulator = None
+
+    @property
+    def simulator(self):
+        if self._simulator is None:
+            from repro.rtl.simulator import Simulator
+
+            self._simulator = Simulator(self.netlist, engine=self.engine)
+        return self._simulator
+
+
+def netlist_state_key(netlist, engine: str) -> tuple:
+    """Registry key for a (netlist, engine) pair: content-addressed."""
+    return ("netlist", netlist.fingerprint()[:16], engine)
+
+
 # ---------------------------------------------------------------------- #
 # task functions (module-level: picklable)
 # ---------------------------------------------------------------------- #
@@ -147,6 +179,27 @@ def eval_power_shard(args) -> np.ndarray:
         RecordSpec(accumulators={"label": st.label_weights}),
     )
     return res.accum["label"]
+
+
+def simulate_lane_shard(args):
+    """Lane shard: simulate one contiguous batch slice of a larger run.
+
+    ``args = (state_key, netlist, engine, stim, record, init_values)``;
+    returns the shard's :class:`~repro.rtl.simulator.SimResult`.  The
+    per-process simulator is built on first use (``netlist`` rides along
+    so no initializer is required); the parent may pre-donate its own
+    via :func:`seed_state` to skip the rebuild on the serial path.
+
+    Bit-identity for any shard plan rests on the engines' lane purity:
+    every recorded artifact of lane ``b`` is a pure function of stimulus
+    lane ``b``, so concatenating shard results along the batch axis
+    reproduces the monolithic run exactly.
+    """
+    key, netlist, engine, stim, record, init_values = args
+    st = _STATE.get(key)
+    if st is None:
+        st = _STATE[key] = NetlistState(netlist, engine)
+    return st.simulator.run(stim, record, init_values=init_values)
 
 
 def simulate_group(args) -> list[dict[str, np.ndarray]]:

@@ -1,0 +1,200 @@
+"""Compiled backend: the packed micro-program lowered to a native kernel.
+
+The ``"compiled"`` engine runs the same polarity-folded, renumbered
+micro-program as the ``"packed"`` engine, but as flat op tables executed
+by a single native cycle loop — toggle recording and the accumulator
+reduction included — instead of one NumPy ufunc call per program entry.
+That removes the per-op dispatch overhead *and* the dominant costs of
+the packed engine's recording path (lane unpacking and the per-cycle
+NumPy reduction), which is where the ≥10x over the uint8 reference
+comes from.
+
+Implementation selection, best available first:
+
+1. ``"numba"`` — :func:`repro.rtl.backends.kernel.run_cycles` wrapped
+   in ``numba.njit`` (install via ``pip install .[compiled]``);
+2. ``"cc"`` — the same kernel transliterated to C, compiled at runtime
+   with the system compiler (:mod:`repro.rtl.backends.cc`);
+3. ``"numpy"`` — falls back to the packed engine's vectorized loop
+   (correct everywhere, no speedup).
+
+``REPRO_COMPILED_IMPL`` forces one of ``numba``/``cc``/``numpy``/
+``python`` (the last interprets the kernel un-jitted: slow, used to
+test the Numba kernel's logic on hosts without Numba).  All
+implementations are bit-identical; selection can never change results,
+only throughput.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.rtl.backends import cc as _cc
+from repro.rtl.backends import kernel as _kernel
+from repro.rtl.backends.packed import PackedBackend
+from repro.rtl.backends.base import register_backend
+from repro.rtl.backends.tables import CompiledTables, build_tables
+from repro.rtl.trace import pack_lanes, unpack_lanes
+
+__all__ = ["CompiledBackend", "compiled_impl"]
+
+_IMPLS = ("numba", "cc", "numpy", "python")
+_NUMBA_FN = None  # memoized njit kernel (or False if numba is absent)
+
+
+def _numba_kernel():
+    global _NUMBA_FN
+    if _NUMBA_FN is not None:
+        return _NUMBA_FN or None
+    try:
+        import numba
+    except ImportError:
+        _NUMBA_FN = False
+        return None
+    _NUMBA_FN = numba.njit(cache=True, nogil=True)(_kernel.run_cycles)
+    return _NUMBA_FN
+
+
+_SELECTED = None
+
+
+def compiled_impl() -> str:
+    """Which implementation the ``"compiled"`` engine uses on this host."""
+    global _SELECTED
+    if _SELECTED is None:
+        _SELECTED = _select_impl()
+    return _SELECTED
+
+
+def _select_impl() -> str:
+    forced = os.environ.get("REPRO_COMPILED_IMPL", "").strip().lower()
+    if forced:
+        if forced not in _IMPLS:
+            raise SimulationError(
+                f"REPRO_COMPILED_IMPL={forced!r}; expected one of {_IMPLS}"
+            )
+        if forced == "numba" and _numba_kernel() is None:
+            raise SimulationError(
+                "REPRO_COMPILED_IMPL=numba but numba is not importable; "
+                "install with: pip install .[compiled]"
+            )
+        if forced == "cc" and _cc.load_kernel() is None:
+            raise SimulationError(
+                "REPRO_COMPILED_IMPL=cc but no working C compiler found"
+            )
+        return forced
+    if _numba_kernel() is not None:
+        return "numba"
+    if _cc.load_kernel() is not None:
+        return "cc"
+    return "numpy"
+
+
+@register_backend
+class CompiledBackend(PackedBackend):
+    """Native-kernel engine; falls back to the packed loop sans kernel."""
+
+    name = "compiled"
+    requires_little_endian = True
+
+    def __init__(self, netlist, schedule) -> None:
+        super().__init__(netlist, schedule)
+        self.impl = compiled_impl()
+        self._tables: CompiledTables | None = (
+            build_tables(self.packed_schedule)
+            if self.impl != "numpy"
+            else None
+        )
+
+    def run(
+        self,
+        stim: np.ndarray,
+        cols: np.ndarray | None,
+        acc_weights: dict[str, np.ndarray],
+        packed_out: np.ndarray | None,
+        cols_out: np.ndarray | None,
+        acc_out: dict[str, np.ndarray],
+        init_values: np.ndarray | None,
+    ) -> np.ndarray:
+        if self.impl == "numpy":
+            return super().run(
+                stim, cols, acc_weights, packed_out, cols_out, acc_out,
+                init_values,
+            )
+        psch = self.packed_schedule
+        tab = self._tables
+        batch, cycles, n_in = stim.shape
+        W = (batch + 63) // 64
+        nr = tab.n_rows
+        if init_values is not None:
+            v0 = np.asarray(init_values, dtype=np.uint8)
+        else:
+            v0 = self.initial_values(batch)
+        pol_col = psch.pol[:, None]
+        stored = np.zeros((nr, batch), dtype=np.uint8)
+        stored[psch.row_of_net] = v0 ^ pol_col
+        init_w = pack_lanes(stored)
+        arena = np.zeros((tab.arena_rows, W), dtype=np.uint64)
+        arena[nr:2 * nr] = init_w  # v_prev of cycle 0
+        arena[:nr][psch.sl_const] = init_w[psch.sl_const]
+        stim_w = pack_lanes(
+            np.ascontiguousarray(np.transpose(stim, (1, 2, 0)))
+        )
+        n_acc = len(acc_weights)
+        acc_names = list(acc_weights)
+        if n_acc:
+            acc_mat = np.stack([acc_weights[k] for k in acc_names])
+            acc_res = np.empty((n_acc, batch, cycles), dtype=np.float64)
+        else:
+            acc_mat = np.zeros((0, 0), dtype=np.float64)
+            acc_res = np.zeros(0, dtype=np.float64)
+        if cols is not None:
+            col_rows = tab.net_rows[cols]
+        else:
+            col_rows = np.zeros(0, dtype=np.int64)
+        n_cols = col_rows.size
+        has_trace = packed_out is not None
+        nbytes = packed_out.shape[1] if has_trace else 0
+        trace_buf = (
+            packed_out if has_trace else np.zeros(0, dtype=np.uint8)
+        )
+        cols_buf = (
+            cols_out if cols_out is not None else np.zeros(0, np.uint8)
+        )
+        need_tog = has_trace or n_acc > 0 or n_cols > 0
+        par = np.asarray(
+            [nr, W, cycles, batch, n_in, tab.in_row, psch.n_nets, n_acc,
+             int(has_trace), nbytes, n_cols, tab.alias_src.size,
+             tab.alias_start, tab.clk_free_start, tab.n_clk_free,
+             tab.clk_g_start, tab.n_clk_g, int(need_tog)],
+            dtype=np.int64,
+        )
+        tog = np.zeros(nr * W, dtype=np.uint64)
+        lane_sum = np.zeros(W * 64, dtype=np.float64)
+
+        if cycles:
+            if self.impl == "cc":
+                fn = _cc.run_cycles_cc
+            elif self.impl == "numba":
+                fn = _numba_kernel()
+            else:
+                fn = _kernel.run_cycles
+            fn(
+                par, arena.ravel(), tog, tab.prog0, tab.prog1,
+                tab.idx_pool, tab.mask_pool, stim_w.ravel(),
+                tab.net_rows, tab.alias_src,
+                acc_mat.ravel(), acc_res.ravel(), lane_sum,
+                col_rows, cols_buf.ravel(), trace_buf.ravel(),
+            )
+
+        for a_i, name in enumerate(acc_names):
+            acc_out[name][:] = acc_res[a_i]
+        p_last = (cycles - 1) & 1 if cycles else 1
+        fv = arena[p_last * nr:(p_last + 1) * nr]
+        if tab.alias_src.size:
+            np.take(fv, tab.alias_src, axis=0, out=fv[psch.sl_alias])
+        final = unpack_lanes(np.take(fv, psch.row_of_net, axis=0), batch)
+        return final ^ pol_col

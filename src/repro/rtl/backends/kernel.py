@@ -1,0 +1,210 @@
+"""Reference kernel for the compiled backend, in a Numba-jittable subset.
+
+This is the *logic* source of truth for both accelerated paths:
+
+* the Numba path wraps this exact function in ``numba.njit`` — no
+  separate implementation to drift;
+* the C path (:mod:`repro.rtl.backends.cc`) is a line-for-line
+  transliteration.
+
+Interpreted (un-jitted) execution is available as the ``"python"``
+implementation so the kernel's logic is testable on hosts without
+Numba — slow, but bit-exact, which is all the property tests need.
+
+Float exactness
+---------------
+The accumulator loop must reproduce ``acc_reduce`` (NumPy's strided
+``sum(axis=0)``) bit for bit.  That reduction is plain sequential
+accumulation in net-id order starting from ``0.0``, so the kernel adds
+``w[t]`` for each set toggle bit in the same order.  Skipping zero bits
+(and all-zero words) is exact: the running sum starts at ``+0.0`` and
+can never become ``-0.0`` under round-to-nearest, so adding ``w*0``
+(``±0.0``) is always the identity.
+
+Layouts (all arrays flat, C-order):
+
+* ``arena``: ``(arena_rows, W)`` uint64 — see
+  :mod:`repro.rtl.backends.tables` for the row map.
+* ``stim``: ``(cycles, n_in, W)`` uint64 lane words.
+* ``acc_w``: ``(n_acc, n_nets)`` float64; ``acc_out``:
+  ``(n_acc, batch, cycles)`` float64.
+* ``trace_out``: ``(cycles, nbytes, batch)`` uint8, bits MSB-first per
+  byte along the net axis (NumPy ``packbits`` convention).
+* ``cols_out``: ``(batch, cycles, n_cols)`` uint8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["run_cycles", "PAR_FIELDS"]
+
+#: Order of the scalar parameters packed into the int64 ``par`` vector.
+PAR_FIELDS = (
+    "nr", "W", "cycles", "batch", "n_in", "in_row", "n_nets", "n_acc",
+    "has_trace", "nbytes", "n_cols", "n_alias", "alias_start",
+    "clk_free_start", "n_clk_free", "clk_g_start", "n_clk_g", "need_tog",
+)
+
+
+def run_cycles(par, arena, tog, prog0, prog1, idx_pool, mask_pool,
+               stim, net_rows, alias_src, acc_w, acc_out, lane_sum,
+               col_rows, cols_out, trace_out):
+    nr = par[0]
+    W = par[1]
+    cycles = par[2]
+    batch = par[3]
+    n_in = par[4]
+    in_row = par[5]
+    n_nets = par[6]
+    n_acc = par[7]
+    has_trace = par[8]
+    nbytes = par[9]
+    n_cols = par[10]
+    n_alias = par[11]
+    alias_start = par[12]
+    clk_free_start = par[13]
+    n_clk_free = par[14]
+    clk_g_start = par[15]
+    n_clk_g = par[16]
+    need_tog = par[17]
+    ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+    one = np.uint64(1)
+    ff = np.uint64(0xFF)
+    # 8x8 bit-transpose masks (Hacker's Delight 7-3).
+    tm1 = np.uint64(0x00AA00AA00AA00AA)
+    tm2 = np.uint64(0x0000CCCC0000CCCC)
+    tm3 = np.uint64(0x00000000F0F0F0F0)
+    ts1 = np.uint64(7)
+    ts2 = np.uint64(14)
+    ts3 = np.uint64(28)
+
+    for i in range(cycles):
+        p = i & 1
+        vb = p * nr * W
+        pvb = (1 - p) * nr * W
+        if n_in:
+            base = vb + in_row * W
+            sbase = i * n_in * W
+            for t in range(n_in * W):
+                arena[base + t] = stim[sbase + t]
+        prog = prog1 if p else prog0
+        for k in range(prog.shape[0]):
+            code = prog[k, 0]
+            out = prog[k, 1] * W
+            a = prog[k, 2] * W
+            b = prog[k, 3]
+            n = prog[k, 4]
+            if code == 0:  # XOR
+                bb = b * W
+                for t in range(n * W):
+                    arena[out + t] = arena[a + t] ^ arena[bb + t]
+            elif code == 1:  # AND
+                bb = b * W
+                for t in range(n * W):
+                    arena[out + t] = arena[a + t] & arena[bb + t]
+            elif code == 2:  # TAKE (gather)
+                for j in range(n):
+                    src = idx_pool[b + j] * W
+                    dst = out + j * W
+                    for w in range(W):
+                        arena[dst + w] = arena[src + w]
+            elif code == 3:  # COPY
+                for t in range(n * W):
+                    arena[out + t] = arena[a + t]
+            elif code == 4:  # XORMASK
+                for j in range(n):
+                    m = mask_pool[b + j]
+                    dst = out + j * W
+                    for w in range(W):
+                        arena[dst + w] = arena[dst + w] ^ m
+            else:  # FILL1
+                for t in range(n * W):
+                    arena[out + t] = ones
+        if not need_tog:
+            continue
+        # Toggles in storage-row order; alias rows mirror their source,
+        # CLK rows report the enable (matching the packed engine).
+        for t in range(nr * W):
+            tog[t] = arena[vb + t] ^ arena[pvb + t]
+        for j in range(n_alias):
+            src = alias_src[j] * W
+            dst = (alias_start + j) * W
+            for w in range(W):
+                tog[dst + w] = tog[src + w]
+        for t in range(n_clk_free * W):
+            tog[clk_free_start * W + t] = ones
+        for t in range(n_clk_g * W):
+            tog[clk_g_start * W + t] = arena[vb + clk_g_start * W + t]
+        # Accumulators: sequential add in net-id order.  Branchless over
+        # the active lanes of each nonzero word — adding ``wt * 0``
+        # (``±0.0``) is the identity (see module docstring), and the
+        # data-independent inner loop avoids one unpredictable branch
+        # per toggle bit.
+        for a_i in range(n_acc):
+            for t in range(W * 64):
+                lane_sum[t] = 0.0
+            wbase = a_i * n_nets
+            for t in range(n_nets):
+                wt = acc_w[wbase + t]
+                rb = net_rows[t] * W
+                for wi in range(W):
+                    word = tog[rb + wi]
+                    if word == 0:
+                        continue
+                    lb = wi * 64
+                    nb = batch - lb
+                    if nb > 64:
+                        nb = 64
+                    for b_l in range(nb):
+                        lane_sum[lb + b_l] += wt * np.float64(
+                            (word >> np.uint64(b_l)) & one
+                        )
+            obase = a_i * batch * cycles
+            for b_l in range(batch):
+                acc_out[obase + b_l * cycles + i] = lane_sum[b_l]
+        # Full packed trace: MSB-first bytes along the net axis, built
+        # eight nets x eight lanes at a time with a 64-bit 8x8 bit
+        # transpose.  Input byte ``7-k`` holds net ``8j+k``'s lane
+        # octet, so output byte ``b`` is lane ``b``'s packbits byte.
+        if has_trace:
+            tbase = i * nbytes * batch
+            n_oct = (batch + 7) >> 3
+            for j in range(nbytes):
+                obase = tbase + j * batch
+                base = 8 * j
+                kmax = n_nets - base
+                if kmax > 8:
+                    kmax = 8
+                for lo in range(n_oct):
+                    wi = lo >> 3
+                    sh8 = np.uint64((lo & 7) * 8)
+                    x = np.uint64(0)
+                    for k in range(kmax):
+                        byte = (
+                            tog[net_rows[base + k] * W + wi] >> sh8
+                        ) & ff
+                        x = x | (byte << np.uint64(8 * (7 - k)))
+                    t2 = (x ^ (x >> ts1)) & tm1
+                    x = x ^ t2 ^ (t2 << ts1)
+                    t2 = (x ^ (x >> ts2)) & tm2
+                    x = x ^ t2 ^ (t2 << ts2)
+                    t2 = (x ^ (x >> ts3)) & tm3
+                    x = x ^ t2 ^ (t2 << ts3)
+                    bmax = batch - lo * 8
+                    if bmax > 8:
+                        bmax = 8
+                    ob = obase + lo * 8
+                    for b_l in range(bmax):
+                        trace_out[ob + b_l] = np.uint8(
+                            (x >> np.uint64(8 * b_l)) & ff
+                        )
+        # Dense column records.
+        if n_cols:
+            for j in range(n_cols):
+                rb = col_rows[j] * W
+                for b_l in range(batch):
+                    word = tog[rb + (b_l >> 6)]
+                    cols_out[(b_l * cycles + i) * n_cols + j] = np.uint8(
+                        (word >> np.uint64(b_l & 63)) & one
+                    )

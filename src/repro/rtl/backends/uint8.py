@@ -1,0 +1,94 @@
+"""Reference engine: one stimulus lane per uint8 byte.
+
+Deliberately the simplest possible realization of the simulator
+semantics — every other backend is tested bit-for-bit against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rtl.backends.base import (
+    Backend,
+    acc_reduce,
+    eval_comb,
+    register_backend,
+)
+from repro.rtl.netlist import NO_NET
+
+__all__ = ["Uint8Backend"]
+
+
+@register_backend
+class Uint8Backend(Backend):
+    """Byte-per-lane reference cycle loop."""
+
+    name = "uint8"
+
+    def run(
+        self,
+        stim: np.ndarray,
+        cols: np.ndarray | None,
+        acc_weights: dict[str, np.ndarray],
+        packed_out: np.ndarray | None,
+        cols_out: np.ndarray | None,
+        acc_out: dict[str, np.ndarray],
+        init_values: np.ndarray | None,
+    ) -> np.ndarray:
+        sch = self.schedule
+        batch, cycles, _n_in = stim.shape
+        if init_values is not None:
+            v_prev = init_values.astype(np.uint8).copy()
+        else:
+            v_prev = self.initial_values(batch)
+        vals = np.empty_like(v_prev)
+        # Pre-gather register enable handling: split always-on vs gated.
+        gated_mask = sch.reg_en != NO_NET
+        gated_out = sch.reg_out[gated_mask]
+        gated_d = sch.reg_d[gated_mask]
+        gated_en = sch.reg_en[gated_mask]
+        free_out = sch.reg_out[~gated_mask]
+        free_d = sch.reg_d[~gated_mask]
+        clk_gated = sch.clk_en != NO_NET
+        clk_g_out = sch.clk_out[clk_gated]
+        clk_g_en = sch.clk_en[clk_gated]
+        clk_free_out = sch.clk_out[~clk_gated]
+
+        stim_t = np.ascontiguousarray(np.transpose(stim, (1, 2, 0)))
+
+        for i in range(cycles):
+            np.copyto(vals, v_prev)
+            # 1. register capture (uses previous-cycle D and enables).
+            if free_out.size:
+                vals[free_out] = v_prev[free_d]
+            if gated_out.size:
+                en = v_prev[gated_en]
+                vals[gated_out] = np.where(
+                    en.astype(bool), v_prev[gated_d], v_prev[gated_out]
+                )
+            # 2. stimulus.
+            if sch.input_ids.size:
+                vals[sch.input_ids] = stim_t[i]
+            # 3. combinational evaluation.
+            eval_comb(sch, vals)
+            # 4. clock nets.
+            if clk_free_out.size:
+                vals[clk_free_out] = 1
+            if clk_g_out.size:
+                vals[clk_g_out] = v_prev[clk_g_en]
+            # 5. toggles.
+            toggles = vals ^ v_prev
+            if clk_free_out.size:
+                toggles[clk_free_out] = 1
+            if clk_g_out.size:
+                toggles[clk_g_out] = vals[clk_g_out]
+            # 6. record.
+            if packed_out is not None:
+                packed_out[i] = np.packbits(toggles, axis=0)
+            if cols_out is not None:
+                cols_out[:, i, :] = toggles[cols].T
+            for name, w in acc_weights.items():
+                acc_out[name][:, i] = acc_reduce(w, toggles)
+            v_prev, vals = vals, v_prev
+
+        return v_prev.copy()

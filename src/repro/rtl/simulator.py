@@ -26,6 +26,14 @@ Recording options per run:
 * dense toggles of selected columns only (emulator-assisted proxy flow);
 * named *accumulators*: per-cycle dot products ``weights . toggles`` used
   by the power analyzer so long runs never materialize a full trace.
+
+Engines
+-------
+The cycle loop itself is pluggable: each engine is a
+:class:`~repro.rtl.backends.base.Backend` that compiles the netlist
+once (constructor) and then runs batches.  See
+:mod:`repro.rtl.backends` for the built-in engines and the registry;
+all engines produce bit-identical results by contract.
 """
 
 from __future__ import annotations
@@ -37,40 +45,22 @@ import numpy as np
 
 from repro.errors import SimulationError, StimulusError
 from repro.obs.trace import NULL_TRACER
-from repro.rtl.cells import Op
-from repro.rtl.levelize import (
-    LevelSchedule,
-    PackedSchedule,
-    compile_packed,
-    levelize,
-)
-from repro.rtl.netlist import NO_NET, Netlist
-from repro.rtl.trace import ToggleTrace, pack_lanes, unpack_lanes
+from repro.rtl import backends as _backends
+from repro.rtl.backends.base import acc_reduce as _acc_reduce  # noqa: F401
+from repro.rtl.levelize import LevelSchedule, PackedSchedule, levelize
+from repro.rtl.netlist import Netlist
+from repro.rtl.trace import ToggleTrace
 
 __all__ = ["RecordSpec", "SimResult", "Simulator", "ENGINES"]
 
-#: Available simulation engines.  ``"packed"`` packs 64 batch lanes per
-#: uint64 word and evaluates fused per-level kernels; ``"uint8"`` is the
-#: one-lane-per-byte reference implementation.  Both produce bit-identical
-#: results.
-ENGINES = ("packed", "uint8")
-
-_WORD_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
-
-
-def _acc_reduce(w64: np.ndarray, toggles: np.ndarray) -> np.ndarray:
-    """Weighted per-lane toggle sum, independent of the batch width.
-
-    ``sum(axis=0)`` reduces each lane's column with numpy's pairwise
-    summation, whose blocking depends only on the reduction *length* —
-    never on how many other lanes share the call — so lane ``b`` of the
-    result is a pure function of ``toggles[:, b]``.  That is what makes
-    sharded, cached, and elite-reusing evaluation paths
-    (:mod:`repro.parallel`) bit-identical to one monolithic batched
-    call.  A float32 BLAS GEMV (``w @ toggles``) lacks this property:
-    its reduction order changes with the batch width.
-    """
-    return (w64[:, None] * toggles).sum(axis=0)
+#: Available simulation engines, in registry order.  ``"packed"``
+#: (default) packs 64 batch lanes per uint64 word and evaluates fused
+#: per-level micro-programs; ``"uint8"`` is the one-lane-per-byte
+#: reference implementation; ``"compiled"`` lowers the packed
+#: micro-program to a native kernel (Numba or runtime-compiled C) and
+#: falls back to the packed loop when neither is available.  All
+#: engines produce bit-identical results.
+ENGINES = _backends.backend_names()
 
 
 @dataclass(frozen=True)
@@ -116,82 +106,38 @@ class SimResult:
 class Simulator:
     """Compiled simulator for one netlist.
 
-    Compilation (levelization, plus fused-kernel precomputation for the
-    packed engine) happens once in the constructor; ``run`` may be called
-    many times with different stimuli.
+    Compilation (levelization, plus any engine-specific lowering such as
+    the packed layout or native op tables) happens once in the
+    constructor; ``run`` may be called many times with different stimuli.
 
     Parameters
     ----------
     netlist:
         The design to simulate.
     engine:
-        ``"packed"`` (default) packs 64 batch lanes into each uint64 word
-        so every bitwise op processes 64 runs at once; ``"uint8"`` keeps
-        one lane per byte (the reference implementation).  Both engines
-        produce bit-identical :class:`SimResult` contents.
+        One of :data:`ENGINES`; ``"packed"`` is the default.  Every
+        engine produces bit-identical :class:`SimResult` contents, so
+        the choice only affects throughput.
     """
 
     def __init__(self, netlist: Netlist, engine: str = "packed") -> None:
-        if engine not in ENGINES:
-            raise SimulationError(
-                f"unknown engine {engine!r}; expected one of {ENGINES}"
-            )
-        if engine == "packed" and not np.little_endian:  # pragma: no cover
-            engine = "uint8"  # lane-word reinterpretation needs LE
+        cls = _backends.get_backend(engine)
+        if cls.requires_little_endian and not np.little_endian:
+            cls = _backends.get_backend("uint8")  # pragma: no cover
         self.netlist = netlist
-        self.engine = engine
+        self.engine = cls.name
         self.schedule: LevelSchedule = levelize(netlist)
+        self.backend = cls(netlist, self.schedule)
         self.packed_schedule: PackedSchedule | None = (
-            compile_packed(netlist, self.schedule)
-            if engine == "packed"
-            else None
+            self.backend.packed_schedule
         )
         self._n = netlist.n_nets
-        self._plans: dict[int, "_PackedPlan"] = {}
 
     # ------------------------------------------------------------------ #
     def _initial_values(self, batch: int) -> np.ndarray:
         """State after reset: registers at init, everything else evaluated
         with all-zero inputs."""
-        vals = np.zeros((self._n, batch), dtype=np.uint8)
-        sch = self.schedule
-        if sch.const_ids.size:
-            vals[sch.const_ids] = sch.const_vals[:, None]
-        if sch.reg_out.size:
-            vals[sch.reg_out] = sch.reg_init[:, None]
-        self._eval_comb(vals)
-        # CLK values at reset: enabled domains show their enable, always-on
-        # domains show 1.
-        for k in range(sch.clk_out.size):
-            en = sch.clk_en[k]
-            vals[sch.clk_out[k]] = 1 if en == NO_NET else vals[en]
-        return vals
-
-    def _eval_comb(self, vals: np.ndarray) -> None:
-        for g in self.schedule.groups:
-            a = vals[g.a]
-            op = g.op
-            if op == Op.BUF:
-                vals[g.out] = a
-            elif op == Op.NOT:
-                vals[g.out] = a ^ 1
-            elif op == Op.AND:
-                vals[g.out] = a & vals[g.b]
-            elif op == Op.OR:
-                vals[g.out] = a | vals[g.b]
-            elif op == Op.XOR:
-                vals[g.out] = a ^ vals[g.b]
-            elif op == Op.NAND:
-                vals[g.out] = (a & vals[g.b]) ^ 1
-            elif op == Op.NOR:
-                vals[g.out] = (a | vals[g.b]) ^ 1
-            elif op == Op.XNOR:
-                vals[g.out] = (a ^ vals[g.b]) ^ 1
-            elif op == Op.MUX:
-                s = a
-                vals[g.out] = (s & vals[g.b]) | ((s ^ 1) & vals[g.c])
-            else:  # pragma: no cover - schedule only contains EVAL_OPS
-                raise SimulationError(f"unexpected op {op!r} in schedule")
+        return _backends.initial_values(self.schedule, batch)
 
     def comb_eval(self, input_bits: np.ndarray) -> np.ndarray:
         """Evaluate combinational logic once with the given input values.
@@ -220,7 +166,7 @@ class Simulator:
         vals = self._initial_values(bits.shape[1])
         if self.schedule.input_ids.size:
             vals[self.schedule.input_ids] = bits
-        self._eval_comb(vals)
+        _backends.eval_comb(self.schedule, vals)
         return vals
 
     # ------------------------------------------------------------------ #
@@ -280,7 +226,7 @@ class Simulator:
                     f"({self._n},)"
                 )
             # Accumulate in float64: exact upcast of the canonical
-            # float32 weights, and _acc_reduce keeps each lane's sum
+            # float32 weights, and acc_reduce keeps each lane's sum
             # independent of the batch width.
             acc_weights[name] = w.astype(np.float64)
 
@@ -304,9 +250,6 @@ class Simulator:
                 f"({self._n}, {batch})"
             )
 
-        loop = (
-            self._run_packed if self.engine == "packed" else self._run_uint8
-        )
         with (tracer or NULL_TRACER).span(
             "rtl.sim.run",
             engine=self.engine,
@@ -314,7 +257,7 @@ class Simulator:
             batch=batch,
         ) as sp:
             t0 = time.perf_counter()
-            final_values = loop(
+            final_values = self.backend.run(
                 stim, cols, acc_weights, packed_out, cols_out, acc_out,
                 init_values,
             )
@@ -344,314 +287,3 @@ class Simulator:
             elapsed=elapsed,
             final_values=final_values,
         )
-
-    # ------------------------------------------------------------------ #
-    def _run_uint8(
-        self,
-        stim: np.ndarray,
-        cols: np.ndarray | None,
-        acc_weights: dict[str, np.ndarray],
-        packed_out: np.ndarray | None,
-        cols_out: np.ndarray | None,
-        acc_out: dict[str, np.ndarray],
-        init_values: np.ndarray | None,
-    ) -> np.ndarray:
-        """Reference cycle loop: one stimulus lane per uint8 byte."""
-        sch = self.schedule
-        batch, cycles, _n_in = stim.shape
-        if init_values is not None:
-            v_prev = init_values.astype(np.uint8).copy()
-        else:
-            v_prev = self._initial_values(batch)
-        vals = np.empty_like(v_prev)
-        # Pre-gather register enable handling: split always-on vs gated.
-        gated_mask = sch.reg_en != NO_NET
-        gated_out = sch.reg_out[gated_mask]
-        gated_d = sch.reg_d[gated_mask]
-        gated_en = sch.reg_en[gated_mask]
-        free_out = sch.reg_out[~gated_mask]
-        free_d = sch.reg_d[~gated_mask]
-        clk_gated = sch.clk_en != NO_NET
-        clk_g_out = sch.clk_out[clk_gated]
-        clk_g_en = sch.clk_en[clk_gated]
-        clk_free_out = sch.clk_out[~clk_gated]
-
-        stim_t = np.ascontiguousarray(np.transpose(stim, (1, 2, 0)))
-
-        for i in range(cycles):
-            np.copyto(vals, v_prev)
-            # 1. register capture (uses previous-cycle D and enables).
-            if free_out.size:
-                vals[free_out] = v_prev[free_d]
-            if gated_out.size:
-                en = v_prev[gated_en]
-                vals[gated_out] = np.where(
-                    en.astype(bool), v_prev[gated_d], v_prev[gated_out]
-                )
-            # 2. stimulus.
-            if sch.input_ids.size:
-                vals[sch.input_ids] = stim_t[i]
-            # 3. combinational evaluation.
-            self._eval_comb(vals)
-            # 4. clock nets.
-            if clk_free_out.size:
-                vals[clk_free_out] = 1
-            if clk_g_out.size:
-                vals[clk_g_out] = v_prev[clk_g_en]
-            # 5. toggles.
-            toggles = vals ^ v_prev
-            if clk_free_out.size:
-                toggles[clk_free_out] = 1
-            if clk_g_out.size:
-                toggles[clk_g_out] = vals[clk_g_out]
-            # 6. record.
-            if packed_out is not None:
-                packed_out[i] = np.packbits(toggles, axis=0)
-            if cols_out is not None:
-                cols_out[:, i, :] = toggles[cols].T
-            for name, w in acc_weights.items():
-                acc_out[name][:, i] = _acc_reduce(w, toggles)
-            v_prev, vals = vals, v_prev
-
-        return v_prev.copy()
-
-    def _run_packed(
-        self,
-        stim: np.ndarray,
-        cols: np.ndarray | None,
-        acc_weights: dict[str, np.ndarray],
-        packed_out: np.ndarray | None,
-        cols_out: np.ndarray | None,
-        acc_out: dict[str, np.ndarray],
-        init_values: np.ndarray | None,
-    ) -> np.ndarray:
-        """Bit-parallel cycle loop: 64 stimulus lanes per uint64 word.
-
-        Values live in renumbered storage rows (see ``compile_packed``),
-        polarity-folded (``true ^ pol[net]``), so NAND/OR/NOR collapse
-        into the AND-run, XNOR into the XOR-run, and each MUX into two
-        AND-run product rows plus one XOR.  Every write target is a
-        contiguous row slice, so the loop contains no scatter indexing;
-        the whole cycle is executed as a precompiled micro-program of
-        prebound array views (two variants, one per buffer parity).
-        Toggle words are exact because both cycles carry the same
-        polarity; each cycle they are gathered back into net-id order and
-        appended to a block buffer, so the lane unpacking runs once per
-        ``_REC_BLOCK`` cycles on one contiguous array, while the
-        accumulator reduction (``_acc_reduce``) keeps the reference
-        engine's exact per-cycle call shape — making every recorded
-        artifact bit-identical across engines.
-        """
-        psch = self.packed_schedule
-        assert psch is not None
-        batch, cycles, n_in = stim.shape
-        W = (batch + 63) // 64
-        plan = self._plans.get(W)
-        if plan is None:
-            plan = self._plans[W] = _PackedPlan(psch, W)
-        if init_values is not None:
-            v0 = np.asarray(init_values, dtype=np.uint8)
-        else:
-            v0 = self._initial_values(batch)
-        pol_col = psch.pol[:, None]
-        row_of = psch.row_of_net
-        # Stored words in storage-row order; virtual MUX product rows and
-        # alias rows are recomputed before use, so zeros are fine there.
-        stored = np.zeros((psch.n_rows, batch), dtype=np.uint8)
-        stored[row_of] = v0 ^ pol_col
-        init_w = pack_lanes(stored)
-        bufs = plan.bufs
-        np.copyto(bufs[1], init_w)  # v_prev of cycle 0
-        bufs[0][psch.sl_const] = init_w[psch.sl_const]  # written once
-        # Stimulus as lane words, cycle-major: (cycles, n_in, W).
-        stim_w = pack_lanes(
-            np.ascontiguousarray(np.transpose(stim, (1, 2, 0)))
-        )
-        progs = plan.progs
-        in_views = plan.in_views
-        tr = plan.tog_row
-        alias_src = psch.alias_src
-        has_alias = alias_src.size > 0
-        sl_alias = psch.sl_alias
-        sl_clk_free = psch.sl_clk_free
-        sl_clk_g = psch.sl_clk_gated
-        has_clk_free = sl_clk_free.stop > sl_clk_free.start
-        has_clk_g = sl_clk_g.stop > sl_clk_g.start
-        need_dense = packed_out is not None or bool(acc_weights)
-        # The per-cycle gather restores net-id order (all nets when the
-        # dense block is needed, just the selected rows otherwise), so
-        # the flush unpacks one contiguous block per _REC_BLOCK cycles.
-        if need_dense:
-            rec_rows = row_of.astype(np.intp)
-        elif cols is not None:
-            rec_rows = row_of[cols].astype(np.intp)
-        else:
-            rec_rows = None
-        tb = None
-        if rec_rows is not None:
-            tb = np.empty(
-                (min(_REC_BLOCK, max(cycles, 1)), rec_rows.size, W),
-                dtype=np.uint64,
-            )
-        acc_items = list(acc_weights.items())
-        j = 0  # cycles buffered in the toggle block
-        blk0 = 0  # first cycle index of the current block
-
-        for i in range(cycles):
-            p = i & 1
-            vals = bufs[p]
-            if n_in:
-                np.copyto(in_views[p], stim_w[i])
-            for code, a, b, o in progs[p]:
-                if code == 0:
-                    np.bitwise_xor(a, b, o)
-                elif code == 1:
-                    np.bitwise_and(a, b, o)
-                elif code == 2:
-                    a.take(b, 0, o)
-                else:
-                    np.copyto(o, a)
-            if tb is None:
-                continue
-            # Toggles in storage-row order (polarity cancels in the
-            # XOR); alias rows mirror their source, CLK rows report the
-            # enable; then one gather into the net-ordered block.
-            np.bitwise_xor(vals, bufs[1 - p], tr)
-            if has_alias:
-                tr.take(alias_src, 0, tr[sl_alias])
-            if has_clk_free:
-                tr[sl_clk_free] = _WORD_ONES
-            if has_clk_g:
-                tr[sl_clk_g] = vals[sl_clk_g]
-            tr.take(rec_rows, 0, tb[j])
-            j += 1
-            if j == tb.shape[0] or i == cycles - 1:
-                # Flush: one contiguous unpack per block, then record
-                # with the reference engine's exact per-cycle GEMV call
-                # shape.
-                dense = unpack_lanes(tb[:j], batch)
-                if need_dense:
-                    if packed_out is not None:
-                        packed_out[blk0:blk0 + j] = np.packbits(
-                            dense, axis=1
-                        )
-                    if cols_out is not None:
-                        cols_out[:, blk0:blk0 + j, :] = dense[
-                            :, cols
-                        ].transpose(2, 0, 1)
-                    for name, w in acc_items:
-                        o = acc_out[name]
-                        for k in range(j):
-                            o[:, blk0 + k] = _acc_reduce(w, dense[k])
-                else:
-                    cols_out[:, blk0:blk0 + j, :] = dense.transpose(
-                        2, 0, 1
-                    )
-                blk0 = i + 1
-                j = 0
-
-        fv = bufs[(cycles - 1) & 1] if cycles else bufs[1]
-        if has_alias:
-            np.take(fv, alias_src, axis=0, out=fv[sl_alias])
-        final = unpack_lanes(np.take(fv, row_of, axis=0), batch)
-        return final ^ pol_col
-
-
-#: Cycles buffered before the packed engine's recording path unpacks a
-#: toggle block (amortizes the net-order gather and bit unpacking).
-_REC_BLOCK = 32
-
-
-class _PackedPlan:
-    """Per-word-width execution state for the packed engine.
-
-    Holds the double-buffered value arrays plus, for each buffer parity,
-    a *micro-program*: a flat tuple of ``(opcode, a, b, out)`` entries
-    whose operands are prebound array views (opcodes: 0 = XOR, 1 = AND,
-    2 = take, 3 = copy).  Binding every slice once per word width — the
-    buffers are reused across runs — removes all indexing overhead from
-    the cycle loop.
-    """
-
-    def __init__(self, psch: PackedSchedule, W: int) -> None:
-        nr = psch.n_rows
-        self.bufs = (
-            np.zeros((nr, W), dtype=np.uint64),
-            np.zeros((nr, W), dtype=np.uint64),
-        )
-        self.scratch = np.empty((psch.max_gather, W), dtype=np.uint64)
-        n_gated = psch.sl_gated.stop - psch.sl_gated.start
-        self.en_buf = np.empty((n_gated, W), dtype=np.uint64)
-        self.d_buf = np.empty((n_gated, W), dtype=np.uint64)
-        self.tog_row = np.empty((nr, W), dtype=np.uint64)
-        self.progs = (
-            self._build(psch, self.bufs[0], self.bufs[1]),
-            self._build(psch, self.bufs[1], self.bufs[0]),
-        )
-        self.in_views = (
-            self.bufs[0][psch.sl_inputs],
-            self.bufs[1][psch.sl_inputs],
-        )
-
-    def _build(
-        self, psch: PackedSchedule, vals: np.ndarray, v_prev: np.ndarray
-    ) -> tuple:
-        XOR, AND, TAKE, COPY = 0, 1, 2, 3
-        P: list[tuple] = []
-        # 1. register capture (previous-cycle D and enables).
-        if psch.free_d.size:
-            o = vals[psch.sl_free]
-            P.append((TAKE, v_prev, psch.free_d, o))
-            if psch.free_has_inv:
-                P.append((XOR, o, psch.free_d_inv, o))
-        if psch.gated_d.size:
-            en, d = self.en_buf, self.d_buf
-            P.append((TAKE, v_prev, psch.gated_en, en))
-            if psch.gated_en_has_inv:
-                P.append((XOR, en, psch.gated_en_inv, en))
-            P.append((TAKE, v_prev, psch.gated_d, d))
-            if psch.gated_d_has_inv:
-                P.append((XOR, d, psch.gated_d_inv, d))
-            q = v_prev[psch.sl_gated]
-            # hold-or-capture without a select: q ^ (en & (d ^ q))
-            P.append((XOR, d, q, d))
-            P.append((AND, d, en, d))
-            P.append((XOR, d, q, d))
-            P.append((COPY, d, None, vals[psch.sl_gated]))
-        # 2. comb readers of a CLK net must observe its previous-cycle
-        # value (the uint8 engine's copyto semantics).  Stimulus rows are
-        # written by the cycle loop before the program runs.
-        if psch.sl_clk_all.stop > psch.sl_clk_all.start:
-            P.append(
-                (COPY, v_prev[psch.sl_clk_all], None,
-                 vals[psch.sl_clk_all])
-            )
-        # 3. fused combinational evaluation, one level at a time.
-        for L in psch.levels:
-            g = self.scratch[: L.width]
-            P.append((TAKE, vals, L.gather, g))
-            if L.has_inv:
-                P.append((XOR, g, L.inv, g))
-            if L.n_and:
-                P.append(
-                    (AND, g[L.sl_and_a], g[L.sl_and_b], vals[L.out_and])
-                )
-            if L.n_xor:
-                P.append(
-                    (XOR, g[L.sl_xor_a], g[L.sl_xor_b], vals[L.out_xor])
-                )
-            if L.n_copy:
-                P.append((COPY, g[L.sl_copy], None, vals[L.out_copy]))
-            if L.n_mux:
-                P.append(
-                    (XOR, vals[L.sl_u], vals[L.sl_v], vals[L.out_mux])
-                )
-        # 4. clock nets.
-        if psch.sl_clk_free.stop > psch.sl_clk_free.start:
-            P.append((COPY, _WORD_ONES, None, vals[psch.sl_clk_free]))
-        if psch.clk_g_en.size:
-            o = vals[psch.sl_clk_gated]
-            P.append((TAKE, v_prev, psch.clk_g_en, o))
-            if psch.clk_g_has_inv:
-                P.append((XOR, o, psch.clk_g_en_inv, o))
-        return tuple(P)

@@ -63,7 +63,9 @@ class SimulatorSource:
     chunk_cycles:
         Cycles per emitted block (the final block may be shorter).
     engine:
-        Simulator engine (``"packed"`` or ``"uint8"``).
+        Simulator engine; any name in
+        :data:`repro.rtl.simulator.ENGINES` (``"packed"``, ``"uint8"``,
+        ``"compiled"``).
     simulator:
         Optionally share one compiled :class:`Simulator` across many
         sources of the same design (compilation is the expensive part).

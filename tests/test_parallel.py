@@ -16,7 +16,8 @@ import pytest
 
 from repro.errors import ParallelError
 from repro.genbench import BenchmarkEvolver, GaConfig, build_training_dataset
-from repro.isa.program import DEFAULT_MIX, random_program
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import DEFAULT_MIX, Program, random_program
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel import (
     EvalCache,
@@ -243,6 +244,50 @@ class TestFingerprints:
         # ("ab", "c") and ("a", "bc") must not collide.
         assert make_key("ab", "c") != make_key("a", "bc")
         assert make_key("x", 1) == make_key("x", 1)
+
+    def test_make_key_type_tagged(self):
+        # Regression: str() coercion used to make these identical.
+        assert make_key(1, "2") != make_key("1", 2)
+        assert make_key(12) != make_key("12")
+        assert make_key(True) != make_key(1)
+        # NumPy integer scalars normalize to int — a key built from a
+        # config value and one from an array element must agree.
+        assert make_key("x", np.int64(500)) == make_key("x", 500)
+
+    def test_fingerprints_match_golden_digests(self):
+        # Pinned digests: these must never drift across NumPy/Python
+        # versions or refactors.  If a change is intentional, bump
+        # CACHE_SCHEMA in repro.parallel.cache and re-pin.
+        prog = Program("golden", (
+            Instruction(Opcode.ADD, dst=1, src1=2, src2=3, imm=0),
+            Instruction(Opcode.MOVI, dst=4, src1=0, src2=0, imm=77),
+        ))
+        assert program_fingerprint(prog) == (
+            "8a99122d23b7f18c291080e449c41d3aa1d8c6b26ad5598de49a64d4975abea2"
+        )
+        thr = ThrottleScheme(max_issue=1, period=8, duty=4)
+        assert throttle_fingerprint(thr) == (
+            "e84ecb06f074c70e480c2af7eb4f3c84ea9950c21fbf4769a76b7eebc58ce170"
+        )
+        assert make_key("ga-power", "abcd1234", 500, "fp") == (
+            "3f200e92153e21ee75572c6b207369e262fe4d0f63b0d856e9529fcd7f5e81fb"
+        )
+
+    def test_program_fingerprint_numpy_scalar_fields(self):
+        # Instruction fields sourced from NumPy arrays (e.g. random
+        # generation) must hash identically to plain-int fields;
+        # repr()-based hashing broke this under NumPy 2.x.
+        ints = Program("a", (
+            Instruction(Opcode.ADD, dst=1, src1=2, src2=3, imm=9),
+        ))
+        npints = Program("b", (
+            Instruction(
+                Opcode.ADD,
+                dst=np.int64(1), src1=np.int64(2),
+                src2=np.int64(3), imm=np.int64(9),
+            ),
+        ))
+        assert program_fingerprint(ints) == program_fingerprint(npints)
 
 
 # --------------------------------------------------------------------- #

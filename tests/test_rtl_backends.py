@@ -1,0 +1,282 @@
+"""Backend-registry, implementation-selection, and sharding tests.
+
+The simulator's engines live behind :class:`repro.rtl.backends.Backend`.
+Everything here is about the seams of that abstraction: engine lookup
+errors, the compiled engine's implementation fallback chain (numba ->
+cc -> numpy), forcing an implementation via ``REPRO_COMPILED_IMPL``,
+the CLI round-trip of ``--engine``, engine-agnostic checkpoint resume,
+the :func:`acc_reduce` batch-width contract, and lane-sharding across a
+worker pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TransientFault
+from repro.genbench import BenchmarkEvolver, GaConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import WorkerPool, program_fingerprint
+from repro.parallel.sharding import lane_shards, run_sharded
+from repro.resilience import (
+    CheckpointStore,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.rtl import ENGINES, RecordSpec, Simulator
+from repro.rtl.backends import backend_names, get_backend
+from repro.rtl.backends.base import acc_reduce
+from repro.rtl.backends import compiled as compiled_mod
+
+from helpers import random_netlist
+
+
+def _reset_impl(monkeypatch, value=None):
+    """Clear the compiled-impl memo (and optionally force a selection)."""
+    monkeypatch.setattr(compiled_mod, "_SELECTED", None)
+    if value is None:
+        monkeypatch.delenv("REPRO_COMPILED_IMPL", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_COMPILED_IMPL", value)
+
+
+def _full_record(nl):
+    rng = np.random.default_rng(7)
+    n = nl.n_nets
+    return RecordSpec(
+        full_trace=True,
+        columns=np.arange(0, n, 3, dtype=np.int64),
+        accumulators={
+            "w": rng.standard_normal(n),
+            "neg": -np.abs(rng.standard_normal(n)),
+        },
+    )
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+class TestRegistry:
+    def test_engine_names(self):
+        assert tuple(backend_names()) == ENGINES
+        assert set(ENGINES) == {"packed", "uint8", "compiled"}
+
+    def test_unknown_engine_message_lists_engines(self):
+        nl = random_netlist(0)
+        with pytest.raises(SimulationError) as exc:
+            Simulator(nl, engine="verilator")
+        msg = str(exc.value)
+        assert "verilator" in msg
+        for name in ENGINES:
+            assert name in msg
+
+    def test_get_backend_unknown(self):
+        with pytest.raises(SimulationError):
+            get_backend("nope")
+
+
+# --------------------------------------------------------------------- #
+# compiled-impl selection / fallback
+# --------------------------------------------------------------------- #
+class TestImplSelection:
+    def test_auto_selection_never_fails(self, monkeypatch):
+        # Whatever this host has (numba, a C compiler, or neither),
+        # auto-selection must settle on a working implementation.
+        _reset_impl(monkeypatch)
+        assert compiled_mod.compiled_impl() in ("numba", "cc", "numpy")
+
+    def test_numba_missing_falls_back(self, monkeypatch):
+        # Simulate a host without numba: the chain must degrade to cc
+        # or numpy, never raise.
+        _reset_impl(monkeypatch)
+        monkeypatch.setattr(compiled_mod, "_NUMBA_FN", False)
+        assert compiled_mod.compiled_impl() in ("cc", "numpy")
+
+    def test_invalid_forced_impl_raises(self, monkeypatch):
+        _reset_impl(monkeypatch, "fortran")
+        with pytest.raises(SimulationError, match="REPRO_COMPILED_IMPL"):
+            compiled_mod.compiled_impl()
+
+    def test_forced_numba_without_numba_raises(self, monkeypatch):
+        _reset_impl(monkeypatch, "numba")
+        monkeypatch.setattr(compiled_mod, "_NUMBA_FN", False)
+        with pytest.raises(SimulationError, match="numba"):
+            compiled_mod.compiled_impl()
+
+    @pytest.mark.parametrize("impl", ["python", "numpy"])
+    def test_forced_impl_bit_identical(self, impl, monkeypatch):
+        # "python" interprets the njit kernel un-jitted; "numpy" falls
+        # back to the packed loop.  Both must match the uint8 reference
+        # exactly.
+        nl = random_netlist(11, n_gates=60)
+        rng = np.random.default_rng(3)
+        stim = rng.integers(0, 2, size=(5, 40, 4)).astype(np.uint8)
+        record = _full_record(nl)
+        ref = Simulator(nl, engine="uint8").run(stim, record)
+        _reset_impl(monkeypatch, impl)
+        sim = Simulator(nl, engine="compiled")
+        assert sim.backend.impl == impl
+        got = sim.run(stim, record)
+        np.testing.assert_array_equal(ref.trace.packed, got.trace.packed)
+        np.testing.assert_array_equal(ref.columns, got.columns)
+        for name in ref.accum:
+            np.testing.assert_array_equal(
+                ref.accum[name].view(np.uint8),
+                got.accum[name].view(np.uint8),
+            )
+        np.testing.assert_array_equal(ref.final_values, got.final_values)
+
+
+# --------------------------------------------------------------------- #
+# CLI round-trip
+# --------------------------------------------------------------------- #
+class TestCliEngineFlag:
+    @pytest.mark.parametrize("engine", list(ENGINES))
+    def test_engine_accepted(self, engine, monkeypatch, capsys):
+        from repro import cli
+
+        seen = {}
+
+        def fake_stream(args):
+            seen["engine"] = args.engine
+            return 0
+
+        monkeypatch.setattr(cli, "_cmd_stream", fake_stream)
+        assert cli.main(["stream", "--engine", engine]) == 0
+        assert seen["engine"] == engine
+
+    def test_unknown_engine_rejected(self, capsys):
+        from repro import cli
+
+        with pytest.raises(SystemExit):
+            cli.main(["stream", "--engine", "verilator"])
+        assert "--engine" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# engine-agnostic checkpoints
+# --------------------------------------------------------------------- #
+def _ga_cfg() -> GaConfig:
+    return GaConfig(
+        population=6, generations=3, eval_cycles=100,
+        program_length=16, seed=5,
+    )
+
+
+def _ga_signature(result):
+    return [
+        (program_fingerprint(i.program), i.power, i.generation, i.fitness)
+        for i in result.individuals
+    ]
+
+
+def test_ga_resume_under_different_backend(small_core, tmp_path):
+    # All engines are bit-identical, so checkpoint identity excludes
+    # the engine: a run interrupted under "packed" resumes under
+    # "compiled" (or any other engine) and still reproduces the
+    # uninterrupted result exactly.
+    with BenchmarkEvolver(small_core, _ga_cfg(), engine="uint8") as ev:
+        baseline = _ga_signature(ev.run())
+    store = CheckpointStore(tmp_path / "ck", metrics=MetricsRegistry())
+    inj = FaultInjector(
+        FaultPlan(
+            seed=0,
+            faults=(FaultSpec("ga.generation", "interrupt", at=2),),
+        ),
+        metrics=MetricsRegistry(),
+    )
+    with BenchmarkEvolver(
+        small_core, _ga_cfg(), engine="packed",
+        checkpoints=store, faults=inj,
+    ) as ev:
+        with pytest.raises(TransientFault):
+            ev.run()
+    with BenchmarkEvolver(
+        small_core, _ga_cfg(), engine="compiled", checkpoints=store
+    ) as ev:
+        resumed = ev.run(resume=True)
+        assert ev.n_simulated > 0  # really resumed mid-run
+    assert _ga_signature(resumed) == baseline
+
+
+# --------------------------------------------------------------------- #
+# acc_reduce contract
+# --------------------------------------------------------------------- #
+class TestAccReduce:
+    def test_batch_one_matches_sequential(self):
+        # Regression: np.sum(axis=0) on an (n, 1) array reduces the
+        # contiguous column pairwise, while (n, B>=2) reduces
+        # sequentially row-by-row — so a batch-1 run disagreed with the
+        # same lane inside a wider batch in the last ulp.
+        rng = np.random.default_rng(0)
+        n = 3000
+        w = rng.standard_normal(n) * 10.0 ** rng.integers(-8, 8, size=n)
+        tog2 = rng.integers(0, 2, size=(n, 2)).astype(np.uint8)
+        tog1 = np.ascontiguousarray(tog2[:, :1])
+        ref = 0.0
+        for i in range(n):
+            if tog1[i, 0]:
+                ref += w[i]
+        assert acc_reduce(w, tog1)[0] == ref
+        assert acc_reduce(w, tog2)[0] == ref
+
+    def test_zero_cases(self):
+        w = np.array([1.5, -2.5])
+        assert acc_reduce(w, np.zeros((2, 1), np.uint8)).tolist() == [0.0]
+        assert acc_reduce(w, np.zeros((2, 0), np.uint8)).shape == (0,)
+
+
+# --------------------------------------------------------------------- #
+# lane sharding
+# --------------------------------------------------------------------- #
+class TestLaneShards:
+    def test_small_batch_never_split(self):
+        assert lane_shards(1, 8) == [slice(0, 1)]
+        assert lane_shards(64, 8) == [slice(0, 64)]
+
+    def test_word_aligned(self):
+        for batch, workers in [(128, 2), (200, 3), (64 * 7 + 5, 4)]:
+            shards = lane_shards(batch, workers)
+            assert shards[0].start == 0
+            assert shards[-1].stop == batch
+            for a, b in zip(shards, shards[1:]):
+                assert a.stop == b.start
+                assert a.stop % 64 == 0
+            assert len(shards) <= workers
+
+    def test_serial_plan_is_identity(self):
+        assert lane_shards(500, 1) == [slice(0, 500)]
+
+
+@pytest.mark.parametrize("engine", list(ENGINES))
+def test_run_sharded_bit_identical(engine):
+    nl = random_netlist(21, n_gates=60)
+    rng = np.random.default_rng(9)
+    batch = 70  # two lane words -> two shards
+    stim = rng.integers(0, 2, size=(batch, 30, 4)).astype(np.uint8)
+    record = _full_record(nl)
+    mono = Simulator(nl, engine=engine).run(stim, record)
+    with WorkerPool(workers=2, metrics=MetricsRegistry()) as pool:
+        sharded = run_sharded(nl, stim, record, pool, engine=engine)
+    np.testing.assert_array_equal(mono.trace.packed, sharded.trace.packed)
+    np.testing.assert_array_equal(mono.columns, sharded.columns)
+    for name in mono.accum:
+        np.testing.assert_array_equal(
+            mono.accum[name].view(np.uint8),
+            sharded.accum[name].view(np.uint8),
+        )
+    np.testing.assert_array_equal(mono.final_values, sharded.final_values)
+    assert sharded.batch == batch
+
+
+def test_run_sharded_serial_pool_matches():
+    nl = random_netlist(22, n_gates=40)
+    rng = np.random.default_rng(2)
+    stim = rng.integers(0, 2, size=(70, 20, 4)).astype(np.uint8)
+    record = RecordSpec(full_trace=True)
+    mono = Simulator(nl).run(stim, record)
+    with WorkerPool(workers=1, metrics=MetricsRegistry()) as pool:
+        sharded = run_sharded(nl, stim, record, pool)
+    np.testing.assert_array_equal(mono.trace.packed, sharded.trace.packed)

@@ -26,9 +26,9 @@ from repro.rtl import (
 from helpers import random_netlist, simple_counter_design
 
 
-def _run_both(nl, stim, record):
+def _run_both(nl, stim, record, engine="packed"):
     r8 = Simulator(nl, engine="uint8").run(stim, record)
-    rp = Simulator(nl, engine="packed").run(stim, record)
+    rp = Simulator(nl, engine=engine).run(stim, record)
     return r8, rp
 
 
@@ -54,13 +54,16 @@ def _assert_identical(r8, rp):
 # ---------------------------------------------------------------------- #
 
 
+@pytest.mark.parametrize(
+    "engine", [e for e in ENGINES if e != "uint8"]
+)
 @given(
     seed=st.integers(0, 100_000),
     batch=st.sampled_from([1, 3, 16, 64, 70]),
     cycles=st.integers(1, 40),
 )
 @settings(max_examples=25, deadline=None)
-def test_engines_bit_identical_on_random_netlists(seed, batch, cycles):
+def test_engines_bit_identical_on_random_netlists(engine, seed, batch, cycles):
     nl = random_netlist(seed, n_gates=60)
     rng = np.random.default_rng(seed + 1)
     stim = rng.integers(
@@ -73,20 +76,22 @@ def test_engines_bit_identical_on_random_netlists(seed, batch, cycles):
     record = RecordSpec(
         full_trace=True, columns=cols, accumulators={"p": w}
     )
-    _assert_identical(*_run_both(nl, stim, record))
+    _assert_identical(*_run_both(nl, stim, record, engine))
 
 
-def test_engines_identical_columns_only_path():
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "uint8"])
+def test_engines_identical_columns_only_path(engine):
     """Column recording without a dense trace takes a separate fast path."""
     nl = random_netlist(11, n_gates=60)
     rng = np.random.default_rng(12)
     stim = rng.integers(0, 2, size=(70, 33, len(nl.input_ids)), dtype=np.uint8)
     cols = np.sort(rng.choice(nl.n_nets, size=7, replace=False))
-    r8, rp = _run_both(nl, stim, RecordSpec(columns=cols))
+    r8, rp = _run_both(nl, stim, RecordSpec(columns=cols), engine)
     np.testing.assert_array_equal(r8.columns, rp.columns)
 
 
-def test_engines_identical_on_clock_fanout():
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "uint8"])
+def test_engines_identical_on_clock_fanout(engine):
     """BUF/NOT driven by CLK nets must see the previous-cycle clock.
 
     This exercises the packed engine's one exception to BUF/NOT alias
@@ -112,10 +117,11 @@ def test_engines_identical_on_clock_fanout():
     stim = rng.integers(0, 2, size=(8, 21, 2), dtype=np.uint8)
     w = rng.random(nl.n_nets).astype(np.float32)
     record = RecordSpec(full_trace=True, accumulators={"p": w})
-    _assert_identical(*_run_both(nl, stim, record))
+    _assert_identical(*_run_both(nl, stim, record, engine))
 
 
-def test_engines_identical_on_counter_design():
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "uint8"])
+def test_engines_identical_on_counter_design(engine):
     for gated in (False, True):
         nl, _ = simple_counter_design(width=5, gated=gated)
         rng = np.random.default_rng(7)
@@ -123,11 +129,12 @@ def test_engines_identical_on_counter_design():
             0, 2, size=(3, 40, len(nl.input_ids)), dtype=np.uint8
         )
         _assert_identical(
-            *_run_both(nl, stim, RecordSpec(full_trace=True))
+            *_run_both(nl, stim, RecordSpec(full_trace=True), engine)
         )
 
 
-def test_engines_identical_on_small_core(small_core):
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "uint8"])
+def test_engines_identical_on_small_core(small_core, engine):
     """A real (cut-down) core design agrees across engines."""
     rng = np.random.default_rng(9)
     nl = small_core.netlist
@@ -136,7 +143,7 @@ def test_engines_identical_on_small_core(small_core):
     )
     w = rng.random(nl.n_nets).astype(np.float32)
     record = RecordSpec(full_trace=True, accumulators={"p": w})
-    _assert_identical(*_run_both(nl, stim, record))
+    _assert_identical(*_run_both(nl, stim, record, engine))
 
 
 # ---------------------------------------------------------------------- #
@@ -182,14 +189,15 @@ def test_chunked_run_matches_unchunked(engine):
         )
 
 
-def test_chunked_runs_agree_across_engines():
+@pytest.mark.parametrize("engine", [e for e in ENGINES if e != "uint8"])
+def test_chunked_runs_agree_across_engines(engine):
     """Chunk boundary state transfers between engines, either direction."""
     nl = random_netlist(31, n_gates=50)
     rng = np.random.default_rng(32)
     stim = rng.integers(0, 2, size=(4, 30, len(nl.input_ids)), dtype=np.uint8)
     record = RecordSpec(full_trace=True)
     whole = Simulator(nl, engine="uint8").run(stim, record)
-    first = Simulator(nl, engine="packed").run(stim[:, :17], record)
+    first = Simulator(nl, engine=engine).run(stim[:, :17], record)
     second = Simulator(nl, engine="uint8").run(
         stim[:, 17:], record, init_values=first.final_values
     )
@@ -206,9 +214,12 @@ def test_chunked_runs_agree_across_engines():
 
 def test_unknown_engine_rejected():
     nl, _ = simple_counter_design(width=2)
-    with pytest.raises(SimulationError):
+    with pytest.raises(SimulationError) as exc:
         Simulator(nl, engine="simd")
-    assert set(ENGINES) == {"packed", "uint8"}
+    # The error names every registered engine so the fix is obvious.
+    for name in ENGINES:
+        assert name in str(exc.value)
+    assert set(ENGINES) == {"packed", "uint8", "compiled"}
 
 
 def test_engine_attribute_and_schedule():
@@ -219,6 +230,9 @@ def test_engine_attribute_and_schedule():
     ref = Simulator(nl, engine="uint8")
     assert ref.engine == "uint8"
     assert ref.packed_schedule is None
+    comp = Simulator(nl, engine="compiled")
+    assert comp.engine == "compiled"
+    assert comp.packed_schedule is not None
 
 
 @given(
