@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-substrate bench-stream bench-parallel \
-	bench-resilience chaos trace-demo results examples clean
+	bench-resilience bench-serve chaos trace-demo serve-demo results \
+	examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -49,6 +50,15 @@ bench-resilience:
 		--benchmark-only \
 		--benchmark-json=BENCH_resilience.raw.json
 
+# Serving-layer benchmarks: the same seeded load through a direct
+# StreamService vs the gateway (1 shard and 4 shards), asserting
+# bit-identical readings and appending sessions/sec + p99 tick latency
+# to BENCH_serve.json.
+bench-serve:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_serve_perf.py \
+		--benchmark-only \
+		--benchmark-json=BENCH_serve.raw.json
+
 # Seeded chaos run: inject a deterministic fault plan (worker kills,
 # torn checkpoints, corrupt cache entries, mid-stage interrupts) into a
 # full train+quantize pipeline and verify the recovered model is
@@ -63,6 +73,14 @@ trace-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.obs.demo --out results/trace-demo
 	PYTHONPATH=src $(PYTHON) -m repro.cli trace results/trace-demo/trace.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli manifest results/trace-demo/manifest.json
+
+# Self-checking fleet serving demo: seeded loadgen -> 2-shard gateway
+# (with a mid-run hot model swap and an injected shard death) -> fleet
+# report; asserts every streamed reading and the report totals are
+# bit-identical to offline OpmMeter runs.  Writes results/serve-demo/.
+serve-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve --demo --out results/serve-demo
+	PYTHONPATH=src $(PYTHON) -m repro.cli fleet-report results/serve-demo/fleet-report.json
 
 results:
 	$(PYTHON) -m repro.cli run-all --out results

@@ -38,6 +38,7 @@ TRAJECTORY_FILES = {
     "test_stream_perf": "BENCH_stream.json",
     "test_parallel_perf": "BENCH_parallel.json",
     "test_resilience_perf": "BENCH_resilience.json",
+    "test_serve_perf": "BENCH_serve.json",
 }
 
 

@@ -1,0 +1,134 @@
+"""Micro-benchmarks of the fleet serving layer (``repro.serve``).
+
+Times the same seeded load three ways — a direct single-process
+:class:`StreamService` (the floor: no protocol, no shards), a one-shard
+gateway (adds the framed protocol + tick loop), and a sharded gateway —
+and reports ``sessions_per_sec`` / ``cycles_per_sec`` plus the p99
+per-tick pump latency in ``extra_info``, so serving overhead and shard
+scaling land in the ``BENCH_serve.json`` trajectory.
+
+Every variant asserts bit-identical window readings against the offline
+:class:`OpmMeter`, so the perf numbers can never drift away from a
+correct configuration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.opm import OpmMeter, QuantizedModel
+from repro.serve import Gateway, LoadGenConfig, ModelRegistry, plan, run_load
+from repro.stream import ProxyBlock, StreamConfig, StreamService, StreamSession
+
+N_SESSIONS = 16
+CYCLES = 4_096
+CHUNK = 128
+Q = 24
+T = 8
+SEED = 20211018
+
+LOAD = LoadGenConfig(
+    n_sessions=N_SESSIONS, cycles=CYCLES, chunk_cycles=CHUNK, seed=SEED,
+)
+
+
+@pytest.fixture(scope="module")
+def qmodel():
+    rng = np.random.default_rng(0)
+    return QuantizedModel(
+        proxies=np.arange(Q, dtype=np.int64),
+        int_weights=rng.integers(-511, 512, size=Q),
+        int_intercept=40,
+        step=0.01,
+        bits=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def plans(qmodel):
+    return plan(LOAD, qmodel.q)
+
+
+@pytest.fixture(scope="module")
+def expected_windows(qmodel, plans):
+    meter = OpmMeter(qmodel, t=T)
+    return [meter.read(p.stimulus) for p in plans]
+
+
+def _registry(qmodel):
+    reg = ModelRegistry()
+    reg.publish("v1", qmodel, activate=True)
+    return reg
+
+
+def _check(windows_per_session, expected_windows):
+    for got, want in zip(windows_per_session, expected_windows):
+        np.testing.assert_array_equal(
+            np.asarray(got).view(np.uint8), want.view(np.uint8)
+        )
+
+
+def test_perf_serve_direct_service(
+    benchmark, qmodel, plans, expected_windows
+):
+    """Floor: the same load through a bare StreamService (no serving)."""
+    meter = OpmMeter(qmodel, t=T)
+    cfg = StreamConfig(
+        queue_depth=len(plans[0].chunks) + 1,
+        window_ring_capacity=CYCLES // T + 1,
+    )
+
+    def run():
+        sessions = []
+        for k, p in enumerate(plans):
+            blocks = [
+                ProxyBlock(
+                    start_cycle=i * CHUNK, toggles=c,
+                    last=i == len(p.chunks) - 1,
+                )
+                for i, c in enumerate(p.chunks)
+            ]
+            sessions.append(
+                StreamSession(f"s{k}", blocks, meter, config=cfg)
+            )
+        StreamService(meter, sessions).run()
+        return [s.window_ring.values() for s in sessions]
+
+    windows = benchmark.pedantic(run, rounds=3, iterations=1)
+    _check(windows, expected_windows)
+    total = N_SESSIONS * CYCLES
+    benchmark.extra_info["sessions_per_sec"] = (
+        f"{N_SESSIONS / benchmark.stats.stats.mean:.1f}"
+    )
+    benchmark.extra_info["cycles_per_sec"] = (
+        f"{total / benchmark.stats.stats.mean:.0f}"
+    )
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_perf_serve_gateway(
+    benchmark, qmodel, plans, expected_windows, n_shards
+):
+    """The served path: framed protocol + tick loop + shard routing."""
+    state = {}
+
+    def run():
+        gateway = Gateway(_registry(qmodel), n_shards=n_shards, t=T)
+        report = run_load(gateway, LOAD)
+        state["gateway"], state["report"] = gateway, report
+        return report
+
+    report = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert report.cycles_total == N_SESSIONS * CYCLES
+    assert report.dropped_blocks == 0
+    # readings dict preserves open order == plan order
+    _check(list(report.readings.values()), expected_windows)
+    benchmark.extra_info["n_shards"] = str(n_shards)
+    benchmark.extra_info["sessions_per_sec"] = (
+        f"{report.sessions_per_sec:.1f}"
+    )
+    benchmark.extra_info["cycles_per_sec"] = (
+        f"{report.cycles_per_sec:.0f}"
+    )
+    benchmark.extra_info["pump_latency_p99_s"] = (
+        f"{state['gateway'].pump_latency_p99():.6f}"
+    )

@@ -10,6 +10,9 @@ Examples::
     apollo-repro chaos --seed 7 --workers 2
     apollo-repro trace results/trace-demo/trace.json
     apollo-repro manifest results/trace-demo/manifest.json
+    apollo-repro serve --demo --out results/serve-demo
+    apollo-repro loadgen --sessions 8 --shards 2 --seed 3
+    apollo-repro fleet-report results/serve-demo/fleet-report.json
 
 The ``stream`` subcommand runs the bounded-memory streaming
 introspection pipeline (``repro.stream``) end-to-end: it loads a saved
@@ -21,6 +24,13 @@ inference, and prints the final metrics snapshot as JSON.
 Chrome trace-event JSON, auto-detected); ``manifest`` renders a
 provenance sidecar's identity block and stage-time table — both work
 from the exported files alone, no pipeline state needed.
+
+The serving layer (:mod:`repro.serve`) gets three subcommands:
+``serve`` runs the fleet gateway (``--demo`` for the self-checking
+in-process demo, otherwise a TCP server on the framed protocol),
+``loadgen`` drives a seeded load through an in-process gateway and
+prints throughput/latency JSON, and ``fleet-report`` renders a saved
+fleet report as markdown.
 """
 
 from __future__ import annotations
@@ -133,14 +143,36 @@ def _cmd_run_all(args) -> int:
 
 
 def _cmd_stream(args) -> int:
+    from repro.errors import ServeError
     from repro.experiments import ExperimentContext
     from repro.flow.dvfs import DvfsGovernor
     from repro.genbench.workloads import workload_suite
     from repro.opm import QuantizedModel, quantize_model
     from repro.stream import StreamConfig, service_for_programs
 
-    ctx = ExperimentContext(design=args.design or "n1", scale=args.scale)
-    if args.model:
+    ctx = ExperimentContext(
+        design=args.design or "n1",
+        scale=args.scale,
+        workers=args.workers,
+        eval_cache=_eval_cache(args),
+    )
+    if args.model_version and not args.registry:
+        print(
+            "--model-version needs --registry (a model registry "
+            "directory to resolve the version in)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.registry:
+        from repro.serve import ModelRegistry
+
+        try:
+            reg = ModelRegistry.open(args.registry)
+            qmodel = reg.get(reg.resolve(args.model_version))
+        except ServeError as exc:
+            print(f"cannot pin model version: {exc}", file=sys.stderr)
+            return 2
+    elif args.model:
         qmodel = QuantizedModel.load(args.model)
     else:
         q = args.q or ctx.default_q()
@@ -186,6 +218,142 @@ def _cmd_stream(args) -> int:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text + "\n")
         print(f"# snapshot written to {path}", file=sys.stderr)
+    return 0
+
+
+def _serve_registry(args):
+    """Open (or quick-build) the model registry a serve command uses."""
+    from repro.opm import quantize_model
+    from repro.serve import ModelRegistry
+
+    if args.registry:
+        return ModelRegistry.open(args.registry)
+    from repro.experiments import ExperimentContext
+
+    ctx = ExperimentContext(
+        design=args.design or "n1", scale=args.scale or "tiny"
+    )
+    q = args.q or ctx.default_q()
+    print(
+        f"# no --registry: quick-training one model version "
+        f"(design={ctx.design}, scale={ctx.scale.name}, Q={q})",
+        file=sys.stderr,
+    )
+    registry = ModelRegistry()
+    registry.publish(
+        "v1", quantize_model(ctx.apollo(q), bits=args.bits), activate=True
+    )
+    return registry
+
+
+def _serve_pool(args):
+    if getattr(args, "workers", 1) <= 1:
+        return None
+    from repro.parallel import WorkerPool
+
+    return WorkerPool(workers=args.workers)
+
+
+def _cmd_serve(args) -> int:
+    from repro.errors import ServeError
+
+    if args.demo:
+        from repro.serve.demo import run_demo
+
+        run_demo(args.out or "results/serve-demo", seed=args.seed)
+        return 0
+
+    import asyncio
+
+    from repro.serve import Gateway, GatewayServer
+
+    try:
+        registry = _serve_registry(args)
+    except ServeError as exc:
+        print(f"cannot open registry: {exc}", file=sys.stderr)
+        return 2
+    gateway = Gateway(
+        registry, n_shards=args.shards, t=args.t, pool=_serve_pool(args)
+    )
+
+    async def _run() -> None:
+        server = GatewayServer(gateway, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"# serving on {args.host}:{server.port} "
+            f"({args.shards} shards, active model "
+            f"{registry.active_version})",
+            file=sys.stderr,
+        )
+        try:
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:
+                while True:
+                    await asyncio.sleep(3600)
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print(json.dumps(gateway.snapshot(), indent=2))
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve import Gateway, LoadGenConfig, build_report, run_load
+
+    try:
+        registry = _serve_registry(args)
+        gateway = Gateway(
+            registry, n_shards=args.shards, t=args.t,
+            pool=_serve_pool(args),
+        )
+        report = run_load(
+            gateway,
+            LoadGenConfig(
+                n_sessions=args.sessions,
+                cycles=args.cycles,
+                chunk_cycles=args.chunk_cycles,
+                seed=args.seed,
+                mode=args.mode,
+                density=args.density,
+            ),
+        )
+    except ServeError as exc:
+        print(f"loadgen failed: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(report.to_dict(), indent=2)
+    print(text)
+    if args.out:
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n")
+        print(f"# load report written to {path}", file=sys.stderr)
+    if args.fleet_out:
+        path = Path(args.fleet_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(build_report(gateway).to_dict(), indent=2) + "\n"
+        )
+        print(f"# fleet report written to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_fleet_report(args) -> int:
+    from repro.errors import ServeError
+    from repro.serve import FleetReport
+
+    try:
+        data = json.loads(Path(args.report).read_text())
+        fleet = FleetReport.from_dict(data)
+    except (OSError, ValueError, ServeError) as exc:
+        print(f"cannot load fleet report: {exc}", file=sys.stderr)
+        return 2
+    print(fleet.render_markdown(k=args.top))
     return 0
 
 
@@ -297,6 +465,25 @@ def main(argv: list[str] | None = None) -> int:
         help="saved QuantizedModel (.npz); omit to quick-train",
     )
     p_stream.add_argument(
+        "--registry", default=None,
+        help="model registry directory (repro.serve); overrides --model",
+    )
+    p_stream.add_argument(
+        "--model-version", default=None,
+        help="pin a registry model version (default: the active one); "
+        "requires --registry",
+    )
+    p_stream.add_argument(
+        "--workers", type=int, default=1,
+        help="simulation worker processes (1 = serial; results are "
+        "bit-identical for any value)",
+    )
+    p_stream.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk evaluation cache directory (content-addressed; "
+        "safe to share between runs)",
+    )
+    p_stream.add_argument(
         "--save-model", default=None,
         help="persist the (quick-trained) quantized model here",
     )
@@ -334,6 +521,102 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_stream.add_argument(
         "--out", default=None, help="also write the JSON snapshot here"
+    )
+
+    def _add_serve_common(p) -> None:
+        p.add_argument(
+            "--registry", default=None,
+            help="model registry directory; omit to quick-train one "
+            "version in memory",
+        )
+        p.add_argument("--design", choices=["n1", "a77"], default=None)
+        p.add_argument("--scale", choices=list(SCALES), default=None)
+        p.add_argument(
+            "--q", type=int, default=0,
+            help="proxy count for quick-training (0 = context default)",
+        )
+        p.add_argument("--bits", type=int, default=10)
+        p.add_argument(
+            "--shards", type=int, default=2,
+            help="gateway shard count",
+        )
+        p.add_argument(
+            "--t", type=int, default=8,
+            help="OPM averaging window (power of two)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=1,
+            help="inference worker processes (1 = inline; results are "
+            "bit-identical for any value)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the fleet telemetry gateway (TCP framed protocol, "
+        "or --demo for the self-checking in-process demo)",
+    )
+    _add_serve_common(p_serve)
+    p_serve.add_argument(
+        "--demo", action="store_true",
+        help="run the self-checking loadgen -> gateway -> fleet-report "
+        "demo instead of a TCP server",
+    )
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free one, printed on start)",
+    )
+    p_serve.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop serving after this long (default: run until Ctrl-C)",
+    )
+    p_serve.add_argument(
+        "--out", default=None,
+        help="output directory for --demo reports",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive a seeded load through an in-process gateway and "
+        "print throughput/latency JSON",
+    )
+    _add_serve_common(p_load)
+    p_load.add_argument("--sessions", type=int, default=8)
+    p_load.add_argument(
+        "--cycles", type=int, default=512,
+        help="cycles pushed per session",
+    )
+    p_load.add_argument("--chunk-cycles", type=int, default=64)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--mode", choices=["closed", "open"], default="closed",
+        help="closed = push/tick lockstep, open = burst then drain",
+    )
+    p_load.add_argument(
+        "--density", type=float, default=0.3,
+        help="P(toggle bit set) in the generated stimulus",
+    )
+    p_load.add_argument(
+        "--out", default=None, help="also write the load JSON here"
+    )
+    p_load.add_argument(
+        "--fleet-out", default=None,
+        help="also write the fleet report JSON here "
+        "(renderable by fleet-report)",
+    )
+
+    p_fleet = sub.add_parser(
+        "fleet-report",
+        help="render a saved fleet report (JSON) as markdown",
+    )
+    p_fleet.add_argument(
+        "report", help="fleet report JSON (serve --demo / loadgen "
+        "--fleet-out output)",
+    )
+    p_fleet.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the ranked sessions table",
     )
 
     p_chaos = sub.add_parser(
@@ -400,6 +683,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run_all(args)
     if args.command == "stream":
         return _cmd_stream(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
+    if args.command == "fleet-report":
+        return _cmd_fleet_report(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
     if args.command == "trace":

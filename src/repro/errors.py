@@ -19,6 +19,7 @@ __all__ = [
     "OpmError",
     "ObsError",
     "StreamError",
+    "ServeError",
     "ExperimentError",
     "ParallelError",
     "ResilienceError",
@@ -70,6 +71,14 @@ class ObsError(ReproError):
 
 class StreamError(ReproError):
     """Raised by the streaming introspection pipeline."""
+
+
+class ServeError(StreamError):
+    """Raised by the fleet serving layer (gateway, shards, registry).
+
+    Derives from :class:`StreamError` so existing stream-level error
+    handling (the CLI, the service tests) catches serving failures
+    without new except clauses."""
 
 
 class ExperimentError(ReproError):

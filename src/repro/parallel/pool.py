@@ -102,6 +102,13 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self.health = HealthState()
         self._last_failure: str | None = None
+        self._publish_health()
+
+    def _publish_health(self) -> None:
+        """Mirror pool health into the registry (0/1/2 gauge) so
+        schedulers above (the serve gateway) can route on it without
+        reaching into pool internals."""
+        self.metrics.gauge("parallel.pool.health").set(self.health.code)
 
     # ------------------------------------------------------------------ #
     @property
@@ -133,6 +140,7 @@ class WorkerPool:
     def _degrade(self, reason: str, wait: bool = True) -> None:
         self.health.degrade(reason)
         self.metrics.counter("parallel.pool.degraded").inc()
+        self._publish_health()
         self._shutdown_executor(wait=wait)
         self._last_failure = reason
 
@@ -156,6 +164,7 @@ class WorkerPool:
         self._shutdown_executor()
         self.health.reset("pool reset")
         self.metrics.counter("parallel.pool.resets").inc()
+        self._publish_health()
 
     # ------------------------------------------------------------------ #
     def _map_parallel(self, fn: Callable, items: list) -> list:

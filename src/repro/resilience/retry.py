@@ -157,6 +157,17 @@ class HealthState:
     def failed(self) -> bool:
         return self.state is Health.FAILED
 
+    @property
+    def code(self) -> int:
+        """Numeric view for gauges: 0 = ok, 1 = degraded, 2 = failed.
+
+        Metric snapshots are plain floats, so routing layers (the serve
+        gateway's shard picker) read health as a number; the ordering is
+        severity, so ``max`` over codes is the fleet rollup."""
+        return {Health.OK: 0, Health.DEGRADED: 1, Health.FAILED: 2}[
+            self.state
+        ]
+
     def _move(self, to: Health, reason: str) -> None:
         self.transitions.append((self.state.value, to.value, reason))
         self.state = to

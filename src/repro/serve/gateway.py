@@ -1,0 +1,818 @@
+"""The fleet telemetry gateway: many sessions, sharded, hot-swappable.
+
+The :class:`Gateway` is the serving front door.  It owns a
+:class:`~repro.serve.registry.ModelRegistry` (which model version new
+sessions pin), a ring of :class:`~repro.serve.shard.Shard` s (where
+sessions live), and an optional :class:`~repro.parallel.pool.WorkerPool`
+(where each shard's batched GEMV may run).  Sessions come in two
+flavours:
+
+* **push** sessions — a client streams toggle chunks in over the framed
+  protocol (:mod:`repro.serve.protocol`), via the asyncio transport
+  (:class:`GatewayServer` / :class:`AsyncTelemetryClient`) or the
+  in-process :class:`InprocClient`;
+* **source** sessions — the gateway pulls from any
+  :mod:`repro.stream.source` iterable (the bit-identity tests attach
+  :class:`~repro.stream.source.SimulatorSource` s this way).
+
+Time advances in deterministic **ticks**: one tick pumps every live
+shard, runs every pending inference group (inline or on the pool), and
+scatters results — the fleet-scale analogue of
+:meth:`StreamService.step`, and bit-identical to it session by session
+because the per-session math is untouched by sharding, batching, model
+mixing, or pool placement.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.serve.protocol import decode_array, decode_frame, encode_array, encode_frame
+from repro.serve.registry import ModelRegistry
+from repro.serve.shard import Shard, ShardRouter, infer_task
+from repro.stream.session import (
+    SessionHooks,
+    StreamConfig,
+    StreamSession,
+)
+from repro.stream.source import ProxyBlock
+
+__all__ = [
+    "PushSource",
+    "SessionHandle",
+    "Gateway",
+    "InprocClient",
+    "GatewayServer",
+    "AsyncTelemetryClient",
+]
+
+
+class PushSource:
+    """Client-pushed proxy blocks behind a bounded drop-oldest buffer.
+
+    The serving twin of the pull sources in :mod:`repro.stream.source`:
+    ``push`` appends a chunk (dropping the *oldest* buffered chunk when
+    ``max_pending`` is exceeded — freshest-data-wins, accounted), and
+    iteration yields buffered chunks until the client ``close`` s the
+    stream and the buffer empties.
+    """
+
+    def __init__(self, q: int, max_pending: int = 4096) -> None:
+        if q < 1:
+            raise ServeError("push source needs q >= 1 proxy columns")
+        if max_pending < 1:
+            raise ServeError("max_pending must be >= 1")
+        self.q = int(q)
+        self.max_pending = int(max_pending)
+        self._buf: deque[ProxyBlock] = deque()
+        self.closed = False
+        self.cycles_pushed = 0
+        self.blocks_pushed = 0
+        self.dropped_blocks = 0
+        self.dropped_cycles = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._buf)
+
+    def push(self, toggles: np.ndarray, last: bool = False) -> bool:
+        """Buffer one chunk; returns False if an old chunk was dropped."""
+        if self.closed:
+            raise ServeError("push on a closed session")
+        arr = np.asarray(toggles, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != self.q:
+            raise ServeError(
+                f"expected (cycles, {self.q}) toggles, got {arr.shape}"
+            )
+        if arr.shape[0] == 0:
+            raise ServeError("pushed chunk must cover at least one cycle")
+        block = ProxyBlock(
+            start_cycle=self.cycles_pushed, toggles=arr, last=last
+        )
+        self.cycles_pushed += block.n_cycles
+        self.blocks_pushed += 1
+        kept = True
+        if len(self._buf) >= self.max_pending:
+            lost = self._buf.popleft()
+            self.dropped_blocks += 1
+            self.dropped_cycles += lost.n_cycles
+            kept = False
+        self._buf.append(block)
+        if last:
+            self.closed = True
+        return kept
+
+    def close(self) -> None:
+        """No more pushes; buffered chunks still drain."""
+        self.closed = True
+
+    def __iter__(self):
+        return self
+
+    def __next__(self) -> ProxyBlock:
+        if self._buf:
+            return self._buf.popleft()
+        if self.closed:
+            raise StopIteration
+        # Deliberately NOT a ServeError/StreamError: those are treated
+        # as transient source stalls by StreamSession.pump, and this is
+        # a gateway bug (pumps must be bounded by PushSource.pending).
+        raise RuntimeError(
+            "pump on an empty open push source (gateway bug)"
+        )
+
+
+class _PushSession(StreamSession):
+    """A session whose pump never outruns its push buffer."""
+
+    def __init__(self, name, push: PushSource, meter, **kw) -> None:
+        super().__init__(name, push, meter, **kw)
+        self._push = push
+
+    def pump(self, max_blocks: int | None = None) -> int:
+        n = self.config.pump_blocks if max_blocks is None else max_blocks
+        # One extra pull is allowed on a closed empty buffer: that pull
+        # is the StopIteration that marks the session exhausted.
+        avail = self._push.pending + (1 if self._push.closed else 0)
+        n = min(n, avail)
+        if n <= 0:
+            return 0
+        return super().pump(n)
+
+
+@dataclass
+class SessionHandle:
+    """Gateway-side record of one telemetry session.
+
+    Accumulates what the fleet report needs (per-proxy toggle counts for
+    attribution, peak window, emitted-window outbox for clients) via the
+    session's :class:`~repro.stream.session.SessionHooks` — the session
+    itself never learns it is being served.
+    """
+
+    name: str
+    core_id: str
+    version: str
+    session: StreamSession
+    push: PushSource | None
+    shard_index: int
+    opened_tick: int
+    toggle_counts: np.ndarray = field(repr=False, default=None)
+    peak_window_mw: float = 0.0
+    windows_seen: int = 0
+    _outbox: deque = field(default_factory=deque, repr=False)
+    _done: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def qmodel(self):
+        return self.session.opm_stream.meter.qmodel
+
+    def pop_windows(self) -> np.ndarray:
+        """Drain the emitted-window outbox (mW, oldest first)."""
+        if not self._outbox:
+            return np.empty(0, dtype=np.float64)
+        out = np.concatenate(list(self._outbox))
+        self._outbox.clear()
+        return out
+
+    # ------------------------------------------------------------ #
+    # Exact integer accounting: sum over processed cycles of the
+    # per-cycle OPM integers equals weights . toggle_counts +
+    # intercept * cycles — no float accumulation drift, so fleet
+    # totals can be checked bit-exactly against offline readings.
+    # ------------------------------------------------------------ #
+    @property
+    def attributed_sum_int(self) -> int:
+        qm = self.qmodel
+        return int(
+            self.toggle_counts @ qm.int_weights
+            + qm.int_intercept * self.session.cycles_processed
+        )
+
+    @property
+    def mean_mw(self) -> float:
+        n = self.session.cycles_processed
+        if n == 0:
+            return 0.0
+        return self.attributed_sum_int * self.qmodel.step / n
+
+    def proxy_contributions_mw(self) -> np.ndarray:
+        """Per-proxy mean attributed power (mW), intercept excluded."""
+        n = self.session.cycles_processed
+        qm = self.qmodel
+        if n == 0:
+            return np.zeros(qm.q, dtype=np.float64)
+        return (
+            self.toggle_counts.astype(np.float64)
+            * qm.int_weights
+            * qm.step
+            / n
+        )
+
+    def record(self) -> dict:
+        """JSON-ready session record for snapshots and fleet reports."""
+        sess = self.session
+        stats = sess.stats()
+        rec = {
+            "name": self.name,
+            "core_id": self.core_id,
+            "model_version": self.version,
+            "shard": self.shard_index,
+            "done": self.done,
+            "cycles": sess.cycles_processed,
+            "attributed_sum_int": self.attributed_sum_int,
+            "step": self.qmodel.step,
+            "mean_mw": self.mean_mw,
+            "peak_window_mw": self.peak_window_mw,
+            "windows": self.windows_seen,
+            "dropped_blocks": sess.dropped_blocks
+            + (self.push.dropped_blocks if self.push is not None else 0),
+            "droop_alerts": stats.get("droop_alerts", 0),
+            "budget_violations": stats.get("budget_violations", 0),
+            "health": sess.health.state.value,
+            "proxy_mw": [float(v) for v in self.proxy_contributions_mw()],
+            "intercept_mw": float(
+                self.qmodel.int_intercept * self.qmodel.step
+            ),
+        }
+        return rec
+
+
+class Gateway:
+    """Sharded, hot-swappable multiplexer of telemetry sessions."""
+
+    #: Bucket edges (seconds) for the per-tick latency histogram.
+    TICK_EDGES = (1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0)
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        n_shards: int = 2,
+        t: int = 8,
+        config: StreamConfig | None = None,
+        pool=None,
+        metrics: MetricsRegistry | None = None,
+        tracer=None,
+        push_buffer_blocks: int = 4096,
+    ) -> None:
+        if n_shards < 1:
+            raise ServeError("gateway needs at least one shard")
+        self.registry = registry
+        self.t = int(t)
+        self.config = config or StreamConfig()
+        self.pool = pool
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.push_buffer_blocks = int(push_buffer_blocks)
+        self.shards = [
+            Shard(i, tracer=self.tracer) for i in range(n_shards)
+        ]
+        self.router = ShardRouter(self.shards)
+        self.handles: dict[str, SessionHandle] = {}
+        self._seq = 0
+        self.ticks = 0
+        #: Recent per-tick wall latencies (seconds) for p99 reporting.
+        self.tick_latencies: deque[float] = deque(maxlen=65536)
+
+    # -------------------------------------------------------------- #
+    # Session lifecycle
+    # -------------------------------------------------------------- #
+    def open_session(
+        self,
+        core_id: str,
+        version: str | None = None,
+        t: int | None = None,
+        source=None,
+        config: StreamConfig | None = None,
+        droop=None,
+        budget=None,
+    ) -> SessionHandle:
+        """Open one telemetry session, pinned to a model version.
+
+        ``version=None`` pins the registry's *active* version at this
+        moment — a later :meth:`swap_model` never retroactively moves
+        this session.  With ``source=None`` the session is push-mode
+        (feed it via :meth:`push`); otherwise the gateway pulls from
+        ``source`` like any :mod:`repro.stream` source.
+        """
+        version = self.registry.resolve(version)
+        meter = self.registry.meter(version, self.t if t is None else t)
+        name = f"{core_id}#{self._seq}"
+        self._seq += 1
+
+        handle_ref: list[SessionHandle] = []
+
+        def on_drain(_sess, blocks):
+            h = handle_ref[0]
+            for b in blocks:
+                h.toggle_counts += b.toggles.sum(axis=0, dtype=np.int64)
+
+        def on_ingest(_sess, _per_cycle_mw, windows_mw):
+            if windows_mw.size:
+                h = handle_ref[0]
+                h._outbox.append(np.array(windows_mw, dtype=np.float64))
+                h.windows_seen += int(windows_mw.size)
+                peak = float(windows_mw.max())
+                if peak > h.peak_window_mw:
+                    h.peak_window_mw = peak
+
+        def on_done(_sess):
+            handle_ref[0]._done = True
+            self.metrics.counter("serve.sessions.closed").inc()
+
+        hooks = SessionHooks(
+            on_drain=on_drain, on_ingest=on_ingest, on_done=on_done
+        )
+        cfg = config or self.config
+        if source is None:
+            push = PushSource(
+                meter.qmodel.q, max_pending=self.push_buffer_blocks
+            )
+            sess: StreamSession = _PushSession(
+                name, push, meter, config=cfg, hooks=hooks,
+                droop=droop, budget=budget,
+            )
+        else:
+            push = None
+            sess = StreamSession(
+                name, source, meter, config=cfg, hooks=hooks,
+                droop=droop, budget=budget,
+            )
+        shard = self.router.shard_for(core_id, version)
+        handle = SessionHandle(
+            name=name,
+            core_id=core_id,
+            version=version,
+            session=sess,
+            push=push,
+            shard_index=shard.index,
+            opened_tick=self.ticks,
+            toggle_counts=np.zeros(meter.qmodel.q, dtype=np.int64),
+        )
+        handle_ref.append(handle)
+        shard.add_session(sess)
+        self.handles[name] = handle
+        self.metrics.counter("serve.sessions.opened").inc()
+        with self.tracer.span(
+            "serve.session.open",
+            session=name, version=version, shard=shard.index,
+        ):
+            pass
+        return handle
+
+    def _resolve(self, handle_or_name) -> SessionHandle:
+        if isinstance(handle_or_name, SessionHandle):
+            return handle_or_name
+        try:
+            return self.handles[handle_or_name]
+        except KeyError:
+            raise ServeError(
+                f"unknown session {handle_or_name!r}"
+            ) from None
+
+    def push(self, handle_or_name, toggles, last: bool = False) -> None:
+        """Feed one toggle chunk into a push-mode session."""
+        handle = self._resolve(handle_or_name)
+        if handle.push is None:
+            raise ServeError(
+                f"session {handle.name!r} is source-backed; it cannot "
+                "accept pushed data"
+            )
+        kept = handle.push.push(toggles, last=last)
+        self.metrics.counter("serve.push.blocks").inc()
+        if not kept:
+            self.metrics.counter("serve.push.dropped").inc()
+
+    def close_session(self, handle_or_name) -> None:
+        """Client finished: no more data; buffered chunks still drain."""
+        handle = self._resolve(handle_or_name)
+        if handle.push is not None:
+            handle.push.close()
+
+    # -------------------------------------------------------------- #
+    # Fleet control
+    # -------------------------------------------------------------- #
+    def swap_model(self, version: str) -> None:
+        """Hot swap: new sessions pin ``version``; in-flight unaffected."""
+        self.registry.activate(version)
+        self.metrics.counter("serve.model.swaps").inc()
+        with self.tracer.span("serve.model.swap", version=version):
+            pass
+
+    def kill_shard(self, index: int, reason: str = "injected") -> None:
+        """Fail one shard (fault injection / tests); respawns next tick."""
+        self.shards[index].kill(reason)
+        self._refresh_metrics()
+
+    @property
+    def has_live_sessions(self) -> bool:
+        return any(not h.done for h in self.handles.values())
+
+    # -------------------------------------------------------------- #
+    # The tick
+    # -------------------------------------------------------------- #
+    def tick(self) -> bool:
+        """One fleet step; returns True while any session is live."""
+        t0 = time.perf_counter()
+        with self.tracer.span("serve.tick", tick=self.ticks) as sp:
+            respawned = self.router.respawn_dead()
+            if respawned:
+                self.metrics.counter("serve.shard.respawns").inc(respawned)
+            shard_work = []
+            payloads = []
+            for shard in self.shards:
+                t_s = time.perf_counter()
+                groups = shard.gather()
+                shard_work.append((shard, t_s, groups))
+                for meter, _picks, mats in groups:
+                    qm = meter.qmodel
+                    payloads.append((
+                        qm.int_weights,
+                        qm.int_intercept,
+                        np.concatenate(mats, axis=0),
+                    ))
+            if payloads:
+                t_inf = time.perf_counter()
+                if (
+                    self.pool is not None
+                    and self.pool.parallel
+                    and len(payloads) > 1
+                ):
+                    results = self.pool.map(
+                        infer_task, payloads, label="serve.infer"
+                    )
+                else:
+                    results = [infer_task(p) for p in payloads]
+                self.metrics.histogram(
+                    "serve.infer_seconds", self.TICK_EDGES
+                ).observe(time.perf_counter() - t_inf)
+            else:
+                results = []
+            alive = False
+            cursor = 0
+            for shard, t_s, groups in shard_work:
+                res = results[cursor:cursor + len(groups)]
+                cursor += len(groups)
+                if shard.apply(groups, res, t_s):
+                    alive = True
+            if sp:
+                sp.set(groups=len(payloads))
+        self.ticks += 1
+        latency = time.perf_counter() - t0
+        self.tick_latencies.append(latency)
+        self.metrics.histogram(
+            "serve.tick_seconds", self.TICK_EDGES
+        ).observe(latency)
+        self._refresh_metrics()
+        # Push sessions whose client has not closed stay live even with
+        # an empty queue — the fleet is still serving them.
+        return alive or self.has_live_sessions
+
+    def drain(self, max_ticks: int = 100_000) -> dict:
+        """Tick until every session completes; returns the snapshot."""
+        with self.tracer.span("serve.drain", sessions=len(self.handles)):
+            for _ in range(max_ticks):
+                if not self.tick():
+                    return self.snapshot()
+        raise ServeError(
+            f"gateway did not drain within {max_ticks} ticks (an open "
+            "push session is never done until its client closes it)"
+        )
+
+    # -------------------------------------------------------------- #
+    # Introspection
+    # -------------------------------------------------------------- #
+    def _refresh_metrics(self) -> None:
+        m = self.metrics
+        worst = 0
+        for shard in self.shards:
+            code = shard.health.code
+            worst = max(worst, code)
+            m.gauge(f"serve.shard.health.{shard.index}").set(code)
+            m.gauge(f"serve.shard.sessions.{shard.index}").set(
+                len(shard.sessions)
+            )
+        m.gauge("serve.shard.health").set(worst)
+        m.gauge("serve.shards").set(len(self.shards))
+        m.gauge("serve.sessions.live").set(
+            sum(1 for h in self.handles.values() if not h.done)
+        )
+        m.counter("serve.ticks").value = self.ticks
+        drops = sum(
+            h.push.dropped_blocks
+            for h in self.handles.values()
+            if h.push is not None
+        )
+        m.counter("serve.push.buffer_dropped").value = drops
+
+    def pump_latency_p99(self) -> float:
+        """p99 of recent tick latencies (seconds); 0 when no ticks."""
+        if not self.tick_latencies:
+            return 0.0
+        lat = np.sort(np.asarray(self.tick_latencies))
+        return float(lat[min(len(lat) - 1, int(0.99 * len(lat)))])
+
+    def session_records(self) -> list[dict]:
+        return [h.record() for h in self.handles.values()]
+
+    def snapshot(self) -> dict:
+        """Fleet-wide JSON snapshot: gateway + shards + sessions."""
+        snap = self.metrics.snapshot()
+        snap["ticks"] = self.ticks
+        snap["registry"] = self.registry.describe()
+        snap["shards"] = [s.stats() for s in self.shards]
+        snap["sessions"] = self.session_records()
+        snap["pump_latency_p99_s"] = self.pump_latency_p99()
+        return snap
+
+
+class InprocClient:
+    """In-process client speaking real frames to a local gateway.
+
+    Every call round-trips its frame through
+    :func:`~repro.serve.protocol.encode_frame` /
+    :func:`~repro.serve.protocol.decode_frame`, so tests and benchmarks
+    that use it also exercise the wire encoding — without sockets or an
+    event loop.
+    """
+
+    def __init__(self, gateway: Gateway) -> None:
+        self.gateway = gateway
+
+    def open(
+        self,
+        core_id: str,
+        version: str | None = None,
+        t: int | None = None,
+    ) -> str:
+        frame = encode_frame(
+            {"op": "open", "core": core_id, "version": version, "t": t}
+        )
+        header, _payload, _n = decode_frame(frame)
+        handle = self.gateway.open_session(
+            header["core"],
+            version=header.get("version"),
+            t=header.get("t"),
+        )
+        return handle.name
+
+    def push(self, name: str, toggles, last: bool = False) -> None:
+        fields, payload = encode_array(np.asarray(toggles, dtype=np.uint8))
+        frame = encode_frame(
+            {"op": "data", "session": name, "last": bool(last), **fields},
+            payload,
+        )
+        header, body, _n = decode_frame(frame)
+        self.gateway.push(
+            header["session"],
+            decode_array(header, body),
+            last=bool(header.get("last", False)),
+        )
+
+    def close(self, name: str) -> None:
+        header, _p, _n = decode_frame(
+            encode_frame({"op": "close", "session": name})
+        )
+        self.gateway.close_session(header["session"])
+
+    def windows(self, name: str) -> np.ndarray:
+        """Pop the session's emitted T-window readings (mW)."""
+        return self.gateway._resolve(name).pop_windows()
+
+    def stats(self, name: str) -> dict:
+        return self.gateway._resolve(name).record()
+
+
+# ------------------------------------------------------------------ #
+# asyncio transport
+# ------------------------------------------------------------------ #
+class GatewayServer:
+    """Asyncio front-end: framed protocol over TCP, one shared gateway.
+
+    A single background pump task advances the gateway in ticks while
+    any session is live and flushes each session's emitted windows back
+    to the connection that opened it.  Designed for thousands of
+    concurrent light connections: per-connection state is one dict
+    entry, and all inference stays batched in the gateway.
+    """
+
+    def __init__(self, gateway: Gateway, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self._server = None
+        self._pump_task = None
+        self._writers: dict[str, object] = {}  # session name -> writer
+        self._done_sent: set[str] = set()
+
+    async def start(self) -> None:
+        import asyncio
+
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_task = asyncio.ensure_future(self._pump_loop())
+
+    async def close(self) -> None:
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except BaseException:
+                pass
+            self._pump_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _pump_loop(self) -> None:
+        import asyncio
+
+        while True:
+            if self.gateway.has_live_sessions:
+                self.gateway.tick()
+                await self._flush()
+                await asyncio.sleep(0)
+            else:
+                await asyncio.sleep(0.002)
+
+    async def _flush(self) -> None:
+        for name, writer in list(self._writers.items()):
+            handle = self.gateway.handles.get(name)
+            if handle is None:
+                continue
+            windows = handle.pop_windows()
+            if windows.size:
+                fields, payload = encode_array(windows)
+                writer.write(encode_frame(
+                    {"op": "windows", "session": name, **fields}, payload
+                ))
+            if handle.done and name not in self._done_sent:
+                self._done_sent.add(name)
+                writer.write(encode_frame(
+                    {"op": "done", "session": name,
+                     "stats": handle.record()}
+                ))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                self._writers.pop(name, None)
+
+    async def _read_frame(self, reader):
+        import struct as _struct
+
+        head = await reader.readexactly(4)
+        (hlen,) = _struct.unpack(">I", head)
+        blob = await reader.readexactly(hlen)
+        (plen,) = _struct.unpack(">I", await reader.readexactly(4))
+        payload = await reader.readexactly(plen) if plen else b""
+        header, body, _n = decode_frame(
+            head + blob + _struct.pack(">I", plen) + payload
+        )
+        return header, body
+
+    async def _handle(self, reader, writer) -> None:
+        import asyncio
+
+        owned: list[str] = []
+        try:
+            while True:
+                try:
+                    header, payload = await self._read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                try:
+                    reply = self._dispatch(header, payload, writer, owned)
+                except ServeError as exc:
+                    reply = {"op": "error", "message": str(exc)}
+                if reply is not None:
+                    writer.write(encode_frame(reply))
+                    await writer.drain()
+        finally:
+            for name in owned:
+                self._writers.pop(name, None)
+                handle = self.gateway.handles.get(name)
+                if handle is not None and handle.push is not None:
+                    handle.push.close()  # connection gone: drain & finish
+            writer.close()
+
+    def _dispatch(self, header, payload, writer, owned) -> dict | None:
+        op = header.get("op")
+        if op == "open":
+            handle = self.gateway.open_session(
+                str(header.get("core", "core")),
+                version=header.get("version"),
+                t=header.get("t"),
+            )
+            owned.append(handle.name)
+            self._writers[handle.name] = writer
+            return {
+                "op": "opened",
+                "session": handle.name,
+                "version": handle.version,
+                "shard": handle.shard_index,
+            }
+        if op == "data":
+            self.gateway.push(
+                header.get("session"),
+                decode_array(header, payload),
+                last=bool(header.get("last", False)),
+            )
+            return None
+        if op == "close":
+            self.gateway.close_session(header.get("session"))
+            return None
+        if op == "stats":
+            handle = self.gateway._resolve(header.get("session"))
+            return {"op": "stats", "session": handle.name,
+                    "stats": handle.record()}
+        raise ServeError(f"unknown op {op!r}")
+
+
+class AsyncTelemetryClient:
+    """Minimal asyncio client for :class:`GatewayServer`."""
+
+    def __init__(self, reader, writer) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncTelemetryClient":
+        import asyncio
+
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _recv(self):
+        import struct as _struct
+
+        head = await self.reader.readexactly(4)
+        (hlen,) = _struct.unpack(">I", head)
+        blob = await self.reader.readexactly(hlen)
+        (plen,) = _struct.unpack(">I", await self.reader.readexactly(4))
+        payload = await self.reader.readexactly(plen) if plen else b""
+        return decode_frame(
+            head + blob + _struct.pack(">I", plen) + payload
+        )[:2]
+
+    async def open(self, core_id: str, version: str | None = None,
+                   t: int | None = None) -> str:
+        self.writer.write(encode_frame(
+            {"op": "open", "core": core_id, "version": version, "t": t}
+        ))
+        await self.writer.drain()
+        header, _payload = await self._recv()
+        if header["op"] == "error":
+            raise ServeError(header["message"])
+        return header["session"]
+
+    async def send(self, session: str, toggles, last: bool = False) -> None:
+        fields, payload = encode_array(np.asarray(toggles, dtype=np.uint8))
+        self.writer.write(encode_frame(
+            {"op": "data", "session": session, "last": bool(last),
+             **fields},
+            payload,
+        ))
+        await self.writer.drain()
+
+    async def close_session(self, session: str) -> None:
+        self.writer.write(encode_frame({"op": "close", "session": session}))
+        await self.writer.drain()
+
+    async def collect(self, session: str) -> tuple[np.ndarray, dict]:
+        """Read until ``done``; returns (all windows mW, final stats)."""
+        chunks: list[np.ndarray] = []
+        while True:
+            header, payload = await self._recv()
+            op = header.get("op")
+            if op == "windows" and header.get("session") == session:
+                chunks.append(decode_array(header, payload))
+            elif op == "done" and header.get("session") == session:
+                windows = (
+                    np.concatenate(chunks)
+                    if chunks else np.empty(0, dtype=np.float64)
+                )
+                return windows, header.get("stats", {})
+            elif op == "error":
+                raise ServeError(header["message"])
+
+    async def aclose(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

@@ -1,0 +1,227 @@
+"""Deterministic seeded load generator for the serve gateway.
+
+Drives a :class:`~repro.serve.gateway.Gateway` through its
+:class:`~repro.serve.gateway.InprocClient` with a *fully seeded* plan:
+the same :class:`LoadGenConfig` always produces the same session mix,
+the same toggle chunks, and therefore (bit-identical inference) the
+same readings — which is what makes gateway benchmarks comparable
+across runs and lets tests assert seed-stability.
+
+Two driving disciplines:
+
+* **closed-loop** (default): each step pushes one chunk per live
+  session *then* ticks the gateway once — producer and consumer in
+  lockstep, no backpressure, the latency-measurement regime;
+* **open-loop**: every chunk is pushed up front, then the gateway
+  drains — the burst regime, where push-buffer backpressure (drop
+  oldest, accounted) is allowed to engage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.gateway import Gateway, InprocClient
+
+__all__ = ["LoadGenConfig", "SessionPlan", "LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Seeded description of one load run (the whole plan derives
+    from these fields — no hidden randomness)."""
+
+    n_sessions: int = 8
+    cycles: int = 256
+    chunk_cycles: int = 32
+    seed: int = 0
+    mode: str = "closed"  # "closed" | "open"
+    density: float = 0.3  # P(toggle bit set)
+    n_cores: int = 4  # session i runs on core f"c{i % n_cores}"
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 1:
+            raise ServeError("loadgen needs at least one session")
+        if self.cycles < 1 or self.chunk_cycles < 1:
+            raise ServeError("cycles and chunk_cycles must be >= 1")
+        if self.mode not in ("closed", "open"):
+            raise ServeError(
+                f"loadgen mode must be 'closed' or 'open', got "
+                f"{self.mode!r}"
+            )
+        if not 0.0 <= self.density <= 1.0:
+            raise ServeError("density must be in [0, 1]")
+        if self.n_cores < 1:
+            raise ServeError("n_cores must be >= 1")
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """One session's deterministic workload."""
+
+    core_id: str
+    version: str | None
+    chunks: tuple  # tuple of (chunk_cycles, q) uint8 arrays
+
+    @property
+    def stimulus(self) -> np.ndarray:
+        """The whole-trace view (for offline cross-checks)."""
+        return np.concatenate(self.chunks, axis=0)
+
+
+def plan(config: LoadGenConfig, q: int,
+         versions: list[str | None] | None = None) -> list[SessionPlan]:
+    """Expand a config into per-session toggle chunks (seeded).
+
+    ``versions[i]`` pins session ``i`` to a model version (``None`` =
+    the gateway's active version at open time); the list wraps if
+    shorter than ``n_sessions``.
+    """
+    rng = np.random.default_rng(config.seed)
+    plans = []
+    for i in range(config.n_sessions):
+        chunks = []
+        remaining = config.cycles
+        while remaining > 0:
+            n = min(config.chunk_cycles, remaining)
+            chunks.append(
+                (rng.random((n, q)) < config.density).astype(np.uint8)
+            )
+            remaining -= n
+        version = None
+        if versions:
+            version = versions[i % len(versions)]
+        plans.append(SessionPlan(
+            core_id=f"c{i % config.n_cores}",
+            version=version,
+            chunks=tuple(chunks),
+        ))
+    return plans
+
+
+@dataclass
+class LoadReport:
+    """What one load run produced and how fast."""
+
+    config: LoadGenConfig
+    n_sessions: int
+    cycles_total: int
+    windows_total: int
+    elapsed_s: float
+    tick_p50_s: float
+    tick_p99_s: float
+    dropped_blocks: int
+    readings: dict = field(repr=False, default_factory=dict)
+
+    @property
+    def sessions_per_sec(self) -> float:
+        return self.n_sessions / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def cycles_per_sec(self) -> float:
+        return self.cycles_total / self.elapsed_s if self.elapsed_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "n_sessions": self.n_sessions,
+            "cycles_total": self.cycles_total,
+            "windows_total": self.windows_total,
+            "elapsed_s": self.elapsed_s,
+            "sessions_per_sec": self.sessions_per_sec,
+            "cycles_per_sec": self.cycles_per_sec,
+            "tick_p50_s": self.tick_p50_s,
+            "tick_p99_s": self.tick_p99_s,
+            "dropped_blocks": self.dropped_blocks,
+            "mode": self.config.mode,
+            "seed": self.config.seed,
+        }
+
+
+def _percentile(values: list[float], p: float) -> float:
+    if not values:
+        return 0.0
+    arr = np.sort(np.asarray(values, dtype=np.float64))
+    return float(arr[min(len(arr) - 1, int(p * len(arr)))])
+
+
+def run_load(
+    gateway: Gateway,
+    config: LoadGenConfig,
+    versions: list[str | None] | None = None,
+    max_ticks: int = 1_000_000,
+) -> LoadReport:
+    """Run one seeded load against ``gateway``; returns the report.
+
+    Readings for every session are collected through the in-process
+    client (so the framed protocol is on the path), keyed by session
+    name in ``report.readings`` — seed-stable end to end.
+    """
+    q = gateway.registry.get(gateway.registry.resolve(None)).q
+    plans = plan(config, q, versions=versions)
+    client = InprocClient(gateway)
+    t0 = time.perf_counter()
+    names = [
+        client.open(p.core_id, version=p.version) for p in plans
+    ]
+    readings: dict[str, list[np.ndarray]] = {n: [] for n in names}
+    tick_latencies: list[float] = []
+
+    def tick_once() -> bool:
+        t = time.perf_counter()
+        alive = gateway.tick()
+        tick_latencies.append(time.perf_counter() - t)
+        for n in names:
+            w = client.windows(n)
+            if w.size:
+                readings[n].append(w)
+        return alive
+
+    if config.mode == "open":
+        for name, p in zip(names, plans):
+            for k, chunk in enumerate(p.chunks):
+                client.push(name, chunk, last=k == len(p.chunks) - 1)
+    else:
+        cursors = [0] * len(plans)
+        while any(c < len(p.chunks) for c, p in zip(cursors, plans)):
+            for i, (name, p) in enumerate(zip(names, plans)):
+                if cursors[i] < len(p.chunks):
+                    client.push(
+                        name,
+                        p.chunks[cursors[i]],
+                        last=cursors[i] == len(p.chunks) - 1,
+                    )
+                    cursors[i] += 1
+            tick_once()
+
+    for _ in range(max_ticks):
+        if not tick_once():
+            break
+    else:
+        raise ServeError(
+            f"load run did not drain within {max_ticks} ticks"
+        )
+    elapsed = time.perf_counter() - t0
+
+    merged = {
+        n: (
+            np.concatenate(chunks)
+            if chunks else np.empty(0, dtype=np.float64)
+        )
+        for n, chunks in readings.items()
+    }
+    records = [gateway.handles[n].record() for n in names]
+    return LoadReport(
+        config=config,
+        n_sessions=len(names),
+        cycles_total=sum(r["cycles"] for r in records),
+        windows_total=sum(r["windows"] for r in records),
+        elapsed_s=elapsed,
+        tick_p50_s=_percentile(tick_latencies, 0.50),
+        tick_p99_s=_percentile(tick_latencies, 0.99),
+        dropped_blocks=sum(r["dropped_blocks"] for r in records),
+        readings=merged,
+    )

@@ -1,0 +1,154 @@
+"""Small framed telemetry protocol for the serve gateway.
+
+One frame is::
+
+    u32 header_len | header JSON (utf-8) | u32 payload_len | payload
+
+Headers are flat JSON objects with an ``op`` field; binary payloads
+carry numpy arrays described by ``dtype``/``shape`` header fields, so a
+toggle chunk crosses the wire as raw bytes, not JSON numbers.  The same
+encoding is used by the asyncio transport and by the in-process client
+(which round-trips frames through ``bytes`` to keep the two paths
+honest with each other).
+
+Client -> gateway ops: ``open``, ``data``, ``close``, ``stats``.
+Gateway -> client ops: ``opened``, ``windows``, ``done``, ``stats``,
+``error``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = [
+    "encode_frame",
+    "decode_frame",
+    "encode_array",
+    "decode_array",
+    "FrameBuffer",
+    "MAX_FRAME_BYTES",
+]
+
+_U32 = struct.Struct(">I")
+
+#: Upper bound on a single frame (header + payload) — a malformed or
+#: hostile length prefix fails fast instead of allocating gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: dtypes a DATA payload may carry (toggles in, readings out).
+_ALLOWED_DTYPES = {"uint8", "int64", "float64"}
+
+
+def encode_frame(header: dict, payload: bytes = b"") -> bytes:
+    """Serialize one frame to bytes."""
+    if "op" not in header:
+        raise ServeError(f"frame header needs an 'op' field: {header}")
+    blob = json.dumps(header, separators=(",", ":")).encode()
+    if len(blob) + len(payload) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {len(blob) + len(payload)} bytes exceeds "
+            f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _U32.pack(len(blob)) + blob + _U32.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[dict, bytes, int]:
+    """Decode one frame from ``data``.
+
+    Returns ``(header, payload, consumed)``; raises
+    :class:`~repro.errors.ServeError` on a malformed frame and
+    ``IndexError``-free ``(None, b"", 0)`` is *not* used — callers
+    wanting incremental parsing should use :class:`FrameBuffer`.
+    """
+    if len(data) < 4:
+        raise ServeError("truncated frame: missing header length")
+    (hlen,) = _U32.unpack_from(data, 0)
+    if hlen > MAX_FRAME_BYTES:
+        raise ServeError(f"frame header length {hlen} exceeds bound")
+    if len(data) < 4 + hlen + 4:
+        raise ServeError("truncated frame: incomplete header")
+    try:
+        header = json.loads(data[4 : 4 + hlen].decode())
+    except ValueError as exc:
+        raise ServeError(f"frame header is not valid JSON: {exc}") from exc
+    if not isinstance(header, dict) or "op" not in header:
+        raise ServeError(f"frame header must be an object with 'op'")
+    (plen,) = _U32.unpack_from(data, 4 + hlen)
+    if plen > MAX_FRAME_BYTES:
+        raise ServeError(f"frame payload length {plen} exceeds bound")
+    end = 4 + hlen + 4 + plen
+    if len(data) < end:
+        raise ServeError("truncated frame: incomplete payload")
+    return header, bytes(data[4 + hlen + 4 : end]), end
+
+
+def encode_array(arr: np.ndarray) -> tuple[dict, bytes]:
+    """Array -> (header fields, payload bytes)."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.name not in _ALLOWED_DTYPES:
+        raise ServeError(
+            f"dtype {arr.dtype.name!r} not allowed on the wire "
+            f"(use one of {sorted(_ALLOWED_DTYPES)})"
+        )
+    return (
+        {"dtype": arr.dtype.name, "shape": list(arr.shape)},
+        arr.tobytes(),
+    )
+
+
+def decode_array(header: dict, payload: bytes) -> np.ndarray:
+    """(header fields, payload bytes) -> array, validated."""
+    dtype = header.get("dtype")
+    shape = header.get("shape")
+    if dtype not in _ALLOWED_DTYPES:
+        raise ServeError(f"frame dtype {dtype!r} not allowed")
+    if not isinstance(shape, list) or not all(
+        isinstance(d, int) and d >= 0 for d in shape
+    ):
+        raise ServeError(f"frame shape {shape!r} is not a valid shape")
+    arr = np.frombuffer(payload, dtype=np.dtype(dtype))
+    expect = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if arr.size != expect:
+        raise ServeError(
+            f"frame payload holds {arr.size} elements, shape {shape} "
+            f"needs {expect}"
+        )
+    return arr.reshape(shape)
+
+
+class FrameBuffer:
+    """Incremental frame parser for a byte stream."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[dict, bytes]]:
+        """Append bytes; return every complete frame now available."""
+        self._buf.extend(data)
+        frames = []
+        while True:
+            if len(self._buf) < 4:
+                break
+            (hlen,) = _U32.unpack_from(self._buf, 0)
+            if hlen > MAX_FRAME_BYTES:
+                raise ServeError(
+                    f"frame header length {hlen} exceeds bound"
+                )
+            if len(self._buf) < 4 + hlen + 4:
+                break
+            (plen,) = _U32.unpack_from(self._buf, 4 + hlen)
+            if len(self._buf) < 4 + hlen + 4 + plen:
+                break
+            header, payload, consumed = decode_frame(bytes(self._buf))
+            del self._buf[:consumed]
+            frames.append((header, payload))
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)

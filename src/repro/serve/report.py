@@ -1,0 +1,253 @@
+"""Fleet report: aggregate serving telemetry into a ranked summary.
+
+Consumes the per-session records a :class:`~repro.serve.gateway.Gateway`
+produces (:meth:`SessionHandle.record`) and rolls the fleet up into the
+shape the green-microbench reports use: totals up top, a ranked table
+of the interesting rows, JSON round-trip via ``to_dict``/``from_dict``.
+
+Power accounting is *exact*: every record's ``mean_mw`` comes from the
+session's integer toggle counts (``weights . counts + intercept * n``),
+so ``total_energy_mwc`` (milliwatt-cycles) equals the sum of the
+per-cycle OPM integers times the model step — bit-for-bit what an
+offline :class:`~repro.opm.meter.OpmMeter` run over the same traces
+attributes, which ``make serve-demo`` asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ServeError
+
+__all__ = ["FleetReport", "build_report"]
+
+
+@dataclass
+class FleetReport:
+    """Aggregated view of one served fleet."""
+
+    sessions: list[dict] = field(default_factory=list)
+    ticks: int = 0
+    shard_respawns: int = 0
+    model_swaps: int = 0
+
+    # ---------------------------------------------------------- #
+    # Totals
+    # ---------------------------------------------------------- #
+    @property
+    def n_sessions(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r["cycles"] for r in self.sessions)
+
+    @property
+    def total_windows(self) -> int:
+        return sum(r["windows"] for r in self.sessions)
+
+    @property
+    def total_droop_alerts(self) -> int:
+        return sum(r.get("droop_alerts", 0) for r in self.sessions)
+
+    @property
+    def total_budget_violations(self) -> int:
+        return sum(r.get("budget_violations", 0) for r in self.sessions)
+
+    @property
+    def total_dropped_blocks(self) -> int:
+        return sum(r.get("dropped_blocks", 0) for r in self.sessions)
+
+    @property
+    def total_energy_mwc(self) -> float:
+        """Fleet energy in mW-cycles (exact integer accounting x step).
+
+        When records carry ``attributed_sum_int`` (gateway records do)
+        each term is ``int * step`` — the same expression an offline
+        recompute uses, so the demo's equality check is bit-exact.
+        """
+        return sum(self._energy_mwc(r) for r in self.sessions)
+
+    @staticmethod
+    def _energy_mwc(r: dict) -> float:
+        if "attributed_sum_int" in r:
+            return r["attributed_sum_int"] * r["step"]
+        return r["mean_mw"] * r["cycles"]
+
+    @property
+    def fleet_mean_mw(self) -> float:
+        cycles = self.total_cycles
+        return self.total_energy_mwc / cycles if cycles else 0.0
+
+    # ---------------------------------------------------------- #
+    # Rankings and rollups
+    # ---------------------------------------------------------- #
+    def ranked(self, by: str = "energy") -> list[dict]:
+        """Sessions ranked hottest-first.
+
+        ``by`` is ``"energy"`` (mW-cycles), ``"mean"`` (mean mW),
+        ``"peak"`` (peak window mW), or ``"alerts"`` (droop alerts +
+        budget violations).
+        """
+        keys = {
+            "energy": self._energy_mwc,
+            "mean": lambda r: r["mean_mw"],
+            "peak": lambda r: r["peak_window_mw"],
+            "alerts": lambda r: (
+                r.get("droop_alerts", 0) + r.get("budget_violations", 0)
+            ),
+        }
+        if by not in keys:
+            raise ServeError(
+                f"unknown ranking {by!r} (use one of {sorted(keys)})"
+            )
+        return sorted(self.sessions, key=keys[by], reverse=True)
+
+    def by_version(self) -> dict[str, dict]:
+        """Per-model-version rollup (the hot-swap audit view)."""
+        out: dict[str, dict] = {}
+        for r in self.sessions:
+            v = out.setdefault(
+                r["model_version"],
+                {"sessions": 0, "cycles": 0, "energy_mwc": 0.0},
+            )
+            v["sessions"] += 1
+            v["cycles"] += r["cycles"]
+            v["energy_mwc"] += self._energy_mwc(r)
+        return dict(sorted(out.items()))
+
+    def by_unit(
+        self, unit_names: dict[str, list[str]] | None = None
+    ) -> dict[str, float]:
+        """Per-unit attributed energy (mW-cycles), hottest first.
+
+        ``unit_names`` maps a model version to its per-proxy unit
+        labels (e.g. from ``core.unit_of_net`` over the model's
+        proxies); unmapped proxies land in ``proxy<j>`` buckets.  The
+        intercept is reported as its own ``(intercept)`` bucket so the
+        rollup still sums to :attr:`total_energy_mwc` exactly.
+        """
+        out: dict[str, float] = {}
+        for r in self.sessions:
+            labels = (unit_names or {}).get(r["model_version"])
+            for j, mw in enumerate(r.get("proxy_mw", [])):
+                if labels is not None and j < len(labels):
+                    unit = labels[j]
+                else:
+                    unit = f"proxy{j}"
+                out[unit] = out.get(unit, 0.0) + mw * r["cycles"]
+            out["(intercept)"] = (
+                out.get("(intercept)", 0.0)
+                + r.get("intercept_mw", 0.0) * r["cycles"]
+            )
+        return dict(sorted(out.items(), key=lambda kv: -kv[1]))
+
+    # ---------------------------------------------------------- #
+    # Serialization
+    # ---------------------------------------------------------- #
+    def to_dict(self, unit_names=None) -> dict:
+        return {
+            "schema": "fleet-report/v1",
+            "totals": {
+                "sessions": self.n_sessions,
+                "cycles": self.total_cycles,
+                "windows": self.total_windows,
+                "energy_mwc": self.total_energy_mwc,
+                "fleet_mean_mw": self.fleet_mean_mw,
+                "droop_alerts": self.total_droop_alerts,
+                "budget_violations": self.total_budget_violations,
+                "dropped_blocks": self.total_dropped_blocks,
+                "ticks": self.ticks,
+                "shard_respawns": self.shard_respawns,
+                "model_swaps": self.model_swaps,
+            },
+            "by_version": self.by_version(),
+            "by_unit": self.by_unit(unit_names),
+            "ranked": self.ranked("energy"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetReport":
+        if data.get("schema") != "fleet-report/v1":
+            raise ServeError(
+                f"not a fleet report: schema={data.get('schema')!r}"
+            )
+        totals = data.get("totals", {})
+        return cls(
+            sessions=list(data.get("ranked", [])),
+            ticks=int(totals.get("ticks", 0)),
+            shard_respawns=int(totals.get("shard_respawns", 0)),
+            model_swaps=int(totals.get("model_swaps", 0)),
+        )
+
+    def render_markdown(
+        self, k: int = 10, unit_names=None
+    ) -> str:
+        """Human-readable fleet summary (markdown tables)."""
+        lines = [
+            "# Fleet power report",
+            "",
+            f"- sessions: **{self.n_sessions}**"
+            f" | cycles: **{self.total_cycles}**"
+            f" | windows: **{self.total_windows}**",
+            f"- fleet mean power: **{self.fleet_mean_mw:.4f} mW**"
+            f" (energy {self.total_energy_mwc:.2f} mW-cycles)",
+            f"- droop alerts: **{self.total_droop_alerts}**"
+            f" | budget violations: **{self.total_budget_violations}**"
+            f" | dropped blocks: **{self.total_dropped_blocks}**",
+            f"- ticks: {self.ticks} | shard respawns: "
+            f"{self.shard_respawns} | model swaps: {self.model_swaps}",
+            "",
+            f"## Top {k} sessions by energy",
+            "",
+            "| session | core | version | shard | cycles | mean mW "
+            "| peak mW | alerts |",
+            "|---|---|---|---:|---:|---:|---:|---:|",
+        ]
+        for r in self.ranked("energy")[:k]:
+            alerts = (
+                r.get("droop_alerts", 0) + r.get("budget_violations", 0)
+            )
+            lines.append(
+                f"| {r['name']} | {r['core_id']} | {r['model_version']} "
+                f"| {r['shard']} | {r['cycles']} | {r['mean_mw']:.4f} "
+                f"| {r['peak_window_mw']:.4f} | {alerts} |"
+            )
+        lines += ["", "## Energy by model version", ""]
+        lines += ["| version | sessions | cycles | energy mW-cycles |",
+                  "|---|---:|---:|---:|"]
+        for v, agg in self.by_version().items():
+            lines.append(
+                f"| {v} | {agg['sessions']} | {agg['cycles']} "
+                f"| {agg['energy_mwc']:.2f} |"
+            )
+        units = self.by_unit(unit_names)
+        lines += ["", "## Attributed energy by unit", ""]
+        lines += ["| unit | energy mW-cycles | share |", "|---|---:|---:|"]
+        total = self.total_energy_mwc or 1.0
+        for unit, mwc in list(units.items())[:k]:
+            lines.append(
+                f"| {unit} | {mwc:.2f} | {100.0 * mwc / total:.1f}% |"
+            )
+        return "\n".join(lines)
+
+
+def build_report(gateway) -> FleetReport:
+    """Snapshot a gateway's fleet into a :class:`FleetReport`."""
+    snap = gateway.metrics.snapshot()
+    counters = snap.get("counters", {})
+
+    def _counter(name: str) -> int:
+        entry = counters.get(name, 0)
+        if isinstance(entry, dict):
+            entry = entry.get("value", 0)
+        return int(entry)
+
+    return FleetReport(
+        sessions=gateway.session_records(),
+        ticks=gateway.ticks,
+        shard_respawns=_counter("serve.shard.respawns"),
+        model_swaps=_counter("serve.model.swaps"),
+    )

@@ -1,0 +1,176 @@
+"""Sharded session placement with health-driven drain and respawn.
+
+A :class:`Shard` is one :class:`~repro.stream.session.StreamService`
+plus a :class:`~repro.resilience.retry.HealthState`; the
+:class:`ShardRouter` places sessions on shards by a *stable* hash of
+``(core id, model version)`` — sha256, not Python's salted ``hash`` —
+so the same fleet always routes the same way.
+
+Failure model (deterministic, test-injectable via :meth:`Shard.kill`):
+
+* a **failed** shard is skipped by the tick loop (it stops pumping and
+  draining) and **drains** for routing — new sessions probe the next
+  shards in ring order;
+* at the start of the next tick the router **respawns** it: a fresh
+  ``StreamService`` is built around the *same* session objects, whose
+  state (queues, open OPM windows, rings) lives outside the service —
+  so nothing is lost beyond what drop-oldest backpressure discards
+  while the shard was down (zero for pull sources, bounded by the push
+  buffer depth for push sessions).  Readings remain bit-identical to an
+  uninterrupted run whenever nothing was dropped.
+
+Inference reuse of :mod:`repro.parallel`: the per-shard batched GEMV is
+a pure function of ``(int weights, intercept, stacked toggles)``, so a
+:class:`~repro.parallel.pool.WorkerPool` can run each shard's groups in
+a separate process with bit-identical results; :func:`infer_task` is the
+module-level (picklable) worker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.resilience.retry import HealthState
+from repro.stream.session import StreamService, StreamSession
+
+__all__ = ["Shard", "ShardRouter", "infer_task"]
+
+
+def infer_task(payload) -> np.ndarray:
+    """One shard group's integer GEMV, as a picklable pool task.
+
+    ``payload`` is ``(int_weights, int_intercept, stacked_toggles)``;
+    the expression is exactly :meth:`OpmMeter.per_cycle`'s arithmetic,
+    so pooled and inline inference are bit-identical.
+    """
+    int_weights, int_intercept, stacked = payload
+    return stacked.astype(np.int64) @ int_weights + np.int64(int_intercept)
+
+
+class Shard:
+    """One slice of the fleet: a stream service with health."""
+
+    def __init__(
+        self,
+        index: int,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.index = index
+        self.metrics = registry or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.health = HealthState()
+        self.respawns = 0
+        self.service = self._fresh_service([])
+
+    def _fresh_service(self, sessions: list[StreamSession]) -> StreamService:
+        return StreamService(
+            None,
+            sessions,
+            registry=self.metrics,
+            tracer=self.tracer,
+            allow_empty=True,
+        )
+
+    # -------------------------------------------------------------- #
+    @property
+    def sessions(self) -> list[StreamSession]:
+        return self.service.sessions
+
+    @property
+    def accepting(self) -> bool:
+        """Whether the router may place new sessions here."""
+        return not self.health.failed
+
+    def add_session(self, session: StreamSession) -> None:
+        if not self.accepting:
+            raise ServeError(
+                f"shard {self.index} is draining (failed: "
+                f"{self.health.reason})"
+            )
+        self.service.add_session(session)
+
+    def kill(self, reason: str = "injected shard death") -> None:
+        """Mark the shard dead; the next tick skips it, then respawns."""
+        self.health.fail(reason)
+
+    def respawn(self) -> None:
+        """Replace the failed service, reattaching every session.
+
+        Session state lives in the session objects, so the rebuilt
+        service resumes exactly where the dead one stopped.
+        """
+        if not self.health.failed:
+            return
+        self.service = self._fresh_service(list(self.sessions))
+        self.health.reset(f"respawned after: {self.health.reason}")
+        self.respawns += 1
+
+    # -------------------------------------------------------------- #
+    # Tick phases (driven by the gateway): gather returns this shard's
+    # pending inference groups; apply scatters results and closes the
+    # shard's step.  A failed shard gathers nothing.
+    # -------------------------------------------------------------- #
+    def gather(self) -> list:
+        if self.health.failed:
+            return []
+        self.service.pump_all()
+        return self.service.gather_pending()
+
+    def apply(self, groups: list, results: list[np.ndarray], t0: float) -> bool:
+        if self.health.failed:
+            return any(not s.done for s in self.sessions)
+        for (_meter, picks, _mats), per_cycle in zip(groups, results):
+            self.service.scatter(picks, per_cycle)
+        return self.service.finish_step(t0)
+
+    def stats(self) -> dict:
+        return {
+            "index": self.index,
+            "health": self.health.as_dict(),
+            "respawns": self.respawns,
+            "n_sessions": len(self.sessions),
+            "n_live": sum(1 for s in self.sessions if not s.done),
+        }
+
+
+class ShardRouter:
+    """Stable (core id, model version) -> shard placement."""
+
+    def __init__(self, shards: list[Shard]) -> None:
+        if not shards:
+            raise ServeError("router needs at least one shard")
+        self.shards = shards
+
+    @staticmethod
+    def slot(core_id: str, version: str, n: int) -> int:
+        """Deterministic hash slot — stable across processes/runs."""
+        digest = hashlib.sha256(
+            f"{core_id}|{version}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % n
+
+    def shard_for(self, core_id: str, version: str) -> Shard:
+        """The session's shard; failed shards drain to the next in ring
+        order.  All shards failed is a hard error (nothing can accept)."""
+        n = len(self.shards)
+        start = self.slot(core_id, version, n)
+        for k in range(n):
+            shard = self.shards[(start + k) % n]
+            if shard.accepting:
+                return shard
+        raise ServeError("every shard is failed; fleet cannot accept")
+
+    def respawn_dead(self) -> int:
+        """Respawn every failed shard; returns how many came back."""
+        n = 0
+        for shard in self.shards:
+            if shard.health.failed:
+                shard.respawn()
+                n += 1
+        return n

@@ -33,13 +33,19 @@ from repro.stream.aggregate import (
     RingBuffer,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.stream.session import StreamConfig, StreamService, StreamSession
+from repro.stream.session import (
+    SessionHooks,
+    StreamConfig,
+    StreamService,
+    StreamSession,
+)
 from repro.stream.source import ProxyBlock, SimulatorSource, TraceSource
 
 __all__ = [
     "ProxyBlock",
     "SimulatorSource",
     "TraceSource",
+    "SessionHooks",
     "StreamConfig",
     "StreamSession",
     "StreamService",

@@ -37,6 +37,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -53,7 +54,32 @@ from repro.stream.aggregate import (
 )
 from repro.stream.source import ProxyBlock
 
-__all__ = ["StreamConfig", "StreamSession", "StreamService"]
+__all__ = [
+    "SessionHooks",
+    "StreamConfig",
+    "StreamSession",
+    "StreamService",
+]
+
+
+@dataclass
+class SessionHooks:
+    """Lifecycle callbacks a layer above the service can observe.
+
+    The serve gateway uses these to mirror a session's life out to
+    remote clients and fleet reports without the session knowing it is
+    being served: ``on_drain`` sees every dequeued block *before*
+    inference (per-proxy toggle accounting for power attribution),
+    ``on_ingest`` sees the inferred readings (per-cycle mW and any
+    completed windows — the data a telemetry client is subscribed to),
+    ``on_drop`` sees each block lost to backpressure, and ``on_done``
+    fires exactly once when the session finishes.
+    """
+
+    on_drain: Callable | None = None  # (session, blocks)
+    on_ingest: Callable | None = None  # (session, per_cycle_mw, windows_mw)
+    on_drop: Callable | None = None  # (session, lost_block)
+    on_done: Callable | None = None  # (session,)
 
 
 @dataclass(frozen=True)
@@ -96,9 +122,12 @@ class StreamSession:
         droop: DroopWatcher | None = None,
         budget: BudgetWatcher | None = None,
         retry: RetryPolicy | None = None,
+        hooks: SessionHooks | None = None,
     ) -> None:
         self.name = name
         self.config = config or StreamConfig()
+        self.hooks = hooks or SessionHooks()
+        self._done_notified = False
         self._it = iter(source)
         self.queue: deque[ProxyBlock] = deque()
         self.exhausted = False
@@ -194,6 +223,8 @@ class StreamSession:
             self.dropped_blocks += 1
             self.dropped_cycles += lost.n_cycles
             self._degrade("queue overflow: dropped oldest block")
+            if self.hooks.on_drop is not None:
+                self.hooks.on_drop(self, lost)
         self.queue.append(block)
 
     def take(self, max_blocks: int) -> list[ProxyBlock]:
@@ -201,7 +232,16 @@ class StreamSession:
         out = []
         while self.queue and len(out) < max_blocks:
             out.append(self.queue.popleft())
+        if out and self.hooks.on_drain is not None:
+            self.hooks.on_drain(self, out)
         return out
+
+    def notify_done(self) -> None:
+        """Fire ``on_done`` exactly once after the session completes."""
+        if self.done and not self._done_notified:
+            self._done_notified = True
+            if self.hooks.on_done is not None:
+                self.hooks.on_done(self)
 
     # -------------------------------------------------------------- #
     def ingest(
@@ -230,6 +270,8 @@ class StreamSession:
             self.window_count += int(windows_mw.size)
             if self.budget is not None:
                 self.budget.observe(windows_mw)
+        if self.hooks.on_ingest is not None:
+            self.hooks.on_ingest(self, per_cycle_mw, windows_mw)
         if self.health.degraded and not self.queue:
             self.health.recover("queue drained")  # caught up
 
@@ -271,7 +313,15 @@ class StreamSession:
 
 
 class StreamService:
-    """Drives many sessions through batched OPM inference."""
+    """Drives many sessions through batched OPM inference.
+
+    Inference is grouped by each session's *own* meter (the meter inside
+    its :class:`~repro.opm.meter.OpmStream`), so one service can host
+    sessions pinned to different model versions — the serve layer's hot
+    model swap depends on this.  Sessions sharing a meter still share a
+    single integer GEMV per drain, exactly as before; with one meter for
+    every session (the common library case) the behaviour is unchanged.
+    """
 
     #: Bucket edges (seconds) for the per-drain inference-latency
     #: histogram.
@@ -279,12 +329,14 @@ class StreamService:
 
     def __init__(
         self,
-        meter: OpmMeter,
-        sessions: list[StreamSession],
+        meter: OpmMeter | None,
+        sessions: list[StreamSession] | None = None,
         registry: MetricsRegistry | None = None,
         tracer=None,
+        allow_empty: bool = False,
     ) -> None:
-        if not sessions:
+        sessions = list(sessions or [])
+        if not sessions and not allow_empty:
             raise StreamError("service needs at least one session")
         names = [s.name for s in sessions]
         if len(set(names)) != len(names):
@@ -296,50 +348,97 @@ class StreamService:
         self._elapsed = 0.0
         self.steps = 0
 
+    def add_session(self, session: StreamSession) -> None:
+        """Attach a new session mid-flight (serve gateway arrivals)."""
+        if any(s.name == session.name for s in self.sessions):
+            raise StreamError(f"duplicate session name {session.name!r}")
+        self.sessions.append(session)
+
+    def remove_session(self, session: StreamSession) -> None:
+        """Detach a session (no-op if it is not attached)."""
+        self.sessions = [s for s in self.sessions if s is not session]
+
     # -------------------------------------------------------------- #
-    def step(self) -> bool:
-        """One pump + one batched drain; False when all streams end."""
-        t0 = time.perf_counter()
+    # The step is split into phases so a layer above can interleave
+    # them: ``pump_all`` -> ``gather_pending`` -> (inference, possibly
+    # on a worker pool) -> ``scatter`` -> ``finish_step``.  ``step``
+    # composes them inline for the single-process path.
+    # -------------------------------------------------------------- #
+    def pump_all(self) -> None:
+        """Move blocks from every session's source into its queue."""
         for sess in self.sessions:
             sess.pump()
 
-        # Gather pending chunks across sessions and run ONE integer
-        # GEMV over their concatenation — the batched-inference path.
-        picks: list[tuple[StreamSession, list[ProxyBlock]]] = []
-        mats: list[np.ndarray] = []
+    def gather_pending(
+        self,
+    ) -> list[tuple[OpmMeter, list[tuple[StreamSession, list[ProxyBlock]]],
+                    list[np.ndarray]]]:
+        """Dequeue pending blocks, grouped by session meter.
+
+        Each group is ``(meter, picks, mats)``: sessions sharing a meter
+        are concatenated into one batched GEMV.  Group order follows
+        session order, so results are deterministic.
+        """
+        groups: dict[int, tuple] = {}
         for sess in self.sessions:
             blocks = sess.take(sess.config.drain_blocks)
-            if blocks:
-                picks.append((sess, blocks))
-                mats.extend(b.toggles for b in blocks)
-        if mats:
+            if not blocks:
+                continue
+            meter = sess.opm_stream.meter
+            _meter, picks, mats = groups.setdefault(
+                id(meter), (meter, [], [])
+            )
+            picks.append((sess, blocks))
+            mats.extend(b.toggles for b in blocks)
+        return list(groups.values())
+
+    def scatter(
+        self,
+        picks: list[tuple[StreamSession, list[ProxyBlock]]],
+        per_cycle: np.ndarray,
+    ) -> None:
+        """Distribute one group's inferred per-cycle integers back."""
+        offset = 0
+        for sess, blocks in picks:
+            n = sum(b.n_cycles for b in blocks)
+            sess.ingest(
+                per_cycle[offset:offset + n], n_blocks=len(blocks)
+            )
+            offset += n
+
+    def observe_inference(self, seconds: float) -> None:
+        """Record one drain's inference latency."""
+        self.metrics.histogram(
+            "inference_seconds", self.LATENCY_EDGES
+        ).observe(seconds)
+
+    def finish_step(self, t0: float) -> bool:
+        """Close one step: bookkeeping, metrics, done notifications."""
+        self.steps += 1
+        self._elapsed += time.perf_counter() - t0
+        self._refresh_metrics()
+        for sess in self.sessions:
+            sess.notify_done()
+        return not all(s.done for s in self.sessions)
+
+    def step(self) -> bool:
+        """One pump + one batched drain; False when all streams end."""
+        t0 = time.perf_counter()
+        self.pump_all()
+        for meter, picks, mats in self.gather_pending():
             with self.tracer.span(
                 "stream.drain",
                 n_sessions=len(picks),
                 n_blocks=sum(len(b) for _s, b in picks),
             ) as sp:
                 t_inf = time.perf_counter()
-                per_cycle = self.meter.per_cycle(
-                    np.concatenate(mats, axis=0)
-                )
+                per_cycle = meter.per_cycle(np.concatenate(mats, axis=0))
                 inf_seconds = time.perf_counter() - t_inf
                 if sp:
                     sp.set(n_cycles=int(per_cycle.size))
-            self.metrics.histogram(
-                "inference_seconds", self.LATENCY_EDGES
-            ).observe(inf_seconds)
-            offset = 0
-            for sess, blocks in picks:
-                n = sum(b.n_cycles for b in blocks)
-                sess.ingest(
-                    per_cycle[offset:offset + n], n_blocks=len(blocks)
-                )
-                offset += n
-
-        self.steps += 1
-        self._elapsed += time.perf_counter() - t0
-        self._refresh_metrics()
-        return not all(s.done for s in self.sessions)
+            self.observe_inference(inf_seconds)
+            self.scatter(picks, per_cycle)
+        return self.finish_step(t0)
 
     def run(self, max_steps: int | None = None) -> dict:
         """Step until every session completes; return the snapshot."""
@@ -396,6 +495,16 @@ class StreamService:
             m.gauge("cycles_per_second").set(
                 totals["cycles_processed"] / self._elapsed
             )
+        # Health and backpressure, per session and rolled up, as plain
+        # gauges — the serve gateway routes on the snapshot alone.
+        worst = 0
+        for s in self.sessions:
+            worst = max(worst, s.health.code)
+            m.gauge(f"stream.session.health.{s.name}").set(s.health.code)
+            m.gauge(f"stream.session.dropped_blocks.{s.name}").set(
+                s.dropped_blocks
+            )
+        m.gauge("stream.service.health").set(worst)
 
     def snapshot(self) -> dict:
         """Full metrics snapshot: service totals + per-session stats."""

@@ -151,3 +151,116 @@ def test_manifest_command_rejects_foreign_json(
 ):
     assert main(["manifest", str(exported_run["chrome"])]) == 2
     assert "cannot load manifest" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Serving subcommands
+# --------------------------------------------------------------------- #
+@pytest.fixture
+def model_registry_dir(tmp_path):
+    """A disk-backed model registry with two versions, v1 active."""
+    import numpy as np
+
+    from repro.opm import QuantizedModel
+    from repro.serve import ModelRegistry
+
+    root = tmp_path / "registry"
+    reg = ModelRegistry(root)
+    for i, version in enumerate(("v1", "v2")):
+        rng = np.random.default_rng(i)
+        reg.publish(version, QuantizedModel(
+            proxies=np.arange(4, dtype=np.int64),
+            int_weights=rng.integers(1, 100, size=4),
+            int_intercept=3,
+            step=0.01,
+            bits=8,
+        ), activate=i == 0)
+    return root
+
+
+def test_serve_demo_command(tmp_path, capsys):
+    out = tmp_path / "serve-demo"
+    assert main(["serve", "--demo", "--out", str(out)]) == 0
+    assert "Fleet power report" in capsys.readouterr().out
+    assert (out / "fleet-report.json").exists()
+    assert (out / "fleet-report.md").exists()
+
+
+def test_loadgen_and_fleet_report_commands(
+    tmp_path, capsys, model_registry_dir
+):
+    import json
+
+    fleet_path = tmp_path / "fleet.json"
+    rc = main([
+        "loadgen", "--registry", str(model_registry_dir),
+        "--sessions", "3", "--cycles", "64", "--chunk-cycles", "16",
+        "--shards", "2", "--seed", "5",
+        "--out", str(tmp_path / "load.json"),
+        "--fleet-out", str(fleet_path),
+    ])
+    assert rc == 0
+    load = json.loads(capsys.readouterr().out)
+    assert load["n_sessions"] == 3
+    assert load["cycles_total"] == 3 * 64
+    assert load["dropped_blocks"] == 0
+
+    assert main(["fleet-report", str(fleet_path), "--top", "2"]) == 0
+    md = capsys.readouterr().out
+    assert "Fleet power report" in md and "v1" in md
+
+    assert main(["fleet-report", str(tmp_path / "load.json")]) == 2
+    assert "cannot load fleet report" in capsys.readouterr().err
+
+
+def test_serve_tcp_command_bounded_run(capsys, model_registry_dir):
+    rc = main([
+        "serve", "--registry", str(model_registry_dir),
+        "--shards", "2", "--max-seconds", "0.05",
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "# serving on 127.0.0.1:" in captured.err
+    import json
+
+    snap = json.loads(captured.out)
+    assert snap["registry"]["active"] == "v1"
+    assert len(snap["shards"]) == 2
+
+
+def test_stream_registry_version_errors(
+    capsys, model_registry_dir, tmp_path, monkeypatch
+):
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "art"))
+    rc = main([
+        "stream", "--scale", "tiny", "--registry",
+        str(model_registry_dir), "--model-version", "v9",
+        "--sessions", "1", "--cycles", "64",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown model version 'v9'" in err and "['v1', 'v2']" in err
+
+    rc = main([
+        "stream", "--scale", "tiny", "--model-version", "v1",
+        "--sessions", "1", "--cycles", "64",
+    ])
+    assert rc == 2
+    assert "--model-version needs --registry" in capsys.readouterr().err
+
+
+def test_stream_registry_pinned_version_runs(
+    capsys, model_registry_dir, tmp_path, monkeypatch
+):
+    import json
+
+    monkeypatch.setenv("REPRO_ARTIFACTS_DIR", str(tmp_path / "art"))
+    rc = main([
+        "stream", "--scale", "tiny", "--registry",
+        str(model_registry_dir), "--model-version", "v2",
+        "--sessions", "1", "--cycles", "256", "--workers", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+    ])
+    assert rc == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["counters"]["cycles_processed"] == 256
