@@ -3,13 +3,13 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-substrate bench-stream bench-parallel \
-	bench-resilience bench-serve chaos trace-demo serve-demo results \
-	examples clean
+	bench-resilience bench-serve bench-obs bench-check chaos trace-demo \
+	serve-demo obs-demo results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
-test:
+test: obs-demo
 	$(PYTHON) -m pytest tests/
 
 test-fast:
@@ -59,6 +59,20 @@ bench-serve:
 		--benchmark-only \
 		--benchmark-json=BENCH_serve.raw.json
 
+# Observability-layer benchmarks: traced vs untraced stream hot path
+# (tracing overhead asserted < 3%), LogHistogram observe and span
+# open/close throughput, appending to BENCH_obs.json.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_obs_perf.py \
+		--benchmark-only \
+		--benchmark-json=BENCH_obs.raw.json
+
+# Perf-trajectory regression gate: for every bench in every
+# BENCH_*.json, the newest commit's best wall time must be within 20%
+# of the best earlier-commit record.  Exit 1 on regression.
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/conftest.py
+
 # Seeded chaos run: inject a deterministic fault plan (worker kills,
 # torn checkpoints, corrupt cache entries, mid-stage interrupts) into a
 # full train+quantize pipeline and verify the recovered model is
@@ -81,6 +95,13 @@ trace-demo:
 serve-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.cli serve --demo --out results/serve-demo
 	PYTHONPATH=src $(PYTHON) -m repro.cli fleet-report results/serve-demo/fleet-report.json
+
+# Self-checking fleet observability demo: traced gateway load ->
+# asserts every tick renders as one connected trace tree, the exact
+# latency histograms saw every observation, and the OpenMetrics
+# exposition round-trips.  Runs as part of `make test`.
+obs-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.obs_demo --out results/obs-demo
 
 results:
 	$(PYTHON) -m repro.cli run-all --out results

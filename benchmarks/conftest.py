@@ -14,6 +14,14 @@ The perf-suite modules additionally *append* one record per benchmark
 repo-root trajectory files ``BENCH_substrate.json`` / ``BENCH_stream.json``
 — a flat list of ``{bench, value, unit, commit, timestamp}`` objects, so
 ``make bench-*`` runs accumulate a perf history across commits.
+
+``make bench-check`` (``python benchmarks/conftest.py``) is the
+regression gate over that history: for every bench, the newest
+commit's best wall-time record must be within
+:data:`TRAJECTORY_TOLERANCE` (20%) of the best record from any earlier
+commit — so a perf regression that lands in one commit fails the next
+trajectory check instead of silently becoming the new baseline, while
+repeated noisy runs at one commit never gate against each other.
 """
 
 from __future__ import annotations
@@ -39,7 +47,81 @@ TRAJECTORY_FILES = {
     "test_parallel_perf": "BENCH_parallel.json",
     "test_resilience_perf": "BENCH_resilience.json",
     "test_serve_perf": "BENCH_serve.json",
+    "test_obs_perf": "BENCH_obs.json",
 }
+
+#: Regression gate: a wall-time bench may be at most this much slower
+#: than its best prior record before ``make bench-check`` fails.
+TRAJECTORY_TOLERANCE = 0.20
+
+
+def check_trajectory(
+    path: Path, tolerance: float = TRAJECTORY_TOLERANCE
+) -> list[str]:
+    """Compare each bench's latest-commit best against best prior commits.
+
+    Returns a list of human-readable regression messages (empty = pass).
+    Only wall-time records (``unit == "s"``) gate — throughput extras
+    (``/s``) are informational.  Records are grouped by commit: repeated
+    runs at one commit are machine noise, so the gate takes each
+    commit's *best* and fails only when the newest commit's best is more
+    than ``tolerance`` slower than the best of any earlier commit.  A
+    bench recorded at a single commit has no prior and passes.
+    """
+    try:
+        history = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(history, list):
+        return []
+    by_bench: dict[str, list[tuple[str, float]]] = {}
+    for rec in history:
+        if not isinstance(rec, dict) or rec.get("unit") != "s":
+            continue
+        try:
+            by_bench.setdefault(str(rec["bench"]), []).append(
+                (str(rec.get("commit", "unknown")), float(rec["value"]))
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+    failures = []
+    for bench, records in sorted(by_bench.items()):
+        last_commit = records[-1][0]
+        latest = min(v for c, v in records if c == last_commit)
+        prior = [v for c, v in records if c != last_commit]
+        if not prior:
+            continue
+        best_prior = min(prior)
+        if latest > best_prior * (1.0 + tolerance):
+            failures.append(
+                f"{path.name}: {bench} regressed "
+                f"{(latest / best_prior - 1.0) * 100:.1f}% "
+                f"(best at {last_commit} {latest:.6f}s vs best prior "
+                f"{best_prior:.6f}s, tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def main() -> int:
+    """``python benchmarks/conftest.py`` == the ``make bench-check`` gate."""
+    failures: list[str] = []
+    checked = 0
+    for fname in sorted(set(TRAJECTORY_FILES.values())):
+        path = REPO_ROOT / fname
+        if not path.exists():
+            continue
+        checked += 1
+        failures.extend(check_trajectory(path))
+    if failures:
+        print("bench trajectory regressions:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(
+        f"bench trajectories OK ({checked} files, "
+        f"tolerance {TRAJECTORY_TOLERANCE * 100:.0f}% vs best prior)"
+    )
+    return 0
 
 
 def _git_commit() -> str:
@@ -136,3 +218,7 @@ def run_exp(benchmark, results_dir):
         return result
 
     return _run
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

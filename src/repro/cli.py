@@ -11,8 +11,10 @@ Examples::
     apollo-repro trace results/trace-demo/trace.json
     apollo-repro manifest results/trace-demo/manifest.json
     apollo-repro serve --demo --out results/serve-demo
+    apollo-repro serve --metrics-port 9464 --postmortem-dir results/pm
     apollo-repro loadgen --sessions 8 --shards 2 --seed 3
     apollo-repro fleet-report results/serve-demo/fleet-report.json
+    apollo-repro obs top --url http://127.0.0.1:9464/metrics
 
 The ``stream`` subcommand runs the bounded-memory streaming
 introspection pipeline (``repro.stream``) end-to-end: it loads a saved
@@ -27,10 +29,16 @@ from the exported files alone, no pipeline state needed.
 
 The serving layer (:mod:`repro.serve`) gets three subcommands:
 ``serve`` runs the fleet gateway (``--demo`` for the self-checking
-in-process demo, otherwise a TCP server on the framed protocol),
-``loadgen`` drives a seeded load through an in-process gateway and
-prints throughput/latency JSON, and ``fleet-report`` renders a saved
-fleet report as markdown.
+in-process demo, otherwise a TCP server on the framed protocol; with
+``--metrics-port`` it also exposes OpenMetrics text on a side port, and
+with ``--postmortem-dir`` a flight recorder dumps post-mortem JSON on
+shard demotion or SIGTERM), ``loadgen`` drives a seeded load through an
+in-process gateway and prints throughput/latency JSON, and
+``fleet-report`` renders a saved fleet report as markdown.
+
+``obs top`` polls a running gateway's ``/metrics`` endpoint and renders
+the exact latency histograms (count / mean / p50..p999) and busiest
+counters as a terminal table — a dependency-free ``top`` for the fleet.
 """
 
 from __future__ import annotations
@@ -264,6 +272,7 @@ def _cmd_serve(args) -> int:
         return 0
 
     import asyncio
+    import signal
 
     from repro.serve import Gateway, GatewayServer
 
@@ -272,12 +281,28 @@ def _cmd_serve(args) -> int:
     except ServeError as exc:
         print(f"cannot open registry: {exc}", file=sys.stderr)
         return 2
+
+    recorder = None
+    tracer = None
+    pm_dir = None
+    if args.postmortem_dir:
+        from repro.obs import FlightRecorder
+        from repro.obs.trace import Tracer
+
+        pm_dir = Path(args.postmortem_dir)
+        recorder = FlightRecorder()
+        tracer = Tracer()
     gateway = Gateway(
-        registry, n_shards=args.shards, t=args.t, pool=_serve_pool(args)
+        registry, n_shards=args.shards, t=args.t,
+        pool=_serve_pool(args), tracer=tracer,
+        flight_recorder=recorder, postmortem_dir=pm_dir,
     )
 
     async def _run() -> None:
-        server = GatewayServer(gateway, host=args.host, port=args.port)
+        server = GatewayServer(
+            gateway, host=args.host, port=args.port,
+            metrics_port=args.metrics_port,
+        )
         await server.start()
         print(
             f"# serving on {args.host}:{server.port} "
@@ -285,12 +310,37 @@ def _cmd_serve(args) -> int:
             f"{registry.active_version})",
             file=sys.stderr,
         )
+        if server.metrics_port is not None:
+            print(
+                f"# metrics on http://{args.host}:{server.metrics_port}"
+                "/metrics",
+                file=sys.stderr,
+            )
+        stop = asyncio.Event()
+
+        def _on_sigterm() -> None:
+            # Dump the black box *before* the event loop unwinds — a
+            # terminated fleet should leave evidence, not silence.
+            if recorder is not None and pm_dir is not None:
+                path = recorder.dump(
+                    pm_dir / "postmortem-sigterm.json", reason="SIGTERM"
+                )
+                if path is not None:
+                    print(f"# post-mortem: {path}", file=sys.stderr)
+            stop.set()
+
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loop: serve without the handler
         try:
             if args.max_seconds is not None:
-                await asyncio.sleep(args.max_seconds)
+                await asyncio.wait_for(stop.wait(), args.max_seconds)
             else:
-                while True:
-                    await asyncio.sleep(3600)
+                await stop.wait()
+        except asyncio.TimeoutError:
+            pass
         finally:
             await server.close()
 
@@ -300,6 +350,79 @@ def _cmd_serve(args) -> int:
         pass
     print(json.dumps(gateway.snapshot(), indent=2))
     return 0
+
+
+def _render_obs_top(samples: dict, pattern: str = "") -> str:
+    """One terminal frame: histogram table + busiest counters."""
+    hists: dict[str, dict] = {}
+    counters: dict[str, float] = {}
+    for key, value in samples.items():
+        if "{quantile=" in key:
+            base, _, rest = key.partition('{quantile="')
+            hists.setdefault(base, {})[rest.rstrip('"}')] = value
+        elif key.endswith("_count") and "{" not in key:
+            hists.setdefault(key[: -len("_count")], {})["count"] = value
+        elif key.endswith("_sum") and "{" not in key:
+            hists.setdefault(key[: -len("_sum")], {})["sum"] = value
+        elif key.endswith("_total") and "{" not in key:
+            counters[key[: -len("_total")]] = value
+    lines = []
+    shown = sorted(
+        n for n, h in hists.items()
+        if pattern in n and h.get("count", 0) > 0 and "p99" in h
+    )
+    if shown:
+        lines.append(
+            f"{'histogram':<40} {'count':>8} {'mean':>10} {'p50':>10} "
+            f"{'p90':>10} {'p99':>10} {'p999':>10}"
+        )
+        for name in shown:
+            h = hists[name]
+            count = h.get("count", 0)
+            mean = h.get("sum", 0.0) / count if count else 0.0
+            lines.append(
+                f"{name:<40} {int(count):>8} {mean:>10.3g} "
+                f"{h.get('p50', 0.0):>10.3g} {h.get('p90', 0.0):>10.3g} "
+                f"{h.get('p99', 0.0):>10.3g} {h.get('p999', 0.0):>10.3g}"
+            )
+        lines.append("")
+    busiest = sorted(
+        ((v, n) for n, v in counters.items() if pattern in n),
+        reverse=True,
+    )[:12]
+    if busiest:
+        lines.append(f"{'counter':<52} {'total':>12}")
+        for value, name in busiest:
+            lines.append(f"{name:<52} {value:>12g}")
+    return "\n".join(lines) if lines else "(no matching samples)"
+
+
+def _cmd_obs_top(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    from repro.obs import parse_openmetrics
+
+    n = 0
+    while True:
+        try:
+            with urllib.request.urlopen(args.url, timeout=5) as resp:
+                text = resp.read().decode()
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            print(f"cannot scrape {args.url}: {exc}", file=sys.stderr)
+            return 1
+        frame = _render_obs_top(parse_openmetrics(text), args.filter)
+        if sys.stdout.isatty() and args.iterations != 1:
+            print("\x1b[2J\x1b[H", end="")
+        print(f"# {args.url}  (refresh {args.interval}s)")
+        print(frame)
+        n += 1
+        if args.iterations and n >= args.iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_loadgen(args) -> int:
@@ -575,6 +698,16 @@ def main(argv: list[str] | None = None) -> int:
         "--out", default=None,
         help="output directory for --demo reports",
     )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="expose OpenMetrics text on this side port "
+        "(0 = pick a free one, printed on start; default: disabled)",
+    )
+    p_serve.add_argument(
+        "--postmortem-dir", default=None,
+        help="attach a flight recorder; dump post-mortem JSON here on "
+        "shard demotion or SIGTERM",
+    )
 
     p_load = sub.add_parser(
         "loadgen",
@@ -672,6 +805,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     p_manifest.add_argument("manifest", help="manifest .json sidecar")
 
+    p_obs = sub.add_parser(
+        "obs", help="observability utilities for a running gateway"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_top = obs_sub.add_parser(
+        "top",
+        help="poll a gateway's /metrics endpoint and render latency "
+        "histograms + busiest counters",
+    )
+    p_top.add_argument(
+        "--url", default="http://127.0.0.1:9464/metrics",
+        help="OpenMetrics endpoint (serve --metrics-port)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between scrapes",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after this many frames (0 = until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--filter", default="",
+        help="only show samples whose name contains this substring",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -695,6 +854,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "manifest":
         return _cmd_manifest(args)
+    if args.command == "obs":
+        return _cmd_obs_top(args)
     parser.error("unreachable")
     return 2
 

@@ -7,11 +7,22 @@ layer shared by every subsystem:
 
 * :mod:`repro.obs.trace` — :class:`Tracer` with nested spans (monotonic
   start/duration, attributes, thread-safe collection), a zero-overhead
-  :data:`NULL_TRACER` default, and exporters to JSONL and Chrome
-  ``chrome://tracing`` trace-event JSON;
+  :data:`NULL_TRACER` default, serializable :class:`SpanContext` for
+  cross-process propagation (with :meth:`Tracer.record_remote` to
+  stitch worker-measured timings back in), named process lanes, and
+  exporters to JSONL and Chrome ``chrome://tracing`` trace-event JSON;
+* :mod:`repro.obs.hist` — :class:`LogHistogram`, exact log-bucketed
+  mergeable latency histograms whose quantiles come from bucket ranks,
+  never sampling;
 * :mod:`repro.obs.metrics` — the Counter/Gauge/Histogram registry
   promoted from ``repro.stream.metrics`` (which remains as a re-export
   shim) so any layer can publish operational metrics;
+* :mod:`repro.obs.expo` — OpenMetrics text exposition and its parser,
+  backing the gateway's ``GET /metrics`` side port and ``apollo-repro
+  obs top``;
+* :mod:`repro.obs.flightrec` — :class:`FlightRecorder`, bounded
+  per-lane ring buffers dumped atomically to post-mortem JSON on shard
+  death, health demotion, or SIGTERM;
 * :mod:`repro.obs.provenance` — :class:`RunManifest`, a JSON sidecar
   capturing config hashes, seeds, engine choice, proxy count Q, model
   artifact version, and per-stage wall/CPU time.
@@ -27,6 +38,9 @@ design-time flow, and the streaming service.  ``apollo-repro trace`` and
 
 from __future__ import annotations
 
+from repro.obs.expo import parse_openmetrics, render_openmetrics
+from repro.obs.flightrec import FlightRecorder, load_postmortem
+from repro.obs.hist import LogHistogram
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -43,6 +57,7 @@ from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
     Span,
+    SpanContext,
     Tracer,
     load_trace,
     render_tree,
@@ -50,6 +65,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "Span",
+    "SpanContext",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -58,8 +74,13 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "default_registry",
+    "FlightRecorder",
+    "load_postmortem",
+    "render_openmetrics",
+    "parse_openmetrics",
     "RunManifest",
     "config_hash",
     "MANIFEST_SCHEMA_VERSION",

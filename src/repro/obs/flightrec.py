@@ -1,0 +1,148 @@
+"""Bounded flight recorder for post-mortem evidence.
+
+A :class:`FlightRecorder` keeps the last *N* events per named lane
+(gateway, shard-0, shard-1, ...) in bounded ring buffers: finished
+spans (via :meth:`attach_tracer`), health transitions (via
+:meth:`watch_health`), and free-form events such as recent power
+readings (via :meth:`record`).  Memory stays O(lanes * capacity)
+regardless of run length.
+
+On shard death, health demotion, or SIGTERM the recorder dumps a
+post-mortem JSON *atomically* (same-dir tmp + fsync + rename, through
+:mod:`repro.resilience.atomic`), so a crash mid-dump can never leave a
+torn file — the post-mortem either exists completely or not at all.
+Each distinct ``reason`` is dumped at most once per recorder (the first
+demotion wins; later ticks do not overwrite the evidence).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ObsError
+from repro.resilience.atomic import atomic_write_bytes
+
+__all__ = ["FlightRecorder", "load_postmortem"]
+
+#: Schema tag written into every post-mortem dump.
+POSTMORTEM_SCHEMA = 1
+
+
+class FlightRecorder:
+    """Per-lane bounded ring buffers with atomic post-mortem dumps."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ObsError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._lanes: dict[str, deque] = {}
+        self._seq = 0
+        self._dumped: dict[str, Path] = {}
+
+    # ------------------------------------------------------------------ #
+    def record(self, lane: str, kind: str, **data) -> None:
+        """Append one event to a lane's ring (oldest evicted at cap)."""
+        with self._lock:
+            ring = self._lanes.get(lane)
+            if ring is None:
+                ring = self._lanes[lane] = deque(maxlen=self.capacity)
+            self._seq += 1
+            ring.append({"seq": self._seq, "kind": kind, **data})
+
+    def attach_tracer(self, tracer, lane_of=None) -> None:
+        """Record every finished span of ``tracer``.
+
+        ``lane_of(span) -> str`` picks the ring (defaults to the span's
+        ``pid`` rendered as ``lane-<pid>``, with pid 0 as ``main``).
+        """
+        def on_close(span):
+            if lane_of is not None:
+                lane = lane_of(span)
+            else:
+                lane = "main" if span.pid == 0 else f"lane-{span.pid}"
+            self.record(
+                lane,
+                "span",
+                name=span.name,
+                trace_id=span.trace_id,
+                span_id=span.span_id,
+                parent_id=span.parent_id,
+                start=span.start,
+                dur=span.duration,
+                attrs=dict(span.attrs),
+            )
+
+        tracer.add_close_hook(on_close)
+
+    def watch_health(self, lane: str, health, on_demote=None) -> None:
+        """Record ``health``'s transitions; optionally act on demotions.
+
+        ``on_demote(lane, old, new, reason)`` fires for transitions into
+        ``degraded`` or ``failed`` — the gateway uses it to trigger a
+        post-mortem dump.
+        """
+        def listener(old, new, reason):
+            self.record(
+                lane, "health", old=old, new=new, reason=reason,
+            )
+            if on_demote is not None and new in ("degraded", "failed"):
+                on_demote(lane, old, new, reason)
+
+        health.subscribe(listener)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Plain-data view of every ring (oldest first)."""
+        with self._lock:
+            return {
+                lane: list(ring)
+                for lane, ring in sorted(self._lanes.items())
+            }
+
+    @property
+    def dumped(self) -> dict[str, Path]:
+        """Post-mortem paths already written, keyed by reason."""
+        with self._lock:
+            return dict(self._dumped)
+
+    def dump(self, path: str | Path, reason: str) -> Path | None:
+        """Atomically write a post-mortem JSON; once per ``reason``.
+
+        Returns the written path, or ``None`` when this reason was
+        already dumped (the first capture is the evidence; later
+        triggers must not rewrite it with post-incident state).
+        """
+        path = Path(path)
+        with self._lock:
+            if reason in self._dumped:
+                return None
+            self._dumped[reason] = path
+        doc = {
+            "schema": POSTMORTEM_SCHEMA,
+            "reason": reason,
+            "wall_time": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "capacity": self.capacity,
+            "lanes": self.snapshot(),
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(
+            path, (json.dumps(doc, indent=1) + "\n").encode()
+        )
+        return path
+
+
+def load_postmortem(path: str | Path) -> dict:
+    """Load and sanity-check a post-mortem dump."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != POSTMORTEM_SCHEMA:
+        raise ObsError(
+            f"unknown post-mortem schema {doc.get('schema')!r} at {path}"
+        )
+    return doc

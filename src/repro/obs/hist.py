@@ -1,0 +1,212 @@
+"""Exact log-bucketed (HDR-style) streaming histograms.
+
+:class:`LogHistogram` records values into geometric buckets whose edges
+are a pure function of the constructor parameters — ``edge(k) = lo *
+growth**k`` — so two histograms built with the same parameters in
+different processes have *identical* bucket boundaries and can be merged
+by summing counts.  Counts are exact integers; ``sum``/``min``/``max``
+are tracked alongside; and quantiles are derived from the bucket ranks
+(the upper edge of the bucket containing the rank), never from
+sampling, so p99/p999 are deterministic and merge-stable.
+
+The default parameters (``lo=1e-6``, ``hi=1e3``, ``growth=2**0.25``)
+cover 1 microsecond .. 1000 seconds in ~4% relative-error buckets with
+at most ~750 distinct bucket indices — but storage is a sparse dict, so
+a histogram holding a few distinct latencies costs a few dict entries.
+
+Merge is associative and commutative over bucket counts and the integer
+``count`` by construction; the float ``sum`` is associative only up to
+IEEE rounding (exact when the observed values are dyadic rationals, as
+the property tests exercise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ObsError
+
+__all__ = ["LogHistogram"]
+
+#: Quantiles reported by :meth:`LogHistogram.quantiles`.
+STANDARD_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+@dataclass
+class LogHistogram:
+    """Mergeable geometric-bucket histogram with exact counts.
+
+    Bucket ``k`` (k >= 0) covers ``(edge(k-1), edge(k)]`` with
+    ``edge(k) = lo * growth**k``; bucket ``-1`` is the underflow bucket
+    for values ``<= lo / growth`` (including zero and negatives, which
+    a latency recorder should never produce but must not crash on), and
+    values above ``hi`` clamp into the top bucket.
+    """
+
+    lo: float = 1e-6
+    hi: float = 1e3
+    growth: float = 2 ** 0.25
+    buckets: dict[int, int] = field(default_factory=dict)
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.lo < self.hi):
+            raise ObsError(
+                f"LogHistogram needs 0 < lo < hi, got lo={self.lo} hi={self.hi}"
+            )
+        if self.growth <= 1.0:
+            raise ObsError(f"LogHistogram growth must be > 1, got {self.growth}")
+        self._log_g = math.log(self.growth)
+        self._top = self.bucket_index_raw(self.hi)
+
+    # ------------------------------------------------------------------ #
+    # Bucket geometry (deterministic, shared by every instance with the
+    # same parameters — the merge contract).
+    # ------------------------------------------------------------------ #
+    def edge(self, k: int) -> float:
+        """Upper edge of bucket ``k``."""
+        return self.lo * self.growth ** k
+
+    def bucket_index_raw(self, value: float) -> int:
+        """Smallest ``k`` with ``value <= edge(k)`` (no clamping).
+
+        Computed via ``log`` then corrected against :meth:`edge` so the
+        result is consistent with the exact float edges even when the
+        logarithm rounds the wrong way.
+        """
+        if value <= 0.0:
+            return -1
+        k = math.ceil(math.log(value / self.lo) / self._log_g)
+        while k > 0 and value <= self.edge(k - 1):
+            k -= 1
+        while value > self.edge(k):
+            k += 1
+        return k
+
+    def bucket_index(self, value: float) -> int:
+        """Bucket for an observation: raw index clamped to [-1, top]."""
+        k = self.bucket_index_raw(value)
+        if k < 0:
+            return -1
+        return min(k, self._top)
+
+    # ------------------------------------------------------------------ #
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        k = self.bucket_index(value)
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values) -> None:
+        """Record an iterable of observations."""
+        for v in values:
+            self.observe(v)
+
+    # ------------------------------------------------------------------ #
+    def compatible(self, other: "LogHistogram") -> bool:
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and self.growth == other.growth
+        )
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other`` into this histogram in place (exact counts)."""
+        if not self.compatible(other):
+            raise ObsError(
+                "cannot merge histograms with different bucket geometry: "
+                f"(lo={self.lo}, hi={self.hi}, growth={self.growth}) vs "
+                f"(lo={other.lo}, hi={other.hi}, growth={other.growth})"
+            )
+        for k, n in other.buckets.items():
+            self.buckets[k] = self.buckets.get(k, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        return self
+
+    def copy(self) -> "LogHistogram":
+        out = LogHistogram(lo=self.lo, hi=self.hi, growth=self.growth)
+        out.buckets = dict(self.buckets)
+        out.count = self.count
+        out.sum = self.sum
+        out.min = self.min
+        out.max = self.max
+        return out
+
+    # ------------------------------------------------------------------ #
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge at rank ``ceil(q * count)`` (deterministic).
+
+        Returns ``0.0`` on an empty histogram.  The answer over-reports
+        by at most one bucket width (a ``growth - 1`` relative error),
+        never under-reports, and is invariant under any merge order.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for k in sorted(self.buckets):
+            seen += self.buckets[k]
+            if seen >= rank:
+                if k < 0:
+                    return self.edge(-1)  # underflow: everything <= lo/g
+                return self.edge(k)
+        return self.edge(max(self.buckets))  # pragma: no cover
+
+    def quantiles(self) -> dict[str, float]:
+        """The standard p50/p90/p99/p999 set from bucket ranks."""
+        return {
+            "p" + str(q)[2:].ljust(2, "0"): self.quantile(q)
+            for q in STANDARD_QUANTILES
+        }
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict:
+        """Plain-data dump: geometry, sparse buckets, moments, quantiles."""
+        return {
+            "type": "log_histogram",
+            "lo": self.lo,
+            "hi": self.hi,
+            "growth": self.growth,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {str(k): n for k, n in sorted(self.buckets.items())},
+            **self.quantiles(),
+        }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "LogHistogram":
+        """Rebuild a histogram from :meth:`snapshot` output (mergeable)."""
+        out = cls(
+            lo=float(snap["lo"]),
+            hi=float(snap["hi"]),
+            growth=float(snap["growth"]),
+        )
+        out.buckets = {int(k): int(n) for k, n in snap["buckets"].items()}
+        out.count = int(snap["count"])
+        out.sum = float(snap["sum"])
+        out.min = math.inf if snap.get("min") is None else float(snap["min"])
+        out.max = -math.inf if snap.get("max") is None else float(snap["max"])
+        return out

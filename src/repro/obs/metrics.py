@@ -15,14 +15,17 @@ handling is unchanged.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 
 from repro.errors import StreamError
+from repro.obs.hist import LogHistogram
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LogHistogram",
     "MetricsRegistry",
     "default_registry",
 ]
@@ -93,35 +96,67 @@ class Histogram:
 
 @dataclass
 class MetricsRegistry:
-    """Name -> metric container with one-call JSON snapshots."""
+    """Name -> metric container with one-call JSON snapshots.
+
+    Metric *creation* (the get-or-create lookups) and ``snapshot()``
+    hold an internal lock, so shards running on gateway worker threads
+    and the asyncio exposition endpoint can hit one registry
+    concurrently without corrupting the dicts.  Updates on an already
+    created metric object remain lock-free (single attribute writes).
+    """
 
     counters: dict[str, Counter] = field(default_factory=dict)
     gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    hists: dict[str, LogHistogram] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False,
+    )
 
     def counter(self, name: str) -> Counter:
-        if name not in self.counters:
-            self.counters[name] = Counter(name)
-        return self.counters[name]
+        with self._lock:
+            if name not in self.counters:
+                self.counters[name] = Counter(name)
+            return self.counters[name]
 
     def gauge(self, name: str) -> Gauge:
-        if name not in self.gauges:
-            self.gauges[name] = Gauge(name)
-        return self.gauges[name]
+        with self._lock:
+            if name not in self.gauges:
+                self.gauges[name] = Gauge(name)
+            return self.gauges[name]
 
     def histogram(self, name: str, edges: tuple[float, ...]) -> Histogram:
-        if name not in self.histograms:
-            self.histograms[name] = Histogram(name, edges)
-        return self.histograms[name]
+        with self._lock:
+            if name not in self.histograms:
+                self.histograms[name] = Histogram(name, edges)
+            return self.histograms[name]
+
+    def hist(
+        self,
+        name: str,
+        lo: float = 1e-6,
+        hi: float = 1e3,
+        growth: float = 2 ** 0.25,
+    ) -> LogHistogram:
+        """Get-or-create a mergeable :class:`LogHistogram`."""
+        with self._lock:
+            if name not in self.hists:
+                self.hists[name] = LogHistogram(lo=lo, hi=hi, growth=growth)
+            return self.hists[name]
 
     def snapshot(self) -> dict:
         """Plain-data view of every metric (JSON-serializable)."""
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = dict(self.gauges)
+            histograms = dict(self.histograms)
+            hists = dict(self.hists)
         return {
             "counters": {
-                n: c.value for n, c in sorted(self.counters.items())
+                n: c.value for n, c in sorted(counters.items())
             },
             "gauges": {
-                n: g.value for n, g in sorted(self.gauges.items())
+                n: g.value for n, g in sorted(gauges.items())
             },
             "histograms": {
                 n: {
@@ -131,7 +166,10 @@ class MetricsRegistry:
                     "sum": h.sum,
                     "mean": h.mean,
                 }
-                for n, h in sorted(self.histograms.items())
+                for n, h in sorted(histograms.items())
+            },
+            "hists": {
+                n: h.snapshot() for n, h in sorted(hists.items())
             },
         }
 
@@ -140,15 +178,20 @@ class MetricsRegistry:
 
 
 _DEFAULT_REGISTRY: MetricsRegistry | None = None
+_DEFAULT_REGISTRY_LOCK = threading.Lock()
 
 
 def default_registry() -> MetricsRegistry:
     """The process-wide shared registry (created on first use).
 
     Layers that are not handed an explicit registry can publish here, so
-    one snapshot covers a whole in-process pipeline.
+    one snapshot covers a whole in-process pipeline.  Creation is
+    double-checked under a module lock so concurrent first callers (the
+    asyncio gateway's shards) share one instance.
     """
     global _DEFAULT_REGISTRY
     if _DEFAULT_REGISTRY is None:
-        _DEFAULT_REGISTRY = MetricsRegistry()
+        with _DEFAULT_REGISTRY_LOCK:
+            if _DEFAULT_REGISTRY is None:
+                _DEFAULT_REGISTRY = MetricsRegistry()
     return _DEFAULT_REGISTRY

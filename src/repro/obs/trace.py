@@ -1,4 +1,4 @@
-"""Nested-span tracing with JSONL and Chrome trace-event export.
+"""Nested-span tracing with context propagation and Chrome export.
 
 A :class:`Tracer` records *spans*: named intervals with a monotonic
 start, a duration, free-form attributes, and parent/child nesting.  The
@@ -12,6 +12,15 @@ API is the usual context-manager shape::
     tracer.to_chrome("trace.json")     # load in chrome://tracing / Perfetto
     tracer.to_jsonl("trace.jsonl")     # one span per line, grep-friendly
 
+Distributed traces cross process and connection boundaries through
+:class:`SpanContext` — a serializable ``(trace_id, span_id, parent_id)``
+triple.  ``span.ctx`` captures a span's context, ``to_header()`` /
+``from_header()`` move it through a wire-protocol frame header, and
+``tracer.span(name, ctx=remote_ctx, lane="shard-0")`` opens a child of
+the *remote* parent in a named process lane.  Worker timings measured in
+forked children (raw ``time.perf_counter()``, which forks share on
+Linux) are stitched in after the fact with :meth:`Tracer.record_remote`.
+
 Design points:
 
 * **Zero-overhead default.**  Every instrumented function takes
@@ -23,14 +32,19 @@ Design points:
 * **Thread safety.**  The open-span stack is thread-local (each thread
   nests independently), finished spans go into one lock-protected list,
   and Chrome export tags each thread with its own ``tid``.
+* **Process lanes.**  :meth:`Tracer.register_lane` names a Chrome
+  ``pid`` lane (gateway / shard-i / worker-NNNN); the exporter emits
+  ``process_name``/``thread_name`` metadata events so lanes render
+  separately instead of flattening into one process row.
 * **Plain data.**  Attributes must be JSON-serializable; exports contain
-  explicit ``span_id``/``parent_id`` fields so either file format
-  round-trips the tree exactly (see :func:`load_trace`).
+  explicit ``trace_id``/``span_id``/``parent_id`` fields so either file
+  format round-trips the tree exactly (see :func:`load_trace`).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -40,6 +54,7 @@ from repro.errors import ObsError
 
 __all__ = [
     "Span",
+    "SpanContext",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
@@ -48,6 +63,43 @@ __all__ = [
     "load_chrome",
     "render_tree",
 ]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Serializable identity of a span, for cross-process propagation.
+
+    ``trace_id`` names the whole tree; ``span_id`` this span; and
+    ``parent_id`` its parent (``None`` at the root).  The compact dict
+    form (:meth:`to_header`) rides inside wire-protocol frame headers.
+    """
+
+    trace_id: str
+    span_id: int
+    parent_id: int | None = None
+
+    def to_header(self) -> dict:
+        """Compact JSON-safe dict for a protocol frame header."""
+        h = {"t": self.trace_id, "s": self.span_id}
+        if self.parent_id is not None:
+            h["p"] = self.parent_id
+        return h
+
+    @classmethod
+    def from_header(cls, header: dict | None) -> "SpanContext | None":
+        """Inverse of :meth:`to_header`; ``None`` passes through."""
+        if not header:
+            return None
+        try:
+            return cls(
+                trace_id=str(header["t"]),
+                span_id=int(header["s"]),
+                parent_id=(
+                    None if header.get("p") is None else int(header["p"])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ObsError(f"malformed span context header: {header!r}") from exc
 
 
 @dataclass
@@ -67,10 +119,17 @@ class Span:
     duration: float = 0.0
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    trace_id: str = ""
+    pid: int = 0
 
     def set(self, **attrs) -> None:
         """Attach attributes to the span (JSON-serializable values)."""
         self.attrs.update(attrs)
+
+    @property
+    def ctx(self) -> SpanContext:
+        """This span's propagatable :class:`SpanContext`."""
+        return SpanContext(self.trace_id, self.span_id, self.parent_id)
 
     @property
     def end(self) -> float:
@@ -83,16 +142,27 @@ class Span:
 class _SpanCm:
     """Context manager that opens a :class:`Span` on a tracer."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+    __slots__ = ("_tracer", "_name", "_attrs", "_ctx", "_lane", "_span")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: dict,
+        ctx: SpanContext | None = None,
+        lane: str | None = None,
+    ) -> None:
         self._tracer = tracer
         self._name = name
         self._attrs = attrs
+        self._ctx = ctx
+        self._lane = lane
         self._span: Span | None = None
 
     def __enter__(self) -> Span:
-        self._span = self._tracer._open(self._name, self._attrs)
+        self._span = self._tracer._open(
+            self._name, self._attrs, ctx=self._ctx, lane=self._lane
+        )
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -113,14 +183,76 @@ class Tracer:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._next_id = 0
+        self._next_trace = 0
+        self._trace_prefix = f"{os.getpid():08x}"
         self._tids: dict[int, int] = {}
+        self._lanes: dict[str, int] = {}
+        self._by_id: dict[int, Span] = {}
+        self._close_hooks: list = []
         self.spans: list[Span] = []  # finished spans, completion order
         self.roots: list[Span] = []
 
     # ------------------------------------------------------------------ #
-    def span(self, name: str, **attrs) -> _SpanCm:
-        """Open a nested span: ``with tracer.span("stage", k=v) as sp:``."""
-        return _SpanCm(self, name, attrs)
+    def span(
+        self,
+        name: str,
+        ctx: SpanContext | None = None,
+        lane: str | None = None,
+        **attrs,
+    ) -> _SpanCm:
+        """Open a nested span: ``with tracer.span("stage", k=v) as sp:``.
+
+        ``ctx`` makes the new span a child of that (possibly remote)
+        parent instead of the thread-local stack top; ``lane`` places it
+        in a named process lane (see :meth:`register_lane`).
+        """
+        return _SpanCm(self, name, attrs, ctx=ctx, lane=lane)
+
+    def register_lane(self, name: str) -> int:
+        """Get-or-create the ``pid`` of a named process lane.
+
+        Lane 0 is implicit (the unnamed main process); explicitly
+        registered lanes get pids 1, 2, ... and ``process_name``
+        metadata events in the Chrome export.
+        """
+        with self._lock:
+            pid = self._lanes.get(name)
+            if pid is None:
+                pid = len(self._lanes) + 1
+                self._lanes[name] = pid
+            return pid
+
+    def lane_name(self, pid: int) -> str:
+        """Human name of a pid lane (``main`` for 0 / unregistered)."""
+        with self._lock:
+            for name, p in self._lanes.items():
+                if p == pid:
+                    return name
+        return "main" if pid == 0 else f"lane-{pid}"
+
+    def now(self) -> float:
+        """Current time on this tracer's clock (epoch-relative seconds)."""
+        return time.perf_counter() - self._epoch
+
+    def rel(self, raw: float) -> float:
+        """Convert a raw ``time.perf_counter()`` reading to tracer time.
+
+        Forked children share CLOCK_MONOTONIC with the parent on Linux,
+        so worker-measured raw timestamps convert exactly.
+        """
+        return raw - self._epoch
+
+    def add_close_hook(self, hook) -> None:
+        """Register ``hook(span)`` to run whenever a span finishes."""
+        with self._lock:
+            self._close_hooks.append(hook)
+
+    def new_trace_id(self) -> str:
+        """Allocate a fresh trace id (used when a root span opens)."""
+        with self._lock:
+            n = self._next_trace
+            self._next_trace += 1
+        return f"{self._trace_prefix}-{n:04x}"
 
     def _stack(self) -> list[Span]:
         st = getattr(self._local, "stack", None)
@@ -128,23 +260,47 @@ class Tracer:
             st = self._local.stack = []
         return st
 
-    def _open(self, name: str, attrs: dict) -> Span:
+    def _open(
+        self,
+        name: str,
+        attrs: dict,
+        ctx: SpanContext | None = None,
+        lane: str | None = None,
+    ) -> Span:
         stack = self._stack()
+        local_parent = None if ctx is not None else (
+            stack[-1] if stack else None
+        )
         with self._lock:
             span_id = self._next_id
             self._next_id += 1
             tid = self._tids.setdefault(
                 threading.get_ident(), len(self._tids)
             )
-        parent = stack[-1] if stack else None
+        if ctx is not None:
+            trace_id, parent_id = ctx.trace_id, ctx.span_id
+        elif local_parent is not None:
+            trace_id, parent_id = local_parent.trace_id, local_parent.span_id
+        else:
+            trace_id, parent_id = self.new_trace_id(), None
+        if lane is not None:
+            pid = self.register_lane(lane)
+        elif local_parent is not None:
+            pid = local_parent.pid
+        else:
+            pid = 0
         span = Span(
             name=name,
             span_id=span_id,
-            parent_id=parent.span_id if parent else None,
+            parent_id=parent_id,
             tid=tid,
             start=time.perf_counter() - self._epoch,
             attrs=dict(attrs),
+            trace_id=trace_id,
+            pid=pid,
         )
+        with self._lock:
+            self._by_id[span_id] = span
         stack.append(span)
         return span
 
@@ -158,10 +314,59 @@ class Tracer:
         stack.pop()
         with self._lock:
             self.spans.append(span)
-            if stack:
-                stack[-1].children.append(span)
+            parent = (
+                self._by_id.get(span.parent_id)
+                if span.parent_id is not None else None
+            )
+            if parent is not None:
+                parent.children.append(span)
             else:
                 self.roots.append(span)
+            hooks = list(self._close_hooks)
+        for hook in hooks:
+            hook(span)
+
+    def record_remote(
+        self,
+        name: str,
+        ctx: SpanContext,
+        start: float,
+        duration: float,
+        lane: str | None = None,
+        **attrs,
+    ) -> Span:
+        """Record an already-finished span measured in another process.
+
+        ``start`` is tracer-relative seconds (convert raw perf_counter
+        readings with :meth:`rel`); the span becomes a child of ``ctx``.
+        """
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        pid = self.register_lane(lane) if lane is not None else 0
+        span = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=ctx.span_id,
+            tid=0,
+            start=start,
+            duration=duration,
+            attrs=dict(attrs),
+            trace_id=ctx.trace_id,
+            pid=pid,
+        )
+        with self._lock:
+            self._by_id[span_id] = span
+            self.spans.append(span)
+            parent = self._by_id.get(ctx.span_id)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+            hooks = list(self._close_hooks)
+        for hook in hooks:
+            hook(span)
+        return span
 
     # ------------------------------------------------------------------ #
     def find(self, name: str) -> list[Span]:
@@ -172,6 +377,14 @@ class Tracer:
     def total_seconds(self, name: str) -> float:
         """Summed duration of every finished span with this name."""
         return sum(s.duration for s in self.find(name))
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids among finished spans, first-seen order."""
+        seen: dict[str, None] = {}
+        with self._lock:
+            for s in self.spans:
+                seen.setdefault(s.trace_id)
+        return list(seen)
 
     # ------------------------------------------------------------------ #
     def to_jsonl(self, path: str | Path) -> Path:
@@ -184,8 +397,10 @@ class Tracer:
                 fh.write(json.dumps({
                     "span_id": s.span_id,
                     "parent_id": s.parent_id,
+                    "trace_id": s.trace_id,
                     "name": s.name,
                     "tid": s.tid,
+                    "pid": s.pid,
                     "start": s.start,
                     "dur": s.duration,
                     "attrs": s.attrs,
@@ -195,29 +410,49 @@ class Tracer:
     def to_chrome(self, path: str | Path) -> Path:
         """Chrome trace-event JSON (complete ``"X"`` events, microseconds).
 
-        Loadable in ``chrome://tracing`` or Perfetto; ``span_id`` and
-        ``parent_id`` ride along in ``args`` so :func:`load_chrome` can
-        rebuild exact nesting without containment heuristics.
+        Loadable in ``chrome://tracing`` or Perfetto; ``span_id``,
+        ``parent_id``, and ``trace_id`` ride along in ``args`` so
+        :func:`load_chrome` can rebuild exact nesting without
+        containment heuristics.  Registered lanes additionally emit
+        ``process_name``/``thread_name`` metadata events so each lane
+        renders as its own process row.
         """
         path = Path(path)
         with self._lock:
             spans = sorted(self.spans, key=lambda s: s.start)
-        events = [
+            lanes = dict(self._lanes)
+        events: list[dict] = []
+        if lanes:
+            lane_names = {0: "main", **{p: n for n, p in lanes.items()}}
+            pid_tids = sorted({(s.pid, s.tid) for s in spans})
+            for pid in sorted(lane_names):
+                events.append({
+                    "name": "process_name", "ph": "M", "pid": pid,
+                    "tid": 0, "args": {"name": lane_names[pid]},
+                })
+            for pid, tid in pid_tids:
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": tid,
+                    "args": {"name": "main" if tid == 0 else f"thread-{tid}"},
+                })
+        events.extend(
             {
                 "name": s.name,
                 "ph": "X",
                 "ts": s.start * 1e6,
                 "dur": s.duration * 1e6,
-                "pid": 0,
+                "pid": s.pid,
                 "tid": s.tid,
                 "args": {
                     **s.attrs,
                     "span_id": s.span_id,
                     "parent_id": s.parent_id,
+                    "trace_id": s.trace_id,
                 },
             }
             for s in spans
-        ]
+        )
         path.write_text(json.dumps(
             {"traceEvents": events, "displayTimeUnit": "ms"}, indent=1,
         ) + "\n")
@@ -232,6 +467,9 @@ class _NullSpan:
     attrs: dict = {}
     children: tuple = ()
     duration = 0.0
+    trace_id = ""
+    pid = 0
+    ctx = None
 
     def set(self, **attrs) -> None:
         pass
@@ -256,7 +494,25 @@ class NullTracer:
     spans: tuple = ()
     roots: tuple = ()
 
-    def span(self, name: str, **attrs) -> _NullSpan:
+    def span(self, name: str, ctx=None, lane=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def register_lane(self, name: str) -> int:
+        return 0
+
+    def lane_name(self, pid: int) -> str:
+        return "main"
+
+    def now(self) -> float:
+        return 0.0
+
+    def rel(self, raw: float) -> float:
+        return 0.0
+
+    def add_close_hook(self, hook) -> None:
+        pass
+
+    def record_remote(self, name, ctx, start, duration, lane=None, **attrs):
         return _NULL_SPAN
 
     def find(self, name: str) -> list:
@@ -264,6 +520,9 @@ class NullTracer:
 
     def total_seconds(self, name: str) -> float:
         return 0.0
+
+    def trace_ids(self) -> list:
+        return []
 
 
 #: Shared no-op tracer; the default for every ``tracer=`` parameter.
@@ -287,6 +546,8 @@ def _link(records: list[dict]) -> list[Span]:
             start=float(r["start"]),
             duration=float(r["dur"]),
             attrs=dict(r.get("attrs", {})),
+            trace_id=str(r.get("trace_id", "")),
+            pid=int(r.get("pid", 0)),
         )
     roots: list[Span] = []
     for s in sorted(spans.values(), key=lambda s: s.start):
@@ -312,14 +573,16 @@ def load_chrome(path: str | Path) -> list[Span]:
     events = doc["traceEvents"] if isinstance(doc, dict) else doc
     records = []
     for e in events:
-        if e.get("ph") != "X":
+        if e.get("ph") != "X":  # skip metadata ("M") and other phases
             continue
         args = dict(e.get("args", {}))
         records.append({
             "span_id": args.pop("span_id", len(records)),
             "parent_id": args.pop("parent_id", None),
+            "trace_id": args.pop("trace_id", ""),
             "name": e["name"],
             "tid": e.get("tid", 0),
+            "pid": e.get("pid", 0),
             "start": float(e["ts"]) / 1e6,
             "dur": float(e.get("dur", 0.0)) / 1e6,
             "attrs": args,

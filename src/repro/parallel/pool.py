@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
@@ -48,6 +49,20 @@ __all__ = ["WorkerPool", "default_workers"]
 #: Exceptions that mean "the pool broke", as opposed to "the task
 #: failed"; only these trigger the respawn retry / serial fallback.
 _POOL_FAILURES = (BrokenProcessPool, pickle.PicklingError, OSError, TransientFault)
+
+
+def _traced_task(envelope):
+    """Run ``fn(item)`` in a worker, returning result + timing evidence.
+
+    The timestamps are raw ``time.perf_counter()`` readings: forked
+    children share CLOCK_MONOTONIC with the parent on Linux, so the
+    parent tracer converts them with :meth:`Tracer.rel` and stitches the
+    worker's execution into the distributed trace as a remote span.
+    """
+    fn, item = envelope
+    t0 = time.perf_counter()
+    result = fn(item)
+    return result, os.getpid(), t0, time.perf_counter() - t0
 
 
 def default_workers() -> int:
@@ -180,6 +195,8 @@ class WorkerPool:
         fn: Callable,
         items: Sequence | Iterable,
         label: str = "map",
+        span_ctx=None,
+        timings: list | None = None,
     ) -> list:
         """``[fn(x) for x in items]``, possibly across processes.
 
@@ -190,6 +207,14 @@ class WorkerPool:
         degraded for subsequent calls (until :meth:`reset`).  Tasks that
         fail to pickle are a deterministic defect, not a transient: they
         degrade immediately without a respawn attempt.
+
+        ``span_ctx`` (a :class:`~repro.obs.trace.SpanContext`, or a
+        sequence of them — one per item) turns on traced task
+        envelopes: each parallel task measures itself in the worker and
+        the pool stitches a ``<label>.task`` remote span per item — in
+        a ``worker-<os pid>`` lane — under that item's parent.
+        ``timings``, when a list, receives one ``(pid, start_raw,
+        duration)`` tuple per item (parallel dispatches only).
         """
         items = list(items)
         serial = not self.parallel or len(items) < self.workers
@@ -202,6 +227,34 @@ class WorkerPool:
             except Exception as exc:
                 self._degrade(f"task not picklable: {exc}")
                 serial = True
+        traced = span_ctx is not None and not serial
+
+        def dispatch() -> list:
+            if not traced:
+                return self._map_parallel(fn, items)
+            envelopes = self._map_parallel(
+                _traced_task, [(fn, x) for x in items]
+            )
+            out = []
+            for i, (result, pid, t0_raw, dur) in enumerate(envelopes):
+                out.append(result)
+                if timings is not None:
+                    timings.append((pid, t0_raw, dur))
+                ctx = (
+                    span_ctx[i]
+                    if isinstance(span_ctx, (list, tuple)) else span_ctx
+                )
+                if ctx is not None:
+                    self.tracer.record_remote(
+                        f"{label}.task",
+                        ctx,
+                        start=self.tracer.rel(t0_raw),
+                        duration=dur,
+                        lane=f"worker-{pid}",
+                        index=i,
+                    )
+            return out
+
         with self.tracer.span(
             "parallel.map",
             label=label,
@@ -213,7 +266,7 @@ class WorkerPool:
                 self.metrics.counter("parallel.pool.serial_maps").inc()
                 return [fn(x) for x in items]
             try:
-                results = self._map_parallel(fn, items)
+                results = dispatch()
             except _POOL_FAILURES as exc:
                 results = None
                 if not isinstance(exc, pickle.PicklingError):
@@ -223,7 +276,7 @@ class WorkerPool:
                     self._shutdown_executor(wait=True)
                     self.metrics.counter("parallel.pool.respawns").inc()
                     try:
-                        results = self._map_parallel(fn, items)
+                        results = dispatch()
                         self.metrics.counter(
                             "parallel.pool.respawn_recoveries"
                         ).inc()

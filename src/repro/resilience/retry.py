@@ -144,6 +144,16 @@ class HealthState:
     state: Health = Health.OK
     reason: str | None = None
     transitions: list[tuple[str, str, str]] = field(default_factory=list)
+    _listeners: list = field(
+        default_factory=list, repr=False, compare=False,
+    )
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener(old, new, reason)`` to run per transition.
+
+        Observability hooks (the serve flight recorder) subscribe here;
+        listener state is excluded from :meth:`as_dict`."""
+        self._listeners.append(listener)
 
     @property
     def ok(self) -> bool:
@@ -169,9 +179,12 @@ class HealthState:
         ]
 
     def _move(self, to: Health, reason: str) -> None:
-        self.transitions.append((self.state.value, to.value, reason))
+        old = self.state.value
+        self.transitions.append((old, to.value, reason))
         self.state = to
         self.reason = reason
+        for listener in self._listeners:
+            listener(old, to.value, reason)
 
     def degrade(self, reason: str = "") -> None:
         """OK -> DEGRADED (no-op when already degraded or failed)."""

@@ -20,6 +20,20 @@ Runs the whole serving story at tiny scale, in-process, in seconds:
      per-cycle integer sum;
    * the report's fleet energy total equals the sum of the per-session
      offline totals (same expression, same order — float-equal).
+
+The run is fully observed: a real :class:`~repro.obs.trace.Tracer`
+(the Chrome export lands next to the reports), a two-process
+:class:`~repro.parallel.pool.WorkerPool` for the batched GEMV, and a
+:class:`~repro.obs.flightrec.FlightRecorder` whose post-mortem fires at
+the injected shard death.  Two extra self-checks ride on that:
+
+   * the post-mortem JSON exists, loads, and the power readings it
+     recorded for the first wave equal the offline meter bit for bit —
+     dead-shard evidence is trustworthy evidence;
+   * the exported trace contains at least one tick whose span tree
+     links ``client.tick -> serve.tick -> serve.shard.gather ->
+     serve.gemv.task`` under a single trace id — one client tick, one
+     connected cross-process trace.
 """
 
 from __future__ import annotations
@@ -31,8 +45,11 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.flightrec import FlightRecorder, load_postmortem
+from repro.obs.trace import Tracer, load_trace
 from repro.opm.meter import OpmMeter
 from repro.opm.quantize import QuantizedModel
+from repro.parallel.pool import WorkerPool
 from repro.serve.gateway import Gateway
 from repro.serve.loadgen import LoadGenConfig, plan, run_load
 from repro.serve.registry import ModelRegistry
@@ -66,24 +83,45 @@ def run_demo(out_dir: str | Path, seed: int = 7) -> dict:
     registry.publish("v1", _make_model(seed), activate=True)
     registry.publish("v2", _make_model(seed + 1))
 
-    gateway = Gateway(registry, n_shards=2, t=_T)
+    tracer = Tracer()
+    recorder = FlightRecorder(capacity=512)
+    pool = WorkerPool(workers=2, tracer=tracer)
+    try:
+        gateway = Gateway(
+            registry,
+            n_shards=2,
+            t=_T,
+            pool=pool,
+            tracer=tracer,
+            flight_recorder=recorder,
+            postmortem_dir=out,
+        )
 
-    wave1 = LoadGenConfig(
-        n_sessions=4, cycles=192, chunk_cycles=32, seed=seed,
-    )
-    report1 = run_load(gateway, wave1)
+        wave1 = LoadGenConfig(
+            n_sessions=4, cycles=192, chunk_cycles=32, seed=seed,
+        )
+        report1 = run_load(gateway, wave1)
 
-    # Mid-run fleet events: stage the new model, lose a shard.
-    gateway.swap_model("v2")
-    gateway.kill_shard(0, reason="demo-injected death")
+        # Mid-run fleet events: stage the new model, lose a shard.
+        # The kill demotes shard 0's health, which triggers the flight
+        # recorder's post-mortem dump into ``out``.
+        gateway.swap_model("v2")
+        gateway.kill_shard(0, reason="demo-injected death")
 
-    wave2 = LoadGenConfig(
-        n_sessions=4, cycles=192, chunk_cycles=32, seed=seed + 100,
-    )
-    report2 = run_load(gateway, wave2)
+        wave2 = LoadGenConfig(
+            n_sessions=4, cycles=192, chunk_cycles=32, seed=seed + 100,
+        )
+        report2 = run_load(gateway, wave2)
+    finally:
+        pool.close()
+
+    trace_path = tracer.to_chrome(out / "trace.json")
 
     fleet = build_report(gateway)
     _self_check(gateway, registry, [(wave1, report1), (wave2, report2)])
+    _check_postmortem(out / "postmortem-shard-0-failed.json",
+                      registry, wave1)
+    _check_trace_chain(trace_path)
 
     report_json = out / "fleet-report.json"
     report_md = out / "fleet-report.md"
@@ -92,6 +130,7 @@ def run_demo(out_dir: str | Path, seed: int = 7) -> dict:
     print(fleet.render_markdown())
     print(f"\n# report: {report_json}", file=sys.stderr)
     print(f"# report: {report_md}", file=sys.stderr)
+    print(f"# trace:  {trace_path}", file=sys.stderr)
     return fleet.to_dict()
 
 
@@ -157,6 +196,99 @@ def _self_check(gateway, registry, waves) -> None:
         f"mW-cycles exact",
         file=sys.stderr,
     )
+
+
+def _check_postmortem(path: Path, registry, wave1: LoadGenConfig) -> None:
+    """The injected shard death must leave trustworthy evidence.
+
+    The dump fired at :meth:`Gateway.kill_shard`, so its rings hold the
+    first wave only; every power reading recorded in the shard lanes
+    must equal the offline meter bit for bit.
+    """
+    if not path.exists():
+        raise AssertionError(f"no post-mortem at {path}")
+    doc = load_postmortem(path)
+    if "shard-0" not in doc["reason"]:
+        raise AssertionError(
+            f"post-mortem reason does not name the dead shard: "
+            f"{doc['reason']!r}"
+        )
+    recorded: dict[str, list] = {}
+    for lane, events in doc["lanes"].items():
+        for ev in events:
+            if ev.get("kind") == "windows":
+                recorded.setdefault(ev["session"], []).extend(
+                    ev["windows"]
+                )
+    if not recorded:
+        raise AssertionError("post-mortem recorded no power readings")
+    q = registry.get("v1").q
+    plans = plan(wave1, q)
+    meter = registry.meter("v1", _T)
+    for i, p in enumerate(plans):
+        name = f"{p.core_id}#{i}"
+        offline = meter.read(p.stimulus)
+        got = np.asarray(recorded.get(name, []), dtype=np.float64)
+        if not np.array_equal(got, offline):
+            raise AssertionError(
+                f"post-mortem readings for {name} diverge from the "
+                f"offline meter ({got.size} vs {offline.size} windows)"
+            )
+    print(
+        f"# post-mortem check passed: {path.name} holds bit-exact "
+        f"readings for {len(plans)} sessions",
+        file=sys.stderr,
+    )
+
+
+def _check_trace_chain(trace_path: Path) -> None:
+    """One client tick must render as one connected cross-process tree:
+    ``client.tick -> serve.tick -> serve.shard.gather ->
+    serve.gemv.task`` all under a single trace id."""
+    roots = load_trace(trace_path)
+    by_id = {}
+
+    def index(span):
+        by_id[span.span_id] = span
+        for c in span.children:
+            index(c)
+
+    for r in roots:
+        index(r)
+
+    chain = ("client.tick", "serve.tick", "serve.shard.gather",
+             "serve.gemv.task")
+    for span in by_id.values():
+        if span.name != chain[-1]:
+            continue
+        walk = span
+        names = [walk.name]
+        while walk.parent_id is not None and walk.parent_id in by_id:
+            walk = by_id[walk.parent_id]
+            names.append(walk.name)
+        names.reverse()
+        if (
+            tuple(names[-len(chain):]) == chain
+            and len({by_id[s].trace_id for s in _chain_ids(span, by_id)})
+            == 1
+        ):
+            print(
+                f"# trace check passed: {' -> '.join(chain)} connected "
+                f"under trace {span.trace_id}",
+                file=sys.stderr,
+            )
+            return
+    raise AssertionError(
+        f"no connected {' -> '.join(chain)} chain in {trace_path}"
+    )
+
+
+def _chain_ids(span, by_id) -> list[int]:
+    ids = [span.span_id]
+    while span.parent_id is not None and span.parent_id in by_id:
+        span = by_id[span.parent_id]
+        ids.append(span.span_id)
+    return ids
 
 
 def main(argv: list[str] | None = None) -> int:

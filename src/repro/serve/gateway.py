@@ -28,12 +28,14 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import ServeError
+from repro.obs.expo import render_openmetrics
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, SpanContext
 from repro.serve.protocol import decode_array, decode_frame, encode_array, encode_frame
 from repro.serve.registry import ModelRegistry
 from repro.serve.shard import Shard, ShardRouter, infer_task
@@ -265,6 +267,8 @@ class Gateway:
         metrics: MetricsRegistry | None = None,
         tracer=None,
         push_buffer_blocks: int = 4096,
+        flight_recorder=None,
+        postmortem_dir: str | Path | None = None,
     ) -> None:
         if n_shards < 1:
             raise ServeError("gateway needs at least one shard")
@@ -282,8 +286,35 @@ class Gateway:
         self.handles: dict[str, SessionHandle] = {}
         self._seq = 0
         self.ticks = 0
-        #: Recent per-tick wall latencies (seconds) for p99 reporting.
-        self.tick_latencies: deque[float] = deque(maxlen=65536)
+        #: Exact per-tick wall-latency histogram (log-bucketed,
+        #: mergeable); quantiles come from bucket ranks, not samples.
+        self.tick_hist = self.metrics.hist("serve.tick.latency")
+        self.flightrec = flight_recorder
+        self.postmortem_dir = (
+            Path(postmortem_dir) if postmortem_dir is not None else None
+        )
+        if self.flightrec is not None:
+            self.flightrec.attach_tracer(
+                self.tracer,
+                lane_of=lambda sp: self.tracer.lane_name(sp.pid),
+            )
+            for shard in self.shards:
+                self.flightrec.watch_health(
+                    shard.lane, shard.health,
+                    on_demote=self._on_shard_demote,
+                )
+
+    def _on_shard_demote(self, lane, old, new, reason) -> None:
+        """A shard left OK: capture the post-mortem before state moves on."""
+        self.metrics.counter("serve.health.demotions").inc()
+        if self.postmortem_dir is None or self.flightrec is None:
+            return
+        path = self.flightrec.dump(
+            self.postmortem_dir / f"postmortem-{lane}-{new}.json",
+            reason=f"{lane} {old}->{new}: {reason}",
+        )
+        if path is not None:
+            self.metrics.counter("serve.postmortems").inc()
 
     # -------------------------------------------------------------- #
     # Session lifecycle
@@ -326,6 +357,14 @@ class Gateway:
                 peak = float(windows_mw.max())
                 if peak > h.peak_window_mw:
                     h.peak_window_mw = peak
+                if self.flightrec is not None:
+                    self.flightrec.record(
+                        f"shard-{h.shard_index}",
+                        "windows",
+                        session=h.name,
+                        version=h.version,
+                        windows=[float(v) for v in windows_mw],
+                    )
 
         def on_done(_sess):
             handle_ref[0]._done = True
@@ -422,26 +461,44 @@ class Gateway:
     # -------------------------------------------------------------- #
     # The tick
     # -------------------------------------------------------------- #
-    def tick(self) -> bool:
-        """One fleet step; returns True while any session is live."""
+    def tick(self, ctx=None) -> bool:
+        """One fleet step; returns True while any session is live.
+
+        ``ctx`` (a :class:`~repro.obs.trace.SpanContext`, typically
+        decoded off a client frame header) parents this tick's whole
+        span tree — gateway, shards, pooled GEMV workers — under the
+        client's span, so one client tick renders as one connected
+        cross-process trace.
+        """
         t0 = time.perf_counter()
-        with self.tracer.span("serve.tick", tick=self.ticks) as sp:
+        with self.tracer.span("serve.tick", ctx=ctx, tick=self.ticks) as sp:
             respawned = self.router.respawn_dead()
             if respawned:
                 self.metrics.counter("serve.shard.respawns").inc(respawned)
             shard_work = []
             payloads = []
+            versions = []
+            payload_ctxs = []
             for shard in self.shards:
                 t_s = time.perf_counter()
                 groups = shard.gather()
+                self.metrics.hist(
+                    f"serve.shard.{shard.index}.pump.latency"
+                ).observe(time.perf_counter() - t_s)
+                self.metrics.hist(
+                    f"serve.shard.{shard.index}.queue.depth",
+                    lo=0.5, hi=2 ** 20, growth=2.0,
+                ).observe(sum(len(s.queue) for s in shard.sessions))
                 shard_work.append((shard, t_s, groups))
-                for meter, _picks, mats in groups:
+                for meter, picks, mats in groups:
                     qm = meter.qmodel
                     payloads.append((
                         qm.int_weights,
                         qm.int_intercept,
                         np.concatenate(mats, axis=0),
                     ))
+                    versions.append(self.handles[picks[0][0].name].version)
+                    payload_ctxs.append(shard.last_gather_ctx)
             if payloads:
                 t_inf = time.perf_counter()
                 if (
@@ -449,11 +506,36 @@ class Gateway:
                     and self.pool.parallel
                     and len(payloads) > 1
                 ):
+                    timings: list = []
+                    # Parent each payload's worker span under its
+                    # shard's gather (falling back to the tick span), so
+                    # the trace tree mirrors the data path:
+                    # client -> tick -> gather -> gemv worker.
+                    fallback = sp.ctx if sp else None
+                    ctxs = [c or fallback for c in payload_ctxs]
                     results = self.pool.map(
-                        infer_task, payloads, label="serve.infer"
+                        infer_task, payloads, label="serve.gemv",
+                        span_ctx=(
+                            ctxs if any(c is not None for c in ctxs)
+                            else None
+                        ),
+                        timings=timings,
                     )
+                    if len(timings) == len(versions):
+                        for (_pid, _t0, dur), version in zip(
+                            timings, versions
+                        ):
+                            self.metrics.hist(
+                                f"serve.gemv.latency.{version}"
+                            ).observe(dur)
                 else:
-                    results = [infer_task(p) for p in payloads]
+                    results = []
+                    for payload, version in zip(payloads, versions):
+                        t_g = time.perf_counter()
+                        results.append(infer_task(payload))
+                        self.metrics.hist(
+                            f"serve.gemv.latency.{version}"
+                        ).observe(time.perf_counter() - t_g)
                 self.metrics.histogram(
                     "serve.infer_seconds", self.TICK_EDGES
                 ).observe(time.perf_counter() - t_inf)
@@ -470,7 +552,7 @@ class Gateway:
                 sp.set(groups=len(payloads))
         self.ticks += 1
         latency = time.perf_counter() - t0
-        self.tick_latencies.append(latency)
+        self.tick_hist.observe(latency)
         self.metrics.histogram(
             "serve.tick_seconds", self.TICK_EDGES
         ).observe(latency)
@@ -515,13 +597,29 @@ class Gateway:
             if h.push is not None
         )
         m.counter("serve.push.buffer_dropped").value = drops
+        # Drop accounting per shard and per model version (recomputed
+        # totals — sessions move between respawned services, handles
+        # are the ground truth).
+        by_shard: dict[int, int] = {s.index: 0 for s in self.shards}
+        by_version: dict[str, int] = {}
+        for h in self.handles.values():
+            d = h.session.dropped_blocks + (
+                h.push.dropped_blocks if h.push is not None else 0
+            )
+            by_shard[h.shard_index] = by_shard.get(h.shard_index, 0) + d
+            by_version[h.version] = by_version.get(h.version, 0) + d
+        for idx, d in by_shard.items():
+            m.counter(f"serve.shard.{idx}.dropped_blocks").value = d
+        for version, d in by_version.items():
+            m.counter(f"serve.dropped_blocks.{version}").value = d
 
     def pump_latency_p99(self) -> float:
-        """p99 of recent tick latencies (seconds); 0 when no ticks."""
-        if not self.tick_latencies:
-            return 0.0
-        lat = np.sort(np.asarray(self.tick_latencies))
-        return float(lat[min(len(lat) - 1, int(0.99 * len(lat)))])
+        """p99 of tick latencies (seconds), exact from histogram ranks.
+
+        Reads the ``serve.tick.latency`` :class:`LogHistogram` — the
+        value is the upper edge of the bucket holding the p99 rank, so
+        it never under-reports and is stable under shard merges."""
+        return self.tick_hist.quantile(0.99)
 
     def session_records(self) -> list[dict]:
         return [h.record() for h in self.handles.values()]
@@ -567,18 +665,33 @@ class InprocClient:
         )
         return handle.name
 
-    def push(self, name: str, toggles, last: bool = False) -> None:
+    def push(self, name: str, toggles, last: bool = False, ctx=None) -> None:
         fields, payload = encode_array(np.asarray(toggles, dtype=np.uint8))
-        frame = encode_frame(
-            {"op": "data", "session": name, "last": bool(last), **fields},
-            payload,
-        )
+        head = {"op": "data", "session": name, "last": bool(last), **fields}
+        if ctx is not None:
+            head["ctx"] = ctx.to_header()
+        frame = encode_frame(head, payload)
         header, body, _n = decode_frame(frame)
+        rctx = SpanContext.from_header(header.get("ctx"))
+        if rctx is not None:
+            with self.gateway.tracer.span(
+                "serve.ingest", ctx=rctx, session=header["session"]
+            ):
+                self.gateway.push(
+                    header["session"],
+                    decode_array(header, body),
+                    last=bool(header.get("last", False)),
+                )
+            return
         self.gateway.push(
             header["session"],
             decode_array(header, body),
             last=bool(header.get("last", False)),
         )
+
+    def tick(self, ctx=None) -> bool:
+        """Advance the gateway one tick under an optional client span."""
+        return self.gateway.tick(ctx=ctx)
 
     def close(self, name: str) -> None:
         header, _p, _n = decode_frame(
@@ -608,11 +721,15 @@ class GatewayServer:
     """
 
     def __init__(self, gateway: Gateway, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, metrics_port: int | None = None) -> None:
         self.gateway = gateway
         self.host = host
         self.port = port
+        #: Side port for ``GET /metrics`` (OpenMetrics text); ``None``
+        #: disables exposition, ``0`` binds an ephemeral port.
+        self.metrics_port = metrics_port
         self._server = None
+        self._metrics_server = None
         self._pump_task = None
         self._writers: dict[str, object] = {}  # session name -> writer
         self._done_sent: set[str] = set()
@@ -624,6 +741,13 @@ class GatewayServer:
             self._handle, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics, self.host, self.metrics_port
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
         self._pump_task = asyncio.ensure_future(self._pump_loop())
 
     async def close(self) -> None:
@@ -638,6 +762,46 @@ class GatewayServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
+            self._metrics_server = None
+
+    async def _handle_metrics(self, reader, writer) -> None:
+        """One ``GET /metrics`` scrape: HTTP/1.0, render, close."""
+        try:
+            data = b""
+            while b"\r\n\r\n" not in data and b"\n\n" not in data:
+                chunk = await reader.read(1024)
+                if not chunk:
+                    break
+                data += chunk
+            parts = data.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) > 1 else "/"
+            if path.split("?")[0] in ("/metrics", "/"):
+                body = render_openmetrics(self.gateway.metrics).encode()
+                status = "200 OK"
+                ctype = (
+                    "application/openmetrics-text; version=1.0.0; "
+                    "charset=utf-8"
+                )
+            else:
+                body = b"not found\n"
+                status = "404 Not Found"
+                ctype = "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode() + body
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
 
     async def _pump_loop(self) -> None:
         import asyncio
@@ -727,6 +891,18 @@ class GatewayServer:
                 "shard": handle.shard_index,
             }
         if op == "data":
+            rctx = SpanContext.from_header(header.get("ctx"))
+            if rctx is not None:
+                with self.gateway.tracer.span(
+                    "serve.ingest", ctx=rctx,
+                    session=header.get("session"),
+                ):
+                    self.gateway.push(
+                        header.get("session"),
+                        decode_array(header, payload),
+                        last=bool(header.get("last", False)),
+                    )
+                return None
             self.gateway.push(
                 header.get("session"),
                 decode_array(header, payload),

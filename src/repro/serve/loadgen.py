@@ -172,7 +172,11 @@ def run_load(
 
     def tick_once() -> bool:
         t = time.perf_counter()
-        alive = gateway.tick()
+        # The client drives the tick under its own lane; the gateway's
+        # whole span tree (shards, pooled GEMV) parents under this via
+        # the propagated SpanContext — one tick, one connected trace.
+        with gateway.tracer.span("client.tick", lane="client") as sp:
+            alive = client.tick(ctx=sp.ctx)
         tick_latencies.append(time.perf_counter() - t)
         for n in names:
             w = client.windows(n)

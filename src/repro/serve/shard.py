@@ -64,8 +64,13 @@ class Shard:
         self.index = index
         self.metrics = registry or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
+        self.lane = f"shard-{index}"
+        self.tracer.register_lane(self.lane)
         self.health = HealthState()
         self.respawns = 0
+        #: Context of the most recent gather span, so the gateway can
+        #: parent pooled GEMV worker spans under this shard's gather.
+        self.last_gather_ctx = None
         self.service = self._fresh_service([])
 
     def _fresh_service(self, sessions: list[StreamSession]) -> StreamService:
@@ -119,15 +124,25 @@ class Shard:
     def gather(self) -> list:
         if self.health.failed:
             return []
-        self.service.pump_all()
-        return self.service.gather_pending()
+        with self.tracer.span(
+            "serve.shard.gather", lane=self.lane, shard=self.index
+        ) as sp:
+            self.last_gather_ctx = sp.ctx if sp else None
+            self.service.pump_all()
+            groups = self.service.gather_pending()
+            if sp:
+                sp.set(groups=len(groups))
+        return groups
 
     def apply(self, groups: list, results: list[np.ndarray], t0: float) -> bool:
         if self.health.failed:
             return any(not s.done for s in self.sessions)
-        for (_meter, picks, _mats), per_cycle in zip(groups, results):
-            self.service.scatter(picks, per_cycle)
-        return self.service.finish_step(t0)
+        with self.tracer.span(
+            "serve.shard.apply", lane=self.lane, shard=self.index
+        ):
+            for (_meter, picks, _mats), per_cycle in zip(groups, results):
+                self.service.scatter(picks, per_cycle)
+            return self.service.finish_step(t0)
 
     def stats(self) -> dict:
         return {

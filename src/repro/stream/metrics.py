@@ -3,10 +3,19 @@
 The streaming pipeline's Counter/Gauge/Histogram/MetricsRegistry are now
 shared by every layer through :mod:`repro.obs.metrics`; this module
 re-exports the same objects so existing ``repro.stream.metrics`` imports
-keep working unchanged.
+keep working unchanged — but emits a :class:`DeprecationWarning` on
+import so callers migrate to the canonical home.
 """
 
 from __future__ import annotations
+
+import warnings
+
+warnings.warn(
+    "repro.stream.metrics is deprecated; import from repro.obs.metrics",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 from repro.obs.metrics import (
     Counter,

@@ -415,14 +415,26 @@ class StreamService:
     def finish_step(self, t0: float) -> bool:
         """Close one step: bookkeeping, metrics, done notifications."""
         self.steps += 1
-        self._elapsed += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self._elapsed += dt
+        self.metrics.hist("stream.step.latency").observe(dt)
         self._refresh_metrics()
         for sess in self.sessions:
             sess.notify_done()
         return not all(s.done for s in self.sessions)
 
-    def step(self) -> bool:
-        """One pump + one batched drain; False when all streams end."""
+    def step(self, ctx=None) -> bool:
+        """One pump + one batched drain; False when all streams end.
+
+        ``ctx`` (a :class:`~repro.obs.trace.SpanContext`) parents this
+        step under a possibly remote span: the whole step is wrapped in
+        a ``stream.step`` span child of ``ctx``, so a driver across a
+        process or connection boundary still renders one connected
+        trace.  Without ``ctx`` the span structure is unchanged.
+        """
+        if ctx is not None:
+            with self.tracer.span("stream.step", ctx=ctx):
+                return self.step()
         t0 = time.perf_counter()
         self.pump_all()
         for meter, picks, mats in self.gather_pending():

@@ -5,11 +5,19 @@ JSON reproduce the exact span forest), the zero-entry no-op tracer
 property, the ``repro.stream.metrics`` shim, manifest save/load/render,
 and the GA per-generation span stats' parity with
 :meth:`GaResult.generation_stats` on both simulation engines.
+
+The obs-v2 surface gets its own sections: :class:`SpanContext`
+propagation (header round-trip, remote parenting, lane stitching),
+the exact merge contract of :class:`LogHistogram` (associativity under
+arbitrary splits, proven on dyadic-rational values where float sums
+are exact), the bounded :class:`FlightRecorder` with its dump-once
+post-mortem files, and the OpenMetrics render/parse round trip.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import threading
 
 import numpy as np
@@ -20,13 +28,21 @@ from hypothesis import strategies as st
 from repro.errors import ObsError, StreamError
 from repro.obs import (
     NULL_TRACER,
+    FlightRecorder,
+    LogHistogram,
+    MetricsRegistry,
     NullTracer,
     RunManifest,
+    SpanContext,
     Tracer,
     config_hash,
+    load_postmortem,
     load_trace,
+    parse_openmetrics,
+    render_openmetrics,
     render_tree,
 )
+from repro.obs.hist import STANDARD_QUANTILES
 from repro.obs.trace import load_chrome, load_jsonl
 
 
@@ -492,3 +508,304 @@ def _tiny_program():
     from repro.genbench.workloads import mcf_like
 
     return mcf_like()
+
+
+# --------------------------------------------------------------------- #
+# Exact log-bucketed histograms
+# --------------------------------------------------------------------- #
+#: Dyadic rationals (k / 1024): float addition over them is exact at
+#: these magnitudes, so the merged ``sum`` must match bit for bit.
+_dyadic = st.integers(min_value=0, max_value=2 ** 20).map(
+    lambda n: n / 1024.0
+)
+
+
+class TestLogHistogram:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(_dyadic, min_size=1, max_size=60),
+        cuts=st.tuples(
+            st.integers(min_value=0, max_value=60),
+            st.integers(min_value=0, max_value=60),
+        ),
+    )
+    def test_merge_is_associative_and_exact(self, values, cuts):
+        """Any 3-way split, merged either way, equals one big histogram.
+
+        Exact equality (not approx) on buckets, count, sum, min, max
+        and every standard quantile — the merge contract shards and
+        model versions rely on when their histograms roll up fleetwide.
+        """
+        i, j = sorted(min(c, len(values)) for c in cuts)
+        parts = (values[:i], values[i:j], values[j:])
+
+        def hist(vals):
+            h = LogHistogram()
+            h.observe_many(vals)
+            return h
+
+        whole = hist(values)
+        left = hist(parts[0]).merge(hist(parts[1])).merge(hist(parts[2]))
+        right = hist(parts[0]).merge(hist(parts[1]).merge(hist(parts[2])))
+        for merged in (left, right):
+            assert merged.buckets == whole.buckets
+            assert merged.count == whole.count == len(values)
+            assert merged.sum == whole.sum
+            assert merged.min == whole.min
+            assert merged.max == whole.max
+            for q in STANDARD_QUANTILES:
+                assert merged.quantile(q) == whole.quantile(q)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        value=st.floats(
+            min_value=1e-9, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    def test_bucket_edges_bracket_every_value(self, value):
+        h = LogHistogram()
+        k = h.bucket_index(value)
+        top = h.bucket_index_raw(h.hi)
+        if k == -1:
+            assert value <= h.edge(-1)
+        elif k == top:
+            assert value > h.edge(k - 1)  # overflow clamps into the top
+        else:
+            assert h.edge(k - 1) < value <= h.edge(k)
+
+    def test_underflow_catches_nonpositive_values(self):
+        h = LogHistogram()
+        h.observe_many([0.0, -1.0, 1e-9])
+        assert h.buckets == {-1: 3}
+        assert h.count == 3
+        assert h.quantile(0.99) == h.edge(-1)
+
+    def test_quantiles_are_monotone_and_never_under_report(self):
+        h = LogHistogram()
+        # in-range spread (clamped overflow may under-report the top)
+        h.observe_many(10.0 ** (i / 7.0 - 4.0) for i in range(50))
+        qs = [h.quantile(q) for q in STANDARD_QUANTILES]
+        assert qs == sorted(qs)
+        assert h.quantile(1.0) >= h.max
+        assert list(h.quantiles()) == ["p50", "p90", "p99", "p999"]
+        assert LogHistogram().quantile(0.99) == 0.0  # empty: defined
+        with pytest.raises(ObsError):
+            h.quantile(1.5)
+
+    def test_snapshot_json_round_trip_stays_mergeable(self):
+        h = LogHistogram()
+        h.observe_many([0.25, 0.5, 3.0, 700.0])
+        back = LogHistogram.from_snapshot(
+            json.loads(json.dumps(h.snapshot()))
+        )
+        assert back.buckets == h.buckets
+        assert back.count == h.count
+        assert back.sum == h.sum
+        assert (back.min, back.max) == (h.min, h.max)
+        back.merge(h)
+        assert back.count == 2 * h.count
+        empty = LogHistogram.from_snapshot(
+            json.loads(json.dumps(LogHistogram().snapshot()))
+        )
+        assert empty.count == 0 and empty.min == math.inf
+
+    def test_geometry_validation_and_merge_refusal(self):
+        with pytest.raises(ObsError, match="bucket geometry"):
+            LogHistogram().merge(LogHistogram(growth=2.0))
+        with pytest.raises(ObsError):
+            LogHistogram(lo=1.0, hi=0.5)
+        with pytest.raises(ObsError):
+            LogHistogram(growth=1.0)
+
+
+# --------------------------------------------------------------------- #
+# SpanContext propagation and remote stitching
+# --------------------------------------------------------------------- #
+class TestSpanContext:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        span_id=st.integers(min_value=0, max_value=2 ** 31),
+        parent_id=st.none() | st.integers(min_value=0, max_value=2 ** 31),
+    )
+    def test_header_round_trip_through_json(self, span_id, parent_id):
+        ctx = SpanContext("0000abcd-0001", span_id, parent_id)
+        assert SpanContext.from_header(ctx.to_header()) == ctx
+        # the header rides inside JSON frame headers on the wire
+        wired = json.loads(json.dumps(ctx.to_header()))
+        assert SpanContext.from_header(wired) == ctx
+
+    def test_from_header_edge_cases(self):
+        assert SpanContext.from_header(None) is None
+        assert SpanContext.from_header({}) is None
+        with pytest.raises(ObsError, match="span context"):
+            SpanContext.from_header({"t": "orphan"})  # no span id
+
+    def test_remote_parenting_joins_the_callers_trace(self):
+        tracer = Tracer()
+        with tracer.span("client") as root:
+            ctx = root.ctx
+        with tracer.span("server", ctx=ctx):
+            with tracer.span("inner"):
+                pass
+        names = {s.name: s for s in tracer.spans}
+        assert names["server"].trace_id == root.trace_id
+        assert names["server"].parent_id == root.span_id
+        assert names["inner"].trace_id == root.trace_id
+        # the remote child hangs off the client root, not a new root
+        assert [s.name for s in tracer.roots] == ["client"]
+
+    def test_record_remote_stitches_worker_lane(self):
+        tracer = Tracer()
+        with tracer.span("dispatch") as sp:
+            ctx = sp.ctx
+        span = tracer.record_remote(
+            "gemv.task", ctx, start=tracer.now(), duration=0.25,
+            lane="worker-1", index=3,
+        )
+        assert span.trace_id == ctx.trace_id
+        assert span.parent_id == ctx.span_id
+        assert span.pid == tracer.register_lane("worker-1")
+        assert span.attrs["index"] == 3
+        (root,) = tracer.roots
+        assert [c.name for c in root.children] == ["gemv.task"]
+
+    def test_chrome_export_names_registered_lanes(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("serve.tick", lane="gateway"):
+            pass
+        doc = json.loads(
+            tracer.to_chrome(tmp_path / "t.json").read_text()
+        )
+        meta = {
+            (e["name"], e["pid"]): e["args"]["name"]
+            for e in doc["traceEvents"] if e["ph"] == "M"
+        }
+        pid = tracer.register_lane("gateway")
+        assert meta[("process_name", pid)] == "gateway"
+        assert meta[("process_name", 0)] == "main"
+        assert any(name == "thread_name" for name, _ in meta)
+
+
+# --------------------------------------------------------------------- #
+# Flight recorder post-mortems
+# --------------------------------------------------------------------- #
+class TestFlightRecorder:
+    def test_rings_are_bounded_and_ordered(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record("shard-0", "windows", i=i)
+        rec.record("gateway", "note")
+        snap = rec.snapshot()
+        assert [e["i"] for e in snap["shard-0"]] == [6, 7, 8, 9]
+        seqs = [e["seq"] for e in snap["shard-0"]]
+        assert seqs == sorted(seqs)
+        assert len(snap["gateway"]) == 1
+        with pytest.raises(ObsError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_once_per_reason_and_load(self, tmp_path):
+        rec = FlightRecorder(capacity=8)
+        rec.record("gateway", "note", detail="before")
+        path = rec.dump(tmp_path / "pm.json", reason="shard-0 died")
+        assert path is not None
+        doc = load_postmortem(path)
+        assert doc["reason"] == "shard-0 died"
+        assert doc["lanes"]["gateway"][0]["detail"] == "before"
+        # the first capture is the evidence: same reason never re-dumps
+        again = rec.dump(tmp_path / "other.json", reason="shard-0 died")
+        assert again is None
+        assert not (tmp_path / "other.json").exists()
+        assert rec.dumped == {"shard-0 died": path}
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        bad = tmp_path / "pm.json"
+        bad.write_text(json.dumps({"schema": 99}))
+        with pytest.raises(ObsError, match="schema"):
+            load_postmortem(bad)
+
+    def test_attach_tracer_records_finished_spans_per_lane(self):
+        rec = FlightRecorder()
+        tracer = Tracer()
+        rec.attach_tracer(
+            tracer, lane_of=lambda sp: tracer.lane_name(sp.pid)
+        )
+        with tracer.span("serve.tick", lane="gateway", tick=7):
+            pass
+        (event,) = rec.snapshot()["gateway"]
+        assert event["kind"] == "span"
+        assert event["name"] == "serve.tick"
+        assert event["attrs"] == {"tick": 7}
+
+    def test_watch_health_records_transitions_and_fires_demotions(self):
+        from repro.resilience.retry import HealthState
+
+        rec = FlightRecorder()
+        health = HealthState()
+        demotions = []
+        rec.watch_health(
+            "shard-1", health,
+            on_demote=lambda *a: demotions.append(a),
+        )
+        health.degrade("queue backlog")
+        health.recover()
+        health.fail("sim crashed")
+        events = rec.snapshot()["shard-1"]
+        assert [(e["old"], e["new"]) for e in events] == [
+            ("ok", "degraded"), ("degraded", "ok"), ("ok", "failed"),
+        ]
+        # recovery is not a demotion; degrade and fail both are
+        assert [d[2] for d in demotions] == ["degraded", "failed"]
+
+
+# --------------------------------------------------------------------- #
+# OpenMetrics exposition round trip
+# --------------------------------------------------------------------- #
+class TestExposition:
+    def _registry(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("serve.ticks").inc(41)
+        reg.gauge("serve.shard.0.queue_depth").set(3.5)
+        fixed = reg.histogram("serve.tick.fixed", (0.1, 1.0))
+        fixed.observe_many([0.05, 0.5, 5.0])
+        reg.hist("serve.tick.latency").observe_many(
+            [0.001, 0.002, 0.004, 0.5]
+        )
+        return reg
+
+    def test_render_parse_round_trip_is_exact(self):
+        reg = self._registry()
+        text = render_openmetrics(reg)
+        assert text.endswith("# EOF\n")
+        samples = parse_openmetrics(text)
+        assert samples["serve_ticks_total"] == 41
+        assert samples["serve_shard_0_queue_depth"] == 3.5
+        assert samples["serve_tick_fixed_count"] == 3
+        assert samples["serve_tick_latency_count"] == 4
+        assert samples["serve_tick_latency_sum"] == pytest.approx(0.507)
+        # +Inf bucket is cumulative over everything observed
+        assert samples['serve_tick_fixed_bucket{le="+Inf"}'] == 3
+        assert samples['serve_tick_latency_bucket{le="+Inf"}'] == 4
+
+    def test_quantile_samples_match_the_histogram(self):
+        reg = self._registry()
+        h = reg.hists["serve.tick.latency"]
+        samples = parse_openmetrics(render_openmetrics(reg))
+        for q, name in zip(STANDARD_QUANTILES, ("p50", "p90", "p99", "p999")):
+            key = f'serve_tick_latency{{quantile="{name}"}}'
+            assert samples[key] == pytest.approx(h.quantile(q))
+
+    def test_cumulative_buckets_are_monotone(self):
+        samples = parse_openmetrics(render_openmetrics(self._registry()))
+        for base in ("serve_tick_fixed", "serve_tick_latency"):
+            counts = [
+                v for k, v in samples.items()
+                if k.startswith(f"{base}_bucket")
+            ]
+            assert counts, f"no bucket samples for {base}"
+            assert counts == sorted(counts)
+            assert counts[-1] == samples[f"{base}_count"]
+
+    def test_render_accepts_plain_snapshot_dict(self):
+        reg = self._registry()
+        assert render_openmetrics(reg.snapshot()) == render_openmetrics(reg)

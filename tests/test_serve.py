@@ -99,6 +99,38 @@ def test_frame_buffer_reassembles_byte_dribble():
     assert buf.pending_bytes == 0
 
 
+@given(
+    span_id=st.integers(min_value=0, max_value=2 ** 31),
+    parent_id=st.none() | st.integers(min_value=0, max_value=2 ** 31),
+)
+@settings(max_examples=25, deadline=None)
+def test_frame_carries_span_context_round_trip(span_id, parent_id):
+    """A SpanContext rides a data frame's header across the wire intact.
+
+    This is the propagation hop distributed tracing depends on: the
+    client's context survives encode -> byte stream -> FrameBuffer ->
+    decode, so the gateway can parent its tick span under the client.
+    """
+    from repro.obs import SpanContext
+
+    ctx = SpanContext("0000abcd-0003", span_id, parent_id)
+    arr = _toggles(4, 9, seed=1)
+    fields, payload = encode_array(arr)
+    frame = encode_frame(
+        {"op": "data", "session": "c0#0", "span": ctx.to_header(),
+         **fields},
+        payload,
+    )
+    ((header, body),) = FrameBuffer().feed(frame)
+    assert SpanContext.from_header(header["span"]) == ctx
+    np.testing.assert_array_equal(decode_array(header, body), arr)
+    # frames without the optional span header still decode to None
+    bare = encode_frame({"op": "data", "session": "c0#0", **fields},
+                        payload)
+    ((bare_header, _),) = FrameBuffer().feed(bare)
+    assert SpanContext.from_header(bare_header.get("span")) is None
+
+
 def test_malformed_frames_raise_serve_error():
     with pytest.raises(ServeError):
         decode_frame(b"\x00\x00")  # truncated length
@@ -341,6 +373,58 @@ def test_gateway_pool_inference_bit_identical():
     np.testing.assert_array_equal(
         inline.view(np.uint8), pooled.view(np.uint8)
     )
+
+
+def test_postmortem_dump_on_injected_shard_death(tmp_path):
+    """Killing a shard must leave a readable post-mortem on disk.
+
+    The flight recorder's rings (recent window readings, finished
+    spans, the health transition itself) land atomically in
+    ``postmortem-shard-0-failed.json``; a later death with the same
+    reason must not overwrite the first capture.
+    """
+    from repro.obs import FlightRecorder, Tracer, load_postmortem
+
+    reg = _registry(q=4, seed=3)
+    recorder = FlightRecorder(capacity=64)
+    gw = Gateway(
+        reg, n_shards=2, t=4, tracer=Tracer(),
+        flight_recorder=recorder, postmortem_dir=tmp_path,
+    )
+    client = InprocClient(gw)
+    names = [client.open(f"c{i}") for i in range(4)]
+    stim = _toggles(4, 32, seed=5)
+    for n in names:
+        client.push(n, stim, last=True)
+    gw.drain()
+
+    gw.kill_shard(0, "injected crash")
+    pm = tmp_path / "postmortem-shard-0-failed.json"
+    assert pm.exists()
+    doc = load_postmortem(pm)
+    assert "shard-0" in doc["reason"]
+    assert "injected crash" in doc["reason"]
+    # the shard's own lane holds its ok -> failed transition
+    shard_events = doc["lanes"]["shard-0"]
+    assert any(
+        e["kind"] == "health" and e["new"] == "failed"
+        for e in shard_events
+    )
+    # window readings streamed before the death are in the evidence
+    all_events = [e for lane in doc["lanes"].values() for e in lane]
+    windows = [e for e in all_events if e["kind"] == "windows"]
+    assert windows and all(e["windows"] for e in windows)
+    # traced gateway spans made it into the rings too
+    assert any(e["kind"] == "span" for e in all_events)
+    assert gw.metrics.counters["serve.postmortems"].value == 1
+
+    # respawn, then die again for the same reason: evidence is kept
+    gw.tick()
+    assert not gw.shards[0].health.failed
+    gw.kill_shard(0, "injected crash")
+    assert load_postmortem(pm)["reason"] == doc["reason"]
+    assert gw.metrics.counters["serve.postmortems"].value == 1
+    assert gw.metrics.counters["serve.health.demotions"].value == 2
 
 
 def test_all_shards_failed_cannot_accept():
