@@ -7,6 +7,12 @@ and reports ``sessions_per_sec`` / ``cycles_per_sec`` plus the p99
 per-tick pump latency in ``extra_info``, so serving overhead and shard
 scaling land in the ``BENCH_serve.json`` trajectory.
 
+``test_perf_serve_transport`` additionally races the two
+:class:`WorkerPool` transports (pickle envelopes vs the shared-memory
+data plane) over an identical large-block fleet and records bytes
+moved per tick alongside wall time, so ``make bench-check`` gates the
+data plane's latency win and the IPC reduction never silently erodes.
+
 Every variant asserts bit-identical window readings against the offline
 :class:`OpmMeter`, so the perf numbers can never drift away from a
 correct configuration.
@@ -16,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro.opm import OpmMeter, QuantizedModel
+from repro.parallel import HAVE_SHM, WorkerPool, leaked_segments
 from repro.serve import Gateway, LoadGenConfig, ModelRegistry, plan, run_load
 from repro.stream import ProxyBlock, StreamConfig, StreamService, StreamSession
 
@@ -132,3 +139,93 @@ def test_perf_serve_gateway(
     benchmark.extra_info["pump_latency_p99_s"] = (
         f"{state['gateway'].pump_latency_p99():.6f}"
     )
+
+
+# --- transport comparison: pickle envelopes vs shared-memory plane ----
+#
+# Sized so per-tick toggle traffic (~20 MB) dominates session
+# bookkeeping: the pickle transport must serialize every stacked block
+# through the executor pipe, while the shm plane ships ~100 B
+# descriptors.  Same fleet shape for both transports.
+
+TR_SESSIONS = 32
+TR_CYCLES = 8_192
+TR_CHUNK = 2_048
+TR_Q = 512
+TR_T = 32
+TR_SHARDS = 4
+TR_WORKERS = 2
+TR_SLAB = 128 << 20
+
+TR_LOAD = LoadGenConfig(
+    n_sessions=TR_SESSIONS, cycles=TR_CYCLES, chunk_cycles=TR_CHUNK,
+    seed=SEED,
+)
+
+#: transport -> measured IPC bytes per tick, so the shm run can assert
+#: the reduction against the pickle run from the same session.
+_IPC_PER_TICK: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def tr_qmodel():
+    rng = np.random.default_rng(0)
+    return QuantizedModel(
+        proxies=np.arange(TR_Q, dtype=np.int64),
+        int_weights=rng.integers(-511, 512, size=TR_Q),
+        int_intercept=40,
+        step=0.01,
+        bits=10,
+    )
+
+
+@pytest.fixture(scope="module")
+def tr_expected(tr_qmodel):
+    meter = OpmMeter(tr_qmodel, t=TR_T)
+    return [meter.read(p.stimulus) for p in plan(TR_LOAD, tr_qmodel.q)]
+
+
+@pytest.mark.parametrize("transport", ["pickle", "shm"])
+def test_perf_serve_transport(
+    benchmark, tr_qmodel, tr_expected, transport
+):
+    """Same fleet, same load, same pool size — only the transport moves."""
+    if transport == "shm" and not HAVE_SHM:
+        pytest.skip("multiprocessing.shared_memory unavailable")
+    pool = WorkerPool(
+        workers=TR_WORKERS, transport=transport, slab_bytes=TR_SLAB,
+    )
+    state = {}
+
+    def run():
+        gateway = Gateway(
+            _registry(tr_qmodel), n_shards=TR_SHARDS, t=TR_T, pool=pool,
+        )
+        report = run_load(gateway, TR_LOAD)
+        state["gateway"], state["report"] = gateway, report
+        return report
+
+    try:
+        run()  # warm the pool: fork + first-dispatch cost stays untimed
+        report = benchmark.pedantic(run, rounds=3, iterations=1)
+        gateway = state["gateway"]
+        assert report.cycles_total == TR_SESSIONS * TR_CYCLES
+        assert report.dropped_blocks == 0
+        _check(list(report.readings.values()), tr_expected)
+        ipc_per_tick = (
+            gateway.metrics.counter("serve.ipc.bytes.total").value
+            / max(gateway.ticks, 1)
+        )
+    finally:
+        pool.close()
+    if transport == "shm":
+        assert leaked_segments() == []
+        if "pickle" in _IPC_PER_TICK:  # absent under -k shm
+            assert _IPC_PER_TICK["pickle"] / ipc_per_tick >= 10.0
+    _IPC_PER_TICK[transport] = ipc_per_tick
+    benchmark.extra_info["transport"] = transport
+    benchmark.extra_info["sessions_per_sec"] = (
+        f"{report.sessions_per_sec:.1f}"
+    )
+    benchmark.extra_info["tick_p99_s"] = f"{report.tick_p99_s:.6f}"
+    benchmark.extra_info["ipc_bytes_per_tick"] = f"{ipc_per_tick:.0f}"

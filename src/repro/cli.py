@@ -259,17 +259,26 @@ def _serve_pool(args):
         return None
     from repro.parallel import WorkerPool
 
-    return WorkerPool(workers=args.workers)
+    transport = getattr(args, "transport", None) or "pickle"
+    if transport == "both":  # long-running serve: pick the fast plane
+        transport = "shm"
+    return WorkerPool(workers=args.workers, transport=transport)
 
 
 def _cmd_serve(args) -> int:
     from repro.errors import ServeError
+    from repro.parallel.shm import install_signal_cleanup
+
+    # A SIGTERM'd gateway must still unlink its shared-memory segments.
+    install_signal_cleanup()
 
     if args.demo:
-        from repro.serve.demo import run_demo
+        from repro.serve.demo import main as demo_main
 
-        run_demo(args.out or "results/serve-demo", seed=args.seed)
-        return 0
+        demo_argv = ["--out", args.out or "results/serve-demo",
+                     "--seed", str(args.seed),
+                     "--transport", args.transport or "both"]
+        return demo_main(demo_argv)
 
     import asyncio
     import signal
@@ -671,6 +680,14 @@ def main(argv: list[str] | None = None) -> int:
             "--workers", type=int, default=1,
             help="inference worker processes (1 = inline; results are "
             "bit-identical for any value)",
+        )
+        p.add_argument(
+            "--transport", choices=["pickle", "shm", "both"],
+            default=None,
+            help="pool data plane: pickle (portable) or shm (zero-copy "
+            "shared-memory descriptors); results are bit-identical. "
+            "Defaults to pickle for servers and 'both' for --demo "
+            "(run twice, compare fleet reports)",
         )
 
     p_serve = sub.add_parser(

@@ -35,16 +35,20 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ParallelError, TransientFault
 from repro.obs.metrics import MetricsRegistry, default_registry
 from repro.obs.trace import NULL_TRACER
+from repro.parallel import shm as _shm
 from repro.resilience.retry import HealthState
 
-__all__ = ["WorkerPool", "default_workers"]
+__all__ = ["WorkerPool", "default_workers", "payload_nbytes"]
 
 #: Exceptions that mean "the pool broke", as opposed to "the task
 #: failed"; only these trigger the respawn retry / serial fallback.
@@ -68,6 +72,102 @@ def _traced_task(envelope):
 def default_workers() -> int:
     """Worker count for ``workers=0``: the machine's CPU count."""
     return os.cpu_count() or 1
+
+
+def payload_nbytes(obj) -> int:
+    """Cheap wire-size estimate of a task payload, without pickling.
+
+    Arrays dominate real payloads, and their pickled size is ``nbytes``
+    plus a small frame — so summing ``nbytes`` over the structure gives
+    a faithful IPC-bytes signal at nearly zero cost (measuring with
+    ``pickle.dumps`` would double the hot path's serialization work).
+    Non-array leaves are charged a small flat overhead.
+    """
+    if isinstance(obj, np.ndarray):
+        return obj.nbytes + 64
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj) + 8
+    if isinstance(obj, str):
+        return len(obj) + 8
+    if isinstance(obj, (tuple, list)):
+        return 16 + sum(payload_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return 16 + sum(
+            payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items()
+        )
+    if hasattr(obj, "__dataclass_fields__"):
+        return 64 + sum(
+            payload_nbytes(getattr(obj, f))
+            for f in obj.__dataclass_fields__
+        )
+    return 32
+
+
+_SPAWN_FALLBACK_WARNED = False
+
+#: How often pool workers check that their parent is still alive.
+_WATCHDOG_INTERVAL_S = 2.0
+
+
+def _parent_watchdog(parent_pid: int) -> None:
+    """Hard-exit the worker once its parent is gone.
+
+    A SIGKILLed parent never runs atexit, and the shared
+    ``resource_tracker`` only unlinks leftover shared-memory segments
+    after *every* process holding its pipe has died — which orphaned
+    executor workers, blocked forever on a dead call queue, never
+    would.  Reparenting (``getppid`` changing) is the death signal;
+    ``os._exit`` skips Python teardown on a process whose work can no
+    longer be collected by anyone.
+    """
+    while os.getppid() == parent_pid:
+        time.sleep(_WATCHDOG_INTERVAL_S)
+    os._exit(1)
+
+
+def _worker_init(parent_pid: int, initializer, initargs) -> None:
+    """Every pool worker: start the parent watchdog, then user init."""
+    import threading
+
+    threading.Thread(
+        target=_parent_watchdog, args=(parent_pid,), daemon=True
+    ).start()
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _start_method() -> str:
+    """Pick the multiprocessing start method for pool executors.
+
+    ``REPRO_MP_START`` overrides (fork/spawn/forkserver).  Otherwise
+    prefer fork — low spawn latency, inherits the parent's imports —
+    and fall back to spawn with a one-time warning on platforms without
+    it.  Task functions are module-level (the pool's existing pickling
+    contract), so they travel to spawned workers unchanged.
+    """
+    import multiprocessing
+
+    override = os.environ.get("REPRO_MP_START")
+    if override:
+        if override not in multiprocessing.get_all_start_methods():
+            raise ParallelError(
+                f"REPRO_MP_START={override!r} is not available here "
+                f"(have: {multiprocessing.get_all_start_methods()})"
+            )
+        return override
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "fork"
+    global _SPAWN_FALLBACK_WARNED
+    if not _SPAWN_FALLBACK_WARNED:
+        _SPAWN_FALLBACK_WARNED = True
+        warnings.warn(
+            "fork start method unavailable on this platform; WorkerPool "
+            "is falling back to spawn (slower worker startup, same "
+            "results)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "spawn"
 
 
 class WorkerPool:
@@ -95,6 +195,18 @@ class WorkerPool:
         ``pool.map`` site can kill a live worker or raise a transient
         error on a scheduled parallel dispatch, exercising the respawn
         and serial-fallback paths deterministically.
+    transport:
+        ``"pickle"`` (default, fully portable) ships task payloads
+        through the executor pipes; ``"shm"`` additionally owns a
+        :class:`~repro.parallel.shm.ShmDataPlane` (``pool.plane``) so
+        shm-aware callers — the serve gateway — can pass ~100-byte
+        descriptors instead of arrays.  ``transport="shm"`` on a
+        platform without ``multiprocessing.shared_memory`` warns once
+        and behaves exactly like ``"pickle"``.
+    slab_bytes, lanes:
+        Sizing for the shm request arena (per-lane slab capacity and
+        lane count); the result arena gets ``slab_bytes // 4`` per
+        lane.  Ignored for the pickle transport.
     """
 
     def __init__(
@@ -105,10 +217,29 @@ class WorkerPool:
         tracer=None,
         metrics: MetricsRegistry | None = None,
         faults=None,
+        transport: str = "pickle",
+        slab_bytes: int = 8 << 20,
+        lanes: int = 2,
     ) -> None:
         if workers < 0:
             raise ParallelError(f"workers must be >= 0, got {workers}")
+        if transport not in ("pickle", "shm"):
+            raise ParallelError(
+                f"transport must be 'pickle' or 'shm', got {transport!r}"
+            )
+        if transport == "shm" and not _shm.HAVE_SHM:
+            warnings.warn(
+                "multiprocessing.shared_memory unavailable; WorkerPool "
+                "transport falls back to pickle",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            transport = "pickle"
         self.workers = default_workers() if workers == 0 else workers
+        self.transport = transport
+        self._slab_bytes = slab_bytes
+        self._lanes = lanes
+        self._plane: _shm.ShmDataPlane | None = None
         self._initializer = initializer
         self._initargs = initargs
         self.tracer = tracer or NULL_TRACER
@@ -117,6 +248,9 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = None
         self.health = HealthState()
         self._last_failure: str | None = None
+        self._task_bytes = self.metrics.hist(
+            "parallel.pool.task_bytes", lo=1.0, hi=float(2 << 40), growth=2.0
+        )
         self._publish_health()
 
     def _publish_health(self) -> None:
@@ -136,19 +270,48 @@ class WorkerPool:
         """Whether this pool may run tasks out-of-process."""
         return self.workers > 1 and self.health.ok
 
+    @property
+    def plane(self) -> "_shm.ShmDataPlane | None":
+        """The shm data plane (lazily created); None on pickle transport.
+
+        The plane's lifetime follows the pool: ``close()`` unlinks its
+        segments, ``reset()`` recycles it alongside the executor.
+        """
+        if self.transport != "shm":
+            return None
+        if self._plane is None or self._plane.closed:
+            self._plane = _shm.ShmDataPlane(
+                lanes=self._lanes, slab_bytes=self._slab_bytes
+            )
+        return self._plane
+
+    @property
+    def active_plane(self) -> "_shm.ShmDataPlane | None":
+        """The plane only if one is already open (never creates one)."""
+        if self._plane is not None and not self._plane.closed:
+            return self._plane
+        return None
+
+    def _close_plane(self) -> None:
+        if self._plane is not None:
+            self._plane.close()
+            self._plane = None
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            # fork keeps spawn latency low and inherits the parent's
-            # imports; ProcessPoolExecutor (unlike multiprocessing.Pool)
-            # surfaces dead workers as BrokenProcessPool instead of
-            # hanging.
+            # ProcessPoolExecutor (unlike multiprocessing.Pool) surfaces
+            # dead workers as BrokenProcessPool instead of hanging; the
+            # start method prefers fork, falling back to spawn where
+            # fork doesn't exist (see _start_method).
             import multiprocessing
 
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=self._initializer,
-                initargs=self._initargs,
+                mp_context=multiprocessing.get_context(_start_method()),
+                initializer=_worker_init,
+                initargs=(
+                    os.getpid(), self._initializer, self._initargs,
+                ),
             )
         return self._executor
 
@@ -173,10 +336,14 @@ class WorkerPool:
         """Restore a degraded pool to full (parallel) service.
 
         Drops any broken executor so the next ``map`` spawns fresh
-        workers, and returns health to OK.  Safe to call on a healthy
-        pool (no-op beyond an executor recycle).
+        workers, and returns health to OK.  The shm plane (if any) is
+        recycled too — old segments are unlinked now and a fresh plane
+        appears on next use, so a reset never strands ``/dev/shm``
+        entries.  Safe to call on a healthy pool (no-op beyond the
+        recycles).
         """
         self._shutdown_executor()
+        self._close_plane()
         self.health.reset("pool reset")
         self.metrics.counter("parallel.pool.resets").inc()
         self._publish_health()
@@ -228,6 +395,9 @@ class WorkerPool:
                 self._degrade(f"task not picklable: {exc}")
                 serial = True
         traced = span_ctx is not None and not serial
+        if not serial:
+            for x in items:
+                self._task_bytes.observe(payload_nbytes(x))
 
         def dispatch() -> list:
             if not traced:
@@ -322,8 +492,9 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down worker processes (idempotent)."""
+        """Shut down workers and unlink shm segments (idempotent)."""
         self._shutdown_executor()
+        self._close_plane()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -335,4 +506,7 @@ class WorkerPool:
         state = "degraded" if self.degraded else (
             "parallel" if self.workers > 1 else "serial"
         )
-        return f"WorkerPool(workers={self.workers}, {state})"
+        return (
+            f"WorkerPool(workers={self.workers}, {state}, "
+            f"transport={self.transport})"
+        )

@@ -24,6 +24,7 @@ __all__ = [
     "seed_state",
     "drop_state",
     "get_state",
+    "state_setdefault",
     "init_state",
     "init_core_state",
     "eval_power_shard",
@@ -55,6 +56,20 @@ def get_state(key):
             f"no worker state under key {key!r}; the pool initializer "
             "and the task disagree, or the parent forgot seed_state()"
         ) from None
+
+
+def state_setdefault(key, factory):
+    """Get state under ``key``, building it with ``factory()`` on miss.
+
+    The worker-side idiom for state that can be rebuilt from the task
+    payload itself (no initializer needed): first task to land in a
+    process pays the build, every later one reuses it.  Works
+    identically on the serial path, where "the process" is the parent.
+    """
+    st = _STATE.get(key)
+    if st is None:
+        st = _STATE[key] = factory()
+    return st
 
 
 def init_state(key, value) -> None:
@@ -196,9 +211,7 @@ def simulate_lane_shard(args):
     reproduces the monolithic run exactly.
     """
     key, netlist, engine, stim, record, init_values = args
-    st = _STATE.get(key)
-    if st is None:
-        st = _STATE[key] = NetlistState(netlist, engine)
+    st = state_setdefault(key, lambda: NetlistState(netlist, engine))
     return st.simulator.run(stim, record, init_values=init_values)
 
 

@@ -50,6 +50,7 @@ from repro.obs.trace import Tracer, load_trace
 from repro.opm.meter import OpmMeter
 from repro.opm.quantize import QuantizedModel
 from repro.parallel.pool import WorkerPool
+from repro.parallel.shm import HAVE_SHM, leaked_segments
 from repro.serve.gateway import Gateway
 from repro.serve.loadgen import LoadGenConfig, plan, run_load
 from repro.serve.registry import ModelRegistry
@@ -74,8 +75,17 @@ def _make_model(seed: int, bits: int = 8) -> QuantizedModel:
     )
 
 
-def run_demo(out_dir: str | Path, seed: int = 7) -> dict:
-    """Run the serving demo; returns the report dict after self-checks."""
+def run_demo(
+    out_dir: str | Path, seed: int = 7, transport: str = "pickle"
+) -> dict:
+    """Run the serving demo; returns the report dict after self-checks.
+
+    ``transport`` selects the pool's data plane (``"pickle"`` or
+    ``"shm"``); every self-check is transport-independent, so a caller
+    running both and comparing the returned dicts proves the zero-copy
+    path bit-identical to the portable one — hot swap and shard death
+    included (:func:`main` does exactly that).
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
 
@@ -85,7 +95,7 @@ def run_demo(out_dir: str | Path, seed: int = 7) -> dict:
 
     tracer = Tracer()
     recorder = FlightRecorder(capacity=512)
-    pool = WorkerPool(workers=2, tracer=tracer)
+    pool = WorkerPool(workers=2, tracer=tracer, transport=transport)
     try:
         gateway = Gateway(
             registry,
@@ -114,6 +124,11 @@ def run_demo(out_dir: str | Path, seed: int = 7) -> dict:
         report2 = run_load(gateway, wave2)
     finally:
         pool.close()
+    if transport == "shm" and leaked_segments():
+        raise AssertionError(
+            f"leaked shared-memory segments after pool close: "
+            f"{leaked_segments()}"
+        )
 
     trace_path = tracer.to_chrome(out / "trace.json")
 
@@ -301,8 +316,38 @@ def main(argv: list[str] | None = None) -> int:
         help="output directory for fleet-report.json / fleet-report.md",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--transport", choices=("pickle", "shm", "both"), default="both",
+        help="pool data plane; 'both' runs the demo twice and asserts "
+        "the fleet reports are identical across transports",
+    )
     args = parser.parse_args(argv)
-    run_demo(args.out, seed=args.seed)
+    if args.transport != "both":
+        run_demo(args.out, seed=args.seed, transport=args.transport)
+        return 0
+    # The full contract: the same seeded run on both data planes —
+    # through the hot swap and the injected shard death — must produce
+    # the same fleet report, field for field.  (Each run has already
+    # proven itself bit-identical to the offline meter; this comparison
+    # pins the two transports to each other as well.)
+    fleet_pickle = run_demo(args.out, seed=args.seed, transport="pickle")
+    if not HAVE_SHM:
+        print(
+            "# shm transport unavailable on this platform; pickle-only "
+            "demo passed",
+            file=sys.stderr,
+        )
+        return 0
+    fleet_shm = run_demo(args.out, seed=args.seed, transport="shm")
+    if fleet_pickle != fleet_shm:
+        raise AssertionError(
+            "fleet reports diverge between pickle and shm transports"
+        )
+    print(
+        "# transport check passed: pickle and shm fleet reports are "
+        "identical (swap + shard death included)",
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -36,9 +36,11 @@ from repro.errors import ServeError
 from repro.obs.expo import render_openmetrics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, SpanContext
+from repro.parallel.pool import payload_nbytes
+from repro.parallel.shm import qmodel_digest
 from repro.serve.protocol import decode_array, decode_frame, encode_array, encode_frame
 from repro.serve.registry import ModelRegistry
-from repro.serve.shard import Shard, ShardRouter, infer_task
+from repro.serve.shard import Shard, ShardRouter, ShmGemvTask, serve_gemv_task
 from repro.stream.session import (
     SessionHooks,
     StreamConfig,
@@ -269,13 +271,27 @@ class Gateway:
         push_buffer_blocks: int = 4096,
         flight_recorder=None,
         postmortem_dir: str | Path | None = None,
+        coalesce: bool | str = "auto",
     ) -> None:
         if n_shards < 1:
             raise ServeError("gateway needs at least one shard")
+        if coalesce not in (True, False, "auto"):
+            raise ServeError(
+                f"coalesce must be True, False, or 'auto', got {coalesce!r}"
+            )
         self.registry = registry
         self.t = int(t)
         self.config = config or StreamConfig()
         self.pool = pool
+        #: Cross-group GEMV coalescing: groups (possibly on different
+        #: shards) whose models share a weights digest fuse into one
+        #: stacked GEMV, scattered back by row ranges — bit-identical
+        #: because each output row is an independent integer dot
+        #: product.  "auto" enables it exactly when the pool ships
+        #: descriptors (shm transport), where fewer/larger tasks are a
+        #: pure win; the pickle transport keeps its historical
+        #: one-task-per-group shape.
+        self.coalesce = coalesce
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
         self.push_buffer_blocks = int(push_buffer_blocks)
@@ -443,9 +459,15 @@ class Gateway:
     # Fleet control
     # -------------------------------------------------------------- #
     def swap_model(self, version: str) -> None:
-        """Hot swap: new sessions pin ``version``; in-flight unaffected."""
+        """Hot swap: new sessions pin ``version``; in-flight unaffected.
+
+        On the shm transport, resident weights whose digest no live
+        session references any more are retired from the vault —
+        workers re-publish lazily if the digest ever comes back.
+        """
         self.registry.activate(version)
         self.metrics.counter("serve.model.swaps").inc()
+        self._retire_unused_weights()
         with self.tracer.span("serve.model.swap", version=version):
             pass
 
@@ -457,6 +479,274 @@ class Gateway:
     @property
     def has_live_sessions(self) -> bool:
         return any(not h.done for h in self.handles.values())
+
+    # -------------------------------------------------------------- #
+    # Inference: gathered groups -> (coalesced) units -> GEMV results
+    # -------------------------------------------------------------- #
+    @property
+    def _shm_transport(self) -> bool:
+        return (
+            self.pool is not None
+            and getattr(self.pool, "transport", "pickle") == "shm"
+        )
+
+    @property
+    def _coalesce_on(self) -> bool:
+        if self.coalesce == "auto":
+            return self._shm_transport
+        return bool(self.coalesce)
+
+    def _infer(self, flat: list, sp) -> list:
+        """Run every gathered group's GEMV; returns per-group results.
+
+        ``flat`` is ``(group, version, gather_ctx)`` per drain group in
+        shard order.  Groups sharing a weights digest optionally fuse
+        into one inference unit (:attr:`coalesce`); units go to the
+        worker pool — as ~100-byte shared-memory descriptors on the shm
+        transport, as pickled arrays otherwise — or run inline when the
+        pool cannot help.  Unit results are sliced back to group order
+        by row ranges, which is bit-identical to per-group inference
+        because every output row is an independent integer dot product.
+        """
+        if not flat:
+            return []
+        t_inf = time.perf_counter()
+        if self._coalesce_on:
+            by_digest: dict[str, list[int]] = {}
+            for i, (group, _v, _c) in enumerate(flat):
+                by_digest.setdefault(
+                    qmodel_digest(group.meter.qmodel), []
+                ).append(i)
+            unit_indices = list(by_digest.values())
+            # Coalescing must amortize, not serialize: a homogeneous
+            # fleet would fuse to a single unit and starve the pool, so
+            # fused units are split back up to the worker count (at
+            # group granularity, balanced by rows).  Weight dedup is
+            # kept — sibling units share the digest.
+            if self.pool is not None and self.pool.parallel:
+                unit_indices = self._split_units(
+                    unit_indices, flat, self.pool.workers
+                )
+        else:
+            unit_indices = [[i] for i in range(len(flat))]
+        use_pool = (
+            self.pool is not None
+            and self.pool.parallel
+            and len(unit_indices) > 1
+        )
+        if use_pool:
+            unit_results = self._dispatch_units(unit_indices, flat, sp)
+        else:
+            unit_results = self._inline_units(unit_indices, flat)
+        results: list = [None] * len(flat)
+        for indices, arr in zip(unit_indices, unit_results):
+            off = 0
+            for i in indices:
+                r = flat[i][0].rows
+                results[i] = arr[off:off + r]
+                off += r
+        self.metrics.histogram(
+            "serve.infer_seconds", self.TICK_EDGES
+        ).observe(time.perf_counter() - t_inf)
+        return results
+
+    @staticmethod
+    def _unit_mats(indices: list, flat: list) -> list:
+        return [m for i in indices for m in flat[i][0].mats]
+
+    @staticmethod
+    def _split_units(unit_indices: list, flat: list, target: int) -> list:
+        """Split fused units until there are ``target`` (or no splits
+        remain).  Greedy largest-first, cutting each unit's group list
+        at the row midpoint; deterministic, order-preserving within a
+        unit, and bit-identical under the row-independence of the GEMV.
+        """
+        units = [list(u) for u in unit_indices]
+
+        def rows_of(u: list) -> int:
+            return sum(flat[i][0].rows for i in u)
+
+        while len(units) < target:
+            cand = max(
+                (u for u in units if len(u) > 1),
+                key=rows_of,
+                default=None,
+            )
+            if cand is None:
+                break
+            units.remove(cand)
+            half = rows_of(cand) // 2
+            acc = 0
+            cut = len(cand) - 1
+            for j, i in enumerate(cand[:-1]):
+                acc += flat[i][0].rows
+                if acc >= half:
+                    cut = j + 1
+                    break
+            units.append(cand[:cut])
+            units.append(cand[cut:])
+        return units
+
+    def _inline_units(self, unit_indices: list, flat: list) -> list:
+        """In-process inference (no pool, pool degraded, or one unit)."""
+        out = []
+        for indices in unit_indices:
+            qm = flat[indices[0]][0].meter.qmodel
+            mats = self._unit_mats(indices, flat)
+            t_g = time.perf_counter()
+            stacked = (
+                mats[0] if len(mats) == 1
+                else np.concatenate(mats, axis=0)
+            )
+            out.append(
+                serve_gemv_task(
+                    (qm.int_weights, qm.int_intercept, stacked)
+                )
+            )
+            self.metrics.hist(
+                f"serve.gemv.latency.{flat[indices[0]][1]}"
+            ).observe(time.perf_counter() - t_g)
+        return out
+
+    def _stage_shm_task(self, plane, qm, mats, rows):
+        """Stage one unit in the arenas; None when a slab is full.
+
+        Weights go to (or are found in) the vault by digest; the
+        stacked toggle matrix is written block-by-block straight into a
+        request slab (the path's single memcpy); the result region is
+        parent-preallocated so the worker writes output in place and a
+        dead worker can never leak a segment it owns.
+        """
+        wref = plane.vault.ensure(
+            qmodel_digest(qm), qm.int_weights, qm.int_intercept
+        )
+        got = plane.requests.alloc(
+            (rows, int(mats[0].shape[1])), mats[0].dtype
+        )
+        if got is None:
+            return None
+        sref, view = got
+        r = 0
+        for m in mats:
+            view[r:r + m.shape[0]] = m
+            r += m.shape[0]
+        out = plane.results.alloc((rows,), np.int64)
+        if out is None:
+            return None
+        return ShmGemvTask(sref, wref, out[0])
+
+    def _dispatch_units(self, unit_indices: list, flat: list, sp) -> list:
+        """Pool dispatch of inference units, transport-aware.
+
+        On the shm transport each unit ships as descriptors; a full
+        arena falls back to a pickled-array envelope for that unit (and
+        is counted — the plane degrades per payload, never fails).
+        Every task's wire size, both directions, feeds the
+        ``serve.ipc.bytes`` histogram.
+        """
+        plane = self.pool.plane if self._shm_transport else None
+        if plane is not None:
+            plane.begin_tick()
+        tasks = []
+        outs = []  # result-arena ref per task (None = pickle envelope)
+        for indices in unit_indices:
+            qm = flat[indices[0]][0].meter.qmodel
+            mats = self._unit_mats(indices, flat)
+            rows = sum(int(m.shape[0]) for m in mats)
+            task = (
+                self._stage_shm_task(plane, qm, mats, rows)
+                if plane is not None else None
+            )
+            if task is not None:
+                outs.append(task.out)
+            else:
+                if plane is not None:
+                    plane.fallbacks += 1
+                stacked = (
+                    mats[0] if len(mats) == 1
+                    else np.concatenate(mats, axis=0)
+                )
+                task = (qm.int_weights, qm.int_intercept, stacked)
+                outs.append(None)
+            tasks.append(task)
+        ipc_hist = self.metrics.hist(
+            "serve.ipc.bytes", lo=1.0, hi=float(2 << 40), growth=2.0
+        )
+        tick_bytes = 0
+        for task, outref in zip(tasks, outs):
+            nb = payload_nbytes(task)
+            # ...plus the return leg: a tiny receipt for shm tasks, the
+            # full pickled result vector for pickle envelopes.
+            nb += 32 if outref is not None else int(task[2].shape[0]) * 8
+            ipc_hist.observe(nb)
+            tick_bytes += nb
+        self.metrics.counter("serve.ipc.bytes.total").inc(tick_bytes)
+        # Parent each unit's worker span under its first group's shard
+        # gather (falling back to the tick span), so the trace tree
+        # mirrors the data path: client -> tick -> gather -> gemv task.
+        fallback = sp.ctx if sp else None
+        ctxs = [flat[indices[0]][2] or fallback for indices in unit_indices]
+        timings: list = []
+        raw = self.pool.map(
+            serve_gemv_task, tasks, label="serve.gemv",
+            span_ctx=(
+                ctxs if any(c is not None for c in ctxs) else None
+            ),
+            timings=timings,
+        )
+        if len(timings) == len(unit_indices):
+            for (_pid, _t0, dur), indices in zip(timings, unit_indices):
+                self.metrics.hist(
+                    f"serve.gemv.latency.{flat[indices[0]][1]}"
+                ).observe(dur)
+        unit_results = []
+        hits = misses = 0
+        for res, outref in zip(raw, outs):
+            if outref is None:
+                unit_results.append(res)
+                continue
+            _rows, hit = res
+            if hit:
+                hits += 1
+            else:
+                misses += 1
+            # Copy out of the ring before the next tick reuses the slab
+            # (sessions keep reading-window slices across ticks).
+            unit_results.append(np.array(plane.results.view(outref)))
+        if plane is not None:
+            if hits:
+                self.metrics.counter("serve.weights.cache_hits").inc(hits)
+            if misses:
+                self.metrics.counter(
+                    "serve.weights.cache_misses"
+                ).inc(misses)
+            m = self.metrics
+            m.gauge("serve.shm.request_occupancy").set(
+                plane.requests.occupancy
+            )
+            m.gauge("serve.shm.result_occupancy").set(
+                plane.results.occupancy
+            )
+            m.gauge("serve.weights.resident").set(
+                len(plane.vault.digests())
+            )
+            m.gauge("serve.shm.fallbacks").set(plane.fallbacks)
+        return unit_results
+
+    def _retire_unused_weights(self) -> None:
+        """Drop vault digests no live session references (post-swap)."""
+        pool = self.pool
+        plane = pool.active_plane if self._shm_transport else None
+        if plane is None:
+            return
+        live = {
+            qmodel_digest(h.qmodel)
+            for h in self.handles.values()
+            if not h.done
+        }
+        for digest in plane.vault.digests() - live:
+            if plane.vault.retire(digest):
+                self.metrics.counter("serve.weights.retired").inc()
 
     # -------------------------------------------------------------- #
     # The tick
@@ -476,9 +766,7 @@ class Gateway:
             if respawned:
                 self.metrics.counter("serve.shard.respawns").inc(respawned)
             shard_work = []
-            payloads = []
-            versions = []
-            payload_ctxs = []
+            flat = []  # (group, version, gather ctx), deterministic order
             for shard in self.shards:
                 t_s = time.perf_counter()
                 groups = shard.gather()
@@ -490,57 +778,13 @@ class Gateway:
                     lo=0.5, hi=2 ** 20, growth=2.0,
                 ).observe(sum(len(s.queue) for s in shard.sessions))
                 shard_work.append((shard, t_s, groups))
-                for meter, picks, mats in groups:
-                    qm = meter.qmodel
-                    payloads.append((
-                        qm.int_weights,
-                        qm.int_intercept,
-                        np.concatenate(mats, axis=0),
+                for group in groups:
+                    flat.append((
+                        group,
+                        self.handles[group.picks[0][0].name].version,
+                        shard.last_gather_ctx,
                     ))
-                    versions.append(self.handles[picks[0][0].name].version)
-                    payload_ctxs.append(shard.last_gather_ctx)
-            if payloads:
-                t_inf = time.perf_counter()
-                if (
-                    self.pool is not None
-                    and self.pool.parallel
-                    and len(payloads) > 1
-                ):
-                    timings: list = []
-                    # Parent each payload's worker span under its
-                    # shard's gather (falling back to the tick span), so
-                    # the trace tree mirrors the data path:
-                    # client -> tick -> gather -> gemv worker.
-                    fallback = sp.ctx if sp else None
-                    ctxs = [c or fallback for c in payload_ctxs]
-                    results = self.pool.map(
-                        infer_task, payloads, label="serve.gemv",
-                        span_ctx=(
-                            ctxs if any(c is not None for c in ctxs)
-                            else None
-                        ),
-                        timings=timings,
-                    )
-                    if len(timings) == len(versions):
-                        for (_pid, _t0, dur), version in zip(
-                            timings, versions
-                        ):
-                            self.metrics.hist(
-                                f"serve.gemv.latency.{version}"
-                            ).observe(dur)
-                else:
-                    results = []
-                    for payload, version in zip(payloads, versions):
-                        t_g = time.perf_counter()
-                        results.append(infer_task(payload))
-                        self.metrics.hist(
-                            f"serve.gemv.latency.{version}"
-                        ).observe(time.perf_counter() - t_g)
-                self.metrics.histogram(
-                    "serve.infer_seconds", self.TICK_EDGES
-                ).observe(time.perf_counter() - t_inf)
-            else:
-                results = []
+            results = self._infer(flat, sp)
             alive = False
             cursor = 0
             for shard, t_s, groups in shard_work:
@@ -549,7 +793,7 @@ class Gateway:
                 if shard.apply(groups, res, t_s):
                     alive = True
             if sp:
-                sp.set(groups=len(payloads))
+                sp.set(groups=len(flat))
         self.ticks += 1
         latency = time.perf_counter() - t0
         self.tick_hist.observe(latency)

@@ -29,27 +29,118 @@ module-level (picklable) worker.
 from __future__ import annotations
 
 import hashlib
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ServeError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER
+from repro.parallel.shm import ShmRef, WeightRef, attach_view, resident_weights
 from repro.resilience.retry import HealthState
 from repro.stream.session import StreamService, StreamSession
 
-__all__ = ["Shard", "ShardRouter", "infer_task"]
+__all__ = [
+    "Shard",
+    "ShardRouter",
+    "ShmGemvTask",
+    "infer_task",
+    "serve_gemv_task",
+]
+
+
+#: Rows per GEMV block: 256 rows of a few-thousand-column uint8 stack fit
+#: comfortably in L2 once widened, where a whole-stack ``astype`` would
+#: stream an 8x-size intermediate through RAM.
+_GEMV_BLOCK = 256
+
+
+def _gemv(stacked: np.ndarray, int_weights, int_intercept) -> np.ndarray:
+    """The OPM integer GEMV, cache-blocked, bit-identical to int64 math.
+
+    Widening a ``(rows, q)`` uint8 stack to int64 before the matmul
+    materialises an 8x-size intermediate; blocking the widen+dot over
+    row tiles keeps the wide copy resident in cache.  For uint8 stacks
+    whose worst-case dot product fits in float64's exact-integer range
+    (``q * 255 * max|w| + |intercept| < 2**53`` — every partial sum is
+    then an exactly-representable integer, so BLAS reassociation cannot
+    round), the tile runs as a float64 dgemv; otherwise it runs in
+    int64.  Both paths equal :meth:`OpmMeter.per_cycle`'s arithmetic to
+    the bit, so every dispatch flavor matches inline inference.
+    """
+    if stacked.ndim != 2:
+        stacked = np.atleast_2d(stacked)
+    rows, q = (int(n) for n in stacked.shape)
+    w64 = np.asarray(int_weights).astype(np.int64, copy=False)
+    out = np.empty(rows, dtype=np.int64)
+    if stacked.dtype == np.uint8 and w64.size:
+        bound = q * 255 * int(np.abs(w64).max()) + abs(int(int_intercept))
+        if bound < (1 << 53):
+            wf = w64.astype(np.float64)
+            buf = np.empty((min(_GEMV_BLOCK, rows), q), dtype=np.float64)
+            acc = np.empty(rows, dtype=np.float64)
+            for j in range(0, rows, _GEMV_BLOCK):
+                blk = stacked[j : j + _GEMV_BLOCK]
+                n = len(blk)
+                if n == len(buf):
+                    np.copyto(buf, blk)
+                    np.dot(buf, wf, out=acc[j : j + n])
+                else:
+                    np.dot(blk.astype(np.float64), wf, out=acc[j : j + n])
+            np.add(acc, float(int_intercept), out=acc)
+            return acc.astype(np.int64)
+    for j in range(0, rows, _GEMV_BLOCK):
+        blk = stacked[j : j + _GEMV_BLOCK]
+        np.dot(
+            blk.astype(np.int64, copy=False), w64, out=out[j : j + len(blk)]
+        )
+    out += np.int64(int_intercept)
+    return out
 
 
 def infer_task(payload) -> np.ndarray:
     """One shard group's integer GEMV, as a picklable pool task.
 
-    ``payload`` is ``(int_weights, int_intercept, stacked_toggles)``;
-    the expression is exactly :meth:`OpmMeter.per_cycle`'s arithmetic,
-    so pooled and inline inference are bit-identical.
+    ``payload`` is ``(int_weights, int_intercept, stacked_toggles)`` —
+    the portable (pickle-transport) envelope, arrays and all.
     """
     int_weights, int_intercept, stacked = payload
-    return stacked.astype(np.int64) @ int_weights + np.int64(int_intercept)
+    return _gemv(stacked, int_weights, int_intercept)
+
+
+@dataclass(frozen=True)
+class ShmGemvTask:
+    """Descriptor-only GEMV envelope for the shm transport (~300 B).
+
+    ``stacked`` names the request-arena region holding the fused toggle
+    matrix, ``weights`` the digest-addressed resident weights, and
+    ``out`` a parent-preallocated result-arena region the worker writes
+    the per-cycle integers into — so the pipe carries descriptors both
+    ways and the arrays never leave shared memory.
+    """
+
+    stacked: ShmRef
+    weights: WeightRef
+    out: ShmRef
+
+
+def serve_gemv_task(payload):
+    """Pool task for serve-tick inference on either transport.
+
+    Tuples take the pickle path (:func:`infer_task`); a
+    :class:`ShmGemvTask` maps its descriptors to shared-memory views,
+    runs the same GEMV, and writes the result through the ``out`` view.
+    Returns the result array for tuples, and a ``(rows, weight_hit)``
+    receipt for shm tasks (the numbers come back through the arena).
+    Runs identically in a worker or in the parent (serial fallback).
+    """
+    if isinstance(payload, ShmGemvTask):
+        stacked = attach_view(payload.stacked)
+        weights, intercept, hit = resident_weights(payload.weights)
+        out = attach_view(payload.out)
+        out[:] = _gemv(stacked, weights, intercept)
+        return len(out), hit
+    return infer_task(payload)
 
 
 class Shard:

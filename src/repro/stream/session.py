@@ -37,7 +37,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 import numpy as np
 
@@ -55,11 +55,46 @@ from repro.stream.aggregate import (
 from repro.stream.source import ProxyBlock
 
 __all__ = [
+    "DrainGroup",
     "SessionHooks",
     "StreamConfig",
     "StreamSession",
     "StreamService",
 ]
+
+
+class DrainGroup(NamedTuple):
+    """One batched-inference group out of :meth:`gather_pending`.
+
+    Unpacks like the historical ``(meter, picks, mats)`` tuple; the
+    extras exist for transports that want the stacked matrix written
+    into caller-owned storage (the shm data plane) without an
+    intermediate ``np.concatenate`` copy.
+    """
+
+    meter: OpmMeter
+    picks: list
+    mats: list
+
+    @property
+    def rows(self) -> int:
+        """Total stacked rows (cycles) across the group's blocks."""
+        return sum(int(m.shape[0]) for m in self.mats)
+
+    def stacked(self, out: np.ndarray | None = None) -> np.ndarray:
+        """The group's toggle blocks as one ``(rows, q)`` matrix.
+
+        With ``out`` (for example an arena slab view) the blocks are
+        copied straight into it — the single memcpy of the zero-copy
+        dispatch path; without it this is ``np.concatenate``.
+        """
+        if out is None:
+            return np.concatenate(self.mats, axis=0)
+        r = 0
+        for m in self.mats:
+            out[r:r + m.shape[0]] = m
+            r += m.shape[0]
+        return out
 
 
 @dataclass
@@ -369,24 +404,22 @@ class StreamService:
         for sess in self.sessions:
             sess.pump()
 
-    def gather_pending(
-        self,
-    ) -> list[tuple[OpmMeter, list[tuple[StreamSession, list[ProxyBlock]]],
-                    list[np.ndarray]]]:
+    def gather_pending(self) -> list[DrainGroup]:
         """Dequeue pending blocks, grouped by session meter.
 
-        Each group is ``(meter, picks, mats)``: sessions sharing a meter
-        are concatenated into one batched GEMV.  Group order follows
-        session order, so results are deterministic.
+        Each :class:`DrainGroup` unpacks as ``(meter, picks, mats)``:
+        sessions sharing a meter are concatenated into one batched
+        GEMV.  Group order follows session order, so results are
+        deterministic.
         """
-        groups: dict[int, tuple] = {}
+        groups: dict[int, DrainGroup] = {}
         for sess in self.sessions:
             blocks = sess.take(sess.config.drain_blocks)
             if not blocks:
                 continue
             meter = sess.opm_stream.meter
             _meter, picks, mats = groups.setdefault(
-                id(meter), (meter, [], [])
+                id(meter), DrainGroup(meter, [], [])
             )
             picks.append((sess, blocks))
             mats.extend(b.toggles for b in blocks)

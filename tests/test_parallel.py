@@ -10,6 +10,7 @@ workers, unpicklable tasks) and the cache's eviction/disk behavior.
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
 import pytest
@@ -107,6 +108,34 @@ class TestWorkerPool:
             out = pool.map(lambda x: x + 1, range(8))
             assert out == list(range(1, 9))
             assert pool.degraded
+
+    def test_spawn_start_method_is_bit_identical(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "spawn")
+        items = list(range(9))
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, items) == [x * x for x in items]
+            assert not pool.degraded
+
+    def test_unavailable_start_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START", "bogus")
+        with WorkerPool(2) as pool:
+            with pytest.raises(ParallelError, match="REPRO_MP_START"):
+                pool.map(_square, range(8))
+
+    def test_spawn_fallback_warns_once(self, monkeypatch):
+        import multiprocessing
+
+        from repro.parallel import pool as pool_mod
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        monkeypatch.setattr(pool_mod, "_SPAWN_FALLBACK_WARNED", False)
+        with pytest.warns(RuntimeWarning, match="falling back to spawn"):
+            assert pool_mod._start_method() == "spawn"
+        with warnings.catch_warnings():  # second call is silent
+            warnings.simplefilter("error")
+            assert pool_mod._start_method() == "spawn"
 
     def test_shard_covers_everything_contiguously(self):
         for workers in (1, 2, 3, 7):

@@ -449,6 +449,29 @@ def test_router_slot_is_stable_and_drains_past_failed():
     assert shard.index == (slot + 1) % 4  # ring probe past the corpse
 
 
+def test_router_drain_wraps_past_end_of_ring():
+    """Home + successors dead: the probe wraps modulo the fleet size."""
+    gw = Gateway(_registry(), n_shards=4)
+    slot = ShardRouter.slot("c7", "v1", 4)
+    for k in range(3):  # kill the home shard and the next two in ring
+        gw.shards[(slot + k) % 4].kill("test")
+    shard = gw.router.shard_for("c7", "v1")
+    assert shard.index == (slot + 3) % 4
+    assert shard.accepting
+
+
+def test_router_all_failed_is_hard_error():
+    gw = Gateway(_registry(), n_shards=3)
+    for shard in gw.shards:
+        shard.kill("test")
+    with pytest.raises(ServeError, match="every shard is failed"):
+        gw.router.shard_for("c7", "v1")
+    # respawn brings the fleet back and routing resumes at the home slot
+    assert gw.router.respawn_dead() == 3
+    shard = gw.router.shard_for("c7", "v1")
+    assert shard.index == ShardRouter.slot("c7", "v1", 3)
+
+
 # --------------------------------------------------------------------- #
 # Load generator
 # --------------------------------------------------------------------- #
