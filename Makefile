@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench bench-substrate bench-stream bench-parallel \
-	bench-resilience bench-serve bench-obs bench-check chaos trace-demo \
-	serve-demo obs-demo results examples clean
+	bench-resilience bench-serve bench-obs bench-check chaos chaos-serve \
+	trace-demo serve-demo obs-demo results examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -82,6 +82,16 @@ bench-check:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m repro.cli chaos --seed 5 --workers 2 \
 		--out results/chaos
+
+# Serving-layer chaos gate: drive a seeded fleet load while killing
+# shards mid-tick, SIGKILLing pool workers, stalling pull sources,
+# overflowing shm slabs, and flooding admission with best-effort opens;
+# verify the fleet report, every session's windows, and the sequence
+# accounting are bit-identical to a fault-free baseline, with no shed
+# spillover and no leaked shm segments.  Exit 1 on mismatch.
+chaos-serve:
+	PYTHONPATH=src $(PYTHON) -m repro.cli chaos-serve --seed 5 --workers 2 \
+		--out results/chaos-serve
 
 # Tiny end-to-end traced pipeline run: exports Chrome/JSONL traces plus
 # a provenance manifest under results/trace-demo and self-checks them.

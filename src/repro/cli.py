@@ -511,6 +511,27 @@ def _cmd_chaos(args) -> int:
     return 0 if report.match else 1
 
 
+def _cmd_chaos_serve(args) -> int:
+    from repro.resilience import FaultPlan, run_chaos_serve
+
+    plan = None
+    if args.plan:
+        plan = FaultPlan.from_dict(json.loads(Path(args.plan).read_text()))
+    report = run_chaos_serve(
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
+        transport=args.transport,
+        out_dir=args.out,
+        plan=plan,
+        n_faults=args.faults,
+    )
+    print(report.render())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    return 0 if report.match else 1
+
+
 def _cmd_trace(args) -> int:
     from repro.errors import ObsError
     from repro.obs.trace import load_trace, render_tree
@@ -806,6 +827,42 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the full JSON report",
     )
 
+    p_cserve = sub.add_parser(
+        "chaos-serve",
+        help="drive a seeded fleet load under a fault plan (shard kills, "
+        "worker kills, source stalls, slab overflows, admission floods) "
+        "and verify the fleet report is bit-identical to a fault-free run",
+    )
+    p_cserve.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the load plan and the random fault plan",
+    )
+    p_cserve.add_argument("--shards", type=int, default=2)
+    p_cserve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker pool size (both runs use the same pool shape)",
+    )
+    p_cserve.add_argument(
+        "--transport", choices=["pickle", "shm"], default="pickle",
+        help="pool data plane under test",
+    )
+    p_cserve.add_argument(
+        "--faults", type=int, default=8,
+        help="faults drawn into a random plan",
+    )
+    p_cserve.add_argument(
+        "--plan", default=None,
+        help="explicit fault-plan JSON file (overrides --seed's plan)",
+    )
+    p_cserve.add_argument(
+        "--out", default=None,
+        help="directory for the report + manifest (default: temp)",
+    )
+    p_cserve.add_argument(
+        "--json", action="store_true",
+        help="also print the full JSON report",
+    )
+
     p_trace = sub.add_parser(
         "trace", help="render a span tree from an exported trace file"
     )
@@ -867,6 +924,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_fleet_report(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "chaos-serve":
+        return _cmd_chaos_serve(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "manifest":

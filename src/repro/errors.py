@@ -20,12 +20,14 @@ __all__ = [
     "ObsError",
     "StreamError",
     "ServeError",
+    "AdmissionError",
     "ExperimentError",
     "ParallelError",
     "ResilienceError",
     "CheckpointError",
     "CacheCorruptionError",
     "TransientFault",
+    "BreakerOpenError",
 ]
 
 
@@ -81,6 +83,20 @@ class ServeError(StreamError):
     without new except clauses."""
 
 
+class AdmissionError(ServeError):
+    """Raised when the serving admission layer sheds a request.
+
+    Carries a machine-readable ``reason`` (``"open_rate"``,
+    ``"live_sessions"``, ``"push_rate"``, ``"queue_depth"``,
+    ``"latency"``) so clients and the wire protocol can distinguish
+    *shed* (retry later, the service is protecting itself) from
+    *rejected* (the request itself is malformed)."""
+
+    def __init__(self, message: str, reason: str = "shed") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
 class ExperimentError(ReproError):
     """Raised by experiment drivers (bad ids, missing artifacts, ...)."""
 
@@ -104,3 +120,12 @@ class CacheCorruptionError(ResilienceError):
 class TransientFault(ResilienceError):
     """A recoverable injected or transient fault; retry policies treat
     it as retryable by default."""
+
+
+class BreakerOpenError(ResilienceError):
+    """Raised when a :class:`~repro.resilience.breaker.CircuitBreaker`
+    fast-fails a call because the protected dependency is tripped.
+
+    Deliberately *not* a :class:`TransientFault` subclass: retry
+    policies must not spin on an open breaker — the breaker itself
+    decides when a probe is allowed again."""

@@ -246,6 +246,7 @@ class WorkerPool:
         self.metrics = metrics if metrics is not None else default_registry()
         self.faults = faults
         self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
         self.health = HealthState()
         self._last_failure: str | None = None
         self._task_bytes = self.metrics.hist(
@@ -266,18 +267,27 @@ class WorkerPool:
         return not self.health.ok
 
     @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (until a :meth:`reset`)."""
+        return self._closed
+
+    @property
     def parallel(self) -> bool:
         """Whether this pool may run tasks out-of-process."""
-        return self.workers > 1 and self.health.ok
+        return self.workers > 1 and self.health.ok and not self._closed
 
     @property
     def plane(self) -> "_shm.ShmDataPlane | None":
         """The shm data plane (lazily created); None on pickle transport.
 
         The plane's lifetime follows the pool: ``close()`` unlinks its
-        segments, ``reset()`` recycles it alongside the executor.
+        segments **and pins the pool closed** — a closed pool never
+        resurrects a fresh plane (that silently leaked segments when a
+        dispatch raced ``close()``); only an explicit :meth:`reset`
+        reopens it.  ``reset()`` recycles the plane alongside the
+        executor.
         """
-        if self.transport != "shm":
+        if self.transport != "shm" or self._closed:
             return None
         if self._plane is None or self._plane.closed:
             self._plane = _shm.ShmDataPlane(
@@ -344,6 +354,7 @@ class WorkerPool:
         """
         self._shutdown_executor()
         self._close_plane()
+        self._closed = False  # reset is the documented way to revive
         self.health.reset("pool reset")
         self.metrics.counter("parallel.pool.resets").inc()
         self._publish_health()
@@ -364,8 +375,16 @@ class WorkerPool:
         label: str = "map",
         span_ctx=None,
         timings: list | None = None,
+        deadline_s: float | None = None,
     ) -> list:
         """``[fn(x) for x in items]``, possibly across processes.
+
+        ``deadline_s`` attaches a latency budget to the batch envelope:
+        the work always completes (correctness never depends on the
+        clock), but a batch that outlives its budget counts a
+        ``parallel.pool.deadline_overruns`` and flags the ``parallel.map``
+        span, so the serving layer above can see *which* dispatches blew
+        their tick budget.
 
         Results come back in item order.  Exceptions raised by ``fn``
         propagate.  Pool-level failures (dead worker, broken pipe) get
@@ -425,6 +444,22 @@ class WorkerPool:
                     )
             return out
 
+        t_map = time.perf_counter()
+
+        def _budget(sp, out: list) -> list:
+            # Deadline budgets are observational: late work still lands
+            # (dropping it would break bit-identity), it just gets
+            # counted and flagged for the layer above to downgrade.
+            if deadline_s is not None:
+                overrun = time.perf_counter() - t_map - deadline_s
+                if overrun > 0:
+                    self.metrics.counter(
+                        "parallel.pool.deadline_overruns"
+                    ).inc()
+                    if sp:
+                        sp.set(deadline_overrun_s=round(overrun, 6))
+            return out
+
         with self.tracer.span(
             "parallel.map",
             label=label,
@@ -434,7 +469,7 @@ class WorkerPool:
         ) as sp:
             if serial:
                 self.metrics.counter("parallel.pool.serial_maps").inc()
-                return [fn(x) for x in items]
+                return _budget(sp, [fn(x) for x in items])
             try:
                 results = dispatch()
             except _POOL_FAILURES as exc:
@@ -468,10 +503,10 @@ class WorkerPool:
                     )
                     if sp:
                         sp.set(fallback=str(exc))
-                    return [fn(x) for x in items]
+                    return _budget(sp, [fn(x) for x in items])
             self.metrics.counter("parallel.pool.parallel_maps").inc()
             self.metrics.counter("parallel.pool.tasks").inc(len(items))
-            return results
+            return _budget(sp, results)
 
     def shard(self, n_items: int) -> list[slice]:
         """Contiguous near-even slices covering ``range(n_items)``.
@@ -492,7 +527,13 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut down workers and unlink shm segments (idempotent)."""
+        """Shut down workers and unlink shm segments (idempotent).
+
+        A closed pool stays usable for *serial* maps (the fallback the
+        serving layer leans on during teardown races) but never spawns
+        workers or shm segments again; :meth:`reset` revives it.
+        """
+        self._closed = True
         self._shutdown_executor()
         self._close_plane()
 

@@ -41,11 +41,19 @@ from repro.resilience.faults import (
     FaultySource,
     truncate_file,
 )
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.retry import Health, HealthState, RetryPolicy
 
 # chaos imports pipeline modules that themselves depend on the layers
 # above, so it must come last.
-from repro.resilience.chaos import CHAOS_SITES, ChaosReport, run_chaos
+from repro.resilience.chaos import (
+    CHAOS_SITES,
+    SERVE_CHAOS_SITES,
+    ChaosReport,
+    ServeChaosReport,
+    run_chaos,
+    run_chaos_serve,
+)
 
 __all__ = [
     "atomic_write",
@@ -66,7 +74,11 @@ __all__ = [
     "RetryPolicy",
     "Health",
     "HealthState",
+    "CircuitBreaker",
     "CHAOS_SITES",
+    "SERVE_CHAOS_SITES",
     "ChaosReport",
+    "ServeChaosReport",
     "run_chaos",
+    "run_chaos_serve",
 ]

@@ -30,12 +30,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ResilienceError, TransientFault
+from repro.errors import AdmissionError, ResilienceError, TransientFault
 from repro.obs.trace import NULL_TRACER
 from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import FaultInjector, FaultPlan
 
-__all__ = ["CHAOS_SITES", "ChaosReport", "run_chaos"]
+__all__ = [
+    "CHAOS_SITES",
+    "SERVE_CHAOS_SITES",
+    "ChaosReport",
+    "ServeChaosReport",
+    "run_chaos",
+    "run_chaos_serve",
+]
 
 #: Fault sites a default chaos plan draws from — exactly the ones the
 #: GA + dataset + training pipeline passes through.
@@ -46,6 +53,19 @@ CHAOS_SITES: dict[str, tuple[str, ...]] = {
     "checkpoint.write": ("truncate",),
     "ga.generation": ("interrupt",),
     "dataset.train.wave": ("interrupt",),
+}
+
+#: Fault sites a serve chaos plan draws from — the serving hot path.
+#: ``serve.tick`` fires inside the gateway between gather and apply
+#: (the loss-free failover window), ``pool.map`` inside the worker
+#: pool, ``stream.source`` on pull-session source pulls, and
+#: ``serve.admission`` is fired by the chaos driver itself to flood
+#: the gateway with best-effort opens mid-load.
+SERVE_CHAOS_SITES: dict[str, tuple[str, ...]] = {
+    "serve.tick": ("kill_shard", "slab_overflow"),
+    "pool.map": ("kill_worker",),
+    "stream.source": ("stall",),
+    "serve.admission": ("flood",),
 }
 
 
@@ -380,6 +400,438 @@ def run_chaos(
             manifest.add_stage(name, wall)
         manifest.save(out / "chaos.manifest.json")
         (out / "chaos.report.json").write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        return report
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+# ------------------------------------------------------------------ #
+# Serving chaos: a faulted fleet must match a fault-free one
+# ------------------------------------------------------------------ #
+
+#: Synthetic serving model shape (mirrors the serve demo: no RTL
+#: needed to exercise the gateway).
+_SERVE_Q = 6
+_SERVE_T = 8
+
+
+@dataclass
+class ServeChaosReport:
+    """Outcome of one serve chaos experiment (``make chaos-serve``)."""
+
+    seed: int
+    match: bool
+    mismatches: list[str]
+    injected: list[dict]
+    plan: dict
+    shards: int
+    workers: int
+    transport: str
+    sessions: int
+    floods_attempted: int
+    floods_shed: int
+    floods_admitted: int
+    requeued_blocks: int
+    seq_gaps: int
+    baseline_sha256: str
+    faulted_sha256: str
+    baseline_seconds: float
+    faulted_seconds: float
+    out_dir: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "match": self.match,
+            "mismatches": self.mismatches,
+            "injected": self.injected,
+            "plan": self.plan,
+            "shards": self.shards,
+            "workers": self.workers,
+            "transport": self.transport,
+            "sessions": self.sessions,
+            "floods_attempted": self.floods_attempted,
+            "floods_shed": self.floods_shed,
+            "floods_admitted": self.floods_admitted,
+            "requeued_blocks": self.requeued_blocks,
+            "seq_gaps": self.seq_gaps,
+            "baseline_sha256": self.baseline_sha256,
+            "faulted_sha256": self.faulted_sha256,
+            "baseline_seconds": self.baseline_seconds,
+            "faulted_seconds": self.faulted_seconds,
+            "out_dir": self.out_dir,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos-serve seed {self.seed}: "
+            + ("MATCH — faulted fleet is bit-identical" if self.match
+               else "MISMATCH — faulted fleet diverged"),
+            f"  shards {self.shards} · workers {self.workers} · "
+            f"transport {self.transport} · sessions {self.sessions}",
+            f"  faults injected: {len(self.injected)}  "
+            f"requeued blocks: {self.requeued_blocks}  "
+            f"seq gaps: {self.seq_gaps}",
+            f"  admission floods: {self.floods_attempted} attempted, "
+            f"{self.floods_shed} shed, {self.floods_admitted} admitted",
+            f"  baseline {self.baseline_seconds:.2f}s  "
+            f"faulted {self.faulted_seconds:.2f}s",
+            f"  report sha256 {self.baseline_sha256[:16]} vs "
+            f"{self.faulted_sha256[:16]}",
+        ]
+        for site, kind, at in sorted(
+            (f["site"], f["kind"], f["at"]) for f in self.injected
+        ):
+            lines.append(f"    {site:<18} {kind:<14} arrival {at}")
+        for reason in self.mismatches:
+            lines.append(f"    MISMATCH: {reason}")
+        return "\n".join(lines)
+
+
+class _ArraySource:
+    """Replay pre-planned toggle chunks as a pull-mode stream source."""
+
+    def __init__(self, chunks) -> None:
+        self.chunks = list(chunks)
+
+    def __iter__(self):
+        from repro.stream.source import ProxyBlock
+
+        start = 0
+        last_i = len(self.chunks) - 1
+        for i, chunk in enumerate(self.chunks):
+            yield ProxyBlock(
+                start_cycle=start, toggles=chunk, last=i == last_i
+            )
+            start += chunk.shape[0]
+
+
+def _serve_model(seed: int, bits: int = 8):
+    """Tiny synthetic quantized model (same shape the serve demo uses)."""
+    from repro.opm.quantize import QuantizedModel
+
+    rng = np.random.default_rng(seed)
+    limit = (1 << (bits - 1)) - 1
+    return QuantizedModel(
+        proxies=np.arange(_SERVE_Q, dtype=np.int64),
+        int_weights=rng.integers(1, limit, size=_SERVE_Q).astype(np.int64),
+        int_intercept=5,
+        step=0.01,
+        bits=bits,
+    )
+
+
+def _drive_serve(
+    seed: int,
+    push_plans,
+    pull_plans,
+    shards: int,
+    workers: int,
+    transport: str,
+    admission_cfg,
+    injector,
+    tracer,
+) -> dict:
+    """Drive one gateway over the shared plans; return everything the
+    comparison needs.  ``injector=None`` is the fault-free baseline;
+    with an injector the gateway, pool, and pull sources all pass
+    through it and the driver floods admission on schedule."""
+    from repro.parallel.pool import WorkerPool
+    from repro.parallel.shm import leaked_segments
+    from repro.serve.gateway import Gateway
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry()
+    registry.publish("v1", _serve_model(seed), activate=True)
+
+    floods_attempted = floods_shed = floods_admitted = 0
+    pool = WorkerPool(
+        workers=workers, tracer=tracer, transport=transport,
+        faults=injector,
+    )
+    gateway = Gateway(
+        registry,
+        n_shards=shards,
+        t=_SERVE_T,
+        pool=pool,
+        tracer=tracer,
+        admission=admission_cfg,
+        faults=injector,
+    )
+
+    handles = []
+    for p in push_plans:
+        handles.append(gateway.open_session(p.core_id))
+    for p in pull_plans:
+        source = _ArraySource(p.chunks)
+        if injector is not None:
+            source = injector.wrap_source(source)
+        handles.append(gateway.open_session(p.core_id, source=source))
+
+    def flood() -> None:
+        nonlocal floods_attempted, floods_shed, floods_admitted
+        for spec in injector.fire("serve.admission"):
+            if spec.kind != "flood":
+                continue
+            for _ in range(3):
+                floods_attempted += 1
+                try:
+                    extra = gateway.open_session(f"flood{spec.at}")
+                except AdmissionError:
+                    floods_shed += 1
+                else:
+                    # Must not happen under the live-session watermark;
+                    # close it so the drain below still terminates and
+                    # let the report comparison flag the divergence.
+                    floods_admitted += 1
+                    gateway.close_session(extra)
+
+    steps = max(len(p.chunks) for p in push_plans)
+    for step in range(steps):
+        for handle, p in zip(handles, push_plans):
+            if step < len(p.chunks):
+                gateway.push(
+                    handle, p.chunks[step],
+                    last=step == len(p.chunks) - 1,
+                )
+        if injector is not None:
+            flood()
+        gateway.tick()
+    gateway.drain()
+
+    from repro.serve.report import build_report
+
+    fleet = build_report(gateway)
+    windows = {h.name: h.pop_windows() for h in handles}
+    seq_gaps = requeued = 0
+    for h in handles:
+        stats = h.session.stats()
+        requeued += int(stats.get("requeued_blocks", 0))
+        seq_gaps += int(stats.get("seq_gaps", 0))
+        if stats.get("take_seq") != stats.get("ingest_seq"):
+            seq_gaps += 1
+    gateway.close()
+    leaked = leaked_segments() if transport == "shm" else []
+    return {
+        "report": fleet,
+        "windows": windows,
+        "handles": [h.name for h in handles],
+        "floods_attempted": floods_attempted,
+        "floods_shed": floods_shed,
+        "floods_admitted": floods_admitted,
+        "requeued_blocks": requeued,
+        "seq_gaps": seq_gaps,
+        "leaked": list(leaked),
+    }
+
+
+def _normalized_report(fleet) -> dict:
+    """Fleet report dict minus the fields faults legitimately change.
+
+    ``ticks`` (recovery costs extra ticks), ``shard_respawns`` (the
+    whole point of a kill), and per-session ``health`` (a healed stall
+    may leave a session degraded) — everything else, power totals
+    included, must be bit-identical.
+    """
+    doc = json.loads(json.dumps(fleet.to_dict()))
+    doc["totals"].pop("ticks", None)
+    doc["totals"].pop("shard_respawns", None)
+    for rec in doc.get("ranked", []):
+        rec.pop("health", None)
+    return doc
+
+
+def _report_sha256(doc: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def run_chaos_serve(
+    seed: int = 0,
+    shards: int = 2,
+    workers: int = 2,
+    transport: str = "pickle",
+    out_dir: str | Path | None = None,
+    plan: FaultPlan | None = None,
+    n_faults: int = 8,
+    max_at: int = 4,
+    tracer=None,
+) -> ServeChaosReport:
+    """Serve-layer chaos gate: a faulted fleet must match a clean one.
+
+    Drives the same seeded load (six push sessions and two pull
+    sessions, closed-loop) through two gateways:
+
+    1. a **baseline** — no faults, admission control active;
+    2. a **faulted** run under a seeded :class:`FaultPlan` drawn from
+       :data:`SERVE_CHAOS_SITES`: shards killed *between* gather and
+       apply (stranding in-flight blocks), pool workers SIGKILLed,
+       pull sources stalled, shm slabs forced to overflow, and the
+       admission layer flooded with best-effort opens mid-load.
+
+    The gate then asserts, bit for bit:
+
+    * the two fleet reports are identical once the fields faults
+      legitimately change (ticks, respawns, health) are stripped —
+      power totals, per-session energy, cycles, and windows included;
+    * every session's streamed windows equal the baseline's **and** an
+      offline :class:`~repro.opm.meter.OpmMeter` over the same planned
+      stimulus;
+    * no session saw a sequence gap (``take_seq == ingest_seq``,
+      ``seq_gaps == 0`` — loss-free failover);
+    * every flood open was shed and no shared-memory segment leaked.
+    """
+    from repro.obs.provenance import RunManifest, config_hash
+    from repro.obs.trace import NULL_TRACER as _NULL
+    from repro.serve.admission import AdmissionConfig
+    from repro.serve.loadgen import LoadGenConfig
+    from repro.serve.loadgen import plan as load_plan
+
+    tracer = tracer or _NULL
+    plan = plan or FaultPlan.random(
+        seed, sites=SERVE_CHAOS_SITES, n_faults=n_faults, max_at=max_at
+    )
+    n_push, n_pull = 6, 2
+    push_plans = load_plan(
+        LoadGenConfig(
+            n_sessions=n_push, cycles=192, chunk_cycles=32, seed=seed,
+        ),
+        _SERVE_Q,
+    )
+    pull_plans = load_plan(
+        LoadGenConfig(
+            n_sessions=n_pull, cycles=192, chunk_cycles=32,
+            seed=seed + 1000, n_cores=2,
+        ),
+        _SERVE_Q,
+    )
+    admission_cfg = AdmissionConfig(
+        open_rate=8.0,
+        open_burst=16,
+        push_rate=64.0,
+        push_burst=128,
+        max_live_sessions=n_push + n_pull,
+    )
+
+    tmp = None
+    if out_dir is None:
+        import tempfile
+
+        tmp = tempfile.TemporaryDirectory(prefix="apollo-chaos-serve-")
+        out_dir = tmp.name
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    try:
+        t0 = time.perf_counter()
+        baseline = _drive_serve(
+            seed, push_plans, pull_plans, shards, workers, transport,
+            admission_cfg, injector=None, tracer=tracer,
+        )
+        baseline_s = time.perf_counter() - t0
+
+        injector = FaultInjector(plan)
+        t0 = time.perf_counter()
+        faulted = _drive_serve(
+            seed, push_plans, pull_plans, shards, workers, transport,
+            admission_cfg, injector=injector, tracer=tracer,
+        )
+        faulted_s = time.perf_counter() - t0
+
+        mismatches: list[str] = []
+        base_doc = _normalized_report(baseline["report"])
+        fault_doc = _normalized_report(faulted["report"])
+        if base_doc != fault_doc:
+            mismatches.append("fleet report diverged from baseline")
+        if baseline["handles"] != faulted["handles"]:
+            mismatches.append("session names diverged (shed opens leaked "
+                              "into the open sequence)")
+        # Per-session windows: faulted == baseline == offline meter.
+        from repro.opm.meter import OpmMeter
+
+        meter = OpmMeter(_serve_model(seed), t=_SERVE_T)
+        all_plans = list(push_plans) + list(pull_plans)
+        for name, p in zip(faulted["handles"], all_plans):
+            offline = meter.read(p.stimulus)
+            got = faulted["windows"].get(name)
+            base = baseline["windows"].get(name)
+            if got is None or not np.array_equal(got, base):
+                mismatches.append(
+                    f"{name}: faulted windows diverge from baseline"
+                )
+            elif not np.array_equal(got, offline):
+                mismatches.append(
+                    f"{name}: faulted windows diverge from offline meter"
+                )
+        if faulted["seq_gaps"]:
+            mismatches.append(
+                f"{faulted['seq_gaps']} session sequence gaps (failover "
+                "lost or double-counted blocks)"
+            )
+        if faulted["floods_admitted"]:
+            mismatches.append(
+                f"{faulted['floods_admitted']} flood opens admitted past "
+                "the live-session watermark"
+            )
+        if any(s.kind == "flood" for s in plan.faults) and (
+            faulted["floods_attempted"] == 0
+        ):
+            mismatches.append("flood faults planned but never attempted")
+        for run_name, res in (("baseline", baseline), ("faulted", faulted)):
+            if res["leaked"]:
+                mismatches.append(
+                    f"{run_name} leaked shm segments: {res['leaked']}"
+                )
+
+        report = ServeChaosReport(
+            seed=seed,
+            match=not mismatches,
+            mismatches=mismatches,
+            injected=[
+                {"site": site, "kind": kind, "at": at}
+                for site, kind, at in injector.fired
+            ],
+            plan=plan.to_dict(),
+            shards=shards,
+            workers=workers,
+            transport=transport,
+            sessions=len(faulted["handles"]),
+            floods_attempted=faulted["floods_attempted"],
+            floods_shed=faulted["floods_shed"],
+            floods_admitted=faulted["floods_admitted"],
+            requeued_blocks=faulted["requeued_blocks"],
+            seq_gaps=faulted["seq_gaps"],
+            baseline_sha256=_report_sha256(base_doc),
+            faulted_sha256=_report_sha256(fault_doc),
+            baseline_seconds=round(baseline_s, 4),
+            faulted_seconds=round(faulted_s, 4),
+            out_dir=None if tmp is not None else str(out),
+        )
+
+        manifest = RunManifest(
+            run="chaos-serve",
+            design="synthetic",
+            scale="serve",
+            seed=seed,
+            engine=transport,
+            config={
+                "shards": shards,
+                "workers": workers,
+                "n_faults": len(plan.faults),
+            },
+            extra={
+                "match": report.match,
+                "requeued_blocks": report.requeued_blocks,
+                "config_hash": config_hash(plan.to_dict()),
+            },
+        )
+        manifest.record_fault_plan(injector)
+        manifest.save(out / "chaos-serve.manifest.json")
+        (out / "chaos-serve.report.json").write_text(
             json.dumps(report.to_dict(), indent=2) + "\n"
         )
         return report

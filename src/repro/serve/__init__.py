@@ -27,6 +27,12 @@ worker pools and hot swap never touch the per-session integer math.
 
 from __future__ import annotations
 
+from repro.serve.admission import (
+    PRIORITY_BEST_EFFORT,
+    PRIORITY_CRITICAL,
+    AdmissionConfig,
+    AdmissionController,
+)
 from repro.serve.gateway import (
     AsyncTelemetryClient,
     Gateway,
@@ -54,6 +60,10 @@ from repro.serve.report import FleetReport, build_report
 from repro.serve.shard import Shard, ShardRouter, infer_task
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "PRIORITY_CRITICAL",
+    "PRIORITY_BEST_EFFORT",
     "AsyncTelemetryClient",
     "Gateway",
     "GatewayServer",

@@ -1,0 +1,251 @@
+"""Deterministic admission control and load shedding for the gateway.
+
+Under sustained overload the gateway must *choose* what to drop, not
+let queues grow until the drop-oldest rings pick for it.  This module
+makes that choice explicit, deterministic, and observable:
+
+* **Token buckets per client** — every ``(client, priority)`` pair gets
+  a bucket refilled in *gateway ticks*, the serving layer's logical
+  clock.  No wall time enters the math, so a seeded overload run sheds
+  exactly the same requests every time — which is what lets the chaos
+  gate and the overload bench assert shedding determinism.
+* **Watermarks** — fleet-wide live-session caps, per-session pending
+  (queue-depth) caps, and an optional p99 pump-latency watermark shed
+  work *before* it is queued, keeping latency for admitted sessions
+  bounded.
+* **Priority classes** — ``"critical"`` sessions (the gateway assigns
+  this to sessions with droop alerts or budget watchers attached, i.e.
+  the ones whose whole purpose is catching power emergencies) get
+  ``critical_headroom``× the best-effort thresholds and are exempt
+  from the latency watermark, so they are shed last.
+
+Every shed raises :class:`~repro.errors.AdmissionError` carrying a
+machine-readable reason, increments ``serve.admission.shed`` plus a
+per-reason counter, and lands the observed queue depth in the
+``serve.admission.queue_depth`` histogram — all on the gateway's
+existing metrics registry, hence the existing metrics port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError, ServeError
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "PRIORITY_CRITICAL",
+    "PRIORITY_BEST_EFFORT",
+]
+
+PRIORITY_CRITICAL = "critical"
+PRIORITY_BEST_EFFORT = "besteffort"
+
+_PRIORITIES = (PRIORITY_CRITICAL, PRIORITY_BEST_EFFORT)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission thresholds (all logical — ticks and blocks, not seconds).
+
+    Parameters
+    ----------
+    open_rate, open_burst:
+        Token bucket for session opens per client: ``open_rate`` tokens
+        refill per gateway tick up to ``open_burst``.  Each open costs
+        one token.
+    push_rate, push_burst:
+        Same shape for data pushes per client.
+    max_live_sessions:
+        Fleet-wide cap on concurrently live sessions; opens beyond it
+        are shed with reason ``"live_sessions"``.  ``None`` disables.
+    max_pending_blocks:
+        Per-session pending-block watermark: a push that would leave
+        more than this many blocks queued (push buffer + stream queue)
+        is shed with reason ``"queue_depth"``.  ``None`` disables.
+    latency_watermark_s:
+        When the gateway's p99 pump latency exceeds this, best-effort
+        pushes are shed with reason ``"latency"`` until it recovers.
+        Critical sessions are exempt.  ``None`` disables.
+    critical_headroom:
+        Multiplier applied to every threshold for critical sessions
+        (rates, bursts, watermarks), so critical work is shed last.
+    """
+
+    open_rate: float = 4.0
+    open_burst: int = 8
+    push_rate: float = 64.0
+    push_burst: int = 128
+    max_live_sessions: int | None = None
+    max_pending_blocks: int | None = None
+    latency_watermark_s: float | None = None
+    critical_headroom: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.open_rate <= 0 or self.push_rate <= 0:
+            raise ServeError("admission rates must be > 0")
+        if self.open_burst < 1 or self.push_burst < 1:
+            raise ServeError("admission bursts must be >= 1")
+        if self.critical_headroom < 1.0:
+            raise ServeError("critical_headroom must be >= 1.0")
+        for cap in (self.max_live_sessions, self.max_pending_blocks):
+            if cap is not None and cap < 1:
+                raise ServeError("admission watermarks must be >= 1")
+
+
+class AdmissionController:
+    """Stateful shedding decisions on top of an :class:`AdmissionConfig`.
+
+    The controller is advanced by the gateway's tick counter — pass the
+    current tick into every ``admit_*`` call.  All state is per-client
+    token buckets plus counters; there is no wall-clock anywhere.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else AdmissionConfig()
+        self.metrics = metrics if metrics is not None else default_registry()
+        # (kind, client, priority) -> [tokens, last_refill_tick]; the
+        # priority is part of the key so a client's best-effort burst
+        # can never drain the headroom its critical sessions rely on.
+        self._buckets: dict[tuple[str, str, str], list[float]] = {}
+
+    # -------------------------------------------------------------- #
+    def _headroom(self, priority: str) -> float:
+        if priority not in _PRIORITIES:
+            raise ServeError(
+                f"unknown admission priority {priority!r} "
+                f"(expected one of {_PRIORITIES})"
+            )
+        return (
+            self.config.critical_headroom
+            if priority == PRIORITY_CRITICAL
+            else 1.0
+        )
+
+    def _take_token(
+        self, kind: str, client: str, priority: str, tick: int,
+        rate: float, burst: float,
+    ) -> bool:
+        head = self._headroom(priority)
+        rate, burst = rate * head, burst * head
+        bucket = self._buckets.setdefault(
+            (kind, client, priority), [float(burst), int(tick)]
+        )
+        elapsed = max(0, int(tick) - int(bucket[1]))
+        bucket[0] = min(burst, bucket[0] + rate * elapsed)
+        bucket[1] = int(tick)
+        if bucket[0] >= 1.0:
+            bucket[0] -= 1.0
+            return True
+        return False
+
+    def _shed(
+        self, reason: str, priority: str, detail: str,
+    ) -> AdmissionError:
+        self.metrics.counter("serve.admission.shed").inc()
+        self.metrics.counter(f"serve.admission.shed.{reason}").inc()
+        self.metrics.counter(f"serve.admission.shed.{priority}").inc()
+        return AdmissionError(f"admission shed ({reason}): {detail}",
+                              reason=reason)
+
+    # -------------------------------------------------------------- #
+    def admit_open(
+        self,
+        client: str,
+        priority: str,
+        tick: int,
+        live_sessions: int,
+    ) -> None:
+        """Admit or shed a session open (raises :class:`AdmissionError`)."""
+        cfg = self.config
+        head = self._headroom(priority)
+        if (
+            cfg.max_live_sessions is not None
+            and live_sessions >= cfg.max_live_sessions * head
+        ):
+            raise self._shed(
+                "live_sessions", priority,
+                f"{live_sessions} live sessions >= cap "
+                f"{cfg.max_live_sessions * head:.0f} for {priority}",
+            )
+        if not self._take_token(
+            "open", client, priority, tick, cfg.open_rate, cfg.open_burst,
+        ):
+            raise self._shed(
+                "open_rate", priority,
+                f"client {client!r} exceeded open rate "
+                f"{cfg.open_rate * head:g}/tick",
+            )
+        self.metrics.counter("serve.admission.admitted.open").inc()
+
+    def admit_push(
+        self,
+        client: str,
+        priority: str,
+        tick: int,
+        pending_blocks: int,
+        latency_p99_s: float | None = None,
+    ) -> None:
+        """Admit or shed one data push (raises :class:`AdmissionError`)."""
+        cfg = self.config
+        head = self._headroom(priority)
+        self.metrics.hist(
+            "serve.admission.queue_depth", lo=1.0, hi=2.0 ** 20,
+        ).observe(max(1, pending_blocks))
+        if (
+            cfg.max_pending_blocks is not None
+            and pending_blocks >= cfg.max_pending_blocks * head
+        ):
+            raise self._shed(
+                "queue_depth", priority,
+                f"{pending_blocks} pending blocks >= watermark "
+                f"{cfg.max_pending_blocks * head:.0f} for {priority}",
+            )
+        if (
+            cfg.latency_watermark_s is not None
+            and priority != PRIORITY_CRITICAL
+            and latency_p99_s is not None
+            and latency_p99_s > cfg.latency_watermark_s
+        ):
+            raise self._shed(
+                "latency", priority,
+                f"p99 pump latency {latency_p99_s:.6f}s over watermark "
+                f"{cfg.latency_watermark_s:.6f}s",
+            )
+        if not self._take_token(
+            "push", client, priority, tick, cfg.push_rate, cfg.push_burst,
+        ):
+            raise self._shed(
+                "push_rate", priority,
+                f"client {client!r} exceeded push rate "
+                f"{cfg.push_rate * head:g}/tick",
+            )
+        self.metrics.counter("serve.admission.admitted.push").inc()
+
+    # -------------------------------------------------------------- #
+    def snapshot(self) -> dict:
+        """JSON-ready view of bucket state (for gateway snapshots)."""
+        return {
+            "config": {
+                "open_rate": self.config.open_rate,
+                "open_burst": self.config.open_burst,
+                "push_rate": self.config.push_rate,
+                "push_burst": self.config.push_burst,
+                "max_live_sessions": self.config.max_live_sessions,
+                "max_pending_blocks": self.config.max_pending_blocks,
+                "latency_watermark_s": self.config.latency_watermark_s,
+                "critical_headroom": self.config.critical_headroom,
+            },
+            "buckets": {
+                f"{kind}:{client}:{priority}": round(tokens, 6)
+                for (kind, client, priority), (tokens, _) in sorted(
+                    self._buckets.items()
+                )
+            },
+        }

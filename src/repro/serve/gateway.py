@@ -25,6 +25,7 @@ mixing, or pool placement.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -32,12 +33,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ServeError
+from repro.errors import AdmissionError, BreakerOpenError, ServeError
 from repro.obs.expo import render_openmetrics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, SpanContext
 from repro.parallel.pool import payload_nbytes
 from repro.parallel.shm import qmodel_digest
+from repro.resilience.breaker import CircuitBreaker
+from repro.serve.admission import (
+    PRIORITY_BEST_EFFORT,
+    PRIORITY_CRITICAL,
+    AdmissionConfig,
+    AdmissionController,
+)
 from repro.serve.protocol import decode_array, decode_frame, encode_array, encode_frame
 from repro.serve.registry import ModelRegistry
 from repro.serve.shard import Shard, ShardRouter, ShmGemvTask, serve_gemv_task
@@ -171,6 +179,13 @@ class SessionHandle:
     toggle_counts: np.ndarray = field(repr=False, default=None)
     peak_window_mw: float = 0.0
     windows_seen: int = 0
+    priority: str = PRIORITY_BEST_EFFORT
+    deadline_ticks: int | None = None
+    last_activity_tick: int = 0  # last open/push/ping, for idle reaping
+    last_progress_tick: int = 0  # last acknowledged drain, for deadlines
+    deadline_downgrades: int = 0
+    client_seq: int = 0  # next expected client data-frame sequence
+    out_seq: int = 0  # next server windows-frame sequence
     _outbox: deque = field(default_factory=deque, repr=False)
     _done: bool = False
 
@@ -244,6 +259,7 @@ class SessionHandle:
             + (self.push.dropped_blocks if self.push is not None else 0),
             "droop_alerts": stats.get("droop_alerts", 0),
             "budget_violations": stats.get("budget_violations", 0),
+            "priority": self.priority,
             "health": sess.health.state.value,
             "proxy_mw": [float(v) for v in self.proxy_contributions_mw()],
             "intercept_mw": float(
@@ -272,6 +288,11 @@ class Gateway:
         flight_recorder=None,
         postmortem_dir: str | Path | None = None,
         coalesce: bool | str = "auto",
+        admission: AdmissionConfig | AdmissionController | None = None,
+        idle_timeout_ticks: int | None = None,
+        tick_deadline_s: float | None = None,
+        dispatch_breaker: CircuitBreaker | None = None,
+        faults=None,
     ) -> None:
         if n_shards < 1:
             raise ServeError("gateway needs at least one shard")
@@ -309,6 +330,47 @@ class Gateway:
         self.postmortem_dir = (
             Path(postmortem_dir) if postmortem_dir is not None else None
         )
+        #: Admission control: None admits everything (the historical
+        #: behaviour); an AdmissionConfig builds a controller on this
+        #: gateway's metrics; a ready controller is used as-is.
+        if isinstance(admission, AdmissionConfig):
+            admission = AdmissionController(admission, metrics=self.metrics)
+        self.admission = admission
+        #: Idle reaping: push sessions with no buffered or queued data
+        #: and no client activity for this many ticks are closed (their
+        #: processed readings survive; they just stop pinning a model
+        #: version and a queue slot).  None disables.
+        self.idle_timeout_ticks = (
+            int(idle_timeout_ticks) if idle_timeout_ticks is not None
+            else None
+        )
+        #: Per-tick inference latency budget, threaded into the worker
+        #: pool's task envelopes (observational — late work still
+        #: lands, but is counted and flagged in the trace).
+        self.tick_deadline_s = tick_deadline_s
+        #: Deterministic fault injector; the tick fires the
+        #: ``serve.tick`` site once per tick (kinds: ``kill_shard``,
+        #: ``slab_overflow``) so chaos plans can kill shards mid-tick
+        #: and overflow the shm slabs on schedule.
+        self.faults = faults
+        self._force_pickle_ticks = 0
+        #: Breaker around pool dispatch: while open, inference runs
+        #: inline (slower, still bit-identical) instead of hammering a
+        #: failing pool; closes again via a half-open probe.
+        self.dispatch_breaker = dispatch_breaker or CircuitBreaker(
+            name="serve.dispatch",
+            metrics=self.metrics,
+            flightrec=self.flightrec,
+        )
+        # Lifecycle: close() during an in-flight tick (a dispatch
+        # callback or another thread) defers teardown until the tick
+        # completes, so results staged in the shm plane are copied out
+        # before the plane is unlinked.
+        self._lock = threading.RLock()
+        self._closed = False
+        self._close_requested = False
+        self._close_pool = True
+        self._in_tick = False
         if self.flightrec is not None:
             self.flightrec.attach_tracer(
                 self.tracer,
@@ -344,6 +406,8 @@ class Gateway:
         config: StreamConfig | None = None,
         droop=None,
         budget=None,
+        priority: str | None = None,
+        deadline_ticks: int | None = None,
     ) -> SessionHandle:
         """Open one telemetry session, pinned to a model version.
 
@@ -352,7 +416,31 @@ class Gateway:
         this session.  With ``source=None`` the session is push-mode
         (feed it via :meth:`push`); otherwise the gateway pulls from
         ``source`` like any :mod:`repro.stream` source.
+
+        ``priority`` defaults to ``"critical"`` when a droop or budget
+        watcher is attached (those sessions exist to catch power
+        emergencies, so admission sheds them last) and ``"besteffort"``
+        otherwise.  ``deadline_ticks`` is the session's tick budget:
+        pending work older than that is downgraded to the degraded
+        T-cycle fallback instead of computed late.  Admission-shed
+        opens raise :class:`~repro.errors.AdmissionError` *before* any
+        gateway state changes — a shed open consumes nothing.
         """
+        if self._closed:
+            raise ServeError("open_session on a closed gateway")
+        if priority is None:
+            priority = (
+                PRIORITY_CRITICAL
+                if droop is not None or budget is not None
+                else PRIORITY_BEST_EFFORT
+            )
+        if self.admission is not None:
+            self.admission.admit_open(
+                core_id,
+                priority,
+                self.ticks,
+                sum(1 for h in self.handles.values() if not h.done),
+            )
         version = self.registry.resolve(version)
         meter = self.registry.meter(version, self.t if t is None else t)
         name = f"{core_id}#{self._seq}"
@@ -361,7 +449,10 @@ class Gateway:
         handle_ref: list[SessionHandle] = []
 
         def on_drain(_sess, blocks):
+            # Fires at ack time (results scattered back), so a block
+            # replayed after a shard death is attributed exactly once.
             h = handle_ref[0]
+            h.last_progress_tick = self.ticks
             for b in blocks:
                 h.toggle_counts += b.toggles.sum(axis=0, dtype=np.int64)
 
@@ -414,6 +505,12 @@ class Gateway:
             shard_index=shard.index,
             opened_tick=self.ticks,
             toggle_counts=np.zeros(meter.qmodel.q, dtype=np.int64),
+            priority=priority,
+            deadline_ticks=(
+                int(deadline_ticks) if deadline_ticks is not None else None
+            ),
+            last_activity_tick=self.ticks,
+            last_progress_tick=self.ticks,
         )
         handle_ref.append(handle)
         shard.add_session(sess)
@@ -436,18 +533,59 @@ class Gateway:
                 f"unknown session {handle_or_name!r}"
             ) from None
 
-    def push(self, handle_or_name, toggles, last: bool = False) -> None:
-        """Feed one toggle chunk into a push-mode session."""
+    def push(
+        self, handle_or_name, toggles, last: bool = False,
+        seq: int | None = None,
+    ) -> None:
+        """Feed one toggle chunk into a push-mode session.
+
+        ``seq`` (when clients stamp one) must be the session's next
+        data-frame sequence number; a mismatch is counted and rejected,
+        so a dropped or re-ordered frame can never silently corrupt
+        the stream.  Shed pushes raise
+        :class:`~repro.errors.AdmissionError` before any data is
+        buffered.
+        """
         handle = self._resolve(handle_or_name)
         if handle.push is None:
             raise ServeError(
                 f"session {handle.name!r} is source-backed; it cannot "
                 "accept pushed data"
             )
+        if self.admission is not None:
+            self.admission.admit_push(
+                handle.core_id,
+                handle.priority,
+                self.ticks,
+                handle.push.pending + handle.session.pending_blocks,
+                latency_p99_s=self.pump_latency_p99(),
+            )
+        if seq is not None:
+            if int(seq) != handle.client_seq:
+                self.metrics.counter("serve.protocol.seq_gaps").inc()
+                raise ServeError(
+                    f"session {handle.name!r}: data frame seq {seq} "
+                    f"(expected {handle.client_seq}) — frame lost or "
+                    "re-ordered"
+                )
+            handle.client_seq += 1
+        handle.last_activity_tick = self.ticks
         kept = handle.push.push(toggles, last=last)
         self.metrics.counter("serve.push.blocks").inc()
         if not kept:
             self.metrics.counter("serve.push.dropped").inc()
+
+    def ping(self, handle_or_name=None) -> dict:
+        """Keepalive: refresh a session's idle clock (or just ask the
+        gateway's tick).  Returns the pong payload."""
+        out = {"tick": self.ticks}
+        if handle_or_name is not None:
+            handle = self._resolve(handle_or_name)
+            handle.last_activity_tick = self.ticks
+            out["session"] = handle.name
+            out["done"] = handle.done
+        self.metrics.counter("serve.pings").inc()
+        return out
 
     def close_session(self, handle_or_name) -> None:
         """Client finished: no more data; buffered chunks still drain."""
@@ -535,7 +673,17 @@ class Gateway:
             and len(unit_indices) > 1
         )
         if use_pool:
-            unit_results = self._dispatch_units(unit_indices, flat, sp)
+            # Dispatch runs under the breaker: repeated pool-path
+            # failures trip it open and inference falls back inline
+            # (slower, still bit-identical) until a half-open probe
+            # finds the pool healthy again.
+            try:
+                unit_results = self.dispatch_breaker.call(
+                    self._dispatch_units, unit_indices, flat, sp,
+                )
+            except (BreakerOpenError, *self.dispatch_breaker.trip_on):
+                self.metrics.counter("serve.breaker.inline_fallbacks").inc()
+                unit_results = self._inline_units(unit_indices, flat)
         else:
             unit_results = self._inline_units(unit_indices, flat)
         results: list = [None] * len(flat)
@@ -617,6 +765,11 @@ class Gateway:
         parent-preallocated so the worker writes output in place and a
         dead worker can never leak a segment it owns.
         """
+        if self._force_pickle_ticks > 0:
+            # Injected slab overflow (chaos ``slab_overflow`` kind):
+            # behave exactly as if the arenas were full, exercising the
+            # counted pickle-envelope fallback path.
+            return None
         wref = plane.vault.ensure(
             qmodel_digest(qm), qm.int_weights, qm.int_intercept
         )
@@ -693,6 +846,7 @@ class Gateway:
                 ctxs if any(c is not None for c in ctxs) else None
             ),
             timings=timings,
+            deadline_s=self.tick_deadline_s,
         )
         if len(timings) == len(unit_indices):
             for (_pid, _t0, dur), indices in zip(timings, unit_indices):
@@ -759,12 +913,30 @@ class Gateway:
         span tree — gateway, shards, pooled GEMV workers — under the
         client's span, so one client tick renders as one connected
         cross-process trace.
+
+        A :meth:`close` that lands while this tick is in flight (from
+        a dispatch callback or another thread) is deferred: the tick
+        finishes — including copying results out of the shm plane —
+        and teardown runs on the way out.
         """
+        with self._lock:
+            if self._closed:
+                raise ServeError("tick on a closed gateway")
+            self._in_tick = True
+            try:
+                return self._tick_body(ctx)
+            finally:
+                self._in_tick = False
+                if self._close_requested:
+                    self._finish_close()
+
+    def _tick_body(self, ctx=None) -> bool:
         t0 = time.perf_counter()
         with self.tracer.span("serve.tick", ctx=ctx, tick=self.ticks) as sp:
             respawned = self.router.respawn_dead()
             if respawned:
                 self.metrics.counter("serve.shard.respawns").inc(respawned)
+            self._check_deadlines(sp)
             shard_work = []
             flat = []  # (group, version, gather ctx), deterministic order
             for shard in self.shards:
@@ -784,6 +956,12 @@ class Gateway:
                         self.handles[group.picks[0][0].name].version,
                         shard.last_gather_ctx,
                     ))
+            # Chaos site: fires *between* gather and apply, the exact
+            # window where a shard death strands in-flight blocks — the
+            # loss-free failover path this layer exists to cover.
+            if self.faults is not None:
+                for spec in self.faults.fire("serve.tick"):
+                    self._apply_fault(spec)
             results = self._infer(flat, sp)
             alive = False
             cursor = 0
@@ -794,6 +972,9 @@ class Gateway:
                     alive = True
             if sp:
                 sp.set(groups=len(flat))
+        if self._force_pickle_ticks > 0:
+            self._force_pickle_ticks -= 1
+        self._reap_idle()
         self.ticks += 1
         latency = time.perf_counter() - t0
         self.tick_hist.observe(latency)
@@ -804,6 +985,116 @@ class Gateway:
         # Push sessions whose client has not closed stay live even with
         # an empty queue — the fleet is still serving them.
         return alive or self.has_live_sessions
+
+    def _apply_fault(self, spec) -> None:
+        """Apply one ``serve.tick`` fault spec (chaos injection)."""
+        if spec.kind == "kill_shard":
+            index = spec.at % len(self.shards)
+            self.kill_shard(index, reason=f"chaos kill_shard@{spec.at}")
+        elif spec.kind == "slab_overflow":
+            self._force_pickle_ticks = max(
+                self._force_pickle_ticks, int(spec.duration)
+            )
+            self.metrics.counter("serve.chaos.slab_overflows").inc()
+
+    def _check_deadlines(self, sp) -> None:
+        """Downgrade sessions whose pending work outlived its budget.
+
+        Past-deadline work is never computed late at full fidelity:
+        the session drops to the stream layer's degraded T-cycle
+        fallback (per-cycle products pause, exact window readings keep
+        flowing) until its queue drains.  Purely tick-arithmetic, so
+        deterministic under a fixed drive.
+        """
+        for h in self.handles.values():
+            if h.deadline_ticks is None or h.done:
+                continue
+            pending = h.session.pending_blocks + (
+                h.push.pending if h.push is not None else 0
+            )
+            if not pending:
+                continue
+            overdue = self.ticks - h.last_progress_tick
+            if overdue > h.deadline_ticks:
+                h.session._degrade(
+                    f"deadline exceeded: no progress for {overdue} ticks "
+                    f"(budget {h.deadline_ticks})"
+                )
+                h.deadline_downgrades += 1
+                h.last_progress_tick = self.ticks  # re-arm
+                self.metrics.counter("serve.deadline.exceeded").inc()
+                with self.tracer.span(
+                    "serve.deadline.exceeded",
+                    ctx=sp.ctx if sp else None,
+                    session=h.name,
+                    overdue_ticks=overdue,
+                    budget_ticks=h.deadline_ticks,
+                ):
+                    pass
+
+    def _reap_idle(self) -> None:
+        """Close abandoned push sessions (no data, no pings, no client).
+
+        A reaped session keeps everything it already processed — it
+        just stops pinning its model version and queue slot, exactly
+        as if the client had sent ``close``.
+        """
+        if self.idle_timeout_ticks is None:
+            return
+        for h in self.handles.values():
+            if (
+                h.done
+                or h.push is None
+                or h.push.closed
+                or h.push.pending
+                or h.session.pending_blocks
+            ):
+                continue
+            idle = self.ticks - h.last_activity_tick
+            if idle >= self.idle_timeout_ticks:
+                h.push.close()
+                self.metrics.counter("serve.sessions.reaped").inc()
+                if self.flightrec is not None:
+                    self.flightrec.record(
+                        f"shard-{h.shard_index}",
+                        "session_reaped",
+                        session=h.name,
+                        idle_ticks=idle,
+                    )
+
+    # -------------------------------------------------------------- #
+    # Shutdown
+    # -------------------------------------------------------------- #
+    def close(self, close_pool: bool = True) -> None:
+        """Tear the gateway down (idempotent).
+
+        Safe to call mid-dispatch: if a tick is in flight — this
+        thread's own tick (a callback) or another thread's — teardown
+        is deferred until that tick completes, so results staged in
+        the shm data plane are copied out before the plane is
+        unlinked.  With ``close_pool`` the owned worker pool is closed
+        too (its ``close`` is idempotent, so callers that also close
+        the pool themselves are unaffected).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._close_pool = close_pool
+            if self._in_tick:
+                self._close_requested = True
+                return
+            self._finish_close()
+
+    def _finish_close(self) -> None:
+        self._closed = True
+        self._close_requested = False
+        if self._close_pool and self.pool is not None:
+            self.pool.close()
+        self.metrics.counter("serve.gateway.closed").inc()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def drain(self, max_ticks: int = 100_000) -> dict:
         """Tick until every session completes; returns the snapshot."""
@@ -876,6 +1167,9 @@ class Gateway:
         snap["shards"] = [s.stats() for s in self.shards]
         snap["sessions"] = self.session_records()
         snap["pump_latency_p99_s"] = self.pump_latency_p99()
+        snap["dispatch_breaker"] = self.dispatch_breaker.as_dict()
+        if self.admission is not None:
+            snap["admission"] = self.admission.snapshot()
         return snap
 
 
@@ -891,27 +1185,36 @@ class InprocClient:
 
     def __init__(self, gateway: Gateway) -> None:
         self.gateway = gateway
+        self._seq: dict[str, int] = {}  # session -> next data-frame seq
 
     def open(
         self,
         core_id: str,
         version: str | None = None,
         t: int | None = None,
+        priority: str | None = None,
+        deadline_ticks: int | None = None,
     ) -> str:
         frame = encode_frame(
-            {"op": "open", "core": core_id, "version": version, "t": t}
+            {"op": "open", "core": core_id, "version": version, "t": t,
+             "priority": priority, "deadline_ticks": deadline_ticks}
         )
         header, _payload, _n = decode_frame(frame)
         handle = self.gateway.open_session(
             header["core"],
             version=header.get("version"),
             t=header.get("t"),
+            priority=header.get("priority"),
+            deadline_ticks=header.get("deadline_ticks"),
         )
+        self._seq[handle.name] = 0
         return handle.name
 
     def push(self, name: str, toggles, last: bool = False, ctx=None) -> None:
         fields, payload = encode_array(np.asarray(toggles, dtype=np.uint8))
-        head = {"op": "data", "session": name, "last": bool(last), **fields}
+        seq = self._seq.get(name, 0)
+        head = {"op": "data", "session": name, "last": bool(last),
+                "seq": seq, **fields}
         if ctx is not None:
             head["ctx"] = ctx.to_header()
         frame = encode_frame(head, payload)
@@ -925,13 +1228,24 @@ class InprocClient:
                     header["session"],
                     decode_array(header, body),
                     last=bool(header.get("last", False)),
+                    seq=header.get("seq"),
                 )
-            return
-        self.gateway.push(
-            header["session"],
-            decode_array(header, body),
-            last=bool(header.get("last", False)),
+        else:
+            self.gateway.push(
+                header["session"],
+                decode_array(header, body),
+                last=bool(header.get("last", False)),
+                seq=header.get("seq"),
+            )
+        self._seq[name] = seq + 1
+
+    def ping(self, name: str | None = None) -> dict:
+        """Keepalive round-trip; returns the pong header."""
+        header, _p, _n = decode_frame(
+            encode_frame({"op": "ping", "session": name})
         )
+        pong = self.gateway.ping(header.get("session"))
+        return {"op": "pong", **pong}
 
     def tick(self, ctx=None) -> bool:
         """Advance the gateway one tick under an optional client span."""
@@ -1067,8 +1381,10 @@ class GatewayServer:
             if windows.size:
                 fields, payload = encode_array(windows)
                 writer.write(encode_frame(
-                    {"op": "windows", "session": name, **fields}, payload
+                    {"op": "windows", "session": name,
+                     "seq": handle.out_seq, **fields}, payload
                 ))
+                handle.out_seq += 1
             if handle.done and name not in self._done_sent:
                 self._done_sent.add(name)
                 writer.write(encode_frame(
@@ -1105,6 +1421,10 @@ class GatewayServer:
                     break
                 try:
                     reply = self._dispatch(header, payload, writer, owned)
+                except AdmissionError as exc:
+                    # Shed, not broken: tell the client to back off.
+                    reply = {"op": "error", "message": str(exc),
+                             "shed": True, "reason": exc.reason}
                 except ServeError as exc:
                     reply = {"op": "error", "message": str(exc)}
                 if reply is not None:
@@ -1125,6 +1445,8 @@ class GatewayServer:
                 str(header.get("core", "core")),
                 version=header.get("version"),
                 t=header.get("t"),
+                priority=header.get("priority"),
+                deadline_ticks=header.get("deadline_ticks"),
             )
             owned.append(handle.name)
             self._writers[handle.name] = writer
@@ -1145,14 +1467,19 @@ class GatewayServer:
                         header.get("session"),
                         decode_array(header, payload),
                         last=bool(header.get("last", False)),
+                        seq=header.get("seq"),
                     )
                 return None
             self.gateway.push(
                 header.get("session"),
                 decode_array(header, payload),
                 last=bool(header.get("last", False)),
+                seq=header.get("seq"),
             )
             return None
+        if op == "ping":
+            return {"op": "pong",
+                    **self.gateway.ping(header.get("session"))}
         if op == "close":
             self.gateway.close_session(header.get("session"))
             return None
@@ -1169,6 +1496,7 @@ class AsyncTelemetryClient:
     def __init__(self, reader, writer) -> None:
         self.reader = reader
         self.writer = writer
+        self._seq: dict[str, int] = {}  # session -> next data-frame seq
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "AsyncTelemetryClient":
@@ -1190,36 +1518,66 @@ class AsyncTelemetryClient:
         )[:2]
 
     async def open(self, core_id: str, version: str | None = None,
-                   t: int | None = None) -> str:
+                   t: int | None = None, priority: str | None = None,
+                   deadline_ticks: int | None = None) -> str:
         self.writer.write(encode_frame(
-            {"op": "open", "core": core_id, "version": version, "t": t}
+            {"op": "open", "core": core_id, "version": version, "t": t,
+             "priority": priority, "deadline_ticks": deadline_ticks}
         ))
         await self.writer.drain()
         header, _payload = await self._recv()
         if header["op"] == "error":
             raise ServeError(header["message"])
+        self._seq[header["session"]] = 0
         return header["session"]
 
     async def send(self, session: str, toggles, last: bool = False) -> None:
         fields, payload = encode_array(np.asarray(toggles, dtype=np.uint8))
+        seq = self._seq.get(session, 0)
         self.writer.write(encode_frame(
             {"op": "data", "session": session, "last": bool(last),
-             **fields},
+             "seq": seq, **fields},
             payload,
         ))
         await self.writer.drain()
+        self._seq[session] = seq + 1
+
+    async def ping(self, session: str | None = None) -> dict:
+        """Keepalive round-trip; returns the pong header."""
+        self.writer.write(encode_frame({"op": "ping", "session": session}))
+        await self.writer.drain()
+        header, _payload = await self._recv()
+        if header.get("op") == "error":
+            raise ServeError(header["message"])
+        return header
 
     async def close_session(self, session: str) -> None:
         self.writer.write(encode_frame({"op": "close", "session": session}))
         await self.writer.drain()
 
     async def collect(self, session: str) -> tuple[np.ndarray, dict]:
-        """Read until ``done``; returns (all windows mW, final stats)."""
+        """Read until ``done``; returns (all windows mW, final stats).
+
+        Verifies the server's windows-frame sequence numbers are
+        contiguous, so a lost or re-ordered frame surfaces as a
+        :class:`~repro.errors.ServeError` instead of silently missing
+        readings.
+        """
         chunks: list[np.ndarray] = []
+        expect_seq = 0
         while True:
             header, payload = await self._recv()
             op = header.get("op")
             if op == "windows" and header.get("session") == session:
+                seq = header.get("seq")
+                if seq is not None:
+                    if int(seq) != expect_seq:
+                        raise ServeError(
+                            f"session {session!r}: windows frame seq "
+                            f"{seq} (expected {expect_seq}) — frame "
+                            "lost or re-ordered"
+                        )
+                    expect_seq += 1
                 chunks.append(decode_array(header, payload))
             elif op == "done" and header.get("session") == session:
                 windows = (

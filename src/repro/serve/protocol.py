@@ -11,9 +11,25 @@ encoding is used by the asyncio transport and by the in-process client
 (which round-trips frames through ``bytes`` to keep the two paths
 honest with each other).
 
-Client -> gateway ops: ``open``, ``data``, ``close``, ``stats``.
+Client -> gateway ops: ``open``, ``data``, ``close``, ``stats``,
+``ping`` (keepalive — refreshes the session's idle-reaping clock).
 Gateway -> client ops: ``opened``, ``windows``, ``done``, ``stats``,
-``error``.
+``pong``, ``error``.
+
+Resilience header fields (all optional — old clients interoperate):
+
+* ``open`` may carry ``priority`` (``"critical"``/``"besteffort"``,
+  the admission shed class) and ``deadline_ticks`` (the session's
+  tick budget before pending work downgrades to the degraded T-cycle
+  fallback);
+* ``data`` may carry ``seq``, a per-session 0-based data-frame
+  counter the gateway verifies for contiguity — a lost or re-ordered
+  frame is rejected, never silently folded in;
+* ``windows`` carries ``seq``, the matching server-side counter
+  clients verify in ``collect``;
+* ``error`` carries ``shed: true`` plus a machine-readable ``reason``
+  when the admission layer dropped the request (back off and retry),
+  as opposed to a malformed-request error.
 """
 
 from __future__ import annotations

@@ -227,6 +227,20 @@ class Shard:
 
     def apply(self, groups: list, results: list[np.ndarray], t0: float) -> bool:
         if self.health.failed:
+            # Killed between gather and apply: the inferred results are
+            # discarded, but the gathered blocks must not be — requeue
+            # every session's in-flight blocks so the respawned shard
+            # re-infers them.  Inference is a pure function of the
+            # blocks, so the replay re-emits bit-identical readings
+            # with zero sequence gaps (loss-free failover).
+            requeued = 0
+            for _meter, picks, _mats in groups:
+                for sess, _blocks in picks:
+                    requeued += sess.requeue_inflight()
+            if requeued:
+                self.metrics.counter("serve.shard.requeued_blocks").inc(
+                    requeued
+                )
             return any(not s.done for s in self.sessions)
         with self.tracer.span(
             "serve.shard.apply", lane=self.lane, shard=self.index

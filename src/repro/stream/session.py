@@ -165,6 +165,23 @@ class StreamSession:
         self._done_notified = False
         self._it = iter(source)
         self.queue: deque[ProxyBlock] = deque()
+        # Failover machinery: blocks leave the queue into ``_inflight``
+        # at :meth:`take` and are acknowledged (popped, sequence
+        # counted, ``on_drain`` fired) only when their inferred results
+        # come back through :meth:`ingest`.  If the inference layer
+        # dies mid-flight (a serve shard killed between gather and
+        # apply), :meth:`requeue_inflight` moves them to ``_replay``,
+        # which :meth:`take` consumes *ahead of* the queue and which is
+        # exempt from drop-oldest backpressure — replayed blocks were
+        # already admitted once and must re-emit bit-identical
+        # readings, never be shed.  Both buffers are bounded by
+        # ``drain_blocks`` (the most one take can stage).
+        self._inflight: deque[ProxyBlock] = deque()
+        self._replay: deque[ProxyBlock] = deque()
+        self.take_seq = 0  # blocks handed to inference, lifetime
+        self.ingest_seq = 0  # blocks acknowledged back, lifetime
+        self.seq_gaps = 0  # acks that arrived without a matching take
+        self.requeued_blocks = 0  # blocks replayed after a failover
         self.exhausted = False
         self.opm_stream = meter.stream()
         self.ring = RingBuffer(self.config.ring_capacity)
@@ -196,7 +213,17 @@ class StreamSession:
 
     @property
     def done(self) -> bool:
-        return self.exhausted and not self.queue
+        return (
+            self.exhausted
+            and not self.queue
+            and not self._replay
+            and not self._inflight
+        )
+
+    @property
+    def pending_blocks(self) -> int:
+        """Blocks not yet acknowledged: queued, replayable or in flight."""
+        return len(self.queue) + len(self._replay) + len(self._inflight)
 
     # -------------------------------------------------------------- #
     def _pull(self) -> ProxyBlock:
@@ -263,13 +290,40 @@ class StreamSession:
         self.queue.append(block)
 
     def take(self, max_blocks: int) -> list[ProxyBlock]:
-        """Dequeue up to ``max_blocks`` blocks for inference."""
+        """Stage up to ``max_blocks`` blocks for inference.
+
+        Replayed blocks (from a failover) go first, then the queue.
+        Taken blocks sit in the in-flight buffer until :meth:`ingest`
+        acknowledges them — ``on_drain`` fires at *ack* time, so a
+        block whose inference was lost and replayed is drained (and
+        attributed) exactly once.
+        """
         out = []
+        while self._replay and len(out) < max_blocks:
+            out.append(self._replay.popleft())
         while self.queue and len(out) < max_blocks:
             out.append(self.queue.popleft())
-        if out and self.hooks.on_drain is not None:
-            self.hooks.on_drain(self, out)
+        self._inflight.extend(out)
+        self.take_seq += len(out)
         return out
+
+    def requeue_inflight(self) -> int:
+        """Return un-acknowledged in-flight blocks to the replay buffer.
+
+        Called by the inference layer when results for staged blocks
+        were lost (a serve shard died between gather and apply).  The
+        blocks re-enter in original order, ahead of the queue and
+        exempt from backpressure drops, and the take sequence rewinds —
+        the re-take re-issues the same sequence numbers, so downstream
+        continuity checks see zero gaps.
+        """
+        n = len(self._inflight)
+        if n:
+            self._replay.extendleft(reversed(self._inflight))
+            self._inflight.clear()
+            self.take_seq -= n
+            self.requeued_blocks += n
+        return n
 
     def notify_done(self) -> None:
         """Fire ``on_done`` exactly once after the session completes."""
@@ -282,7 +336,22 @@ class StreamSession:
     def ingest(
         self, per_cycle_ints: np.ndarray, n_blocks: int = 1
     ) -> None:
-        """Fold one inferred chunk into the session's aggregations."""
+        """Fold one inferred chunk into the session's aggregations.
+
+        Also acknowledges ``n_blocks`` staged blocks: they leave the
+        in-flight buffer, the ingest sequence advances, and the
+        ``on_drain`` hook fires over exactly the acknowledged blocks.
+        An ack without a matching take (results for blocks this
+        session never staged) counts a sequence gap.
+        """
+        acked: list[ProxyBlock] = []
+        while self._inflight and len(acked) < n_blocks:
+            acked.append(self._inflight.popleft())
+        if len(acked) < n_blocks:
+            self.seq_gaps += n_blocks - len(acked)
+        self.ingest_seq += len(acked)
+        if acked and self.hooks.on_drain is not None:
+            self.hooks.on_drain(self, acked)
         stream = self.opm_stream
         windows_int = stream.push_per_cycle(per_cycle_ints)
         per_cycle_mw = stream.read_per_cycle(per_cycle_ints)
@@ -324,6 +393,12 @@ class StreamSession:
             "health": self.health.as_dict(),
             "source_errors": self.source_errors,
             "queue_depth": len(self.queue),
+            "inflight_blocks": len(self._inflight),
+            "replay_blocks": len(self._replay),
+            "take_seq": self.take_seq,
+            "ingest_seq": self.ingest_seq,
+            "seq_gaps": self.seq_gaps,
+            "requeued_blocks": self.requeued_blocks,
             "windows_emitted": self.window_count,
             "mean_window_mw": (
                 self.window_sum / self.window_count
